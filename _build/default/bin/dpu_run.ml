@@ -1,0 +1,272 @@
+(* dpu_run — command-line front end for the DPU reproduction.
+
+   Subcommands:
+     scenario   run one simulated scenario with full parameter control
+     fig5       regenerate Figure 5
+     fig6       regenerate Figure 6
+     headline   regenerate the §6 headline numbers
+     compare    quantify Repl vs Graceful vs Maestro *)
+
+open Cmdliner
+module E = Dpu_workload.Experiment
+module F = Dpu_workload.Figures
+module Stats = Dpu_engine.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let n_arg =
+  Arg.(value & opt int 7 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of machines.")
+
+let load_arg =
+  Arg.(
+    value & opt float 40.0
+    & info [ "load" ] ~docv:"MSG/S" ~doc:"Aggregate ABcast load in messages per second.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let approach_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "repl" -> Ok E.Repl
+    | "maestro" -> Ok E.Maestro
+    | "graceful" -> Ok E.Graceful
+    | "none" | "no-layer" -> Ok E.No_layer
+    | other -> Error (`Msg (Printf.sprintf "unknown approach %S" other))
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (E.approach_name a))
+
+(* ------------------------------------------------------------------ *)
+(* scenario                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scenario n load seed duration switch_at initial switch_to approach loss batch check
+    crashes consensus_layer switch_consensus_to switch_consensus_at =
+  let consensus_layer =
+    if consensus_layer || switch_consensus_to <> None then
+      Some Dpu_protocols.Consensus_ct.protocol_name
+    else None
+  in
+  let switch_consensus =
+    Option.map (fun prot -> (switch_consensus_at, prot)) switch_consensus_to
+  in
+  let params =
+    {
+      E.default with
+      n;
+      load;
+      seed;
+      duration_ms = duration;
+      switch_at_ms = switch_at;
+      initial;
+      switch_to;
+      approach;
+      loss;
+      batch_size = batch;
+      trace_enabled = check;
+      consensus_layer;
+      switch_consensus;
+    }
+  in
+  let r = E.run ~crash_at:crashes params in
+  Printf.printf "sent %d, delivered everywhere %d, correct nodes {%s}\n" r.E.sent
+    r.E.delivered_everywhere
+    (String.concat "," (List.map string_of_int r.E.correct));
+  Printf.printf "normal latency: mean %.2f ms, p95 %.2f ms (%d msgs)\n"
+    (Stats.mean r.E.normal)
+    (Stats.percentile r.E.normal 95.0)
+    (Stats.count r.E.normal);
+  (match r.E.switch_window with
+  | Some (lo, hi) ->
+    Printf.printf "replacement: %.1f..%.1f ms (window %.1f ms); during: mean %.2f ms (%d msgs)\n"
+      lo hi (hi -. lo) (Stats.mean r.E.during) (Stats.count r.E.during)
+  | None -> print_endline "no replacement performed");
+  if r.E.blocked_ms > 0.0 then
+    Printf.printf "application blocked for %.1f ms\n" r.E.blocked_ms;
+  if check then begin
+    let reports = E.check r in
+    Format.printf "%a" Dpu_props.Report.pp_all reports;
+    if not (Dpu_props.Report.all_ok reports) then exit 1
+  end
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ t; node ] -> (
+      try Ok (float_of_string t, int_of_string node)
+      with Failure _ -> Error (`Msg "expected TIME_MS:NODE"))
+    | _ -> Error (`Msg "expected TIME_MS:NODE")
+  in
+  Arg.conv (parse, fun ppf (t, node) -> Format.fprintf ppf "%.0f:%d" t node)
+
+let scenario_cmd =
+  let duration =
+    Arg.(
+      value & opt float 10_000.0
+      & info [ "duration" ] ~docv:"MS" ~doc:"Load generation horizon (virtual ms).")
+  in
+  let switch_at =
+    Arg.(
+      value & opt float 5_000.0
+      & info [ "switch-at" ] ~docv:"MS" ~doc:"When to trigger the replacement.")
+  in
+  let initial =
+    Arg.(
+      value
+      & opt string Dpu_core.Variants.ct
+      & info [ "initial" ] ~docv:"PROTO"
+          ~doc:"Initial ABcast variant (abcast.ct, abcast.seq, abcast.token).")
+  in
+  let switch_to =
+    Arg.(
+      value
+      & opt (some string) (Some Dpu_core.Variants.ct)
+      & info [ "switch-to" ] ~docv:"PROTO" ~doc:"Replacement target; omit for none.")
+  in
+  let approach =
+    Arg.(
+      value & opt approach_conv E.Repl
+      & info [ "approach" ] ~docv:"A" ~doc:"repl | graceful | maestro | no-layer.")
+  in
+  let loss =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Datagram loss probability.")
+  in
+  let batch =
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"K" ~doc:"Consensus batch size.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Verify all correctness properties afterwards.")
+  in
+  let crashes =
+    Arg.(
+      value & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"MS:NODE" ~doc:"Fail-stop NODE at time MS (repeatable).")
+  in
+  let consensus_layer =
+    Arg.(
+      value & flag
+      & info [ "consensus-layer" ]
+          ~doc:"Install the consensus replacement layer (implied by --switch-consensus-to).")
+  in
+  let switch_consensus_to =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "switch-consensus-to" ] ~docv:"IMPL"
+          ~doc:"Hot-swap consensus to IMPL (consensus.ct | consensus.paxos).")
+  in
+  let switch_consensus_at =
+    Arg.(
+      value & opt float 2_500.0
+      & info [ "switch-consensus-at" ] ~docv:"MS"
+          ~doc:"When to trigger the consensus swap.")
+  in
+  let term =
+    Term.(
+      const scenario $ n_arg $ load_arg $ seed_arg $ duration $ switch_at $ initial
+      $ switch_to $ approach $ loss $ batch $ check $ crashes $ consensus_layer
+      $ switch_consensus_to $ switch_consensus_at)
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run one simulated group-communication scenario.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* figures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_cmd =
+  let run n load seed = print_string (F.render_figure5 (F.figure5 ~n ~load ~seed ())) in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Regenerate Figure 5 (latency around a replacement).")
+    Term.(const run $ n_arg $ load_arg $ seed_arg)
+
+let fig6_cmd =
+  let loads =
+    Arg.(
+      value
+      & opt (list float) [ 10.0; 20.0; 40.0; 60.0; 80.0 ]
+      & info [ "loads" ] ~docv:"L1,L2,.." ~doc:"Loads to sweep.")
+  in
+  let ns =
+    Arg.(value & opt (list int) [ 3; 7 ] & info [ "ns" ] ~docv:"N1,N2" ~doc:"Group sizes.")
+  in
+  let run ns loads seed = print_string (F.render_figure6 (F.figure6 ~ns ~loads ~seed ())) in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Regenerate Figure 6 (latency vs load).")
+    Term.(const run $ ns $ loads $ seed_arg)
+
+let headline_cmd =
+  let run n load = print_string (F.render_headline (F.headline ~n ~load ())) in
+  Cmd.v
+    (Cmd.info "headline" ~doc:"Regenerate the headline numbers of §6.")
+    Term.(const run $ n_arg $ load_arg)
+
+let compare_cmd =
+  let run n load seed =
+    print_string (F.render_comparison (F.compare_approaches ~n ~load ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Quantify Repl vs Graceful Adaptation vs Maestro.")
+    Term.(const run $ n_arg $ load_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run n load duration switch_at switch_to grep =
+    let params =
+      {
+        E.default with
+        n;
+        load;
+        duration_ms = duration;
+        switch_at_ms = switch_at;
+        switch_to;
+        trace_enabled = true;
+      }
+    in
+    let r = E.run params in
+    let matches s =
+      match grep with
+      | None -> true
+      | Some needle ->
+        let nl = String.length needle and hl = String.length s in
+        let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+        go 0
+    in
+    List.iter
+      (fun e ->
+        let line = Format.asprintf "%a" Dpu_kernel.Trace.pp_entry e in
+        if matches line then print_endline line)
+      (Dpu_kernel.Trace.entries r.E.trace)
+  in
+  let duration =
+    Arg.(value & opt float 500.0 & info [ "duration" ] ~docv:"MS" ~doc:"Horizon.")
+  in
+  let switch_at =
+    Arg.(value & opt float 250.0 & info [ "switch-at" ] ~docv:"MS" ~doc:"Switch time.")
+  in
+  let switch_to =
+    Arg.(
+      value
+      & opt (some string) (Some Dpu_core.Variants.sequencer)
+      & info [ "switch-to" ] ~docv:"PROTO" ~doc:"Replacement target; omit for none.")
+  in
+  let grep =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "grep" ] ~docv:"SUBSTR" ~doc:"Only print matching trace lines.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump the kernel event trace of a short scenario.")
+    Term.(const run $ n_arg $ load_arg $ duration $ switch_at $ switch_to $ grep)
+
+let () =
+  let doc = "Dynamic protocol update (IPDPS 2006) — simulation driver" in
+  let info = Cmd.info "dpu_run" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ scenario_cmd; fig5_cmd; fig6_cmd; headline_cmd; compare_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/consensus_swap.ml: Dpu_core Dpu_engine Dpu_kernel Dpu_props Dpu_protocols Dpu_workload Format Printf

@@ -1,0 +1,1 @@
+examples/consensus_swap.mli:

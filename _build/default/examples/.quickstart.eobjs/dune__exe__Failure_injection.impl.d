@@ -1,0 +1,1 @@
+examples/failure_injection.ml: Dpu_core Dpu_engine Dpu_kernel Dpu_net Dpu_props Dpu_workload Format List Printf String

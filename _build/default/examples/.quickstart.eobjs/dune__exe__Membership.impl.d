@@ -1,0 +1,1 @@
+examples/membership.ml: Array Dpu_core Dpu_engine Dpu_kernel Dpu_protocols List Printf String

@@ -1,0 +1,1 @@
+examples/membership.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dpu_core Dpu_engine Dpu_kernel Format Printf

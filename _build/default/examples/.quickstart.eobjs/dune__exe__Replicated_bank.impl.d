@@ -1,0 +1,1 @@
+examples/replicated_bank.ml: Array Dpu_apps Dpu_core Dpu_engine Dpu_kernel Dpu_protocols List Printf String

@@ -1,0 +1,1 @@
+examples/replicated_bank.mli:

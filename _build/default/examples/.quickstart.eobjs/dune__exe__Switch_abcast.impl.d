@@ -1,0 +1,1 @@
+examples/switch_abcast.ml: Dpu_core Dpu_engine Dpu_kernel Dpu_props Dpu_workload Format Printf

@@ -1,0 +1,1 @@
+examples/verify.ml: Dpu_model Format Printf

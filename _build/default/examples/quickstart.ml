@@ -1,0 +1,40 @@
+(* Quickstart: a three-node adaptive group-communication cluster.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   Builds the Fig. 4 stack on three simulated machines, atomically
+   broadcasts a few messages, replaces the atomic broadcast protocol on
+   the fly (consensus-based -> fixed sequencer), and shows that the
+   totally ordered stream continues seamlessly. *)
+
+module MW = Dpu_core.Middleware
+module Msg = Dpu_kernel.Msg
+
+let () =
+  let mw = MW.create ~n:3 () in
+
+  (* Watch the totally ordered delivery stream on node 0. *)
+  MW.subscribe mw ~node:0 (fun m ->
+      Printf.printf "  [%7.2f ms] node 0 delivers %-4s from node %d: %s\n"
+        (MW.now mw) (Msg.id_to_string m.Msg.id) m.Msg.id.Msg.origin m.Msg.body);
+
+  (* Be told when the protocol switch completes locally. *)
+  MW.on_protocol_change mw ~node:0 (fun ~generation ~protocol ->
+      Printf.printf "  [%7.2f ms] node 0 switched to %s (generation %d)\n"
+        (MW.now mw) protocol generation);
+
+  print_endline "Broadcasting through the consensus-based protocol:";
+  ignore (MW.broadcast mw ~node:0 "hello");
+  ignore (MW.broadcast mw ~node:1 "group");
+  ignore (MW.broadcast mw ~node:2 "communication");
+  MW.run_for mw 500.0;
+
+  print_endline "Replacing the ABcast protocol on the fly (no stop, no blocking):";
+  MW.change_protocol mw ~node:1 Dpu_core.Variants.sequencer;
+  ignore (MW.broadcast mw ~node:0 "still");
+  ignore (MW.broadcast mw ~node:1 "totally");
+  ignore (MW.broadcast mw ~node:2 "ordered");
+  MW.run_until_quiescent ~limit:5_000.0 mw;
+
+  let stats = Dpu_engine.Series.stats (MW.latency_series mw) in
+  Format.printf "Average ABcast latency: %a@." Dpu_engine.Stats.pp stats

@@ -1,0 +1,65 @@
+(* Live protocol switching under load — the paper's core scenario.
+
+   Run with:  dune exec examples/switch_abcast.exe
+
+   A 5-node cluster under a steady 40 msg/s ABcast load walks through
+   all three protocol implementations:
+
+     consensus-based (CT)  ->  fixed sequencer  ->  token ring
+
+   while the totally ordered stream keeps flowing. At the end we verify
+   mechanically (with the trace checkers) that every atomic broadcast
+   property held across both replacements, and we print the latency each
+   protocol delivered — three genuinely different performance profiles,
+   one service. *)
+
+module MW = Dpu_core.Middleware
+module Sim = Dpu_engine.Sim
+module Stats = Dpu_engine.Stats
+module Series = Dpu_engine.Series
+
+let () =
+  let mw = MW.create ~n:5 () in
+  let switches = ref [] in
+  MW.on_protocol_change mw ~node:0 (fun ~generation ~protocol ->
+      switches := (MW.now mw, generation, protocol) :: !switches;
+      Printf.printf "[%8.1f ms] switched to %s (generation %d)\n" (MW.now mw) protocol
+        generation);
+
+  (* 40 msg/s for 9 virtual seconds. *)
+  Dpu_workload.Load_gen.start mw ~rate_per_s:40.0 ~until:9_000.0 ();
+
+  let sim = Dpu_kernel.System.sim (MW.system mw) in
+  ignore
+    (Sim.schedule sim ~delay:3_000.0 (fun () ->
+         print_endline "--- requesting switch to the fixed-sequencer protocol ---";
+         MW.change_protocol mw ~node:2 Dpu_core.Variants.sequencer));
+  ignore
+    (Sim.schedule sim ~delay:6_000.0 (fun () ->
+         print_endline "--- requesting switch to the token-ring protocol ---";
+         MW.change_protocol mw ~node:4 Dpu_core.Variants.token));
+
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+
+  (* Latency per protocol era. *)
+  let series = MW.latency_series mw in
+  let era name lo hi =
+    let s = Series.stats_between series ~lo ~hi in
+    Printf.printf "%-22s %5.0f..%5.0f ms: mean latency %6.2f ms over %d msgs\n" name lo
+      hi (Stats.mean s) (Stats.count s)
+  in
+  print_newline ();
+  era "consensus-based (CT)" 500.0 3_000.0;
+  era "fixed sequencer" 3_200.0 6_000.0;
+  era "token ring" 6_200.0 9_000.0;
+
+  (* Mechanical §5.2.2 check: the ABcast properties held across both
+     replacements. *)
+  print_newline ();
+  let reports =
+    Dpu_props.Abcast_props.check_all (MW.collector mw) ~correct:[ 0; 1; 2; 3; 4 ]
+  in
+  Format.printf "%a" Dpu_props.Report.pp_all reports;
+  if Dpu_props.Report.all_ok reports then
+    print_endline "all atomic broadcast properties held across both switches"
+  else exit 1

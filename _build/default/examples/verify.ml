@@ -1,0 +1,57 @@
+(* Mechanised verification of the paper's algorithm — and a finding.
+
+   Run with:  dune exec examples/verify.exe
+
+   This example runs the bounded model checkers over Algorithm 1 and
+   over the consensus replacement layer, telling the story in order:
+
+   1. Algorithm 1 as printed verifies exhaustively at one protocol
+      change — the mechanised version of the paper's §5.2.2 proofs.
+   2. Deleting any checked line produces a minimal counterexample
+      naming exactly the property that line protects.
+   3. The finding: with two OVERLAPPING changeABcast requests, the
+      as-printed algorithm violates uniform agreement. The proof's
+      hidden assumption — a change of protocol sn travels through
+      protocol sn — does not survive concurrency of changes.
+   4. The repair (the symmetric generation check on line 10, which this
+      repository's Repl implements) verifies at the same bounds. *)
+
+module M = Dpu_model.Algo1
+module C = Dpu_model.Consswap
+
+let headline text =
+  Printf.printf "\n--- %s ---\n" text
+
+let run mutation bounds =
+  Format.printf "%-52s %a@." (M.mutation_name mutation) M.pp_result
+    (M.check ~mutation ~bounds ())
+
+let () =
+  headline "1. Algorithm 1, as printed, one protocol change: exhaustive";
+  run M.Faithful M.default_bounds;
+  run M.Faithful { M.default_bounds with crashes = 1 };
+  run M.Faithful { M.default_bounds with nodes = 3; sends = 1 };
+
+  headline "2. every checked line is load-bearing";
+  run M.No_sn_check M.default_bounds;
+  run M.No_reissue M.default_bounds;
+  run M.No_undelivered_removal M.default_bounds;
+
+  headline "3. the finding: overlapping changeABcast requests";
+  run M.Faithful { M.default_bounds with sends = 1; changes = 2 };
+
+  headline "4. the repair (line 10 checks sn = seqNumber, as our Repl does)";
+  run M.Fixed_line10 { M.default_bounds with sends = 1; changes = 2 };
+
+  headline "5. the consensus replacement layer (paper's future work)";
+  Format.printf "%-52s %a@." (C.variant_name C.Sound) C.pp_result (C.check ());
+  Format.printf "%-52s %a@."
+    (C.variant_name C.No_prefix_defer)
+    C.pp_result
+    (C.check ~variant:C.No_prefix_defer ());
+
+  print_newline ();
+  print_endline
+    "summary: the paper's properties hold exhaustively at these bounds for the\n\
+     repaired algorithm; each deleted line, and each deleted rule of the\n\
+     consensus-swap design, is refuted by a concrete counterexample trace."

@@ -1,0 +1,1 @@
+lib/apps/lock_service.ml: Buffer Digest Dpu_core Dpu_kernel Dpu_protocols Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/apps/lock_service.mli: Dpu_core

@@ -1,0 +1,1 @@
+lib/apps/replicated_kv.ml: Buffer Digest Dpu_core Dpu_kernel Hashtbl List Printf String

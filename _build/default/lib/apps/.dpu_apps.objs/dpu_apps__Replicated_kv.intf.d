@@ -1,0 +1,1 @@
+lib/apps/replicated_kv.mli: Dpu_core

@@ -1,0 +1,139 @@
+module MW = Dpu_core.Middleware
+module Msg = Dpu_kernel.Msg
+module Gm = Dpu_protocols.Gm
+
+let sep = '\x00'
+
+type op =
+  | Acquire of string * int
+  | Release of string * int
+  | Evict of int
+
+let encode = function
+  | Acquire (l, node) -> Printf.sprintf "lk.acq%c%s%c%d" sep l sep node
+  | Release (l, node) -> Printf.sprintf "lk.rel%c%s%c%d" sep l sep node
+  | Evict node -> Printf.sprintf "lk.evict%c%d" sep node
+
+let decode body =
+  match String.split_on_char sep body with
+  | [ "lk.acq"; l; node ] -> Option.map (fun n -> Acquire (l, n)) (int_of_string_opt node)
+  | [ "lk.rel"; l; node ] -> Option.map (fun n -> Release (l, n)) (int_of_string_opt node)
+  | [ "lk.evict"; node ] -> Option.map (fun n -> Evict n) (int_of_string_opt node)
+  | _ -> None
+
+type t = {
+  mw : MW.t;
+  node : int;
+  (* lock name -> holder :: waiters (FIFO; empty list = free) *)
+  queues : (string, int list) Hashtbl.t;
+  dead : (int, unit) Hashtbl.t;
+  mutable granted_cb : (string -> unit) list;
+  mutable view : int list;  (* last installed membership, for eviction duty *)
+}
+
+let queue t l = match Hashtbl.find_opt t.queues l with Some q -> q | None -> []
+
+let set_queue t l q = if q = [] then Hashtbl.remove t.queues l else Hashtbl.replace t.queues l q
+
+let notify_if_granted t l before after =
+  let head = function x :: _ -> Some x | [] -> None in
+  if head after = Some t.node && head before <> Some t.node then
+    List.iter (fun cb -> cb l) t.granted_cb
+
+(* Apply one ordered operation. Deterministic: replicas that applied the
+   same prefix have identical tables. *)
+let apply t op =
+  match op with
+  | Acquire (l, node) ->
+    if not (Hashtbl.mem t.dead node) then begin
+      let q = queue t l in
+      if not (List.mem node q) then begin
+        let q' = q @ [ node ] in
+        set_queue t l q';
+        notify_if_granted t l q q'
+      end
+    end
+  | Release (l, node) -> (
+    match queue t l with
+    | head :: rest when head = node ->
+      set_queue t l rest;
+      notify_if_granted t l (head :: rest) rest
+    | _ :: _ | [] -> () (* releasing a lock you don't hold is a no-op *))
+  | Evict node ->
+    if not (Hashtbl.mem t.dead node) then begin
+      Hashtbl.replace t.dead node ();
+      let locks = Hashtbl.fold (fun l _ acc -> l :: acc) t.queues [] in
+      List.iter
+        (fun l ->
+          let q = queue t l in
+          let q' = List.filter (fun n -> n <> node) q in
+          if q' <> q then begin
+            set_queue t l q';
+            notify_if_granted t l q q'
+          end)
+        locks
+    end
+
+let broadcast t op =
+  let body = encode op in
+  ignore (MW.broadcast t.mw ~node:t.node ~size:(64 + String.length body) body : Msg.t)
+
+(* Eviction duty: when membership drops a node, the smallest surviving
+   member broadcasts the eviction. The eviction takes effect where it
+   lands in the total order, identically everywhere; duplicates (e.g.
+   two successive view changes) are idempotent. *)
+let on_view t (view : Gm.view) =
+  let gone = List.filter (fun n -> not (List.mem n view.Gm.members)) t.view in
+  t.view <- view.Gm.members;
+  match view.Gm.members with
+  | first :: _ when first = t.node ->
+    List.iter (fun n -> broadcast t (Evict n)) gone
+  | _ :: _ | [] -> ()
+
+let attach mw ~node =
+  let t =
+    {
+      mw;
+      node;
+      queues = Hashtbl.create 16;
+      dead = Hashtbl.create 4;
+      granted_cb = [];
+      view = List.init (MW.n mw) (fun i -> i);
+    }
+  in
+  MW.subscribe mw ~node (fun (m : Msg.t) ->
+      match decode m.body with Some op -> apply t op | None -> ());
+  (if (MW.config mw).MW.profile.Dpu_core.Stack_builder.with_gm then
+     MW.on_view mw ~node (on_view t));
+  t
+
+let node t = t.node
+
+let acquire t l = broadcast t (Acquire (l, t.node))
+
+let release t l = broadcast t (Release (l, t.node))
+
+let holder t l = match queue t l with h :: _ -> Some h | [] -> None
+
+let waiters t l = match queue t l with _ :: rest -> rest | [] -> []
+
+let holds t l = holder t l = Some t.node
+
+let on_granted t cb = t.granted_cb <- cb :: t.granted_cb
+
+let evicted t = Hashtbl.fold (fun n () acc -> n :: acc) t.dead [] |> List.sort compare
+
+let digest t =
+  let entries =
+    Hashtbl.fold (fun l q acc -> (l, q) :: acc) t.queues []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (l, q) ->
+      Buffer.add_string buf l;
+      List.iter (fun n -> Buffer.add_string buf (Printf.sprintf ",%d" n)) q;
+      Buffer.add_char buf ';')
+    entries;
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "!%d" n)) (evicted t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,60 @@
+(** A replicated distributed lock service — mutual exclusion built on
+    nothing but the middleware's totally ordered broadcast, with
+    crash recovery driven by group membership.
+
+    Every node runs a replica of the lock table. Acquire and release
+    requests are atomically broadcast, so all replicas see the same
+    sequence of requests and agree, at every point of the history, on
+    each lock's holder and FIFO waiter queue. No separate lock manager,
+    no extra round trips beyond the broadcast itself.
+
+    Crash recovery: when group membership excludes a node, the
+    smallest-id surviving member broadcasts an eviction for it. The
+    eviction is itself an ordered message, so every replica drops the
+    dead node's holdings and queued requests at the same point — and
+    ignores any of its requests that the broadcast happens to order
+    later. Requires a profile with [with_gm = true] for auto-eviction;
+    without GM the service still works, minus crash recovery.
+
+    Guarantees (checked in the test-suite, including across dynamic
+    protocol updates):
+    - {e safety}: at most one holder per lock at every replica, and all
+      replicas agree on it;
+    - {e FIFO fairness}: the lock passes in request order;
+    - {e liveness}: a released or evicted lock is granted to the next
+      waiter. *)
+
+type t
+
+val attach : Dpu_core.Middleware.t -> node:int -> t
+
+val node : t -> int
+
+val acquire : t -> string -> unit
+(** Request the lock: this node joins the lock's FIFO queue (duplicate
+    requests while queued are ignored). The grant arrives via
+    {!on_granted} / becomes visible through {!holder}. *)
+
+val release : t -> string -> unit
+(** Give the lock up (a no-op unless this node holds it when the
+    request is ordered). *)
+
+val holder : t -> string -> int option
+(** Current holder of the lock at this replica. *)
+
+val waiters : t -> string -> int list
+(** Queued requesters behind the holder, FIFO. *)
+
+val holds : t -> string -> bool
+(** Does this node hold the lock (at this replica's point in the
+    history)? *)
+
+val on_granted : t -> (string -> unit) -> unit
+(** Callback invoked when this node becomes the holder of a lock. *)
+
+val evicted : t -> int list
+(** Nodes evicted from the lock table so far (ascending). *)
+
+val digest : t -> string
+(** Deterministic digest of the whole lock table, for replica
+    comparison. *)

@@ -1,0 +1,172 @@
+module MW = Dpu_core.Middleware
+module Msg = Dpu_kernel.Msg
+
+(* Operations are encoded into the message body with a separator that
+   cannot appear in keys produced by reasonable applications; values are
+   arbitrary apart from the separator. *)
+let sep = '\x00'
+
+let snap_sep = '\x02'
+
+type op =
+  | Put of string * string
+  | Delete of string
+  | Incr of string * int
+  | Sync_req of { joiner : int; responder : int }
+  | Sync_snapshot of { joiner : int; applied : int; entries : (string * string) list }
+
+let encode = function
+  | Put (k, v) -> Printf.sprintf "put%c%s%c%s" sep k sep v
+  | Delete k -> Printf.sprintf "del%c%s" sep k
+  | Incr (k, by) -> Printf.sprintf "inc%c%s%c%d" sep k sep by
+  | Sync_req { joiner; responder } -> Printf.sprintf "syncreq%c%d%c%d" sep joiner sep responder
+  | Sync_snapshot { joiner; applied; entries } ->
+    let body =
+      String.concat (String.make 1 snap_sep)
+        (List.map (fun (k, v) -> Printf.sprintf "%s%c%s" k sep v) entries)
+    in
+    Printf.sprintf "syncsnap%c%d%c%d%c%s" sep joiner sep applied snap_sep body
+
+let decode body =
+  match String.index_opt body snap_sep with
+  | Some _ -> (
+    (* syncsnap <sep> joiner <sep> applied <snap_sep> k<sep>v <snap_sep> ... *)
+    match String.split_on_char snap_sep body with
+    | header :: entry_strs -> (
+      match String.split_on_char sep header with
+      | [ "syncsnap"; joiner; applied ] -> (
+        match (int_of_string_opt joiner, int_of_string_opt applied) with
+        | Some joiner, Some applied ->
+          let entries =
+            List.filter_map
+              (fun e ->
+                match String.split_on_char sep e with
+                | [ k; v ] -> Some (k, v)
+                | _ -> None)
+              entry_strs
+          in
+          Some (Sync_snapshot { joiner; applied; entries })
+        | _, _ -> None)
+      | _ -> None)
+    | [] -> None)
+  | None -> (
+    match String.split_on_char sep body with
+    | [ "put"; k; v ] -> Some (Put (k, v))
+    | [ "del"; k ] -> Some (Delete k)
+    | [ "inc"; k; by ] -> (
+      match int_of_string_opt by with Some by -> Some (Incr (k, by)) | None -> None)
+    | [ "syncreq"; joiner; responder ] -> (
+      match (int_of_string_opt joiner, int_of_string_opt responder) with
+      | Some joiner, Some responder -> Some (Sync_req { joiner; responder })
+      | _, _ -> None)
+    | _ -> None)
+
+type sync_state =
+  | Synced
+  | Awaiting_req  (* late joiner: ignore everything until our request *)
+  | Awaiting_snapshot of op list ref  (* buffering ops ordered after it *)
+
+type t = {
+  mw : MW.t;
+  node : int;
+  state : (string, string) Hashtbl.t;
+  mutable applied : int;
+  mutable sync : sync_state;
+}
+
+let int_of_cell = function
+  | None -> 0
+  | Some s -> ( match int_of_string_opt s with Some i -> i | None -> 0)
+
+let entries t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.state []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let broadcast_op t op =
+  let body = encode op in
+  ignore (MW.broadcast t.mw ~node:t.node ~size:(64 + String.length body) body : Msg.t)
+
+let apply_data t op =
+  t.applied <- t.applied + 1;
+  match op with
+  | Put (k, v) -> Hashtbl.replace t.state k v
+  | Delete k -> Hashtbl.remove t.state k
+  | Incr (k, by) ->
+    let current = int_of_cell (Hashtbl.find_opt t.state k) in
+    Hashtbl.replace t.state k (string_of_int (current + by))
+  | Sync_req _ | Sync_snapshot _ -> ()
+
+(* The ordered stream drives both normal application and the state
+   transfer protocol. *)
+let apply t op =
+  match (t.sync, op) with
+  | Synced, (Put _ | Delete _ | Incr _) -> apply_data t op
+  | Synced, Sync_req { joiner; responder } ->
+    (* The responder snapshots its state exactly at this position of
+       the history and ships it through the same ordered channel. *)
+    if responder = t.node && joiner <> t.node then
+      broadcast_op t
+        (Sync_snapshot { joiner; applied = t.applied; entries = entries t })
+  | Synced, Sync_snapshot _ -> ()
+  | Awaiting_req, Sync_req { joiner; _ } when joiner = t.node ->
+    t.sync <- Awaiting_snapshot (ref [])
+  | Awaiting_req, _ -> ()
+  | Awaiting_snapshot _, Sync_req { joiner; responder } ->
+    if responder = t.node && joiner <> t.node then () (* cannot help yet *)
+  | Awaiting_snapshot buffered, Sync_snapshot { joiner; applied; entries }
+    when joiner = t.node ->
+    Hashtbl.reset t.state;
+    List.iter (fun (k, v) -> Hashtbl.replace t.state k v) entries;
+    t.applied <- applied;
+    t.sync <- Synced;
+    (* Replay what was ordered between our request and the snapshot. *)
+    List.iter (apply_data t) (List.rev !buffered)
+  | Awaiting_snapshot buffered, (Put _ | Delete _ | Incr _) -> buffered := op :: !buffered
+  | Awaiting_snapshot _, Sync_snapshot _ -> ()
+
+let subscribe t =
+  MW.subscribe t.mw ~node:t.node (fun (m : Msg.t) ->
+      match decode m.body with
+      | Some op -> apply t op
+      | None -> () (* not a kv operation: another application's traffic *))
+
+let attach mw ~node =
+  let t = { mw; node; state = Hashtbl.create 64; applied = 0; sync = Synced } in
+  subscribe t;
+  t
+
+let attach_late mw ~node ~from =
+  let t = { mw; node; state = Hashtbl.create 64; applied = 0; sync = Awaiting_req } in
+  subscribe t;
+  broadcast_op t (Sync_req { joiner = node; responder = from });
+  t
+
+let synced t = t.sync = Synced
+
+let node t = t.node
+
+let put t k v = broadcast_op t (Put (k, v))
+
+let delete t k = broadcast_op t (Delete k)
+
+let incr t ?(by = 1) k = broadcast_op t (Incr (k, by))
+
+let get t k = Hashtbl.find_opt t.state k
+
+let get_int t k = int_of_cell (get t k)
+
+let size t = Hashtbl.length t.state
+
+let applied t = t.applied
+
+let digest t =
+  (* Order-insensitive: hash the sorted entry list. *)
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf sep;
+      Buffer.add_string buf v;
+      Buffer.add_char buf '\x01')
+    (entries t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,1 @@
+lib/baselines/graceful.ml: Dpu_engine Dpu_kernel Dpu_protocols Hashtbl List Msg Option Payload Printf Registry Service Stack String System

@@ -1,0 +1,1 @@
+lib/baselines/graceful.mli: Dpu_kernel Registry Stack System

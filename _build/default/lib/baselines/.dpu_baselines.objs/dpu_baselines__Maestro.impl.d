@@ -1,0 +1,1 @@
+lib/baselines/maestro.ml: Dpu_engine Dpu_kernel Dpu_protocols Hashtbl List Msg Payload Printf Registry Service Stack System

@@ -1,0 +1,1 @@
+lib/baselines/maestro.mli: Dpu_kernel Registry Stack System

@@ -1,0 +1,145 @@
+open Dpu_kernel
+module Abcast_iface = Dpu_protocols.Abcast_iface
+module Repl_iface = Dpu_protocols.Repl_iface
+
+type Payload.t +=
+  | M_data of { gen : int; id : Msg.id; size : int; payload : Payload.t }
+  | M_switch of { gen : int; protocol : string }
+
+let () =
+  Payload.register_printer (function
+    | M_data { gen; id; _ } ->
+      Some (Printf.sprintf "maestro.data gen=%d %s" gen (Msg.id_to_string id))
+    | M_switch { gen; protocol } ->
+      Some (Printf.sprintf "maestro.switch gen=%d %s" gen protocol)
+    | _ -> None)
+
+type config = { drain_ms : float; startup_ms : float }
+
+let default_config = { drain_ms = 150.0; startup_ms = 20.0 }
+
+let protocol_name = "maestro.ss"
+
+let header_size = 48
+
+let k_blocked_us = "maestro.blocked_us"
+let k_reissued = "maestro.reissued"
+
+let blocked_ms stack = float_of_int (Stack.get_env stack k_blocked_us ~default:0) /. 1000.0
+
+let reissued stack = Stack.get_env stack k_reissued ~default:0
+
+(* The "whole stack" that gets replaced: every module providing one of
+   the group-communication services below the switch module. *)
+let substrate_services =
+  [ Service.net; Service.rp2p; Service.fd; Service.consensus;
+    Dpu_protocols.Rbcast.service; Service.abcast ]
+
+let install ?(config = default_config) ~registry stack =
+  let me = Stack.node stack in
+  Stack.add_module stack ~name:protocol_name ~provides:[ Service.r_abcast ]
+    ~requires:[ Service.abcast ]
+    (fun stack _self ->
+      let gen = ref 0 in
+      let next_local = ref 0 in
+      let undelivered : (Msg.id, int * Payload.t) Hashtbl.t = Hashtbl.create 64 in
+      let blocked = ref false in
+      let blocked_since = ref 0.0 in
+      let now () = Dpu_engine.Sim.now (Stack.sim stack) in
+      let abcast ~size payload =
+        Stack.call stack Service.abcast (Abcast_iface.Broadcast { size; payload })
+      in
+      let send_data id size payload =
+        abcast ~size:(size + header_size) (M_data { gen = !gen; id; size; payload })
+      in
+      let r_broadcast ~size payload =
+        let id = { Msg.origin = me; seq = !next_local } in
+        incr next_local;
+        Hashtbl.replace undelivered id (size, payload);
+        (* While blocked, the message stays in [undelivered] and goes
+           out with the re-issue pass once the new stack is up. *)
+        if not !blocked then send_data id size payload
+      in
+      let teardown () =
+        let victims =
+          List.filter
+            (fun m ->
+              List.exists
+                (fun svc ->
+                  List.exists (Service.equal svc) (Stack.module_provides m))
+                substrate_services)
+            (Stack.modules stack)
+        in
+        List.iter (Stack.remove_module stack) victims
+      in
+      let rebuild protocol =
+        teardown ();
+        incr gen;
+        Stack.set_env stack Abcast_iface.epoch_key !gen;
+        ignore (Registry.instantiate registry stack ~name:protocol : Stack.module_);
+        (* Give the fresh stack a warm-up before resuming traffic. *)
+        ignore
+          (Stack.after stack ~delay:config.startup_ms (fun () ->
+               blocked := false;
+               let us = int_of_float ((now () -. !blocked_since) *. 1000.0) in
+               Stack.set_env stack k_blocked_us
+                 (Stack.get_env stack k_blocked_us ~default:0 + us);
+               Stack.app_event stack ~tag:"maestro.switch"
+                 ~data:(Printf.sprintf "gen=%d prot=%s" !gen protocol);
+               Stack.indicate stack Service.r_abcast
+                 (Repl_iface.Protocol_changed { generation = !gen; protocol });
+               let pending =
+                 Hashtbl.fold (fun id v acc -> (id, v) :: acc) undelivered []
+                 |> List.sort (fun (a, _) (b, _) -> Msg.id_compare a b)
+               in
+               Stack.set_env stack k_reissued
+                 (Stack.get_env stack k_reissued ~default:0 + List.length pending);
+               List.iter (fun (id, (size, payload)) -> send_data id size payload) pending)
+            : Dpu_engine.Sim.handle)
+      in
+      let on_switch g protocol =
+        if g = !gen && not !blocked then begin
+          (* Finalise: block the application, stop delivering, and let
+             in-flight traffic (including this switch message at slower
+             stacks) drain before destroying the old stack. *)
+          blocked := true;
+          blocked_since := now ();
+          ignore
+            (Stack.after stack ~delay:config.drain_ms (fun () -> rebuild protocol)
+              : Dpu_engine.Sim.handle)
+        end
+      in
+      let on_data g id payload =
+        (* Deliveries ordered after the switch point (or from a stale
+           generation) are discarded at every stack alike; senders
+           re-issue them through the new stack. *)
+        if g = !gen && not !blocked then begin
+          Hashtbl.remove undelivered id;
+          Stack.indicate stack Service.r_abcast
+            (Repl_iface.R_deliver { origin = id.Msg.origin; payload })
+        end
+      in
+      {
+        Stack.default_handlers with
+        handle_call =
+          (fun _svc p ->
+            match p with
+            | Repl_iface.R_broadcast { size; payload } -> r_broadcast ~size payload
+            | Repl_iface.Change_abcast protocol ->
+              abcast ~size:header_size (M_switch { gen = !gen; protocol })
+            | _ -> ());
+        handle_indication =
+          (fun svc p ->
+            if Service.equal svc Service.abcast then
+              match p with
+              | Abcast_iface.Deliver { origin = _; payload = M_data { gen = g; id; size = _; payload } } ->
+                on_data g id payload
+              | Abcast_iface.Deliver { origin = _; payload = M_switch { gen = g; protocol } } ->
+                on_switch g protocol
+              | _ -> ());
+      })
+
+let register ?config system =
+  let registry = System.registry system in
+  Registry.register registry ~name:protocol_name ~provides:[ Service.r_abcast ]
+    (fun stack -> install ?config ~registry stack)

@@ -1,0 +1,50 @@
+(** Executable model of the Maestro approach to DPU [20] (§4.2).
+
+    Maestro replaces *whole protocol stacks*: to replace a single
+    protocol, every machine installs a stack switch ([SS]) module that
+    (1) finalises the local old stack and (2) starts a new stack. Our
+    model captures the two properties the paper contrasts against:
+
+    - the application is {e blocked} during the replacement (calls are
+      queued from the moment the switch message is delivered until the
+      new stack is up);
+    - the whole stack below the switch module — UDP, RP2P, FD,
+      consensus, reliable broadcast, ABcast — is torn down and rebuilt,
+      not just the ABcast module.
+
+    The switch message itself is atomically broadcast through the old
+    stack, so all stacks cut over at the same point of the total order;
+    a drain period then lets slow stacks receive it before anyone
+    destroys the protocols it travelled through (this stands in for the
+    view-synchrony machinery Ensemble uses). Deliveries ordered after
+    the cut are discarded everywhere and re-issued through the new
+    stack, preserving the ABcast properties — at the cost of the
+    blocking window the experiments measure.
+
+    Provides [Service.r_abcast] with the [Repl_iface] payloads, so the
+    experiment harness can drive it exactly like the paper's [Repl]. *)
+
+open Dpu_kernel
+
+type config = {
+  drain_ms : float;
+      (** grace period between delivering the switch message and
+          tearing the old stack down *)
+  startup_ms : float;  (** new-stack warm-up before unblocking *)
+}
+
+val default_config : config
+(** drain 150 ms, startup 20 ms. *)
+
+val protocol_name : string
+(** ["maestro.ss"] *)
+
+val install : ?config:config -> registry:Registry.t -> Stack.t -> Stack.module_
+
+val register : ?config:config -> System.t -> unit
+
+val blocked_ms : Stack.t -> float
+(** Total virtual time this stack's application was blocked. *)
+
+val reissued : Stack.t -> int
+(** Messages that had to be re-broadcast through the new stack. *)

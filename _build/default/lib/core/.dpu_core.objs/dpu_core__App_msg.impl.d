@@ -1,0 +1,1 @@
+lib/core/app_msg.ml: Dpu_kernel Msg Payload Printf

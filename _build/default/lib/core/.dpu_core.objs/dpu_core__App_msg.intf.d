@@ -1,0 +1,1 @@
+lib/core/app_msg.mli: Dpu_kernel Msg Payload

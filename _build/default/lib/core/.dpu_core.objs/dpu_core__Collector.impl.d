@@ -1,0 +1,1 @@
+lib/core/collector.ml: Dpu_engine Dpu_kernel Hashtbl List Msg

@@ -1,0 +1,1 @@
+lib/core/collector.mli: Dpu_engine Dpu_kernel Msg

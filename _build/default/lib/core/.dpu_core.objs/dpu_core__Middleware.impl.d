@@ -1,0 +1,1 @@
+lib/core/middleware.ml: App_msg Array Collector Dpu_kernel Dpu_net Dpu_protocols Msg Option Repl_consensus Service Stack Stack_builder System

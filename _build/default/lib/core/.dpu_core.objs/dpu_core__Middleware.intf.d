@@ -1,0 +1,1 @@
+lib/core/middleware.mli: Collector Dpu_engine Dpu_kernel Dpu_net Dpu_protocols Msg Stack_builder System

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: App_msg Collector Dpu_engine Dpu_kernel Dpu_protocols Msg Service Stack

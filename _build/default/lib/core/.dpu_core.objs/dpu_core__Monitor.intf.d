@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Collector Dpu_kernel Stack

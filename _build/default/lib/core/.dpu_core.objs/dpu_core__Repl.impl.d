@@ -1,0 +1,1 @@
+lib/core/repl.ml: Dpu_kernel Dpu_protocols Hashtbl List Msg Payload Printf Registry Service Stack System

@@ -1,0 +1,1 @@
+lib/core/repl.mli: Dpu_kernel Msg Payload Registry Stack System

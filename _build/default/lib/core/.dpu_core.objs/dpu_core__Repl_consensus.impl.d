@@ -1,0 +1,1 @@
+lib/core/repl_consensus.ml: Dpu_kernel Dpu_protocols Hashtbl List Payload Printf Registry Service Stack

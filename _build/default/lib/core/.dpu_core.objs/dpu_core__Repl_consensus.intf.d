@@ -1,0 +1,1 @@
+lib/core/repl_consensus.mli: Dpu_kernel Payload Registry Stack System

@@ -1,0 +1,1 @@
+lib/core/stack_builder.ml: Dpu_kernel Dpu_protocols Monitor Option Registry Repl Repl_consensus Service Stack System Variants

@@ -1,0 +1,1 @@
+lib/core/stack_builder.mli: Collector Dpu_kernel System

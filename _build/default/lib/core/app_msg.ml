@@ -1,0 +1,8 @@
+open Dpu_kernel
+
+type Payload.t += App of Msg.t
+
+let () =
+  Payload.register_printer (function
+    | App m -> Some (Printf.sprintf "app %s" (Msg.id_to_string m.Msg.id))
+    | _ -> None)

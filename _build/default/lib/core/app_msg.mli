@@ -1,0 +1,7 @@
+(** Application-level payloads carried through (r-)abcast. *)
+
+open Dpu_kernel
+
+type Payload.t += App of Msg.t
+(** An application message with a unique id; what the workload
+    generators broadcast and the monitors track. *)

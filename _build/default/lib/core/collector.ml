@@ -1,0 +1,95 @@
+open Dpu_kernel
+module Series = Dpu_engine.Series
+
+type t = {
+  mutable rev_sends : (Msg.id * int * float) list;
+  send_times : (Msg.id, float) Hashtbl.t;
+  delivers : (int, (Msg.id * float) list ref) Hashtbl.t; (* reversed order *)
+  deliveries_by_id : (Msg.id, (int * float) list) Hashtbl.t;
+  mutable rev_switches : (int * int * float) list;
+}
+
+let create () =
+  {
+    rev_sends = [];
+    send_times = Hashtbl.create 1024;
+    delivers = Hashtbl.create 16;
+    deliveries_by_id = Hashtbl.create 1024;
+    rev_switches = [];
+  }
+
+let record_send t ~node ~id ~time =
+  t.rev_sends <- (id, node, time) :: t.rev_sends;
+  if not (Hashtbl.mem t.send_times id) then Hashtbl.replace t.send_times id time
+
+let record_deliver t ~node ~id ~time =
+  let l =
+    match Hashtbl.find_opt t.delivers node with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace t.delivers node l;
+      l
+  in
+  l := (id, time) :: !l;
+  let existing =
+    match Hashtbl.find_opt t.deliveries_by_id id with Some l -> l | None -> []
+  in
+  Hashtbl.replace t.deliveries_by_id id ((node, time) :: existing)
+
+let record_switch t ~node ~generation ~time =
+  t.rev_switches <- (node, generation, time) :: t.rev_switches
+
+let sends t = List.rev t.rev_sends
+
+let send_count t = List.length t.rev_sends
+
+let send_time t id = Hashtbl.find_opt t.send_times id
+
+let delivers_of t ~node =
+  match Hashtbl.find_opt t.delivers node with Some l -> List.rev !l | None -> []
+
+let delivered_nodes t =
+  Hashtbl.fold (fun node _ acc -> node :: acc) t.delivers [] |> List.sort compare
+
+let deliver_times t id =
+  match Hashtbl.find_opt t.deliveries_by_id id with Some l -> List.rev l | None -> []
+
+let latency_of t id =
+  match (send_time t id, deliver_times t id) with
+  | Some t0, (_ :: _ as ds) ->
+    let sum = List.fold_left (fun acc (_, time) -> acc +. (time -. t0)) 0.0 ds in
+    Some (sum /. float_of_int (List.length ds))
+  | _, _ -> None
+
+let latency_series t =
+  let s = Series.create () in
+  List.iter
+    (fun (id, _node, t0) ->
+      match latency_of t id with
+      | Some l -> Series.add s ~time:t0 ~value:l
+      | None -> ())
+    (sends t);
+  s
+
+let undelivered_ids t ~expected_copies =
+  List.filter_map
+    (fun (id, _, _) ->
+      let copies = List.length (deliver_times t id) in
+      if copies < expected_copies then Some id else None)
+    (sends t)
+
+let switches t = List.rev t.rev_switches
+
+let switch_window t ~generation =
+  let times =
+    List.filter_map
+      (fun (_, g, time) -> if g = generation then Some time else None)
+      (switches t)
+  in
+  match times with
+  | [] -> None
+  | first :: rest ->
+    let lo = List.fold_left min first rest in
+    let hi = List.fold_left max first rest in
+    Some (lo, hi)

@@ -1,0 +1,98 @@
+(** Adaptive group-communication middleware — the public face of the
+    library.
+
+    A [t] is a simulated cluster running the Fig. 4 stack on every
+    node. Applications broadcast messages, receive totally ordered
+    deliveries, observe membership views, and — the point of the paper
+    — replace the atomic broadcast protocol on the fly with
+    {!change_protocol} while everything keeps running.
+
+    {[
+      let mw = Middleware.create ~n:3 () in
+      Middleware.subscribe mw ~node:0 (fun m -> Format.printf "%a@." Msg.pp m);
+      ignore (Middleware.broadcast mw ~node:1 "hello");
+      Middleware.change_protocol mw ~node:2 Variants.sequencer;
+      Middleware.run_for mw 1_000.0
+    ]} *)
+
+open Dpu_kernel
+
+type config = {
+  seed : int;
+  loss : float;  (** network loss probability *)
+  dup : float;  (** network duplication probability *)
+  link : Dpu_net.Latency.link;
+  hop_cost : float;  (** per-module dispatch cost, ms *)
+  profile : Stack_builder.profile;
+  trace_enabled : bool;  (** record the kernel trace (needed by checkers) *)
+  msg_size : int;  (** default broadcast payload size, bytes *)
+}
+
+val default_config : config
+(** Seed 1, lossless LAN, 0.05 ms hops, CT ABcast with replacement
+    layer, 4 KB messages, tracing on. *)
+
+type t
+
+val create : ?config:config -> ?register_extra:(System.t -> unit) -> n:int -> unit -> t
+(** [register_extra] can register additional protocol factories (e.g.
+    the executable baselines' replacement layers) before the stacks are
+    built. *)
+
+val config : t -> config
+
+val n : t -> int
+
+val system : t -> System.t
+
+val collector : t -> Collector.t
+
+val now : t -> float
+
+(** {1 Application operations} *)
+
+val broadcast : t -> node:int -> ?size:int -> string -> Msg.t
+(** Atomically broadcast an application message from [node]; returns
+    the message (with its unique id) and records the send in the
+    collector. *)
+
+val subscribe : t -> node:int -> (Msg.t -> unit) -> unit
+(** Invoke the callback on every application message delivered at
+    [node], in total order. *)
+
+val change_protocol : t -> node:int -> string -> unit
+(** [changeABcast(prot)], triggered from [node]. Requires the
+    replacement layer. Raises [Invalid_argument] without it. *)
+
+val on_protocol_change : t -> node:int -> (generation:int -> protocol:string -> unit) -> unit
+(** Invoke the callback when [node] completes a switch. *)
+
+val change_consensus : t -> node:int -> string -> unit
+(** Replace the consensus implementation on the fly (requires a profile
+    with [consensus_layer]); the change is threaded through the next
+    decided instance. Raises [Invalid_argument] without the layer. *)
+
+(** {1 Group membership (when the profile enables GM)} *)
+
+val join : t -> node:int -> int -> unit
+
+val leave : t -> node:int -> int -> unit
+
+val on_view : t -> node:int -> (Dpu_protocols.Gm.view -> unit) -> unit
+
+(** {1 Fault injection} *)
+
+val crash : t -> int -> unit
+
+(** {1 Running} *)
+
+val run_for : t -> float -> unit
+
+val run_until_quiescent : ?limit:float -> t -> unit
+
+(** {1 Results} *)
+
+val latency_series : t -> Dpu_engine.Series.t
+(** Per-message average latency keyed by send time (paper §6). *)
+
+val switch_window : t -> generation:int -> (float * float) option

@@ -1,0 +1,34 @@
+open Dpu_kernel
+module Abcast_iface = Dpu_protocols.Abcast_iface
+module Repl_iface = Dpu_protocols.Repl_iface
+
+type mode =
+  | Layered
+  | Direct
+
+let install ~collector ~mode stack =
+  let node = Stack.node stack in
+  let service =
+    match mode with Layered -> Service.r_abcast | Direct -> Service.abcast
+  in
+  Stack.add_module stack ~name:"monitor" ~provides:[] ~requires:[ service ]
+    (fun stack _self ->
+      let now () = Dpu_engine.Sim.now (Stack.sim stack) in
+      let deliver (m : Msg.t) =
+        Stack.app_event stack ~tag:"adeliver" ~data:(Msg.id_to_string m.id);
+        Collector.record_deliver collector ~node ~id:m.id ~time:(now ())
+      in
+      {
+        Stack.default_handlers with
+        handle_indication =
+          (fun svc p ->
+            if Service.equal svc service then
+              match (mode, p) with
+              | Layered, Repl_iface.R_deliver { origin = _; payload = App_msg.App m } ->
+                deliver m
+              | Layered, Repl_iface.Protocol_changed { generation; protocol = _ } ->
+                Collector.record_switch collector ~node ~generation ~time:(now ())
+              | Direct, Abcast_iface.Deliver { origin = _; payload = App_msg.App m } ->
+                deliver m
+              | (Layered | Direct), _ -> ());
+      })

@@ -1,0 +1,133 @@
+open Dpu_kernel
+module Abcast_iface = Dpu_protocols.Abcast_iface
+module Repl_iface = Dpu_protocols.Repl_iface
+
+type Payload.t +=
+  | A_data of { sn : int; id : Msg.id; size : int; payload : Payload.t }
+  | A_new of { sn : int; protocol : string }
+
+let () =
+  Payload.register_printer (function
+    | A_data { sn; id; _ } ->
+      Some (Printf.sprintf "repl.data sn=%d %s" sn (Msg.id_to_string id))
+    | A_new { sn; protocol } -> Some (Printf.sprintf "repl.new sn=%d %s" sn protocol)
+    | _ -> None)
+
+let protocol_name = "repl.abcast"
+
+let header_size = 48
+
+let k_generation = "repl.generation"
+let k_undelivered = "repl.undelivered"
+
+let generation stack = Stack.get_env stack k_generation ~default:0
+
+let undelivered_count stack = Stack.get_env stack k_undelivered ~default:0
+
+let install ~registry stack =
+  let me = Stack.node stack in
+  Stack.add_module stack ~name:protocol_name ~provides:[ Service.r_abcast ]
+    ~requires:[ Service.abcast ]
+    (fun stack _self ->
+      (* Algorithm 1, lines 1-4. *)
+      let undelivered : (Msg.id, int * Payload.t) Hashtbl.t = Hashtbl.create 64 in
+      let seq_number = ref 0 in
+      let next_local = ref 0 in
+      let sync_env () =
+        Stack.set_env stack k_generation !seq_number;
+        Stack.set_env stack k_undelivered (Hashtbl.length undelivered)
+      in
+      let abcast ~size payload =
+        Stack.call stack Service.abcast (Abcast_iface.Broadcast { size; payload })
+      in
+      (* Lines 7-9: rABcast(m). *)
+      let r_broadcast ~size payload =
+        let id = { Msg.origin = me; seq = !next_local } in
+        incr next_local;
+        Hashtbl.replace undelivered id (size, payload);
+        sync_env ();
+        abcast ~size:(size + header_size)
+          (A_data { sn = !seq_number; id; size; payload })
+      in
+      (* Lines 5-6: changeABcast(prot). *)
+      let change_abcast protocol =
+        abcast ~size:header_size (A_new { sn = !seq_number; protocol })
+      in
+      (* Lines 10-16: Adeliver(newABcast, sn, prot).
+
+         One deliberate strengthening of the printed algorithm: the
+         change is applied only if its generation tag matches the
+         current [seqNumber] — the same filter line 18 applies to data
+         messages. Algorithm 1 as printed applies every change
+         unconditionally, and the bounded model checker
+         ([Dpu_model.Algo1]) finds a uniform-agreement violation with
+         two *overlapping* changeABcast requests: the second change
+         message, issued before its requester had switched, is ordered
+         in the old generation's stream and yields a switch point that
+         is not synchronised with the stream being switched away from.
+         The paper's §5.2.2 agreement proof silently assumes a change
+         of protocol sn travels through protocol sn; this check makes
+         that assumption hold (a racing change request is dropped; the
+         requester can simply re-issue it). *)
+      let on_new sn protocol =
+        if sn <> !seq_number then
+          Stack.app_event stack ~tag:"repl.stale-change"
+            ~data:(Printf.sprintf "sn=%d current=%d prot=%s" sn !seq_number protocol)
+        else begin
+        incr seq_number;
+        Stack.unbind stack Service.abcast;
+        (* Pass the new generation to the factory (epochs keep the old
+           and new protocol's wire traffic disjoint), then create and
+           bind the new module — lines 13-14 and 22-28. *)
+        Stack.set_env stack Abcast_iface.epoch_key !seq_number;
+        ignore (Registry.instantiate registry stack ~name:protocol : Stack.module_);
+        sync_env ();
+        Stack.app_event stack ~tag:"repl.switch"
+          ~data:(Printf.sprintf "gen=%d prot=%s" !seq_number protocol);
+        Stack.indicate stack Service.r_abcast
+          (Repl_iface.Protocol_changed { generation = !seq_number; protocol });
+        (* Lines 15-16: reissue undelivered messages through the new
+           protocol. *)
+        let pending = Hashtbl.fold (fun id v acc -> (id, v) :: acc) undelivered [] in
+        let pending = List.sort (fun (a, _) (b, _) -> Msg.id_compare a b) pending in
+        List.iter
+          (fun (id, (size, payload)) ->
+            abcast ~size:(size + header_size)
+              (A_data { sn = !seq_number; id; size; payload }))
+          pending
+        end
+      in
+      (* Lines 17-21: Adeliver(nil, sn, m). *)
+      let on_data sn id payload =
+        if sn = !seq_number then begin
+          if Hashtbl.mem undelivered id then begin
+            Hashtbl.remove undelivered id;
+            sync_env ()
+          end;
+          Stack.indicate stack Service.r_abcast
+            (Repl_iface.R_deliver { origin = id.Msg.origin; payload })
+        end
+      in
+      {
+        Stack.default_handlers with
+        handle_call =
+          (fun _svc p ->
+            match p with
+            | Repl_iface.R_broadcast { size; payload } -> r_broadcast ~size payload
+            | Repl_iface.Change_abcast protocol -> change_abcast protocol
+            | _ -> ());
+        handle_indication =
+          (fun svc p ->
+            if Service.equal svc Service.abcast then
+              match p with
+              | Abcast_iface.Deliver { origin = _; payload = A_data { sn; id; size = _; payload } } ->
+                on_data sn id payload
+              | Abcast_iface.Deliver { origin = _; payload = A_new { sn; protocol } } ->
+                on_new sn protocol
+              | _ -> ());
+      })
+
+let register system =
+  let registry = System.registry system in
+  Registry.register registry ~name:protocol_name ~provides:[ Service.r_abcast ]
+    (fun stack -> install ~registry stack)

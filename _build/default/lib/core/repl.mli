@@ -1,0 +1,60 @@
+(** The replacement module — Algorithm 1 of the paper.
+
+    [Repl] provides the [r-abcast] indirection service (Fig. 3's [r-p])
+    and requires [abcast]. It intercepts every broadcast and delivery
+    so that it can coordinate a dynamic replacement of the ABcast
+    protocol with no extra synchronisation machinery: the protocol
+    change message is simply atomically broadcast through the protocol
+    being replaced, so every stack switches at the same point of the
+    total order.
+
+    Line-by-line correspondence with Algorithm 1:
+
+    - state: [undelivered] (line 2), the current provider binding
+      (line 3), [seqNumber] (line 4);
+    - [Change_abcast prot] call → [ABcast(newABcast, seqNumber, prot)]
+      (lines 5–6), here {!A_new};
+    - [R_broadcast m] call → add to [undelivered], then
+      [ABcast(nil, seqNumber, m)] (lines 7–9), here {!A_data};
+    - [Adeliver] of {!A_new} → increment [seqNumber], unbind the old
+      module, [create_module] the new protocol (recursively binding
+      providers for any services it requires — lines 22–28 via
+      [Registry.instantiate]), and re-issue all undelivered messages
+      through the new protocol (lines 10–16);
+    - [Adeliver] of {!A_data} → discard if the generation does not
+      match [seqNumber] (line 18), otherwise remove from [undelivered]
+      (lines 19–20) and [rAdeliver] (line 21).
+
+    The [prot] argument travels as a protocol name resolved against the
+    system registry (see {!Dpu_kernel.Registry}).
+
+    Correctness: weak stack-well-formedness (the unbind of line 12 is
+    followed by a bind within the same replacement step), weak
+    protocol-operationability (uniform agreement of ABcast makes every
+    correct stack eventually deliver {!A_new} and create the module),
+    and the four ABcast properties across replacements (§5.2.2) — all
+    checked mechanically by the [Dpu_props] test-suite. *)
+
+open Dpu_kernel
+
+(** Wire payloads carried inside the underlying ABcast stream. Exposed
+    for tests and trace inspection. *)
+type Payload.t +=
+  | A_data of { sn : int; id : Msg.id; size : int; payload : Payload.t }
+      (** [ABcast(nil, seqNumber, m)] *)
+  | A_new of { sn : int; protocol : string }
+      (** [ABcast(newABcast, seqNumber, prot)] *)
+
+val protocol_name : string
+(** ["repl.abcast"] *)
+
+val install : registry:Registry.t -> Stack.t -> Stack.module_
+
+val register : System.t -> unit
+(** Register under {!protocol_name}, providing [Service.r_abcast]. *)
+
+val generation : Stack.t -> int
+(** Current [seqNumber] of the stack's replacement module (0 initially). *)
+
+val undelivered_count : Stack.t -> int
+(** Size of the [undelivered] set (diagnostics). *)

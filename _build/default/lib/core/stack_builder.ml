@@ -1,0 +1,54 @@
+open Dpu_kernel
+module P = Dpu_protocols
+
+type profile = {
+  initial_abcast : string;
+  layer : string option;
+  with_gm : bool;
+  batch_size : int;
+  consensus_layer : string option;
+}
+
+let default_profile =
+  {
+    initial_abcast = Variants.ct;
+    layer = Some Repl.protocol_name;
+    with_gm = false;
+    batch_size = 1;
+    consensus_layer = None;
+  }
+
+let build ?collector ?register_extra ~profile system =
+  Variants.register_all ~batch_size:profile.batch_size system;
+  Repl.register system;
+  P.Gm.register system;
+  (match register_extra with Some f -> f system | None -> ());
+  if Option.is_some profile.consensus_layer then Repl_consensus.register_impls system;
+  let registry = System.registry system in
+  System.iter_stacks system (fun stack ->
+      (* With the consensus replacement layer, the layer must hold the
+         [consensus] binding before anything resolves that service. *)
+      (match profile.consensus_layer with
+      | Some initial ->
+        let m = Repl_consensus.install ~registry ~initial ~n:(System.n system) stack in
+        Stack.bind stack Service.consensus m
+      | None -> ());
+      (* The initial ABcast variant must come up first so that the
+         layer's [abcast] requirement resolves to it (the registry
+         would otherwise pick its own most-recent provider). *)
+      ignore (Registry.instantiate registry stack ~name:profile.initial_abcast
+               : Stack.module_);
+      (match profile.layer with
+      | Some name -> ignore (Registry.instantiate registry stack ~name : Stack.module_)
+      | None -> ());
+      if profile.with_gm then begin
+        assert (Option.is_some profile.layer);
+        Registry.ensure_bound registry stack Service.gm
+      end;
+      match collector with
+      | Some collector ->
+        let mode =
+          if Option.is_some profile.layer then Monitor.Layered else Monitor.Direct
+        in
+        ignore (Monitor.install ~collector ~mode stack : Stack.module_)
+      | None -> ())

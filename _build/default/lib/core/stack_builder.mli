@@ -1,0 +1,46 @@
+(** Assembly of the Fig. 4 group-communication stack on every node.
+
+    With the replacement layer, each stack is (bottom-up):
+    UDP → RP2P / FD → CT consensus + RBcast → ABcast (initial variant)
+    → replacement layer → (optionally GM), plus a monitor. Without a
+    layer the application observes [abcast] directly — the paper's
+    “normal, without replacement layer” baseline of Fig. 6.
+
+    The layer is pluggable by protocol name so the executable baselines
+    ([Dpu_baselines.Maestro], [Dpu_baselines.Graceful]) can be swapped
+    in for the paper's [Repl] under an identical harness; all three
+    provide [Service.r_abcast] with the {!Dpu_protocols.Repl_iface}
+    payloads.
+
+    The build itself uses [Registry.instantiate]: the registry's
+    recursive dependency resolution (Algorithm 1 lines 22–28)
+    constructs the whole stack, which doubles as a permanent test of
+    that machinery. *)
+
+open Dpu_kernel
+
+type profile = {
+  initial_abcast : string;  (** e.g. [Variants.ct] *)
+  layer : string option;
+      (** protocol name of the [r-abcast] provider; [None] = no
+          replacement layer *)
+  with_gm : bool;  (** install group membership (needs a layer) *)
+  batch_size : int;  (** consensus-based ABcast batching (1 = paper) *)
+  consensus_layer : string option;
+      (** install the consensus replacement layer ([Repl_consensus]),
+          starting on the named implementation; [None] = plain
+          consensus bound directly (the paper's Fig. 4) *)
+}
+
+val default_profile : profile
+(** CT ABcast, [Repl] layer, no GM, batch 1. *)
+
+val build :
+  ?collector:Collector.t ->
+  ?register_extra:(System.t -> unit) ->
+  profile:profile ->
+  System.t ->
+  unit
+(** Register all protocols (plus whatever [register_extra] adds — e.g.
+    a baseline layer) and build the profile's stack on every node. With
+    a collector, a monitor module is installed on each stack. *)

@@ -1,0 +1,19 @@
+module P = Dpu_protocols
+
+let ct = P.Abcast_ct.protocol_name
+
+let sequencer = P.Abcast_seq.protocol_name
+
+let token = P.Abcast_token.protocol_name
+
+let all = [ ct; sequencer; token ]
+
+let register_all ?batch_size system =
+  P.Udp.register system;
+  P.Rp2p.register system;
+  P.Fd.register system;
+  P.Rbcast.register system;
+  P.Consensus_ct.register system;
+  P.Abcast_ct.register ?batch_size system;
+  P.Abcast_seq.register system;
+  P.Abcast_token.register system

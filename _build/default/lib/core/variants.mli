@@ -1,0 +1,21 @@
+(** The catalogue of replaceable ABcast protocol implementations.
+
+    These names are what [changeABcast] ships inside the protocol
+    change message (Algorithm 1's [prot] argument). *)
+
+val ct : string
+(** ["abcast.ct"] — consensus-based (Chandra–Toueg reduction). *)
+
+val sequencer : string
+(** ["abcast.seq"] — fixed sequencer. *)
+
+val token : string
+(** ["abcast.token"] — token ring. *)
+
+val all : string list
+
+val register_all : ?batch_size:int -> Dpu_kernel.System.t -> unit
+(** Register every variant (and their substrate protocols: udp, rp2p,
+    fd, rbcast, consensus) in the system registry, so that
+    [Registry.instantiate] can build any of them on demand during a
+    replacement. [batch_size] configures the consensus-based variant. *)

@@ -1,0 +1,1 @@
+lib/engine/series.ml: Float Hashtbl List Stats

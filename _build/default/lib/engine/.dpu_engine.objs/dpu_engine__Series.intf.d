@@ -1,0 +1,1 @@
+lib/engine/series.mli: Stats

@@ -1,0 +1,87 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+(* [before a b] decides whether entry [a] must be popped before [b]:
+   smaller priority first, insertion order breaking ties. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy element is never read: slots >= size are dead. *)
+  let dummy = h.data.(0) in
+  let data = Array.make new_cap dummy in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < h.size && before h.data.(l) h.data.(i) then l else i in
+  let smallest =
+    if r < h.size && before h.data.(r) h.data.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let add h ~priority value =
+  let entry = { prio = priority; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.data = 0 then h.data <- Array.make 16 entry
+  else if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
+
+let min_priority h = if h.size = 0 then None else Some h.data.(0).prio
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let root = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (root.prio, root.value)
+  end
+
+let clear h =
+  h.size <- 0;
+  h.data <- [||];
+  h.next_seq <- 0
+
+let iter_unordered h f =
+  for i = 0 to h.size - 1 do
+    let e = h.data.(i) in
+    f (e.prio, e.value)
+  done

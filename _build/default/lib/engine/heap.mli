@@ -1,0 +1,34 @@
+(** Array-based binary min-heap with stable ordering.
+
+    Elements are ordered by a [float] priority; elements with equal
+    priority are returned in insertion order (FIFO). This stability is
+    what makes the simulator deterministic: two events scheduled for the
+    same instant fire in the order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently in [h]. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:float -> 'a -> unit
+(** [add h ~priority x] inserts [x]. O(log n). *)
+
+val min_priority : 'a t -> float option
+(** Priority of the minimum element, if any. O(1). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum element with its priority. O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return the minimum element without removing it. O(1). *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val iter_unordered : 'a t -> (float * 'a -> unit) -> unit
+(** Iterate over the contents in unspecified order (for introspection). *)

@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed64 = int64 t in
+  { state = seed64 }
+
+let copy t = { state = t.state }
+
+let float t =
+  (* 53 high bits -> uniform double in [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t n =
+  assert (n > 0);
+  (* Keep 62 bits so the value fits OCaml's 63-bit int and stays
+     non-negative. Modulo bias is negligible for the small ranges used
+     (node counts, array indices). *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod n
+
+let bool t ~p = float t < p
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u
+
+let normal t ~mean ~stddev =
+  let u1 = float t and u2 = float t in
+  let u1 = if u1 <= 0.0 then epsilon_float else u1 in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (normal t ~mean:mu ~stddev:sigma)
+
+let shuffle t a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

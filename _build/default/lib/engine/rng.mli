@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The simulator never touches the global [Random] state: every source
+    of randomness is an explicit [Rng.t], so a run is a pure function of
+    its seed. [split] derives an independent stream, which lets each
+    subsystem (network loss, latency jitter, workload) own a generator
+    without perturbing the others when call orders change. *)
+
+type t
+
+val create : seed:int -> t
+(** Generator seeded with [seed]. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] is a new generator statistically independent of [t];
+    advances [t] by one step. *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val bool : t -> p:float -> bool
+(** [bool t ~p] is [true] with probability [p]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. *)
+
+val normal : t -> mean:float -> stddev:float -> float
+(** Normally distributed (Box–Muller). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normally distributed: [exp (normal mu sigma)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,59 @@
+type point = { time : float; value : float }
+
+type t = { mutable rev_points : point list; mutable n : int }
+
+let create () = { rev_points = []; n = 0 }
+
+let add t ~time ~value =
+  t.rev_points <- { time; value } :: t.rev_points;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let points t =
+  (* Insertions are usually already time-ordered; a stable sort keeps
+     equal-time points in insertion order. *)
+  List.stable_sort
+    (fun a b -> compare a.time b.time)
+    (List.rev t.rev_points)
+
+let values t = List.rev_map (fun p -> p.value) t.rev_points
+
+let between t ~lo ~hi =
+  List.filter (fun p -> p.time >= lo && p.time < hi) (points t)
+
+let stats t =
+  let s = Stats.create () in
+  List.iter (Stats.add s) (values t);
+  s
+
+let stats_between t ~lo ~hi =
+  let s = Stats.create () in
+  List.iter (fun p -> Stats.add s p.value) (between t ~lo ~hi);
+  s
+
+let window_average t ~width =
+  assert (width > 0.0);
+  match points t with
+  | [] -> []
+  | ps ->
+    let tbl = Hashtbl.create 64 in
+    let bucket p = int_of_float (Float.floor (p.time /. width)) in
+    List.iter
+      (fun p ->
+        let b = bucket p in
+        let sum, cnt = try Hashtbl.find tbl b with Not_found -> (0.0, 0) in
+        Hashtbl.replace tbl b (sum +. p.value, cnt + 1))
+      ps;
+    let buckets = Hashtbl.fold (fun b acc l -> (b, acc) :: l) tbl [] in
+    let buckets = List.sort (fun (a, _) (b, _) -> compare a b) buckets in
+    List.map
+      (fun (b, (sum, cnt)) ->
+        let mid = (float_of_int b +. 0.5) *. width in
+        { time = mid; value = sum /. float_of_int cnt })
+      buckets
+
+let map_values t f =
+  let out = create () in
+  List.iter (fun p -> add out ~time:p.time ~value:(f p.value)) (points t);
+  out

@@ -1,0 +1,35 @@
+(** Time series of (timestamp, value) samples.
+
+    Used by the experiment harness to record per-message latencies
+    keyed by send time, and to derive the windowed averages the paper
+    plots in Figures 5 and 6. *)
+
+type t
+
+type point = { time : float; value : float }
+
+val create : unit -> t
+
+val add : t -> time:float -> value:float -> unit
+
+val length : t -> int
+
+val points : t -> point list
+(** All points sorted by time (insertion-stable for equal times). *)
+
+val values : t -> float list
+
+val between : t -> lo:float -> hi:float -> point list
+(** Points with [lo <= time < hi]. *)
+
+val stats : t -> Stats.t
+(** Summary statistics of the values. *)
+
+val stats_between : t -> lo:float -> hi:float -> Stats.t
+
+val window_average : t -> width:float -> point list
+(** Tumbling-window average: one output point per [width]-sized window
+    (window midpoint, mean of the values inside). Empty windows are
+    skipped. *)
+
+val map_values : t -> (float -> float) -> t

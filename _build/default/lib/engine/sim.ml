@@ -1,0 +1,93 @@
+type handle = { mutable cancelled : bool }
+
+type event = { h : handle; fn : unit -> unit }
+
+type t = {
+  queue : event Heap.t;
+  mutable clock : float;
+  mutable stopping : bool;
+  root_rng : Rng.t;
+}
+
+exception Stopped
+
+let create ?(seed = 1) () =
+  { queue = Heap.create (); clock = 0.0; stopping = false; root_rng = Rng.create ~seed }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~time fn =
+  let time = if time < t.clock then t.clock else time in
+  let h = { cancelled = false } in
+  Heap.add t.queue ~priority:time { h; fn };
+  h
+
+let schedule t ~delay fn =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) fn
+
+let cancel h = h.cancelled <- true
+
+let is_cancelled h = h.cancelled
+
+let every t ~period ?(jitter = 0.0) fn =
+  assert (period > 0.0);
+  (* The outer handle lives as long as the ticker; each tick checks it so
+     that cancelling stops the chain. *)
+  let outer = { cancelled = false } in
+  let next_delay () =
+    if jitter > 0.0 then period +. Rng.uniform t.root_rng ~lo:0.0 ~hi:jitter
+    else period
+  in
+  let rec tick () =
+    if not outer.cancelled then begin
+      fn ();
+      if not outer.cancelled then
+        ignore (schedule t ~delay:(next_delay ()) tick : handle)
+    end
+  in
+  ignore (schedule t ~delay:(next_delay ()) tick : handle);
+  outer
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    t.clock <- time;
+    if not ev.h.cancelled then begin
+      ev.h.cancelled <- true;
+      ev.fn ()
+    end;
+    true
+
+let stop t = t.stopping <- true
+
+let run ?until ?(max_events = max_int) t =
+  t.stopping <- false;
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if t.stopping || !executed >= max_events then continue := false
+    else
+      match Heap.peek t.queue with
+      | None -> continue := false
+      | Some (time, _) ->
+        (match until with
+        | Some limit when time > limit ->
+          t.clock <- limit;
+          continue := false
+        | Some _ | None ->
+          ignore (step t : bool);
+          incr executed)
+  done;
+  (* Even with an empty queue, honour the requested horizon so that
+     [now] reflects the elapsed virtual time. *)
+  match until with
+  | Some limit when t.clock < limit && not t.stopping -> t.clock <- limit
+  | Some _ | None -> ()
+
+let run_for t d = run ~until:(t.clock +. d) t

@@ -1,0 +1,56 @@
+(** Discrete-event simulator with a virtual clock.
+
+    All protocol code in this repository runs inside a [Sim.t] event
+    loop. Time is virtual, expressed in milliseconds as a [float].
+    Events scheduled for the same instant fire in scheduling order,
+    which makes every run deterministic given the PRNG seed. *)
+
+type t
+
+type handle
+(** A cancellation handle for a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** A fresh simulator. [seed] (default 1) seeds {!rng}. *)
+
+val now : t -> float
+(** Current virtual time in milliseconds. *)
+
+val rng : t -> Rng.t
+(** The simulator's root PRNG. Subsystems should [Rng.split] it. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. max delay 0.]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] at [max time (now t)]. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; cancelling a fired event is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val every : t -> period:float -> ?jitter:float -> (unit -> unit) -> handle
+(** [every t ~period f] runs [f] every [period] ms, starting one period
+    from now, until the returned handle is cancelled. [jitter] adds a
+    uniform random offset in [\[0, jitter\]] to each firing. *)
+
+val pending : t -> int
+(** Number of events still in the queue (including cancelled ones not
+    yet reaped). *)
+
+val step : t -> bool
+(** Execute the next event. Returns [false] when the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue. [until] stops the clock at that virtual time
+    (events beyond it remain queued); [max_events] bounds the number of
+    executed events (a runaway-loop backstop). *)
+
+val run_for : t -> float -> unit
+(** [run_for t d] is [run ~until:(now t +. d) t]. *)
+
+exception Stopped
+
+val stop : t -> unit
+(** Make the current [run] return after the current event completes. *)

@@ -1,0 +1,112 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable data : float array;
+  mutable len : int;
+  mutable sorted : float array option; (* cache invalidated by add *)
+}
+
+let create () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min_v = nan;
+    max_v = nan;
+    data = [||];
+    len = 0;
+    sorted = None;
+  }
+
+let push_raw t x =
+  if t.len = Array.length t.data then begin
+    let cap = if t.len = 0 then 64 else t.len * 2 in
+    let data = Array.make cap 0.0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.n = 1 then begin
+    t.min_v <- x;
+    t.max_v <- x
+  end
+  else begin
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end;
+  push_raw t x;
+  t.sorted <- None
+
+let add_all t xs = List.iter (add t) xs
+
+let count t = t.n
+
+let mean t = if t.n = 0 then nan else t.mean
+
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t = t.min_v
+
+let max t = t.max_v
+
+let sorted t =
+  match t.sorted with
+  | Some s -> s
+  | None ->
+    let s = Array.sub t.data 0 t.len in
+    Array.sort compare s;
+    t.sorted <- Some s;
+    s
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let s = sorted t in
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then s.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (s.(lo) *. (1.0 -. frac)) +. (s.(hi) *. frac)
+    end
+  end
+
+let median t = percentile t 50.0
+
+let samples t = Array.sub t.data 0 t.len
+
+let merge a b =
+  let t = create () in
+  Array.iter (add t) (samples a);
+  Array.iter (add t) (samples b);
+  t
+
+let clear t =
+  t.n <- 0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0;
+  t.min_v <- nan;
+  t.max_v <- nan;
+  t.data <- [||];
+  t.len <- 0;
+  t.sorted <- None
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f" t.n (mean t)
+      (percentile t 50.0) (percentile t 95.0) (max t)

@@ -1,0 +1,47 @@
+(** Online and offline summary statistics.
+
+    [t] accumulates samples with Welford's algorithm (numerically stable
+    mean/variance) and keeps the raw samples so that exact percentiles
+    can be computed afterwards. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_all : t -> float list -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** Arithmetic mean; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** Smallest sample; [nan] when empty. *)
+
+val max : t -> float
+(** Largest sample; [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], linear interpolation
+    between closest ranks; [nan] when empty. Sorts lazily, O(n log n)
+    on first call after an insertion. *)
+
+val median : t -> float
+
+val samples : t -> float array
+(** Copy of the raw samples in insertion order. *)
+
+val merge : t -> t -> t
+(** Combined statistics over both sample sets. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render as [n=… mean=… p50=… p95=… max=…]. *)

@@ -1,0 +1,1 @@
+lib/kernel/msg.ml: Format Map Printf Set

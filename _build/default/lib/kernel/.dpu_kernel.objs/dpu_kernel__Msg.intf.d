@@ -1,0 +1,1 @@
+lib/kernel/msg.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/kernel/registry.ml: List Service Stack String

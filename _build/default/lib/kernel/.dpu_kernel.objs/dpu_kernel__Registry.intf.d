@@ -1,0 +1,1 @@
+lib/kernel/registry.mli: Service Stack

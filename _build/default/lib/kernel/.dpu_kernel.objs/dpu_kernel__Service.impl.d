@@ -1,0 +1,1 @@
+lib/kernel/service.ml: Format Hashtbl Map Set String

@@ -1,0 +1,1 @@
+lib/kernel/service.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/kernel/stack.ml: Dpu_engine Hashtbl List Option Payload Queue Service String Trace

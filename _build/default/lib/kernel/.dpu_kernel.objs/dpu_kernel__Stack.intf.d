@@ -1,0 +1,1 @@
+lib/kernel/stack.mli: Dpu_engine Payload Service Trace

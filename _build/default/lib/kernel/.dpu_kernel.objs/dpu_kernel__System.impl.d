@@ -1,0 +1,1 @@
+lib/kernel/system.ml: Array Dpu_engine Dpu_net Payload Registry Stack Trace

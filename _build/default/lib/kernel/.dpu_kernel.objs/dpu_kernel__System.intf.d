@@ -1,0 +1,1 @@
+lib/kernel/system.mli: Dpu_engine Dpu_net Payload Registry Stack Trace

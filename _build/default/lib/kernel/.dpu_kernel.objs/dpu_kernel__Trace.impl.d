@@ -1,0 +1,1 @@
+lib/kernel/trace.ml: Format List Printf

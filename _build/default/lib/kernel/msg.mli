@@ -1,0 +1,35 @@
+(** Application messages with globally unique identities.
+
+    Algorithm 1 manipulates a set of [undelivered] messages and tests
+    membership (line 19) and duplication (line 18), so messages must be
+    comparable by a unique identity: the originating node plus a local
+    sequence counter. *)
+
+type id = { origin : int; seq : int }
+
+type t = {
+  id : id;
+  size : int;  (** payload size in bytes, used for transmission delay *)
+  body : string;  (** opaque application data *)
+}
+
+val id_compare : id -> id -> int
+
+val id_equal : id -> id -> bool
+
+val id_to_string : id -> string
+
+val compare : t -> t -> int
+(** Orders by [id] only. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val make : origin:int -> seq:int -> ?size:int -> string -> t
+(** [make ~origin ~seq body] with a default size of 4096 bytes (the
+    paper's 4 KB experiment payloads). *)
+
+module Id_map : Map.S with type key = id
+module Id_set : Set.S with type elt = id
+module Set : Set.S with type elt = t

@@ -1,0 +1,19 @@
+type t = ..
+
+type t += Unit
+
+let printers : (t -> string option) list ref = ref []
+
+let register_printer f = printers := f :: !printers
+
+let to_string p =
+  match p with
+  | Unit -> "unit"
+  | _ ->
+    let rec try_all = function
+      | [] -> "<payload>"
+      | f :: rest -> ( match f p with Some s -> s | None -> try_all rest)
+    in
+    try_all !printers
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

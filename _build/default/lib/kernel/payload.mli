@@ -1,0 +1,20 @@
+(** Open payload type for service calls, indications and datagrams.
+
+    Each protocol extends [t] with its own constructors, so modules
+    sharing a service (e.g. everything multiplexed over [net]) simply
+    pattern-match on their own constructors and ignore the rest. This
+    mirrors the untyped event model of SAMOA/Appia protocol kernels
+    while staying allocation-cheap and printable. *)
+
+type t = ..
+
+type t += Unit  (** a payload carrying no information *)
+
+val register_printer : (t -> string option) -> unit
+(** Add a printer for some constructors; printers are tried most recent
+    first. *)
+
+val to_string : t -> string
+(** Best-effort rendering (["<payload>"] if no printer matches). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type factory = Stack.t -> Stack.module_
+
+type entry = { e_name : string; e_provides : Service.t list; e_factory : factory }
+
+type t = { mutable entries : entry list (* most recent first *) }
+
+exception Unknown_protocol of string
+
+exception No_provider of Service.t
+
+let create () = { entries = [] }
+
+let register t ~name ~provides factory =
+  t.entries <-
+    { e_name = name; e_provides = provides; e_factory = factory }
+    :: List.filter (fun e -> not (String.equal e.e_name name)) t.entries
+
+let names t = List.rev_map (fun e -> e.e_name) t.entries
+
+let mem t ~name = List.exists (fun e -> String.equal e.e_name name) t.entries
+
+let find t name = List.find_opt (fun e -> String.equal e.e_name name) t.entries
+
+let provider_of t svc =
+  match
+    List.find_opt (fun e -> List.exists (Service.equal svc) e.e_provides) t.entries
+  with
+  | Some e -> Some e.e_name
+  | None -> None
+
+(* Binding the new module's provided services *before* recursing on its
+   requirements makes cyclic service graphs terminate: by the time a
+   dependency loops back, the service is already bound. *)
+let rec instantiate t stack ~name =
+  match find t name with
+  | None -> raise (Unknown_protocol name)
+  | Some e ->
+    let m = e.e_factory stack in
+    List.iter
+      (fun svc ->
+        match Stack.bound stack svc with
+        | None -> Stack.bind stack svc m
+        | Some _ -> ())
+      (Stack.module_provides m);
+    List.iter (fun svc -> ensure_bound t stack svc) (Stack.module_requires m);
+    m
+
+and create_only t stack ~name =
+  match find t name with
+  | None -> raise (Unknown_protocol name)
+  | Some e -> e.e_factory stack
+
+and ensure_bound t stack svc =
+  match Stack.bound stack svc with
+  | Some _ -> ()
+  | None -> (
+    match provider_of t svc with
+    | None -> raise (No_provider svc)
+    | Some name -> ignore (instantiate t stack ~name : Stack.module_))

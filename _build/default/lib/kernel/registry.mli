@@ -1,0 +1,54 @@
+(** Module factories and recursive instantiation.
+
+    Algorithm 1's [create_module] (lines 22–28) creates a protocol
+    module, binds it, and then recursively creates providers for any
+    required service that is not yet bound in the stack. The registry
+    is the lookup table this needs: it maps protocol names and service
+    names to factories.
+
+    In the paper the [prot] argument of [changeABcast] is the new
+    protocol itself (code). Here a protocol travels as its registered
+    name, resolved against the registry of the receiving system — the
+    same information content, shipped the same way (inside a totally
+    ordered ABcast message). *)
+
+type factory = Stack.t -> Stack.module_
+(** A factory adds its module to the given stack and returns it. *)
+
+type t
+
+exception Unknown_protocol of string
+
+exception No_provider of Service.t
+
+val create : unit -> t
+
+val register : t -> name:string -> provides:Service.t list -> factory -> unit
+(** Register a protocol under [name]. Registering the same name again
+    replaces the previous factory (used to stage protocol versions). *)
+
+val names : t -> string list
+
+val mem : t -> name:string -> bool
+
+val provider_of : t -> Service.t -> string option
+(** Name of the most recently registered protocol providing the
+    service. *)
+
+val instantiate : t -> Stack.t -> name:string -> Stack.module_
+(** [create_module] of Algorithm 1: create the named module, bind it to
+    each of its provided services that has no current binding, then
+    recursively ensure every required service has a bound provider.
+    Raises {!Unknown_protocol} or {!No_provider}. *)
+
+val ensure_bound : t -> Stack.t -> Service.t -> unit
+(** Instantiate a provider chain for [service] unless one is already
+    bound. *)
+
+val create_only : t -> Stack.t -> name:string -> Stack.module_
+(** Run the factory without binding anything and without resolving
+    required services. This models systems that *cannot* create
+    providers for new dependencies (the paper's §4.2 criticism of
+    Graceful Adaptation: an alternative component may only use the
+    services its host module already requires). Raises
+    {!Unknown_protocol}. *)

@@ -1,0 +1,24 @@
+type t = string
+
+let make name = name
+
+let name t = t
+
+let equal = String.equal
+
+let compare = String.compare
+
+let hash = Hashtbl.hash
+
+let pp ppf t = Format.pp_print_string ppf t
+
+let net = "net"
+let rp2p = "rp2p"
+let fd = "fd"
+let consensus = "consensus"
+let abcast = "abcast"
+let r_abcast = "r-abcast"
+let gm = "gm"
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)

@@ -1,0 +1,49 @@
+(** Services: the specifications modules are bound to (paper §2).
+
+    A service is identified by its name. Protocols *provide* services
+    and *require* services; at most one module per stack is bound to a
+    service at a time, and the binding can change at run time — that is
+    the mechanism dynamic protocol update is built on. *)
+
+type t
+
+val make : string -> t
+(** [make name] is the service called [name]. Two [make] of the same
+    name are equal. *)
+
+val name : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Well-known services of the group-communication stack (Fig. 4)} *)
+
+val net : t
+(** Unreliable datagram transport (UDP). *)
+
+val rp2p : t
+(** Reliable point-to-point channels. *)
+
+val fd : t
+(** Failure detector. *)
+
+val consensus : t
+(** Distributed consensus. *)
+
+val abcast : t
+(** Atomic broadcast — the service whose provider gets replaced. *)
+
+val r_abcast : t
+(** The replacement module's indirection interface ([r-p] in Fig. 3):
+    what applications and upper protocols actually call. *)
+
+val gm : t
+(** Group membership. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,224 @@
+module Sim = Dpu_engine.Sim
+
+type handlers = {
+  handle_call : Service.t -> Payload.t -> unit;
+  handle_indication : Service.t -> Payload.t -> unit;
+  on_start : unit -> unit;
+  on_stop : unit -> unit;
+}
+
+let default_handlers =
+  {
+    handle_call = (fun _ _ -> ());
+    handle_indication = (fun _ _ -> ());
+    on_start = (fun () -> ());
+    on_stop = (fun () -> ());
+  }
+
+type module_ = {
+  m_id : int;
+  m_name : string;
+  m_provides : Service.t list;
+  m_requires : Service.t list;
+  mutable m_handlers : handlers;
+  mutable m_removed : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  node : int;
+  hop_cost : float;
+  trace : Trace.t;
+  mutable next_module_id : int;
+  mutable modules : module_ list; (* reversed addition order *)
+  mutable bindings : module_ Service.Map.t;
+  blocked : (Service.t, Payload.t Queue.t) Hashtbl.t;
+  env : (string, int) Hashtbl.t;
+  mutable crashed : bool;
+  mutable calls_executed : int;
+  mutable indications_executed : int;
+}
+
+exception Already_bound of Service.t
+
+let create ~sim ~node ?(hop_cost = 0.05) ~trace () =
+  {
+    sim;
+    node;
+    hop_cost;
+    trace;
+    next_module_id = 0;
+    modules = [];
+    bindings = Service.Map.empty;
+    blocked = Hashtbl.create 8;
+    env = Hashtbl.create 4;
+    crashed = false;
+    calls_executed = 0;
+    indications_executed = 0;
+  }
+
+let node t = t.node
+
+let sim t = t.sim
+
+let trace t = t.trace
+
+let hop_cost t = t.hop_cost
+
+let is_crashed t = t.crashed
+
+let record t kind = Trace.record t.trace ~time:(Sim.now t.sim) ~node:t.node kind
+
+(* Building payload descriptions is pure overhead when the trace is
+   off (the benchmark configurations); gate the formatting, not just
+   the recording. *)
+let record_lazy t kind_of_desc payload =
+  if Trace.enabled t.trace then record t (kind_of_desc (Payload.to_string payload))
+
+let crash t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    record t Trace.Crash
+  end
+
+let modules t = List.rev t.modules
+
+let module_name m = m.m_name
+
+let module_provides m = m.m_provides
+
+let module_requires m = m.m_requires
+
+let find_module t ~name =
+  List.find_opt (fun m -> String.equal m.m_name name && not m.m_removed) t.modules
+
+let has_module t ~name = Option.is_some (find_module t ~name)
+
+let add_module t ~name ~provides ~requires init =
+  let m =
+    {
+      m_id = t.next_module_id;
+      m_name = name;
+      m_provides = provides;
+      m_requires = requires;
+      m_handlers = default_handlers;
+      m_removed = false;
+    }
+  in
+  t.next_module_id <- t.next_module_id + 1;
+  t.modules <- m :: t.modules;
+  m.m_handlers <- init t m;
+  record t (Trace.Add_module name);
+  m.m_handlers.on_start ();
+  m
+
+let remove_module t m =
+  if not m.m_removed then begin
+    m.m_handlers.on_stop ();
+    m.m_removed <- true;
+    t.modules <- List.filter (fun m' -> m'.m_id <> m.m_id) t.modules;
+    (* Drop any binding still pointing at the removed module. *)
+    Service.Map.iter
+      (fun svc bound_m ->
+        if bound_m.m_id = m.m_id then begin
+          t.bindings <- Service.Map.remove svc t.bindings;
+          record t (Trace.Unbind (Service.name svc, m.m_name))
+        end)
+      t.bindings;
+    record t (Trace.Remove_module m.m_name)
+  end
+
+let bound t svc = Service.Map.find_opt svc t.bindings
+
+let blocked_queue t svc =
+  match Hashtbl.find_opt t.blocked svc with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.blocked svc q;
+    q
+
+let blocked_calls t svc =
+  match Hashtbl.find_opt t.blocked svc with None -> 0 | Some q -> Queue.length q
+
+(* Dispatch of a call once the hop delay has elapsed. The binding is
+   resolved here, at execution time, so calls racing a replacement see
+   the binding in force when they arrive, as in the paper's model. *)
+let rec execute_call t svc payload =
+  if not t.crashed then
+    match bound t svc with
+    | Some m ->
+      t.calls_executed <- t.calls_executed + 1;
+      record_lazy t (fun d -> Trace.Call (Service.name svc, d)) payload;
+      m.m_handlers.handle_call svc payload
+    | None ->
+      record_lazy t (fun d -> Trace.Call_blocked (Service.name svc, d)) payload;
+      Queue.add payload (blocked_queue t svc)
+
+and release_blocked t svc =
+  match Hashtbl.find_opt t.blocked svc with
+  | None -> ()
+  | Some q ->
+    let pending = Queue.length q in
+    for _ = 1 to pending do
+      let payload = Queue.pop q in
+      record t (Trace.Call_unblocked (Service.name svc));
+      ignore
+        (Sim.schedule t.sim ~delay:t.hop_cost (fun () -> execute_call t svc payload)
+          : Sim.handle)
+    done
+
+let bind t svc m =
+  assert (List.exists (Service.equal svc) m.m_provides);
+  (match bound t svc with
+  | Some existing when existing.m_id <> m.m_id -> raise (Already_bound svc)
+  | Some _ | None -> ());
+  t.bindings <- Service.Map.add svc m t.bindings;
+  record t (Trace.Bind (Service.name svc, m.m_name));
+  release_blocked t svc
+
+let unbind t svc =
+  match bound t svc with
+  | None -> ()
+  | Some m ->
+    t.bindings <- Service.Map.remove svc t.bindings;
+    record t (Trace.Unbind (Service.name svc, m.m_name))
+
+let call t svc payload =
+  if not t.crashed then
+    ignore
+      (Sim.schedule t.sim ~delay:t.hop_cost (fun () -> execute_call t svc payload)
+        : Sim.handle)
+
+let execute_indication t svc payload =
+  if not t.crashed then begin
+    t.indications_executed <- t.indications_executed + 1;
+    record_lazy t (fun d -> Trace.Indication (Service.name svc, d)) payload;
+    (* Snapshot: handlers may add/remove modules while we iterate. *)
+    let receivers =
+      List.filter (fun m -> List.exists (Service.equal svc) m.m_requires) (modules t)
+    in
+    List.iter (fun m -> m.m_handlers.handle_indication svc payload) receivers
+  end
+
+let indicate t svc payload =
+  if not t.crashed then
+    ignore
+      (Sim.schedule t.sim ~delay:t.hop_cost (fun () -> execute_indication t svc payload)
+        : Sim.handle)
+
+let app_event t ~tag ~data = record t (Trace.App (tag, data))
+
+let dispatch_counts t = (t.calls_executed, t.indications_executed)
+
+let set_env t key v = Hashtbl.replace t.env key v
+
+let get_env t key ~default =
+  match Hashtbl.find_opt t.env key with Some v -> v | None -> default
+
+let after t ~delay fn =
+  Sim.schedule t.sim ~delay (fun () -> if not t.crashed then fn ())
+
+let periodic t ~period fn =
+  let handle = Sim.every t.sim ~period (fun () -> if not t.crashed then fn ()) in
+  handle

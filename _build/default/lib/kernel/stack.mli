@@ -1,0 +1,147 @@
+(** Protocol stacks: modules, dynamic bindings, call/indication dispatch.
+
+    This implements the composition model of §2 of the paper:
+
+    - a {e stack} is the set of modules located on one machine;
+    - a module may be dynamically {e bound} to a service it provides
+      and later unbound; unbinding does not remove the module;
+    - at most one module per stack is bound to a service at a time;
+    - a {e service call} executes the module bound to the service; if
+      no module is bound the call is blocked (queued) until some module
+      is bound — this realises weak stack-well-formedness;
+    - an {e indication} (a response to a call, flowing upward) is
+      delivered to every module of the stack that requires the service;
+      a module can emit indications even after being unbound (§2:
+      “a module Qi can respond to a service call even if Qi has been
+      unbound”).
+
+    Dispatch is asynchronous through the simulator and each hop costs
+    [hop_cost] virtual milliseconds, standing in for per-module
+    processing cost; the ≈5 % overhead of the replacement layer in the
+    paper's Fig. 6 emerges from this. *)
+
+type t
+
+type module_
+
+type handlers = {
+  handle_call : Service.t -> Payload.t -> unit;
+      (** invoked when this module is bound to the called service *)
+  handle_indication : Service.t -> Payload.t -> unit;
+      (** invoked when a service this module requires emits an
+          indication; non-matching payloads must be ignored *)
+  on_start : unit -> unit;  (** after the module is added to the stack *)
+  on_stop : unit -> unit;  (** when the module is removed *)
+}
+
+val default_handlers : handlers
+(** All no-ops. *)
+
+val create :
+  sim:Dpu_engine.Sim.t ->
+  node:int ->
+  ?hop_cost:float ->
+  trace:Trace.t ->
+  unit ->
+  t
+(** A stack for machine [node]. [hop_cost] defaults to [0.05] ms. *)
+
+val node : t -> int
+
+val sim : t -> Dpu_engine.Sim.t
+
+val trace : t -> Trace.t
+
+val hop_cost : t -> float
+
+val crash : t -> unit
+(** Fail-stop: all subsequent dispatch, timers and sends are dropped. *)
+
+val is_crashed : t -> bool
+
+(** {1 Modules} *)
+
+val add_module :
+  t ->
+  name:string ->
+  provides:Service.t list ->
+  requires:Service.t list ->
+  (t -> module_ -> handlers) ->
+  module_
+(** Create a module and add it to the stack. The init function receives
+    the stack and the module itself (so handlers can close over both)
+    and returns the handlers; [on_start] runs immediately after. *)
+
+val remove_module : t -> module_ -> unit
+(** Run [on_stop], drop the module, and unbind any service still bound
+    to it. *)
+
+val modules : t -> module_ list
+(** Modules currently in the stack, in addition order. *)
+
+val module_name : module_ -> string
+
+val module_provides : module_ -> Service.t list
+
+val module_requires : module_ -> Service.t list
+
+val has_module : t -> name:string -> bool
+
+val find_module : t -> name:string -> module_ option
+
+(** {1 Bindings} *)
+
+exception Already_bound of Service.t
+
+val bind : t -> Service.t -> module_ -> unit
+(** Bind a module to a service it provides. Raises {!Already_bound} if
+    another module is currently bound (unbind first — Algorithm 1
+    line 12 does exactly that). Queued blocked calls for the service
+    are released. *)
+
+val unbind : t -> Service.t -> unit
+(** Remove the current binding, if any. The module stays in the stack. *)
+
+val bound : t -> Service.t -> module_ option
+
+val blocked_calls : t -> Service.t -> int
+(** Number of calls currently queued on an unbound service. *)
+
+(** {1 Interactions} *)
+
+val call : t -> Service.t -> Payload.t -> unit
+(** Service call: executes the bound module after one hop; queued if
+    the service is unbound. *)
+
+val indicate : t -> Service.t -> Payload.t -> unit
+(** Response/indication: delivered after one hop to every module
+    requiring the service (membership evaluated at delivery time). *)
+
+val app_event : t -> tag:string -> data:string -> unit
+(** Record an application-level trace entry (used by monitors and by
+    the property checkers). *)
+
+val dispatch_counts : t -> int * int
+(** [(calls, indications)] executed so far — the per-stack dispatch
+    work, each unit costing [hop_cost]. The measured overhead of a
+    layer is its share of these hops. *)
+
+(** {1 Module-creation environment}
+
+    A small per-stack key/value store used to pass context from the
+    code that instantiates a module (e.g. the replacement module, which
+    knows the new protocol generation number) to registry factories,
+    which take only the stack as argument. *)
+
+val set_env : t -> string -> int -> unit
+
+val get_env : t -> string -> default:int -> int
+
+(** {1 Timers} *)
+
+val after : t -> delay:float -> (unit -> unit) -> Dpu_engine.Sim.handle
+(** One-shot timer that is suppressed if the stack has crashed by the
+    time it fires. *)
+
+val periodic : t -> period:float -> (unit -> unit) -> Dpu_engine.Sim.handle
+(** Periodic timer, stopped by cancellation or by a crash. *)

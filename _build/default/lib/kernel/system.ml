@@ -1,0 +1,51 @@
+module Sim = Dpu_engine.Sim
+module Datagram = Dpu_net.Datagram
+
+type t = {
+  sim : Sim.t;
+  net : Payload.t Datagram.t;
+  trace : Trace.t;
+  registry : Registry.t;
+  stacks : Stack.t array;
+}
+
+let create ?(seed = 1) ?(loss = 0.0) ?(dup = 0.0) ?(link = Dpu_net.Latency.lan)
+    ?(hop_cost = 0.05) ?(trace_enabled = true) ~n () =
+  let sim = Sim.create ~seed () in
+  let net = Datagram.create sim ~n ~loss ~dup ~link () in
+  let trace = Trace.create ~enabled:trace_enabled () in
+  let stacks =
+    Array.init n (fun node -> Stack.create ~sim ~node ~hop_cost ~trace ())
+  in
+  { sim; net; trace; registry = Registry.create (); stacks }
+
+let n t = Array.length t.stacks
+
+let sim t = t.sim
+
+let net t = t.net
+
+let trace t = t.trace
+
+let registry t = t.registry
+
+let stacks t = t.stacks
+
+let stack t i = t.stacks.(i)
+
+let iter_stacks t f = Array.iter f t.stacks
+
+let crash_node t i =
+  Stack.crash t.stacks.(i);
+  Datagram.crash t.net i
+
+let correct_nodes t = Datagram.correct_nodes t.net
+
+let now t = Sim.now t.sim
+
+let run_for t d = Sim.run_for t.sim d
+
+let run_until t time = Sim.run ~until:time t.sim
+
+let run_until_quiescent ?limit t =
+  match limit with None -> Sim.run t.sim | Some l -> Sim.run ~until:l t.sim

@@ -1,0 +1,48 @@
+(** A distributed system: [n] protocol stacks over one datagram network.
+
+    Owns the simulator, the network, the shared kernel trace and the
+    protocol registry. Builders (e.g. [Dpu_core.Stack_builder]) populate
+    each stack with modules. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?loss:float ->
+  ?dup:float ->
+  ?link:Dpu_net.Latency.link ->
+  ?hop_cost:float ->
+  ?trace_enabled:bool ->
+  n:int ->
+  unit ->
+  t
+
+val n : t -> int
+
+val sim : t -> Dpu_engine.Sim.t
+
+val net : t -> Payload.t Dpu_net.Datagram.t
+
+val trace : t -> Trace.t
+
+val registry : t -> Registry.t
+
+val stacks : t -> Stack.t array
+
+val stack : t -> int -> Stack.t
+
+val iter_stacks : t -> (Stack.t -> unit) -> unit
+
+val crash_node : t -> int -> unit
+(** Fail-stop the stack and silence its network endpoint. *)
+
+val correct_nodes : t -> int list
+
+val now : t -> float
+
+val run_for : t -> float -> unit
+
+val run_until : t -> float -> unit
+
+val run_until_quiescent : ?limit:float -> t -> unit
+(** Drain all pending events, or stop at virtual time [limit]. *)

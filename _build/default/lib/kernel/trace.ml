@@ -1,0 +1,60 @@
+type kind =
+  | Add_module of string
+  | Remove_module of string
+  | Bind of string * string
+  | Unbind of string * string
+  | Call of string * string
+  | Call_blocked of string * string
+  | Call_unblocked of string
+  | Indication of string * string
+  | Crash
+  | App of string * string
+
+type entry = { time : float; node : int; kind : kind }
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  mutable rev_entries : entry list;
+  mutable n : int;
+  mutable truncated : bool;
+}
+
+let create ?(enabled = true) ?(capacity = 2_000_000) () =
+  { enabled; capacity; rev_entries = []; n = 0; truncated = false }
+
+let enabled t = t.enabled
+
+let set_enabled t b = t.enabled <- b
+
+let record t ~time ~node kind =
+  if t.enabled then begin
+    if t.n >= t.capacity then t.truncated <- true
+    else begin
+      t.rev_entries <- { time; node; kind } :: t.rev_entries;
+      t.n <- t.n + 1
+    end
+  end
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.n
+
+let truncated t = t.truncated
+
+let filter t p = List.filter p (entries t)
+
+let kind_to_string = function
+  | Add_module m -> Printf.sprintf "add-module %s" m
+  | Remove_module m -> Printf.sprintf "remove-module %s" m
+  | Bind (s, m) -> Printf.sprintf "bind %s -> %s" s m
+  | Unbind (s, m) -> Printf.sprintf "unbind %s -/- %s" s m
+  | Call (s, p) -> Printf.sprintf "call %s [%s]" s p
+  | Call_blocked (s, p) -> Printf.sprintf "call-blocked %s [%s]" s p
+  | Call_unblocked s -> Printf.sprintf "call-unblocked %s" s
+  | Indication (s, p) -> Printf.sprintf "indication %s [%s]" s p
+  | Crash -> "crash"
+  | App (tag, data) -> Printf.sprintf "app %s [%s]" tag data
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%10.3f n%d %s" e.time e.node (kind_to_string e.kind)

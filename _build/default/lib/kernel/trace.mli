@@ -1,0 +1,45 @@
+(** Kernel event trace.
+
+    Every structural event (module added/removed, bind/unbind, call,
+    blocked call, indication, crash) is recorded here, timestamped with
+    virtual time. The checkers in [Dpu_props] consume these traces to
+    verify the paper's §3 properties — stack-well-formedness and
+    protocol-operationability — mechanically rather than on paper. *)
+
+type kind =
+  | Add_module of string  (** module name *)
+  | Remove_module of string
+  | Bind of string * string  (** service, module *)
+  | Unbind of string * string  (** service, module *)
+  | Call of string * string  (** service, payload summary *)
+  | Call_blocked of string * string
+      (** a call found no bound module and was queued *)
+  | Call_unblocked of string  (** a queued call was released by a bind *)
+  | Indication of string * string  (** service, payload summary *)
+  | Crash
+  | App of string * string  (** application-level tag, data *)
+
+type entry = { time : float; node : int; kind : kind }
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity] bounds memory: once reached, recording stops and
+    [truncated] becomes [true] (default 2_000_000 entries). *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> node:int -> kind -> unit
+
+val entries : t -> entry list
+(** Entries in recording order. *)
+
+val length : t -> int
+
+val truncated : t -> bool
+
+val filter : t -> (entry -> bool) -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit

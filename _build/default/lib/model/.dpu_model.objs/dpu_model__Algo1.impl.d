@@ -1,0 +1,1 @@
+lib/model/algo1.ml: Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/model/algo1.mli: Format

@@ -1,0 +1,1 @@
+lib/model/consswap.ml: Format Hashtbl List Printf

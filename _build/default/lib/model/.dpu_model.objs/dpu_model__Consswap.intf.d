@@ -1,0 +1,1 @@
+lib/model/consswap.mli: Format

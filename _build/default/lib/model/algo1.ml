@@ -1,0 +1,359 @@
+type mutation =
+  | Faithful
+  | Fixed_line10
+  | No_sn_check
+  | No_reissue
+  | No_undelivered_removal
+
+let mutation_name = function
+  | Faithful -> "faithful (as printed in the paper)"
+  | Fixed_line10 -> "fixed: line 10 checks sn = seqNumber"
+  | No_sn_check -> "line 18 deleted (no generation check)"
+  | No_reissue -> "lines 15-16 deleted (no re-issue)"
+  | No_undelivered_removal -> "lines 19-20 deleted (no undelivered removal)"
+
+type bounds = {
+  nodes : int;
+  sends : int;
+  changes : int;
+  crashes : int;
+  max_states : int;
+}
+
+let default_bounds = { nodes = 2; sends = 2; changes = 1; crashes = 0; max_states = 2_000_000 }
+
+(* An entry of a generation's agreed sequence: ABcast(nil, sn, m) or
+   ABcast(newABcast, sn, prot). The [prot] argument is irrelevant to
+   the ordering argument (self-replacement), so it is omitted. *)
+type entry =
+  | Data of int * int  (* sn at send, message id *)
+  | New of int  (* sn at send *)
+
+type node_state = {
+  sn : int;
+  undelivered : int list;  (* sorted message ids *)
+  cursors : int list;  (* per generation: how much of its sequence we consumed *)
+  out : int list;  (* rAdelivered ids, in delivery order *)
+  crashed : bool;
+}
+
+type state = {
+  streams : entry list list;  (* per generation: agreed order (forward) *)
+  pending : entry list list;  (* per generation: broadcast, not yet ordered *)
+  nodes : node_state list;
+  senders : (int * int) list;  (* msg id -> sending node *)
+  sends_left : int;
+  changes_left : int;
+  crashes_left : int;
+  next_id : int;
+}
+
+type action =
+  | Send of { node : int; msg : int }
+  | Change of { node : int }
+  | Order of { generation : int; what : string }
+  | Deliver of { node : int; generation : int; what : string }
+  | Crash of { node : int }
+
+let entry_to_string = function
+  | Data (sn, m) -> Printf.sprintf "(nil, sn=%d, m%d)" sn m
+  | New sn -> Printf.sprintf "(newABcast, sn=%d)" sn
+
+let pp_action ppf = function
+  | Send { node; msg } -> Format.fprintf ppf "node %d rABcasts m%d" node msg
+  | Change { node } -> Format.fprintf ppf "node %d calls changeABcast" node
+  | Order { generation; what } ->
+    Format.fprintf ppf "generation-%d protocol orders %s" generation what
+  | Deliver { node; generation; what } ->
+    Format.fprintf ppf "node %d Adelivers %s from generation %d" node what generation
+  | Crash { node } -> Format.fprintf ppf "node %d crashes" node
+
+type result =
+  | Verified of { states : int; quiescent : int }
+  | Violation of { property : string; trace : action list; states : int }
+  | Bound_exceeded of { states : int }
+
+let pp_result ppf = function
+  | Verified { states; quiescent } ->
+    Format.fprintf ppf "verified: %d states explored (%d quiescent), all properties hold"
+      states quiescent
+  | Violation { property; trace; states } ->
+    Format.fprintf ppf "VIOLATION of %s after %d states:@\n" property states;
+    List.iteri (fun i a -> Format.fprintf ppf "  %2d. %a@\n" (i + 1) pp_action a) trace
+  | Bound_exceeded { states } ->
+    Format.fprintf ppf "exploration bound exceeded at %d states" states
+
+(* ------------------------------------------------------------------ *)
+(* Transition function                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec set_nth l i v =
+  match (l, i) with
+  | _ :: rest, 0 -> v :: rest
+  | x :: rest, i -> x :: set_nth rest (i - 1) v
+  | [], _ -> invalid_arg "set_nth"
+
+let nth = List.nth
+
+let insert_sorted x l = List.sort_uniq compare (x :: l)
+
+(* Apply one entry at one node per Algorithm 1 lines 10-21. *)
+let deliver_entry mutation node entry n_gens =
+  match entry with
+  | Data (sn, m) ->
+    let matches = sn = node.sn in
+    let deliver = if mutation = No_sn_check then true else matches in
+    if deliver then begin
+      let undelivered =
+        if mutation = No_undelivered_removal then node.undelivered
+        else List.filter (fun x -> x <> m) node.undelivered
+      in
+      ({ node with undelivered; out = node.out @ [ m ] }, [])
+    end
+    else (node, [])
+  | New sn ->
+    (* The paper's line 10 applies every (newABcast, sn, prot)
+       delivery unconditionally. With two overlapping change requests
+       the second one is ordered in the OLD generation's stream, and
+       the resulting switch point is not synchronised with the stream
+       it switches away from — the [Fixed_line10] variant instead
+       discards a change whose generation tag is stale, exactly like
+       line 18 does for data. *)
+    if mutation = Fixed_line10 && sn <> node.sn then (node, [])
+    else begin
+      let sn' = node.sn + 1 in
+      let reissue =
+        if mutation = No_reissue || sn' >= n_gens then []
+        else List.map (fun m -> Data (sn', m)) node.undelivered
+      in
+      ({ node with sn = sn' }, reissue)
+    end
+
+let successors mutation bounds st =
+  let n_gens = bounds.changes + 1 in
+  let acc = ref [] in
+  let add action st' = acc := (action, st') :: !acc in
+  (* Client sends. *)
+  if st.sends_left > 0 then
+    List.iteri
+      (fun i node ->
+        if not node.crashed then begin
+          let m = st.next_id in
+          let gen = node.sn in
+          let node' = { node with undelivered = insert_sorted m node.undelivered } in
+          add
+            (Send { node = i; msg = m })
+            {
+              st with
+              nodes = set_nth st.nodes i node';
+              pending = set_nth st.pending gen (Data (gen, m) :: nth st.pending gen);
+              senders = (m, i) :: st.senders;
+              sends_left = st.sends_left - 1;
+              next_id = st.next_id + 1;
+            }
+        end)
+      st.nodes;
+  (* Change requests: ABcast(newABcast, sn) through the current protocol. *)
+  if st.changes_left > 0 then
+    List.iteri
+      (fun i node ->
+        if not node.crashed then
+          let gen = node.sn in
+          if gen < n_gens then
+            add
+              (Change { node = i })
+              {
+                st with
+                pending = set_nth st.pending gen (New gen :: nth st.pending gen);
+                changes_left = st.changes_left - 1;
+              })
+      st.nodes;
+  (* The generation's ABcast orders one pending entry (any of them). *)
+  List.iteri
+    (fun g pend ->
+      List.iter
+        (fun entry ->
+          let pend' = List.filter (fun e -> e <> entry) pend in
+          add
+            (Order { generation = g; what = entry_to_string entry })
+            {
+              st with
+              pending = set_nth st.pending g pend';
+              streams = set_nth st.streams g (nth st.streams g @ [ entry ]);
+            })
+        (List.sort_uniq compare pend))
+    st.pending;
+  (* Deliveries: each node consumes each generation's sequence in
+     order. A node can only deliver from generation [g] once its
+     replacement module has created that generation's module, i.e. when
+     [sn >= g] (line 13); older generations keep delivering (unbinding
+     does not remove the module, §2). *)
+  List.iteri
+    (fun i node ->
+      if not node.crashed then
+        List.iteri
+          (fun g cursor ->
+            let stream = nth st.streams g in
+            if g <= node.sn && cursor < List.length stream then begin
+              let entry = nth stream cursor in
+              let node', reissue = deliver_entry mutation node entry n_gens in
+              let node' = { node' with cursors = set_nth node'.cursors g (cursor + 1) } in
+              let pending =
+                match reissue with
+                | [] -> st.pending
+                | entries ->
+                  let gen = node'.sn in
+                  set_nth st.pending gen (entries @ nth st.pending gen)
+              in
+              add
+                (Deliver { node = i; generation = g; what = entry_to_string entry })
+                { st with nodes = set_nth st.nodes i node'; pending }
+            end)
+          node.cursors)
+    st.nodes;
+  (* Crashes. *)
+  if st.crashes_left > 0 then begin
+    let live = List.length (List.filter (fun node -> not node.crashed) st.nodes) in
+    if live > 1 then
+      List.iteri
+        (fun i node ->
+          if not node.crashed then
+            add
+              (Crash { node = i })
+              {
+                st with
+                nodes = set_nth st.nodes i { node with crashed = true };
+                crashes_left = st.crashes_left - 1;
+              })
+        st.nodes
+  end;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec has_dup = function
+  | [] -> false
+  | x :: rest -> List.mem x rest || has_dup rest
+
+(* Pairwise order consistency over common messages. *)
+let order_consistent out_a out_b =
+  let common_a = List.filter (fun m -> List.mem m out_b) out_a in
+  let common_b = List.filter (fun m -> List.mem m out_a) out_b in
+  common_a = common_b
+
+(* Checked in every reachable state. *)
+let safety st =
+  let outs = List.map (fun node -> node.out) st.nodes in
+  if List.exists has_dup outs then Some "uniform integrity (duplicate delivery)"
+  else begin
+    let rec pairwise = function
+      | a :: rest ->
+        if List.for_all (order_consistent a) rest then pairwise rest
+        else Some "uniform total order (two stacks disagree)"
+      | [] -> None
+    in
+    pairwise outs
+  end
+
+let quiescent st =
+  st.sends_left = 0 && st.changes_left = 0
+  && List.for_all (fun p -> p = []) st.pending
+  && List.for_all
+       (fun node ->
+         node.crashed
+         || List.for_all2
+              (fun cursor stream -> cursor = List.length stream)
+              node.cursors st.streams)
+       st.nodes
+
+(* Checked in quiescent states only ("eventually" has run out of
+   events). *)
+let liveness st =
+  let live = List.filter (fun node -> not node.crashed) st.nodes in
+  (* Validity: a message sent by a live node is delivered by it. *)
+  let validity_violation =
+    List.exists
+      (fun (m, sender) ->
+        match List.nth_opt st.nodes sender with
+        | Some node -> (not node.crashed) && not (List.mem m node.out)
+        | None -> false)
+      st.senders
+  in
+  if validity_violation then Some "validity (live sender never delivered its message)"
+  else begin
+    (* Uniform agreement: anything delivered anywhere is delivered at
+       every live node. *)
+    let all_delivered =
+      List.concat_map (fun node -> node.out) st.nodes |> List.sort_uniq compare
+    in
+    let agreement_violation =
+      List.exists
+        (fun m -> List.exists (fun node -> not (List.mem m node.out)) live)
+        all_delivered
+    in
+    if agreement_violation then Some "uniform agreement (live stack missing a delivery)"
+    else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exploration (DFS with memoisation)                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Found of string * action list
+
+let check ?(mutation = Faithful) ?(bounds = default_bounds) () =
+  let n_gens = bounds.changes + 1 in
+  let initial =
+    {
+      streams = List.init n_gens (fun _ -> []);
+      pending = List.init n_gens (fun _ -> []);
+      nodes =
+        List.init bounds.nodes (fun _ ->
+            {
+              sn = 0;
+              undelivered = [];
+              cursors = List.init n_gens (fun _ -> 0);
+              out = [];
+              crashed = false;
+            });
+      senders = [];
+      sends_left = bounds.sends;
+      changes_left = bounds.changes;
+      crashes_left = bounds.crashes;
+      next_id = 0;
+    }
+  in
+  let visited : (state, unit) Hashtbl.t = Hashtbl.create 65_536 in
+  let states = ref 0 in
+  let quiescent_count = ref 0 in
+  let exceeded = ref false in
+  let rec dfs st path =
+    if !exceeded then ()
+    else if Hashtbl.mem visited st then ()
+    else begin
+      Hashtbl.replace visited st ();
+      incr states;
+      if !states > bounds.max_states then exceeded := true
+      else begin
+        (match safety st with
+        | Some prop -> raise (Found (prop, List.rev path))
+        | None -> ());
+        if quiescent st then begin
+          incr quiescent_count;
+          match liveness st with
+          | Some prop -> raise (Found (prop, List.rev path))
+          | None -> ()
+        end;
+        List.iter
+          (fun (action, st') -> dfs st' (action :: path))
+          (successors mutation bounds st)
+      end
+    end
+  in
+  try
+    dfs initial [];
+    if !exceeded then Bound_exceeded { states = !states }
+    else Verified { states = !states; quiescent = !quiescent_count }
+  with Found (property, trace) -> Violation { property; trace; states = !states }

@@ -1,0 +1,254 @@
+type bounds = { nodes : int; instances : int; changes : int; max_states : int }
+
+let default_bounds = { nodes = 2; instances = 2; changes = 1; max_states = 4_000_000 }
+
+type variant =
+  | Sound
+  | No_prefix_defer
+  | No_stale_discard
+  | No_reissue
+
+let variant_name = function
+  | Sound -> "sound (as shipped)"
+  | No_prefix_defer -> "switch applied without waiting for the decided prefix"
+  | No_stale_discard -> "stale-generation decisions accepted"
+  | No_reissue -> "no re-issue of undecided proposals after a switch"
+
+type node = {
+  gen : int;
+  accepted : (int * int) list;  (* instance -> accepted value, sorted by k *)
+  prefix : int;  (* first instance without an accepted decision *)
+  own : (int * int) list;  (* own proposals: instance -> gen last proposed under *)
+  pending_switch : int option;
+  has_request : bool;
+  learned : (int * int) list;  (* (k, gen) decisions already processed *)
+}
+
+type state = {
+  proposals : (int * int * int * bool) list;  (* k, gen, proposer, tagged *)
+  decisions : (int * int * int * bool) list;  (* k, gen, value, tagged *)
+  nodes : node list;
+  changes_left : int;
+}
+
+type result =
+  | Verified of { states : int; quiescent : int }
+  | Violation of { property : string; trace : string list; states : int }
+  | Bound_exceeded of { states : int }
+
+let pp_result ppf = function
+  | Verified { states; quiescent } ->
+    Format.fprintf ppf "verified: %d states explored (%d quiescent), all properties hold"
+      states quiescent
+  | Violation { property; trace; states } ->
+    Format.fprintf ppf "VIOLATION of %s after %d states:@\n" property states;
+    List.iteri (fun i a -> Format.fprintf ppf "  %2d. %s@\n" (i + 1) a) trace
+  | Bound_exceeded { states } ->
+    Format.fprintf ppf "exploration bound exceeded at %d states" states
+
+let rec set_nth l i v =
+  match (l, i) with
+  | _ :: rest, 0 -> v :: rest
+  | x :: rest, i -> x :: set_nth rest (i - 1) v
+  | [], _ -> invalid_arg "set_nth"
+
+let sorted l = List.sort_uniq compare l
+
+(* Advance the accepted prefix and, if a pending switch is now covered,
+   apply it: bump the generation, clear the request, re-issue own
+   undecided proposals beyond the switch point under the new
+   generation. Returns the updated node plus new proposals. *)
+let rec settle variant node extra_proposals me =
+  let rec prefix_of p accepted =
+    if List.mem_assoc p accepted then prefix_of (p + 1) accepted else p
+  in
+  let node = { node with prefix = prefix_of node.prefix node.accepted } in
+  match node.pending_switch with
+  | Some ks
+    when node.prefix > ks
+         || variant = No_prefix_defer (* apply immediately, prefix or not *) ->
+    let gen' = node.gen + 1 in
+    let reissues =
+      if variant = No_reissue then []
+      else
+        List.filter_map
+          (fun (k, _g) ->
+            if k > ks && not (List.mem_assoc k node.accepted) then
+              Some (k, gen', me, false)
+            else None)
+          node.own
+    in
+    let own' =
+      List.map
+        (fun (k, g) ->
+          if k > ks && not (List.mem_assoc k node.accepted) then (k, gen') else (k, g))
+        node.own
+    in
+    settle variant
+      { node with gen = gen'; pending_switch = None; has_request = false; own = own' }
+      (reissues @ extra_proposals) me
+  | Some _ | None -> (node, extra_proposals)
+
+let successors variant bounds st =
+  let acc = ref [] in
+  let add label st' = acc := (label, st') :: !acc in
+  (* Client proposes its next undecided instance (sequential contract:
+     only after accepting everything before it, and not if someone
+     else's proposal already settled it). *)
+  List.iteri
+    (fun i node ->
+      if node.prefix < bounds.instances && not (List.mem_assoc node.prefix node.own)
+      then begin
+        let k = node.prefix in
+        let tagged = node.has_request in
+        let node' = { node with own = sorted ((k, node.gen) :: node.own) } in
+        add
+          (Printf.sprintf "node %d proposes instance %d under gen %d%s" i k node.gen
+             (if tagged then " [change tag]" else ""))
+          {
+            st with
+            nodes = set_nth st.nodes i node';
+            proposals = sorted ((k, node.gen, i, tagged) :: st.proposals);
+          }
+      end)
+    st.nodes;
+  (* A change request (gossip collapsed: all layers learn it at once —
+     the interesting interleavings are in decisions and learning). *)
+  if st.changes_left > 0 then
+    add "change requested (gossiped to every stack)"
+      {
+        st with
+        changes_left = st.changes_left - 1;
+        nodes = List.map (fun node -> { node with has_request = true }) st.nodes;
+      };
+  (* An implementation decides an instance: one decision per (k, gen),
+     choosing any proposal made under that generation. *)
+  List.iter
+    (fun (k, g, proposer, tagged) ->
+      if not (List.exists (fun (k', g', _, _) -> k' = k && g' = g) st.decisions) then
+        add
+          (Printf.sprintf "gen-%d implementation decides instance %d := node %d's proposal%s"
+             g k proposer
+             (if tagged then " [change tag]" else ""))
+          { st with decisions = sorted ((k, g, proposer, tagged) :: st.decisions) })
+    st.proposals;
+  (* A node learns a decision (needs the generation's module: g <= gen). *)
+  List.iteri
+    (fun i node ->
+      List.iter
+        (fun (k, g, v, tagged) ->
+          if g <= node.gen && not (List.mem (k, g) node.learned) then begin
+            let node = { node with learned = sorted ((k, g) :: node.learned) } in
+            let accept =
+              (match variant with
+              | No_stale_discard -> g <= node.gen
+              | Sound | No_prefix_defer | No_reissue -> g = node.gen)
+              && not (List.mem_assoc k node.accepted)
+            in
+            let node =
+              if accept then
+                {
+                  node with
+                  accepted = sorted ((k, v) :: node.accepted);
+                  pending_switch =
+                    (match node.pending_switch with
+                    | Some _ as s -> s
+                    | None -> if tagged then Some k else None);
+                }
+              else node
+            in
+            let node', reissues = settle variant node [] i in
+            add
+              (Printf.sprintf "node %d learns gen-%d decision of instance %d%s" i g k
+                 (if accept then "" else " (discarded)"))
+              {
+                st with
+                nodes = set_nth st.nodes i node';
+                proposals = sorted (reissues @ st.proposals);
+              }
+          end)
+        st.decisions)
+    st.nodes;
+  !acc
+
+let safety st =
+  (* Decision agreement: no two nodes accept different values for the
+     same instance. *)
+  let disagreement =
+    List.exists
+      (fun (node_a : node) ->
+        List.exists
+          (fun (node_b : node) ->
+            List.exists
+              (fun (k, v) ->
+                match List.assoc_opt k node_b.accepted with
+                | Some v' -> v <> v'
+                | None -> false)
+              node_a.accepted)
+          st.nodes)
+      st.nodes
+  in
+  if disagreement then Some "decision agreement (two stacks accepted different values)"
+  else None
+
+let liveness bounds st =
+  let complete = List.for_all (fun node -> node.prefix = bounds.instances) st.nodes in
+  if not complete then Some "completeness (a stack is stuck before the end of the stream)"
+  else begin
+    let gens = List.map (fun node -> node.gen) st.nodes in
+    match gens with
+    | g :: rest when List.for_all (fun g' -> g' = g) rest -> None
+    | _ -> Some "switch agreement (stacks ended in different generations)"
+  end
+
+exception Found of string * string list
+
+let check ?(variant = Sound) ?(bounds = default_bounds) () =
+  let initial =
+    {
+      proposals = [];
+      decisions = [];
+      nodes =
+        List.init bounds.nodes (fun _ ->
+            {
+              gen = 0;
+              accepted = [];
+              prefix = 0;
+              own = [];
+              pending_switch = None;
+              has_request = false;
+              learned = [];
+            });
+      changes_left = bounds.changes;
+    }
+  in
+  let visited : (state, unit) Hashtbl.t = Hashtbl.create 65_536 in
+  let states = ref 0 in
+  let quiescent_count = ref 0 in
+  let exceeded = ref false in
+  let rec dfs st path =
+    if !exceeded || Hashtbl.mem visited st then ()
+    else begin
+      Hashtbl.replace visited st ();
+      incr states;
+      if !states > bounds.max_states then exceeded := true
+      else begin
+        (match safety st with
+        | Some prop -> raise (Found (prop, List.rev path))
+        | None -> ());
+        let succs = successors variant bounds st in
+        if succs = [] then begin
+          incr quiescent_count;
+          match liveness bounds st with
+          | Some prop -> raise (Found (prop, List.rev path))
+          | None -> ()
+        end;
+        List.iter (fun (label, st') -> dfs st' (label :: path)) succs
+      end
+    end
+  in
+  try
+    dfs initial [];
+    if !exceeded then Bound_exceeded { states = !states }
+    else Verified { states = !states; quiescent = !quiescent_count }
+  with Found (property, trace) -> Violation { property; trace; states = !states }

@@ -1,0 +1,1 @@
+lib/net/datagram.ml: Array Dpu_engine Float Hashtbl Latency List

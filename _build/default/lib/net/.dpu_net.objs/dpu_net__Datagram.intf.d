@@ -1,0 +1,1 @@
+lib/net/datagram.mli: Dpu_engine Latency

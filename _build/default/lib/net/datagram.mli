@@ -1,0 +1,79 @@
+(** Simulated unreliable datagram network (the paper's [Net] service).
+
+    Semantics of UDP over a switched LAN: messages may be lost,
+    duplicated and reordered (reordering arises naturally from random
+    per-packet latency); they are never corrupted. Crashed nodes
+    neither send nor receive. Partitions silently drop cross-group
+    traffic until healed.
+
+    The payload type is a parameter so the network can be tested in
+    isolation and reused under any protocol kernel. *)
+
+type 'a t
+
+type counters = {
+  sent : int;  (** datagrams accepted from senders *)
+  delivered : int;  (** datagrams handed to a receiver *)
+  lost : int;  (** dropped by the loss process *)
+  duplicated : int;  (** extra copies injected *)
+  blocked : int;  (** dropped by crash or partition *)
+  bytes : int;  (** payload bytes accepted *)
+}
+
+val create :
+  Dpu_engine.Sim.t ->
+  n:int ->
+  ?loss:float ->
+  ?dup:float ->
+  ?link:Latency.link ->
+  unit ->
+  'a t
+(** [create sim ~n ()] is a network of nodes [0 .. n-1].
+    [loss] and [dup] are iid per-datagram probabilities (default 0). *)
+
+val size : 'a t -> int
+(** Number of nodes. *)
+
+val sim : 'a t -> Dpu_engine.Sim.t
+
+val set_handler : 'a t -> node:int -> (src:int -> 'a -> unit) -> unit
+(** Install the receive callback of [node]; replaces any previous one.
+    Datagrams arriving at a node with no handler are counted as blocked. *)
+
+val send : 'a t -> src:int -> dst:int -> size_bytes:int -> 'a -> unit
+(** Queue a datagram. Self-sends are delivered with minimal delay and
+    are never lost. *)
+
+val crash : 'a t -> int -> unit
+(** Silence a node permanently (fail-stop). In-flight datagrams to it
+    are discarded at arrival time. *)
+
+val is_crashed : 'a t -> int -> bool
+
+val correct_nodes : 'a t -> int list
+(** Nodes not crashed, ascending. *)
+
+val partition : 'a t -> int list list -> unit
+(** Install a partition: nodes in different groups cannot communicate.
+    Nodes absent from every group form an implicit extra group. *)
+
+val heal : 'a t -> unit
+(** Remove any partition. *)
+
+val set_loss : 'a t -> float -> unit
+
+val set_drop_filter : 'a t -> (src:int -> dst:int -> 'a -> bool) option -> unit
+(** Test hook: when the filter returns [true] the datagram is dropped
+    (counted as lost). Applied before the iid loss process. *)
+
+val set_link_override : 'a t -> src:int -> dst:int -> Latency.link option -> unit
+(** Give one directed pair its own link (e.g. a slow WAN hop in an
+    otherwise LAN-like deployment); [None] restores the default. The
+    sender's interface still serialises all of its traffic. *)
+
+val counters : 'a t -> counters
+
+val egress_backlog_ms : 'a t -> node:int -> float
+(** How far ahead of the current virtual time the node's interface is
+    booked: the queueing delay a datagram sent now would experience
+    before transmission begins. 0 when the interface is idle. *)

@@ -1,0 +1,30 @@
+module Rng = Dpu_engine.Rng
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Lognormal of { median : float; sigma : float }
+
+type link = { model : t; bandwidth_mbps : float }
+
+let lan = { model = Lognormal { median = 0.25; sigma = 0.25 }; bandwidth_mbps = 100.0 }
+
+let constant d = { model = Constant d; bandwidth_mbps = infinity }
+
+let sample model rng =
+  let raw =
+    match model with
+    | Constant d -> d
+    | Uniform { lo; hi } -> Rng.uniform rng ~lo ~hi
+    | Lognormal { median; sigma } -> Rng.lognormal rng ~mu:(log median) ~sigma
+  in
+  if raw < 0.001 then 0.001 else raw
+
+let delay link rng ~size_bytes =
+  let transmission =
+    if link.bandwidth_mbps = infinity then 0.0
+    else
+      (* bits / (Mb/s * 1000 bits-per-ms-per-Mbps) -> ms *)
+      float_of_int (size_bytes * 8) /. (link.bandwidth_mbps *. 1000.0)
+  in
+  sample link.model rng +. transmission

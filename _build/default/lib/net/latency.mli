@@ -1,0 +1,29 @@
+(** Link latency models.
+
+    A link delay has two parts: a sampled propagation/processing delay
+    and a deterministic transmission delay [size / bandwidth]. The
+    defaults approximate the paper's testbed (100 Base-TX switched
+    Ethernet between Pentium-III machines). *)
+
+type t =
+  | Constant of float  (** fixed delay in ms *)
+  | Uniform of { lo : float; hi : float }  (** uniform in [lo, hi) ms *)
+  | Lognormal of { median : float; sigma : float }
+      (** heavy-ish tail typical of a real LAN; [median] in ms *)
+
+type link = {
+  model : t;
+  bandwidth_mbps : float;  (** link bandwidth in megabits per second *)
+}
+
+val lan : link
+(** 100 Mb/s switched LAN: log-normal around 0.25 ms median. *)
+
+val constant : float -> link
+(** Fixed-delay, infinite-bandwidth link (for deterministic tests). *)
+
+val sample : t -> Dpu_engine.Rng.t -> float
+(** Draw one propagation delay in ms. Always >= 0.001. *)
+
+val delay : link -> Dpu_engine.Rng.t -> size_bytes:int -> float
+(** Total one-way delay in ms for a datagram of [size_bytes]. *)

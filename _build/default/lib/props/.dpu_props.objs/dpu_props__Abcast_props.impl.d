@@ -1,0 +1,1 @@
+lib/props/abcast_props.ml: Dpu_core Dpu_kernel Hashtbl List Msg Printf Report String

@@ -1,0 +1,1 @@
+lib/props/abcast_props.mli: Dpu_core Dpu_kernel Msg Report

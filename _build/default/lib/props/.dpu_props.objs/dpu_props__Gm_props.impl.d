@@ -1,0 +1,1 @@
+lib/props/gm_props.ml: Dpu_protocols Gm List Printf Report String

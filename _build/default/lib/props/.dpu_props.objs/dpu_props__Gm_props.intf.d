@@ -1,0 +1,1 @@
+lib/props/gm_props.mli: Dpu_protocols Gm Report

@@ -1,0 +1,1 @@
+lib/props/order_props.ml: Hashtbl List Printf Report

@@ -1,0 +1,1 @@
+lib/props/report.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/props/stack_props.ml: Dpu_kernel Hashtbl List Option Printf Report String Trace

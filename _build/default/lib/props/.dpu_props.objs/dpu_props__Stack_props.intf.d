@@ -1,0 +1,1 @@
+lib/props/stack_props.mli: Dpu_kernel Report Trace

@@ -1,0 +1,56 @@
+open Dpu_protocols
+
+let view_to_string (v : Gm.view) =
+  Printf.sprintf "v%d{%s}" v.Gm.id (String.concat "," (List.map string_of_int v.Gm.members))
+
+let identical_view_sequences node_views =
+  let checked = ref 0 in
+  let reference =
+    List.fold_left
+      (fun acc (_, views) -> if List.length views > List.length acc then views else acc)
+      [] node_views
+  in
+  let is_prefix shorter longer =
+    let rec go = function
+      | [], _ -> true
+      | _ :: _, [] -> false
+      | a :: rest_a, b :: rest_b -> a = b && go (rest_a, rest_b)
+    in
+    go (shorter, longer)
+  in
+  let violations =
+    List.filter_map
+      (fun (node, views) ->
+        incr checked;
+        if is_prefix views reference then None
+        else
+          Some
+            (Printf.sprintf "node %d installed [%s], diverging from [%s]" node
+               (String.concat "; " (List.map view_to_string views))
+               (String.concat "; " (List.map view_to_string reference))))
+      node_views
+  in
+  Report.make ~property:"identical view sequences" ~checked:!checked violations
+
+let monotone_view_ids node_views =
+  let checked = ref 0 in
+  let violations =
+    List.concat_map
+      (fun (node, views) ->
+        let rec walk = function
+          | (a : Gm.view) :: (b :: _ as rest) ->
+            incr checked;
+            if b.Gm.id <> a.Gm.id + 1 then
+              Printf.sprintf "node %d installed view %d after view %d" node b.Gm.id
+                a.Gm.id
+              :: walk rest
+            else walk rest
+          | [ _ ] | [] -> []
+        in
+        walk views)
+      node_views
+  in
+  Report.make ~property:"monotone view ids" ~checked:!checked violations
+
+let check_all node_views =
+  [ identical_view_sequences node_views; monotone_view_ids node_views ]

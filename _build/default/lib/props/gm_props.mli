@@ -1,0 +1,19 @@
+(** Checkers for group membership correctness.
+
+    GM's contract (built on totally ordered broadcast, paper §4.1 /
+    [17]): every correct stack installs the {e same sequence of views}.
+    A crashed stack may stop at a prefix. *)
+
+open Dpu_protocols
+
+val identical_view_sequences : (int * Gm.view list) list -> Report.t
+(** Input: per node, the views in installation order. Correct nodes
+    must agree on the whole sequence (the longest sequence is the
+    reference; every other must be a prefix of it — pass only correct
+    nodes to require full equality modulo in-flight tails). *)
+
+val monotone_view_ids : (int * Gm.view list) list -> Report.t
+(** View identifiers must increase by exactly one per installation at
+    every node. *)
+
+val check_all : (int * Gm.view list) list -> Report.t list

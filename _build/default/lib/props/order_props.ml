@@ -1,0 +1,58 @@
+let fifo_order node_logs =
+  let checked = ref 0 in
+  let violations = ref [] in
+  List.iter
+    (fun (node, log) ->
+      let next : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (origin, seq) ->
+          incr checked;
+          let expected =
+            match Hashtbl.find_opt next origin with Some e -> e | None -> 0
+          in
+          if seq <> expected then
+            violations :=
+              Printf.sprintf "node %d delivered %d.%d but expected %d.%d" node origin
+                seq origin expected
+              :: !violations;
+          Hashtbl.replace next origin (max (seq + 1) expected))
+        log)
+    node_logs;
+  Report.make ~property:"FIFO order" ~checked:!checked (List.rev !violations)
+
+let vect_lt a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> x <= y) a b
+  && List.exists2 (fun x y -> x < y) a b
+
+let causal_order ~stamps ~deliveries =
+  let checked = ref 0 in
+  let violations = ref [] in
+  (* All happened-before pairs. *)
+  let pairs =
+    List.concat_map
+      (fun (m, sm) ->
+        List.filter_map
+          (fun (m', sm') -> if m <> m' && vect_lt sm sm' then Some (m, m') else None)
+          stamps)
+      stamps
+  in
+  List.iter
+    (fun (node, log) ->
+      let pos : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+      List.iteri (fun i m -> if not (Hashtbl.mem pos m) then Hashtbl.replace pos m i) log;
+      List.iter
+        (fun (m, m') ->
+          match (Hashtbl.find_opt pos m, Hashtbl.find_opt pos m') with
+          | Some i, Some j ->
+            incr checked;
+            if i >= j then
+              violations :=
+                Printf.sprintf
+                  "node %d delivered %d.%d before its causal predecessor %d.%d" node
+                  (fst m') (snd m') (fst m) (snd m)
+                :: !violations
+          | Some _, None | None, Some _ | None, None -> ())
+        pairs)
+    deliveries;
+  Report.make ~property:"causal order" ~checked:!checked (List.rev !violations)

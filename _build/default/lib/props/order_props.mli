@@ -1,0 +1,20 @@
+(** Checkers for the weaker broadcast orderings (FIFO, causal).
+
+    Inputs are abstract delivery logs, so the checkers work on any
+    record of a run:
+    - a {e send record} identifies each message by [(origin, seq)]
+      where [seq] counts the origin's broadcasts (0, 1, …);
+    - a {e delivery log} lists, per node, the [(origin, seq)] pairs in
+      delivery order. *)
+
+val fifo_order : (int * (int * int) list) list -> Report.t
+(** Per receiving node: messages of each origin must be delivered in
+    increasing [seq] order, gap-free. *)
+
+val causal_order :
+  stamps:((int * int) * int list) list ->
+  deliveries:(int * (int * int) list) list ->
+  Report.t
+(** [stamps] gives each message's vector clock at broadcast; if
+    [stamp m < stamp m'] (component-wise, strictly) then every node
+    that delivered both must deliver [m] first. *)

@@ -1,0 +1,28 @@
+type t = {
+  property : string;
+  ok : bool;
+  violations : string list;
+  checked : int;
+}
+
+let make ~property ?(max_violations = 10) ~checked violations =
+  let total = List.length violations in
+  let shown = List.filteri (fun i _ -> i < max_violations) violations in
+  let shown =
+    if total > max_violations then
+      shown @ [ Printf.sprintf "... and %d more" (total - max_violations) ]
+    else shown
+  in
+  { property; ok = total = 0; violations = shown; checked }
+
+let pp ppf t =
+  if t.ok then Format.fprintf ppf "[ok]   %s (%d checked)" t.property t.checked
+  else begin
+    Format.fprintf ppf "[FAIL] %s (%d checked):" t.property t.checked;
+    List.iter (fun v -> Format.fprintf ppf "@\n       %s" v) t.violations
+  end
+
+let all_ok reports = List.for_all (fun r -> r.ok) reports
+
+let pp_all ppf reports =
+  List.iter (fun r -> Format.fprintf ppf "%a@\n" pp r) reports

@@ -1,0 +1,18 @@
+(** Result of checking one correctness property against a run. *)
+
+type t = {
+  property : string;
+  ok : bool;
+  violations : string list;  (** human-readable, capped *)
+  checked : int;  (** how many obligations were examined *)
+}
+
+val make : property:string -> ?max_violations:int -> checked:int -> string list -> t
+(** [make ~property ~checked violations]: [ok] iff no violations;
+    violations beyond [max_violations] (default 10) are summarised. *)
+
+val pp : Format.formatter -> t -> unit
+
+val all_ok : t list -> bool
+
+val pp_all : Format.formatter -> t list -> unit

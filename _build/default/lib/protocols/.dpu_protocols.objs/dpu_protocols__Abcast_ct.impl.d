@@ -1,0 +1,1 @@
+lib/protocols/abcast_ct.ml: Abcast_iface Consensus_iface Dpu_kernel Hashtbl List Msg Payload Printf Rbcast Registry Service Stack System

@@ -1,0 +1,1 @@
+lib/protocols/abcast_ct.mli: Dpu_kernel Msg Payload Stack System

@@ -1,0 +1,1 @@
+lib/protocols/abcast_iface.ml: Dpu_kernel Payload Printf Stack

@@ -1,0 +1,1 @@
+lib/protocols/abcast_iface.mli: Dpu_kernel Payload Stack

@@ -1,0 +1,1 @@
+lib/protocols/abcast_seq.ml: Abcast_iface Dpu_kernel Hashtbl Msg Payload Printf Registry Rp2p Service Stack System

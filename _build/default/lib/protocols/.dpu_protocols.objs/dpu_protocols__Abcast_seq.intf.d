@@ -1,0 +1,1 @@
+lib/protocols/abcast_seq.mli: Dpu_kernel Stack System

@@ -1,0 +1,1 @@
+lib/protocols/abcast_token.ml: Abcast_iface Array Dpu_engine Dpu_kernel Fd Hashtbl List Payload Printf Queue Registry Rp2p Service Stack System

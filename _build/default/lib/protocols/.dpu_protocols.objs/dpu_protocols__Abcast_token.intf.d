@@ -1,0 +1,1 @@
+lib/protocols/abcast_token.mli: Dpu_kernel Stack System

@@ -1,0 +1,1 @@
+lib/protocols/causal_bcast.ml: Dpu_kernel List Payload Printf Rbcast Registry Service Stack String System Vclock

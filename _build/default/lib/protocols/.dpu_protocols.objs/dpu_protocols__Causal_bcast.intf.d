@@ -1,0 +1,1 @@
+lib/protocols/causal_bcast.mli: Dpu_kernel Payload Service Stack System Vclock

@@ -1,0 +1,1 @@
+lib/protocols/consensus_ct.mli: Dpu_kernel Service Stack System

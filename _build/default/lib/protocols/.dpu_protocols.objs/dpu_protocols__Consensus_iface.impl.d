@@ -1,0 +1,1 @@
+lib/protocols/consensus_iface.ml: Dpu_kernel Payload Printf

@@ -1,0 +1,1 @@
+lib/protocols/consensus_iface.mli: Dpu_kernel Payload

@@ -1,0 +1,1 @@
+lib/protocols/consensus_paxos.ml: Array Consensus_iface Dpu_engine Dpu_kernel Fd Hashtbl List Payload Printf Registry Rp2p Service Stack System

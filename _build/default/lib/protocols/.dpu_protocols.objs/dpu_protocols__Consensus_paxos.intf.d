@@ -1,0 +1,1 @@
+lib/protocols/consensus_paxos.mli: Dpu_kernel Service Stack System

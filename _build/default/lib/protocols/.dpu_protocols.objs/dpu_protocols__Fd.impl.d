@@ -1,0 +1,1 @@
+lib/protocols/fd.ml: Array Dpu_engine Dpu_kernel List Payload Printf Registry Service Stack System Udp

@@ -1,0 +1,1 @@
+lib/protocols/fd.mli: Dpu_kernel Payload Stack System

@@ -1,0 +1,1 @@
+lib/protocols/fifo_bcast.ml: Dpu_kernel Hashtbl Payload Printf Rbcast Registry Service Stack System

@@ -1,0 +1,1 @@
+lib/protocols/fifo_bcast.mli: Dpu_kernel Payload Service Stack System

@@ -1,0 +1,1 @@
+lib/protocols/gm.ml: Array Dpu_engine Dpu_kernel Fd Float Hashtbl List Payload Printf Registry Repl_iface Service Stack String System

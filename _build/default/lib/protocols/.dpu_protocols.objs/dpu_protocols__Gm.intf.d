@@ -1,0 +1,1 @@
+lib/protocols/gm.mli: Dpu_kernel Payload Stack System

@@ -1,0 +1,1 @@
+lib/protocols/rbcast.ml: Dpu_kernel Hashtbl Payload Printf Registry Rp2p Service Stack System

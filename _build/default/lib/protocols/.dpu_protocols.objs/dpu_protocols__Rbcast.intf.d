@@ -1,0 +1,1 @@
+lib/protocols/rbcast.mli: Dpu_kernel Payload Service Stack System

@@ -1,0 +1,1 @@
+lib/protocols/repl_iface.ml: Dpu_kernel Payload Printf

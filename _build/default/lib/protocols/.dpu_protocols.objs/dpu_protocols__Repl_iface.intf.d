@@ -1,0 +1,1 @@
+lib/protocols/repl_iface.mli: Dpu_kernel Payload

@@ -1,0 +1,1 @@
+lib/protocols/rp2p.ml: Dpu_engine Dpu_kernel Float Hashtbl List Payload Printf Registry Service Stack System Udp

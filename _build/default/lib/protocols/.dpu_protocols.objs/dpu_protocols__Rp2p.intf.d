@@ -1,0 +1,1 @@
+lib/protocols/rp2p.mli: Dpu_kernel Payload Stack System

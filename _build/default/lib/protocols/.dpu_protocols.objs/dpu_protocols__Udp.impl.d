@@ -1,0 +1,1 @@
+lib/protocols/udp.ml: Dpu_kernel Dpu_net Payload Printf Registry Service Stack System

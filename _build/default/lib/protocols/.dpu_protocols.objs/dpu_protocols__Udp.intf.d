@@ -1,0 +1,1 @@
+lib/protocols/udp.mli: Dpu_kernel Dpu_net Payload Stack System

@@ -1,0 +1,1 @@
+lib/protocols/vclock.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/protocols/vclock.mli: Format

@@ -1,0 +1,116 @@
+open Dpu_kernel
+
+type item = { id : Msg.id; size : int; payload : Payload.t }
+
+type Payload.t += Batch of item list
+
+type Payload.t += Disseminate of { epoch : int; item : item }
+
+let () =
+  Payload.register_printer (function
+    | Batch items -> Some (Printf.sprintf "ct-abcast.batch(%d)" (List.length items))
+    | Disseminate { epoch; item } ->
+      Some (Printf.sprintf "ct-abcast.disseminate e%d %s" epoch (Msg.id_to_string item.id))
+    | _ -> None)
+
+let protocol_name = "abcast.ct"
+
+let header_size = 64
+
+let install ?(batch_size = 1) stack =
+  let me = Stack.node stack in
+  let epoch = Abcast_iface.current_epoch stack in
+  Stack.add_module stack ~name:protocol_name
+    ~provides:[ Service.abcast ]
+    ~requires:[ Service.consensus; Rbcast.service ]
+    (fun stack _self ->
+      let next_seq = ref 0 in
+      let unordered : (Msg.id, item) Hashtbl.t = Hashtbl.create 64 in
+      let delivered : (Msg.id, unit) Hashtbl.t = Hashtbl.create 256 in
+      let decisions : (int, item list) Hashtbl.t = Hashtbl.create 16 in
+      let next_k = ref 0 in
+      let proposed = ref false in
+      let maybe_propose () =
+        if (not !proposed) && Hashtbl.length unordered > 0 then begin
+          let items =
+            Hashtbl.fold (fun _ item acc -> item :: acc) unordered []
+            |> List.sort (fun a b -> Msg.id_compare a.id b.id)
+          in
+          let batch = List.filteri (fun i _ -> i < batch_size) items in
+          let weight = List.fold_left (fun acc i -> acc + i.size) 0 batch in
+          proposed := true;
+          Stack.call stack Service.consensus
+            (Consensus_iface.Propose
+               { iid = { epoch; k = !next_k }; value = Batch batch; weight })
+        end
+      in
+      let rec apply_ready () =
+        match Hashtbl.find_opt decisions !next_k with
+        | None -> ()
+        | Some items ->
+          Hashtbl.remove decisions !next_k;
+          List.iter
+            (fun item ->
+              if not (Hashtbl.mem delivered item.id) then begin
+                Hashtbl.replace delivered item.id ();
+                Hashtbl.remove unordered item.id;
+                Stack.indicate stack Service.abcast
+                  (Abcast_iface.Deliver { origin = item.id.Msg.origin; payload = item.payload })
+              end)
+            items;
+          incr next_k;
+          proposed := false;
+          maybe_propose ();
+          apply_ready ()
+      in
+      let on_decide k value =
+        if not (Hashtbl.mem decisions k) && k >= !next_k then begin
+          let items =
+            match value with
+            | Batch items -> items
+            | Consensus_iface.No_value -> []
+            | _ -> []
+          in
+          Hashtbl.replace decisions k items;
+          apply_ready ()
+        end
+      in
+      let on_disseminated item =
+        if (not (Hashtbl.mem delivered item.id)) && not (Hashtbl.mem unordered item.id)
+        then begin
+          Hashtbl.replace unordered item.id item;
+          maybe_propose ()
+        end
+      in
+      {
+        Stack.default_handlers with
+        handle_call =
+          (fun _svc p ->
+            match p with
+            | Abcast_iface.Broadcast { size; payload } ->
+              let id = { Msg.origin = me; seq = !next_seq } in
+              incr next_seq;
+              let item = { id; size; payload } in
+              Stack.call stack Rbcast.service
+                (Rbcast.Bcast
+                   { size = size + header_size; payload = Disseminate { epoch; item } })
+            | _ -> ());
+        handle_indication =
+          (fun svc p ->
+            if Service.equal svc Rbcast.service then
+              match p with
+              | Rbcast.Deliver { origin = _; payload = Disseminate { epoch = e; item } }
+                when e = epoch ->
+                on_disseminated item
+              | _ -> ()
+            else if Service.equal svc Service.consensus then
+              match p with
+              | Consensus_iface.Decide { iid = { epoch = e; k }; value } when e = epoch ->
+                on_decide k value
+              | _ -> ());
+      })
+
+let register ?batch_size system =
+  Registry.register (System.registry system) ~name:protocol_name
+    ~provides:[ Service.abcast ]
+    (fun stack -> install ?batch_size stack)

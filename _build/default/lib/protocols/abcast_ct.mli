@@ -1,0 +1,36 @@
+(** Consensus-based atomic broadcast (the [ABcast] module of Fig. 4).
+
+    The Chandra–Toueg reduction [5]: payloads are disseminated with
+    reliable broadcast; a sequence of consensus instances decides, for
+    each slot [k], a batch of not-yet-delivered payloads; every stack
+    delivers decided batches in slot order, giving uniform total order.
+
+    As in the paper's prototype, the default proposes one message per
+    consensus instance and ships full message contents (not
+    identifiers) through consensus — the paper's §6 notes its latency
+    figures are high for exactly this reason, and the load/latency
+    curve of Fig. 6 is shaped by this queueing. [batch_size] lifts the
+    limit for the batching ablation bench.
+
+    The module is epoch-aware: it reads the protocol generation from
+    the stack environment at creation and tags all its consensus
+    instances and wire traffic with it, so a replacement's new module
+    never collides with its predecessor. *)
+
+open Dpu_kernel
+
+type item = { id : Msg.id; size : int; payload : Payload.t }
+
+type Payload.t += Batch of item list
+(** The consensus value: a batch of items, sorted by id by the
+    proposer; decided batches are applied in that order. *)
+
+type Payload.t += Disseminate of { epoch : int; item : item }
+(** The rbcast wire payload (exposed for trace tooling and tests). *)
+
+val protocol_name : string
+(** ["abcast.ct"] *)
+
+val install : ?batch_size:int -> Stack.t -> Stack.module_
+
+val register : ?batch_size:int -> System.t -> unit

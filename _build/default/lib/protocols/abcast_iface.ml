@@ -1,0 +1,17 @@
+open Dpu_kernel
+
+type Payload.t +=
+  | Broadcast of { size : int; payload : Payload.t }
+  | Deliver of { origin : int; payload : Payload.t }
+
+let () =
+  Payload.register_printer (function
+    | Broadcast { size; payload } ->
+      Some (Printf.sprintf "abcast size=%d %s" size (Payload.to_string payload))
+    | Deliver { origin; payload } ->
+      Some (Printf.sprintf "adeliver origin=%d %s" origin (Payload.to_string payload))
+    | _ -> None)
+
+let epoch_key = "abcast.epoch"
+
+let current_epoch stack = Stack.get_env stack epoch_key ~default:0

@@ -1,0 +1,30 @@
+(** The atomic broadcast *service* interface (paper §5.1).
+
+    Every ABcast protocol implementation (consensus-based, sequencer,
+    token ring) provides [Service.abcast] with these payloads, so the
+    replacement module depends only on this specification — the key
+    structural claim of the paper (§4.1): DPU needs the specification
+    of the replaced protocol, never its algorithm.
+
+    Properties each provider must satisfy (checked in [Dpu_props]):
+    validity, uniform agreement, uniform integrity, uniform total
+    order. *)
+
+open Dpu_kernel
+
+type Payload.t +=
+  | Broadcast of { size : int; payload : Payload.t }
+      (** call: ABcast [payload] to the group *)
+  | Deliver of { origin : int; payload : Payload.t }
+      (** indication: Adeliver — same sequence of payloads at every
+          stack *)
+
+val epoch_key : string
+(** Stack-env key holding the protocol generation number under which a
+    newly created ABcast module must operate (written by the
+    replacement module before [create_module], read by factories).
+    Generations keep wire traffic and consensus instances of old and
+    new protocol versions disjoint. *)
+
+val current_epoch : Stack.t -> int
+(** The generation in force in [stack] (0 before any replacement). *)

@@ -1,0 +1,83 @@
+open Dpu_kernel
+
+type Payload.t +=
+  | Wire_req of { epoch : int; id : Msg.id; size : int; payload : Payload.t }
+  | Wire_order of { epoch : int; gseq : int; origin : int; size : int; payload : Payload.t }
+
+let () =
+  Payload.register_printer (function
+    | Wire_req { epoch; id; _ } ->
+      Some (Printf.sprintf "seq-abcast.req e%d %s" epoch (Msg.id_to_string id))
+    | Wire_order { epoch; gseq; _ } -> Some (Printf.sprintf "seq-abcast.order e%d #%d" epoch gseq)
+    | _ -> None)
+
+let protocol_name = "abcast.seq"
+
+let header_size = 48
+
+let install ?(sequencer = 0) ~n stack =
+  let me = Stack.node stack in
+  let epoch = Abcast_iface.current_epoch stack in
+  Stack.add_module stack ~name:protocol_name ~provides:[ Service.abcast ]
+    ~requires:[ Service.rp2p ]
+    (fun stack _self ->
+      let next_seq = ref 0 in
+      let next_gseq = ref 0 in  (* sequencer role *)
+      let next_expected = ref 0 in
+      let buffered : (int, int * int * Payload.t) Hashtbl.t = Hashtbl.create 64 in
+      (* gseq -> origin, size, payload *)
+      let send ~dst ~size payload =
+        Stack.call stack Service.rp2p (Rp2p.Send { dst; size; payload })
+      in
+      let deliver_ready () =
+        let continue = ref true in
+        while !continue do
+          match Hashtbl.find_opt buffered !next_expected with
+          | None -> continue := false
+          | Some (origin, _size, payload) ->
+            Hashtbl.remove buffered !next_expected;
+            incr next_expected;
+            Stack.indicate stack Service.abcast (Abcast_iface.Deliver { origin; payload })
+        done
+      in
+      let sequence ~origin ~size payload =
+        let gseq = !next_gseq in
+        incr next_gseq;
+        let order = Wire_order { epoch; gseq; origin; size; payload } in
+        for dst = 0 to n - 1 do
+          send ~dst ~size:(size + header_size) order
+        done
+      in
+      {
+        Stack.default_handlers with
+        handle_call =
+          (fun _svc p ->
+            match p with
+            | Abcast_iface.Broadcast { size; payload } ->
+              let id = { Msg.origin = me; seq = !next_seq } in
+              incr next_seq;
+              send ~dst:sequencer ~size:(size + header_size)
+                (Wire_req { epoch; id; size; payload })
+            | _ -> ());
+        handle_indication =
+          (fun svc p ->
+            if Service.equal svc Service.rp2p then
+              match p with
+              | Rp2p.Recv { src = _; payload = Wire_req { epoch = e; id; size; payload } }
+                when e = epoch && me = sequencer ->
+                sequence ~origin:id.Msg.origin ~size payload
+              | Rp2p.Recv
+                  { src = _; payload = Wire_order { epoch = e; gseq; origin; size; payload } }
+                when e = epoch ->
+                if gseq >= !next_expected && not (Hashtbl.mem buffered gseq) then begin
+                  Hashtbl.replace buffered gseq (origin, size, payload);
+                  deliver_ready ()
+                end
+              | _ -> ());
+      })
+
+let register ?sequencer system =
+  let n = System.n system in
+  Registry.register (System.registry system) ~name:protocol_name
+    ~provides:[ Service.abcast ]
+    (fun stack -> install ?sequencer ~n stack)

@@ -1,0 +1,25 @@
+(** Fixed-sequencer atomic broadcast.
+
+    A designated sequencer assigns a global sequence number to every
+    broadcast and re-broadcasts it; stacks deliver in sequence-number
+    order. Two network hops per message and no consensus round, so it
+    is faster and flatter under load than the consensus-based variant —
+    at the price of a single point of failure (the sequencer) and
+    non-uniform delivery. It exists as a genuinely different protocol
+    to switch to/from in the DPU experiments: the paper's replacement
+    algorithm needs only the ABcast specification, so it swaps between
+    this and {!Abcast_ct} freely.
+
+    Fault-tolerance note: if the sequencer crashes this protocol stops
+    ordering (group membership on top would elect a new one; out of
+    scope, as in the paper's experiments which crash no machine). *)
+
+open Dpu_kernel
+
+val protocol_name : string
+(** ["abcast.seq"] *)
+
+val install : ?sequencer:int -> n:int -> Stack.t -> Stack.module_
+(** [sequencer] defaults to node 0. *)
+
+val register : ?sequencer:int -> System.t -> unit

@@ -1,0 +1,34 @@
+(** Token-ring (privilege-based) atomic broadcast.
+
+    A token carrying the next global sequence number circulates on a
+    logical ring. The holder sequences its pending broadcasts, sends
+    the order messages to everyone, and passes the token to the next
+    node that its failure detector does not suspect. Stacks deliver in
+    global sequence order.
+
+    Latency is dominated by the token rotation time (grows with n), a
+    third distinct performance profile for the heterogeneous-switch
+    experiments.
+
+    Fault handling: crashed nodes are skipped on token passing; a lost
+    token (holder crashed while holding) is regenerated after
+    [regen_timeout_ms] by the lowest-id unsuspected node; nodes with a
+    gap in the order stream request repair from their peers. These
+    mechanisms assume the failure detector has stabilised — the usual
+    privilege-based broadcast caveat. *)
+
+open Dpu_kernel
+
+type config = {
+  regen_timeout_ms : float;  (** token-loss detection horizon *)
+  repair_timeout_ms : float;  (** gap-repair request delay *)
+}
+
+val default_config : config
+
+val protocol_name : string
+(** ["abcast.token"] *)
+
+val install : ?config:config -> n:int -> Stack.t -> Stack.module_
+
+val register : ?config:config -> System.t -> unit

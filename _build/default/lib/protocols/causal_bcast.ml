@@ -1,0 +1,100 @@
+open Dpu_kernel
+
+type Payload.t +=
+  | Bcast of { size : int; payload : Payload.t }
+  | Deliver of { origin : int; payload : Payload.t }
+
+type Payload.t += Stamped of { stamp : int list; origin : int; payload : Payload.t }
+
+let () =
+  Payload.register_printer (function
+    | Bcast { size; _ } -> Some (Printf.sprintf "causal.bcast size=%d" size)
+    | Deliver { origin; _ } -> Some (Printf.sprintf "causal.deliver origin=%d" origin)
+    | Stamped { origin; stamp; _ } ->
+      Some
+        (Printf.sprintf "causal.stamped origin=%d [%s]" origin
+           (String.concat ";" (List.map string_of_int stamp)))
+    | _ -> None)
+
+let protocol_name = "causal"
+
+let service = Service.make "causal"
+
+(* The clock is mirrored into the env so tests can observe it. *)
+let k_clock = "causal.clock."
+
+let clock stack =
+  let n = Stack.get_env stack (k_clock ^ "n") ~default:0 in
+  if n = 0 then None
+  else
+    Some
+      (Vclock.of_list
+         (List.init n (fun i -> Stack.get_env stack (k_clock ^ string_of_int i) ~default:0)))
+
+let install ~n stack =
+  let me = Stack.node stack in
+  Stack.add_module stack ~name:protocol_name ~provides:[ service ]
+    ~requires:[ Rbcast.service ]
+    (fun stack _self ->
+      let vc = ref (Vclock.zero ~n) in
+      let publish () =
+        Stack.set_env stack (k_clock ^ "n") n;
+        List.iteri
+          (fun i x -> Stack.set_env stack (k_clock ^ string_of_int i) x)
+          (Vclock.to_list !vc)
+      in
+      publish ();
+      (* Messages whose causal dependencies are not yet satisfied. *)
+      let waiting : (Vclock.t * int * Payload.t) list ref = ref [] in
+      let rec deliver_ready () =
+        let progressed = ref false in
+        let still =
+          List.filter
+            (fun (stamp, origin, payload) ->
+              if Vclock.deliverable stamp ~at:!vc ~sender:origin then begin
+                vc := Vclock.merge !vc stamp;
+                publish ();
+                Stack.indicate stack service (Deliver { origin; payload });
+                progressed := true;
+                false
+              end
+              else true)
+            !waiting
+        in
+        waiting := still;
+        (* A delivery may unblock earlier-buffered messages. *)
+        if !progressed then deliver_ready ()
+      in
+      let on_stamped stamp origin payload =
+        waiting := !waiting @ [ (stamp, origin, payload) ];
+        deliver_ready ()
+      in
+      {
+        Stack.default_handlers with
+        handle_call =
+          (fun _svc p ->
+            match p with
+            | Bcast { size; payload } ->
+              let stamp = Vclock.tick !vc me in
+              (* Local delivery is immediate (the condition holds by
+                 construction); remote copies go out stamped. *)
+              Stack.call stack Rbcast.service
+                (Rbcast.Bcast
+                   {
+                     size = size + (4 * n);
+                     payload = Stamped { stamp = Vclock.to_list stamp; origin = me; payload };
+                   })
+            | _ -> ());
+        handle_indication =
+          (fun svc p ->
+            match p with
+            | Rbcast.Deliver { origin = _; payload = Stamped { stamp; origin; payload } }
+              when Service.equal svc Rbcast.service ->
+              on_stamped (Vclock.of_list stamp) origin payload
+            | _ -> ());
+      })
+
+let register system =
+  let n = System.n system in
+  Registry.register (System.registry system) ~name:protocol_name ~provides:[ service ]
+    (fun stack -> install ~n stack)

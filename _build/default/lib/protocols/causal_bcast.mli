@@ -1,0 +1,31 @@
+(** Causally ordered reliable broadcast (vector clocks).
+
+    Strengthens {!Fifo_bcast}: if broadcast [m] happened-before
+    broadcast [m'] (same sender sent [m] first, or the sender of [m']
+    had delivered [m] when it broadcast), every process delivers [m]
+    before [m']. Concurrent broadcasts remain unordered.
+
+    Implementation: each broadcast carries the sender's vector clock
+    ticked at its own component; a receiver delays delivery until the
+    standard causal-delivery condition holds (it has delivered the
+    sender's previous broadcast and everything the message causally
+    depends on — {!Vclock.deliverable}). *)
+
+open Dpu_kernel
+
+type Payload.t +=
+  | Bcast of { size : int; payload : Payload.t }  (** call *)
+  | Deliver of { origin : int; payload : Payload.t }
+      (** indication — causal order *)
+
+val protocol_name : string
+(** ["causal"] *)
+
+val service : Service.t
+
+val install : n:int -> Stack.t -> Stack.module_
+
+val register : System.t -> unit
+
+val clock : Stack.t -> Vclock.t option
+(** The module's current vector clock (diagnostics/tests). *)

@@ -1,0 +1,42 @@
+(** The [CT] module of Fig. 4: Chandra–Toueg ◇S consensus with a
+    rotating coordinator [5], providing the {!Consensus_iface} service.
+
+    Multi-instance: each instance is an [(epoch, k)] pair; the epoch
+    keeps streams of different protocol generations disjoint (see
+    {!Consensus_iface.iid}). The module survives replacements of the
+    protocols above it — it keeps providing service *while* e.g. the
+    ABcast implementation is being updated.
+
+    Round structure (round [r], coordinator [c = (k + r) mod n]):
+    + every process sends its timestamped estimate to [c];
+    + [c] waits for a majority, adopts the estimate with the highest
+      timestamp (ties prefer heavier, then lower sender id), proposes;
+    + a process that receives the proposal adopts it and acks; one
+      whose failure detector suspects [c] nacks (paced, to avoid retry
+      storms); either way it proceeds to round [r+1];
+    + on a majority of acks, [c] reliably broadcasts the decision.
+
+    Engineering details that matter under load: instance wake-ups are
+    rebroadcast until decision (late-created participants still join);
+    suspicion-driven round retries are paced; a participant may refine
+    its initial (timestamp-0) estimate, so batched proposals are not
+    starved by fast empty ones.
+
+    Safety holds with any failure-detector output; termination needs a
+    majority of correct processes and ◇S-quality detection, which
+    {!Fd} provides in runs with bounded delays. *)
+
+open Dpu_kernel
+
+val protocol_name : string
+(** ["consensus.ct"] *)
+
+val install : ?service:Service.t -> n:int -> Stack.t -> Stack.module_
+(** [service] defaults to [Service.consensus]; the consensus
+    replacement layer instead installs implementations under its
+    private implementation service. *)
+
+val register : ?service:Service.t -> ?name:string -> System.t -> unit
+
+val decided_count : Stack.t -> int
+(** Number of instances this stack has decided (diagnostics). *)

@@ -1,0 +1,21 @@
+open Dpu_kernel
+
+type iid = { epoch : int; k : int }
+
+let iid_compare a b =
+  let c = compare a.epoch b.epoch in
+  if c <> 0 then c else compare a.k b.k
+
+let pp_iid { epoch; k } = Printf.sprintf "%d:%d" epoch k
+
+type Payload.t +=
+  | Propose of { iid : iid; value : Payload.t; weight : int }
+  | Decide of { iid : iid; value : Payload.t }
+  | No_value
+
+let () =
+  Payload.register_printer (function
+    | Propose { iid; _ } -> Some (Printf.sprintf "consensus.propose %s" (pp_iid iid))
+    | Decide { iid; _ } -> Some (Printf.sprintf "consensus.decide %s" (pp_iid iid))
+    | No_value -> Some "consensus.no-value"
+    | _ -> None)

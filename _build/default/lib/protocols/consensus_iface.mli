@@ -1,0 +1,39 @@
+(** The consensus *service* interface.
+
+    Two implementations provide it — {!Consensus_ct} (Chandra–Toueg ◇S,
+    rotating coordinator) and {!Consensus_paxos} (Paxos, Ω leader) —
+    and the consensus replacement layer ([Dpu_core.Repl_consensus], the
+    paper's §7 future work / TR [16]) switches between them on the fly.
+    Exactly as with atomic broadcast, callers and the replacement
+    machinery depend only on this specification.
+
+    Properties every provider must satisfy, per instance:
+    - {e Validity}: a decided value was proposed (or is {!No_value},
+      possible only when some participant entered with no value);
+    - {e Uniform agreement}: no two processes decide differently;
+    - {e Uniform integrity}: at most one decision per process;
+    - {e Termination}: with a majority of correct processes and
+      eventually accurate failure detection, every correct process
+      decides. *)
+
+open Dpu_kernel
+
+type iid = { epoch : int; k : int }
+(** Instance identifier: [(epoch, k)]. Epochs keep independent streams
+    of instances (e.g. different ABcast protocol generations) disjoint
+    on the wire. *)
+
+val iid_compare : iid -> iid -> int
+
+val pp_iid : iid -> string
+
+type Payload.t +=
+  | Propose of { iid : iid; value : Payload.t; weight : int }
+      (** call: propose [value] for [iid]. [weight] breaks initial
+          (timestamp-0) ties — bigger wins — letting callers prefer,
+          e.g., non-empty batches; it never affects safety. It also
+          doubles as the value's byte size for the network model. *)
+  | Decide of { iid : iid; value : Payload.t }  (** indication *)
+  | No_value
+      (** estimate of a process that participates before having
+          anything to propose; deciding it means "empty decision" *)

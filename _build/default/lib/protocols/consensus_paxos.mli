@@ -1,0 +1,40 @@
+(** Paxos consensus (single-decree per instance) with an Ω leader
+    derived from the failure detector.
+
+    The second, structurally different implementation of the
+    {!Consensus_iface} service — the replacement target for the
+    consensus-update extension (the paper's §7 / TR [16]): ballots and
+    quorum promises instead of rotating coordinators and timestamped
+    estimates.
+
+    Per instance:
+    + the current leader (lowest unsuspected process) picks a ballot
+      [b] unique to it and sends [Prepare(b)] to all acceptors;
+    + an acceptor promises [b] if it has promised nothing higher and
+      reports the highest-ballot value it has accepted;
+    + on a majority of promises the leader proposes the reported value
+      with the highest ballot — or, if none, the heaviest of the
+      initial offers participants broadcast when proposing — with
+      [Accept(b, v)];
+    + acceptors accept unless they promised a higher ballot; a majority
+      of accepts decides, and the decision is reliably broadcast.
+
+    Liveness: the leader retries with a higher ballot on a timer, and
+    leadership follows the failure detector, so a crash of the leader
+    stalls an instance only until suspicion. Safety is the classic
+    Paxos invariant and does not depend on the failure detector. *)
+
+open Dpu_kernel
+
+type config = { retry_ms : float  (** leader retry period *) }
+
+val default_config : config
+
+val protocol_name : string
+(** ["consensus.paxos"] *)
+
+val install : ?config:config -> ?service:Service.t -> n:int -> Stack.t -> Stack.module_
+
+val register : ?config:config -> ?service:Service.t -> ?name:string -> System.t -> unit
+
+val decided_count : Stack.t -> int

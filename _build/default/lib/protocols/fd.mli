@@ -1,0 +1,39 @@
+(** The [FD] module of Fig. 4: a heartbeat failure detector.
+
+    Every process periodically broadcasts a heartbeat over the [net]
+    service and suspects any process whose heartbeat has not been seen
+    for the current timeout. On a false suspicion (a heartbeat arrives
+    from a suspected process) the per-process timeout is increased, so
+    in runs with bounded message delays the detector eventually stops
+    making mistakes — the behaviour assumed of the ◇S class the paper's
+    consensus module relies on [4, 5].
+
+    Indications: {!Suspect} and {!Restore}. Consumers maintain their
+    own view of the suspected set from these events. *)
+
+open Dpu_kernel
+
+type Payload.t +=
+  | Suspect of int  (** indication: node is now suspected *)
+  | Restore of int  (** indication: node is no longer suspected *)
+
+type config = {
+  period_ms : float;  (** heartbeat period *)
+  timeout_ms : float;  (** initial suspicion timeout *)
+  timeout_increment_ms : float;  (** added on each false suspicion *)
+}
+
+val default_config : config
+
+val protocol_name : string
+(** ["fd"] *)
+
+val install : ?config:config -> n:int -> Stack.t -> Stack.module_
+(** Monitor nodes [0 .. n-1] (excluding self). *)
+
+val register : ?config:config -> System.t -> unit
+
+val suspects : Stack.t -> int list
+(** Currently suspected nodes according to the fd module of [stack]
+    (ascending); empty if the module is absent. Test/diagnostic hook —
+    protocol modules should consume the indications instead. *)

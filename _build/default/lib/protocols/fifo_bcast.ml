@@ -1,0 +1,72 @@
+open Dpu_kernel
+
+type Payload.t +=
+  | Bcast of { size : int; payload : Payload.t }
+  | Deliver of { origin : int; payload : Payload.t }
+
+(* Tag carried through the underlying reliable broadcast. *)
+type Payload.t += Tagged of { fseq : int; payload : Payload.t }
+
+let () =
+  Payload.register_printer (function
+    | Bcast { size; _ } -> Some (Printf.sprintf "fifo.bcast size=%d" size)
+    | Deliver { origin; _ } -> Some (Printf.sprintf "fifo.deliver origin=%d" origin)
+    | Tagged { fseq; _ } -> Some (Printf.sprintf "fifo.tagged #%d" fseq)
+    | _ -> None)
+
+let protocol_name = "fifo"
+
+let service = Service.make "fifo"
+
+let install ~n stack =
+  ignore n;
+  Stack.add_module stack ~name:protocol_name ~provides:[ service ]
+    ~requires:[ Rbcast.service ]
+    (fun stack _self ->
+      let next_out = ref 0 in
+      (* Per-origin reordering buffers: next expected + held-back
+         out-of-order arrivals. *)
+      let next_in : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      let held : (int * int, Payload.t) Hashtbl.t = Hashtbl.create 32 in
+      let expected origin =
+        match Hashtbl.find_opt next_in origin with Some e -> e | None -> 0
+      in
+      let deliver_ready origin =
+        let continue = ref true in
+        while !continue do
+          let e = expected origin in
+          match Hashtbl.find_opt held (origin, e) with
+          | Some payload ->
+            Hashtbl.remove held (origin, e);
+            Hashtbl.replace next_in origin (e + 1);
+            Stack.indicate stack service (Deliver { origin; payload })
+          | None -> continue := false
+        done
+      in
+      {
+        Stack.default_handlers with
+        handle_call =
+          (fun _svc p ->
+            match p with
+            | Bcast { size; payload } ->
+              let fseq = !next_out in
+              incr next_out;
+              Stack.call stack Rbcast.service
+                (Rbcast.Bcast { size = size + 16; payload = Tagged { fseq; payload } })
+            | _ -> ());
+        handle_indication =
+          (fun svc p ->
+            match p with
+            | Rbcast.Deliver { origin; payload = Tagged { fseq; payload } }
+              when Service.equal svc Rbcast.service ->
+              if fseq >= expected origin then begin
+                Hashtbl.replace held (origin, fseq) payload;
+                deliver_ready origin
+              end
+            | _ -> ());
+      })
+
+let register system =
+  let n = System.n system in
+  Registry.register (System.registry system) ~name:protocol_name ~provides:[ service ]
+    (fun stack -> install ~n stack)

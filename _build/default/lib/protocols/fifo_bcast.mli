@@ -1,0 +1,27 @@
+(** FIFO-ordered reliable broadcast.
+
+    Strengthens {!Rbcast} with per-sender ordering: two broadcasts by
+    the same process are delivered in their sending order at every
+    process. Broadcasts by different processes stay unordered — the gap
+    between this and total order is exactly what the ABcast protocols
+    close.
+
+    Part of the classic broadcast hierarchy of the group-communication
+    literature (reliable ⊂ FIFO ⊂ causal ⊂ total [7]); included, as in
+    Fortika, as a service upper layers can require. *)
+
+open Dpu_kernel
+
+type Payload.t +=
+  | Bcast of { size : int; payload : Payload.t }  (** call *)
+  | Deliver of { origin : int; payload : Payload.t }
+      (** indication — per-origin FIFO *)
+
+val protocol_name : string
+(** ["fifo"] *)
+
+val service : Service.t
+
+val install : n:int -> Stack.t -> Stack.module_
+
+val register : System.t -> unit

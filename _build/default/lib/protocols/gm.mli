@@ -1,0 +1,40 @@
+(** The [GM] module of Fig. 4: group membership on top of atomic
+    broadcast [17].
+
+    Membership changes (join, leave, crash exclusion) are proposed via
+    the replaceable atomic broadcast service ([r-abcast]): since every
+    stack rAdelivers proposals in the same total order, every stack
+    goes through the same sequence of views. GM is the paper's example
+    of a protocol that *depends on* the updated protocol and must keep
+    providing service, unmodified and unaware, while the ABcast
+    implementation underneath it is replaced.
+
+    Crash exclusion: when the failure detector suspects a member for
+    [exclusion_delay_ms], the smallest-id unsuspected member proposes
+    an exclusion. Proposals are idempotent (applied only when
+    consistent with the current view), so duplicated or racing
+    proposals are harmless. *)
+
+open Dpu_kernel
+
+type view = { id : int; members : int list }
+
+type Payload.t +=
+  | Join of int  (** call: propose adding a node to the group *)
+  | Leave of int  (** call: propose removing a node *)
+  | View of view  (** indication: a new view was installed *)
+
+type config = { exclusion_delay_ms : float }
+
+val default_config : config
+
+val protocol_name : string
+(** ["gm"] *)
+
+val install : ?config:config -> ?initial:int list -> n:int -> Stack.t -> Stack.module_
+(** [initial] defaults to all of [0 .. n-1]. *)
+
+val register : ?config:config -> ?initial:int list -> System.t -> unit
+
+val current_view : Stack.t -> view option
+(** Test hook: the view currently installed in [stack]'s gm module. *)

@@ -1,0 +1,18 @@
+open Dpu_kernel
+
+type Payload.t +=
+  | R_broadcast of { size : int; payload : Payload.t }
+  | R_deliver of { origin : int; payload : Payload.t }
+  | Change_abcast of string
+  | Protocol_changed of { generation : int; protocol : string }
+
+let () =
+  Payload.register_printer (function
+    | R_broadcast { size; payload } ->
+      Some (Printf.sprintf "r-abcast size=%d %s" size (Payload.to_string payload))
+    | R_deliver { origin; payload } ->
+      Some (Printf.sprintf "r-adeliver origin=%d %s" origin (Payload.to_string payload))
+    | Change_abcast prot -> Some (Printf.sprintf "change-abcast %s" prot)
+    | Protocol_changed { generation; protocol } ->
+      Some (Printf.sprintf "protocol-changed gen=%d %s" generation protocol)
+    | _ -> None)

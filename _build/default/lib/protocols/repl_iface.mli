@@ -1,0 +1,28 @@
+(** Specification of the replacement module's indirection service
+    ([r-p] in Fig. 3; [r-abcast] here).
+
+    This is the service applications and upper-layer protocols (e.g.
+    group membership) call instead of [abcast]. It is defined apart
+    from the replacement implementation ([Dpu_core.Repl]) to make the
+    paper's structural point concrete: callers program against the
+    specification of the replaced protocol, never against a particular
+    implementation or the replacement machinery.
+
+    Semantics: {!R_broadcast}/{!R_deliver} satisfy the atomic broadcast
+    properties of §5.1 — including *across* dynamic replacements of the
+    underlying ABcast protocol (§5.2.2). *)
+
+open Dpu_kernel
+
+type Payload.t +=
+  | R_broadcast of { size : int; payload : Payload.t }
+      (** call: rABcast — atomically broadcast through the replacement
+          layer *)
+  | R_deliver of { origin : int; payload : Payload.t }
+      (** indication: rAdeliver — totally ordered at every stack *)
+  | Change_abcast of string
+      (** call: changeABcast(prot) — replace the ABcast protocol on
+          every stack with the registered protocol named [prot] *)
+  | Protocol_changed of { generation : int; protocol : string }
+      (** indication: this stack has switched; [generation] is the new
+          seqNumber *)

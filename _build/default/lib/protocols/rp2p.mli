@@ -1,0 +1,48 @@
+(** The [RP2P] module of Fig. 4: reliable point-to-point channels over
+    the unreliable [net] service.
+
+    Implements positive acknowledgement with retransmission and
+    duplicate suppression: every datagram accepted by {!Send} is
+    delivered to a correct, connected destination exactly once,
+    regardless of network loss and duplication (up to the retry
+    budget — channels are quasi-reliable: retransmission gives up after
+    [max_retries] attempts, which only happens when the destination is
+    crashed or partitioned away for the whole backoff horizon).
+
+    Delivery order is not guaranteed (like the paper's stack, ordering
+    is the business of the layers above). *)
+
+open Dpu_kernel
+
+type Payload.t +=
+  | Send of { dst : int; size : int; payload : Payload.t }  (** call *)
+  | Recv of { src : int; payload : Payload.t }  (** indication *)
+
+type config = {
+  rto_ms : float;  (** initial retransmission timeout *)
+  backoff : float;  (** multiplicative timeout growth per retry *)
+  max_rto_ms : float;  (** backoff ceiling *)
+  max_retries : int;  (** give-up bound *)
+  adaptive : bool;
+      (** Jacobson/Karels RTT estimation with a persistent per-peer
+          storm backoff. With [false] the timeout is the fixed
+          [rto_ms]: under load, queueing pushes the real round-trip
+          past it and every retransmission feeds the queue further —
+          the congestion collapse the ablation bench demonstrates. *)
+}
+
+val default_config : config
+
+val protocol_name : string
+(** ["rp2p"] *)
+
+val install : ?config:config -> Stack.t -> Stack.module_
+
+val register : ?config:config -> System.t -> unit
+
+(** {1 Introspection (tests, benches)} *)
+
+type stats = { accepted : int; delivered : int; retransmissions : int; gave_up : int }
+
+val stats : Stack.t -> stats
+(** Statistics of the rp2p module in [stack]; zeros if absent. *)

@@ -1,0 +1,39 @@
+open Dpu_kernel
+module Datagram = Dpu_net.Datagram
+
+type Payload.t +=
+  | Send of { dst : int; size : int; payload : Payload.t }
+  | Recv of { src : int; payload : Payload.t }
+
+let () =
+  Payload.register_printer (function
+    | Send { dst; size; payload } ->
+      Some (Printf.sprintf "udp.send dst=%d size=%d %s" dst size (Payload.to_string payload))
+    | Recv { src; payload } ->
+      Some (Printf.sprintf "udp.recv src=%d %s" src (Payload.to_string payload))
+    | _ -> None)
+
+let protocol_name = "udp"
+
+let install ~net stack =
+  let node = Stack.node stack in
+  Stack.add_module stack ~name:protocol_name ~provides:[ Service.net ] ~requires:[]
+    (fun stack _self ->
+      Datagram.set_handler net ~node (fun ~src payload ->
+          if not (Stack.is_crashed stack) then
+            Stack.indicate stack Service.net (Recv { src; payload }));
+      {
+        Stack.default_handlers with
+        handle_call =
+          (fun _svc p ->
+            match p with
+            | Send { dst; size; payload } ->
+              Datagram.send net ~src:node ~dst ~size_bytes:size payload
+            | _ -> ());
+      })
+
+let register system =
+  let net = System.net system in
+  Registry.register (System.registry system) ~name:protocol_name
+    ~provides:[ Service.net ]
+    (fun stack -> install ~net stack)

@@ -1,0 +1,26 @@
+(** The [UDP] module of Fig. 4: an interface to the unreliable
+    datagram network, exposed as the [net] service.
+
+    Calls: {!Send}. Indications: {!Recv}. Loss, duplication and
+    reordering are those of the underlying {!Dpu_net.Datagram}
+    network. *)
+
+open Dpu_kernel
+
+type Payload.t +=
+  | Send of { dst : int; size : int; payload : Payload.t }
+      (** call: transmit [payload] to node [dst] *)
+  | Recv of { src : int; payload : Payload.t }
+      (** indication: a datagram arrived from [src] *)
+
+val protocol_name : string
+(** ["udp"] *)
+
+val install : net:Payload.t Dpu_net.Datagram.t -> Stack.t -> Stack.module_
+(** Add the UDP module to a stack and connect it to the network
+    endpoint of the stack's node. Does not bind it; use
+    [Stack.bind stack Service.net m] or a registry. *)
+
+val register : System.t -> unit
+(** Register the factory under {!protocol_name} in the system registry,
+    providing [Service.net]. *)

@@ -1,0 +1,41 @@
+type t = int array
+
+let zero ~n = Array.make n 0
+
+let size = Array.length
+
+let get t i = t.(i)
+
+let tick t i =
+  let t' = Array.copy t in
+  t'.(i) <- t'.(i) + 1;
+  t'
+
+let merge a b =
+  assert (Array.length a = Array.length b);
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+let leq a b =
+  assert (Array.length a = Array.length b);
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let equal a b = a = b
+
+let lt a b = leq a b && not (equal a b)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let deliverable t ~at ~sender =
+  assert (Array.length t = Array.length at);
+  let ok = ref (t.(sender) = at.(sender) + 1) in
+  Array.iteri (fun j x -> if j <> sender && x > at.(j) then ok := false) t;
+  !ok
+
+let to_list = Array.to_list
+
+let of_list = Array.of_list
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]" (String.concat ";" (List.map string_of_int (to_list t)))

@@ -1,0 +1,44 @@
+(** Vector clocks over a fixed set of [n] processes.
+
+    The causality tracking device behind {!Causal_bcast}: component [i]
+    counts broadcasts by process [i]. Immutable; all operations return
+    fresh vectors. *)
+
+type t
+
+val zero : n:int -> t
+
+val size : t -> int
+
+val get : t -> int -> int
+
+val tick : t -> int -> t
+(** Increment component [i]. *)
+
+val merge : t -> t -> t
+(** Component-wise maximum (requires equal sizes). *)
+
+val leq : t -> t -> bool
+(** [leq a b]: every component of [a] is ≤ the matching one of [b] —
+    the happened-before-or-equal relation. *)
+
+val equal : t -> t -> bool
+
+val lt : t -> t -> bool
+(** Strictly happened-before: [leq a b] and not [equal a b]. *)
+
+val concurrent : t -> t -> bool
+(** Neither ordered before the other. *)
+
+val deliverable : t -> at:t -> sender:int -> bool
+(** The causal-delivery condition: message stamped [t] from [sender]
+    can be delivered at a process whose vector is [at] iff
+    [t.(sender) = at.(sender) + 1] and [t.(j) <= at.(j)] for every
+    other [j] — i.e. it is the sender's next message and every message
+    it causally depends on has been delivered. *)
+
+val to_list : t -> int list
+
+val of_list : int list -> t
+
+val pp : Format.formatter -> t -> unit

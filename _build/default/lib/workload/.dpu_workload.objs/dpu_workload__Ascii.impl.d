@@ -1,0 +1,1 @@
+lib/workload/ascii.ml: Array Buffer Float List Printf String

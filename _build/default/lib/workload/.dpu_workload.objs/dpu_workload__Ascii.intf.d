@@ -1,0 +1,1 @@
+lib/workload/ascii.mli:

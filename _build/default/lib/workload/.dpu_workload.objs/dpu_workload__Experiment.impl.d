@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Array Dpu_baselines Dpu_core Dpu_engine Dpu_kernel Dpu_props Float List Load_gen

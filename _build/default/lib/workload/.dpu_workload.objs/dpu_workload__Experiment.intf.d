@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Dpu_core Dpu_engine Dpu_kernel Dpu_props Load_gen

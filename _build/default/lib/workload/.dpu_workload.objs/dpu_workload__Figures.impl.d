@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Array Ascii Buffer Dpu_engine Experiment Float List Printf

@@ -1,0 +1,1 @@
+lib/workload/load_gen.ml: Dpu_core Dpu_engine Dpu_kernel Float

@@ -1,0 +1,1 @@
+lib/workload/load_gen.mli: Dpu_core

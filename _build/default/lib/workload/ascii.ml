@@ -1,0 +1,95 @@
+let glyphs = [| '+'; 'x'; 'o'; '*'; '#'; '@'; '%'; '&' |]
+
+let chart ?(width = 72) ?(height = 18) ?(title = "") ?(x_unit = "") ?(y_unit = "") series =
+  let all_points = List.concat_map snd series in
+  if all_points = [] then "(no data)\n"
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let fmin l = List.fold_left min (List.hd l) l in
+    let fmax l = List.fold_left max (List.hd l) l in
+    let x0 = fmin xs and x1 = fmax xs in
+    let y0 = Float.min 0.0 (fmin ys) and y1 = fmax ys in
+    let x1 = if x1 = x0 then x0 +. 1.0 else x1 in
+    let y1 = if y1 = y0 then y0 +. 1.0 else y1 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, points) ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let col =
+              int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+            in
+            let row =
+              height - 1
+              - int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- glyph)
+          points)
+      series;
+    let buf = Buffer.create 4096 in
+    if title <> "" then Buffer.add_string buf (title ^ "\n");
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n" glyphs.(si mod Array.length glyphs) name))
+      series;
+    Array.iteri
+      (fun row line ->
+        let y_here =
+          y1 -. (float_of_int row /. float_of_int (height - 1) *. (y1 -. y0))
+        in
+        let label =
+          if row = 0 || row = height - 1 || row = height / 2 then
+            Printf.sprintf "%10.1f |" y_here
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-12.1f%*s%12.1f %s\n" (if y_unit = "" then "" else y_unit)
+         x0 (width - 26) "" x1 x_unit);
+    Buffer.contents buf
+  end
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length (try List.nth row c with _ -> "")))
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = try List.nth row c with _ -> "" in
+           cell ^ String.make (w - String.length cell) ' ')
+         widths)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
+
+let vbars ?(width = 50) entries =
+  if entries = [] then "(no data)\n"
+  else begin
+    let vmax = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 entries in
+    let vmax = if vmax <= 0.0 then 1.0 else vmax in
+    let label_w =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+    in
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (label, v) ->
+        let bar = int_of_float (v /. vmax *. float_of_int width) in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s | %s %.2f\n" label_w label (String.make bar '#') v))
+      entries;
+    Buffer.contents buf
+  end

@@ -1,0 +1,18 @@
+(** Plain-text rendering of series and tables for the bench output. *)
+
+val chart :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_unit:string ->
+  ?y_unit:string ->
+  (string * (float * float) list) list ->
+  string
+(** Scatter plot of named series on a shared grid; each series gets its
+    own glyph. Empty input renders a placeholder. *)
+
+val table : header:string list -> string list list -> string
+(** Column-aligned table with a header rule. *)
+
+val vbars : ?width:int -> (string * float) list -> string
+(** Horizontal bar chart: one labelled bar per entry. *)

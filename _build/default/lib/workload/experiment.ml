@@ -1,0 +1,215 @@
+module MW = Dpu_core.Middleware
+module SB = Dpu_core.Stack_builder
+module Collector = Dpu_core.Collector
+module Stats = Dpu_engine.Stats
+module Series = Dpu_engine.Series
+module Sim = Dpu_engine.Sim
+
+type approach =
+  | No_layer
+  | Repl
+  | Maestro
+  | Graceful
+
+let approach_name = function
+  | No_layer -> "no-layer"
+  | Repl -> "repl"
+  | Maestro -> "maestro"
+  | Graceful -> "graceful"
+
+type params = {
+  n : int;
+  seed : int;
+  load : float;
+  duration_ms : float;
+  warmup_ms : float;
+  msg_size : int;
+  initial : string;
+  switch_to : string option;
+  switch_at_ms : float;
+  approach : approach;
+  batch_size : int;
+  loss : float;
+  hop_cost : float;
+  trace_enabled : bool;
+  pattern : Load_gen.pattern;
+  during_margin_ms : float;
+  consensus_layer : string option;
+  switch_consensus : (float * string) option;
+}
+
+let default =
+  {
+    n = 7;
+    seed = 1;
+    load = 40.0;
+    duration_ms = 10_000.0;
+    warmup_ms = 500.0;
+    msg_size = 4096;
+    initial = Dpu_core.Variants.ct;
+    switch_to = Some Dpu_core.Variants.ct;
+    switch_at_ms = 5_000.0;
+    approach = Repl;
+    batch_size = 1;
+    loss = 0.0;
+    hop_cost = 0.5;
+    trace_enabled = false;
+    pattern = Load_gen.Poisson;
+    during_margin_ms = 50.0;
+    consensus_layer = None;
+    switch_consensus = None;
+  }
+
+type result = {
+  params : params;
+  latency : Series.t;
+  normal : Stats.t;
+  during : Stats.t;
+  switch_window : (float * float) option;
+  switch_duration_ms : float;
+  blocked_ms : float;
+  sent : int;
+  delivered_everywhere : int;
+  collector : Dpu_core.Collector.t;
+  trace : Dpu_kernel.Trace.t;
+  correct : int list;
+}
+
+let layer_of = function
+  | No_layer -> None
+  | Repl -> Some Dpu_core.Repl.protocol_name
+  | Maestro -> Some Dpu_baselines.Maestro.protocol_name
+  | Graceful -> Some Dpu_baselines.Graceful.protocol_name
+
+let run ?(crash_at = []) params =
+  let profile =
+    {
+      SB.initial_abcast = params.initial;
+      layer = layer_of params.approach;
+      with_gm = false;
+      batch_size = params.batch_size;
+      consensus_layer = params.consensus_layer;
+    }
+  in
+  let config =
+    {
+      MW.default_config with
+      seed = params.seed;
+      loss = params.loss;
+      hop_cost = params.hop_cost;
+      profile;
+      trace_enabled = params.trace_enabled;
+      msg_size = params.msg_size;
+    }
+  in
+  let register_extra system =
+    Dpu_baselines.Maestro.register system;
+    Dpu_baselines.Graceful.register system
+  in
+  let mw = MW.create ~config ~register_extra ~n:params.n () in
+  let sim = Dpu_kernel.System.sim (MW.system mw) in
+  Load_gen.start mw ~rate_per_s:params.load ~pattern:params.pattern
+    ~size:params.msg_size ~until:params.duration_ms ();
+  let switch_requested =
+    match (params.switch_to, layer_of params.approach) with
+    | Some protocol, Some _ ->
+      (* "any process triggers the replacement" (§6.2) — pick one that
+         is still alive at the switch time. *)
+      let trigger_node =
+        let crashed_by_then =
+          List.filter_map
+            (fun (t, node) -> if t <= params.switch_at_ms then Some node else None)
+            crash_at
+        in
+        let rec pick node =
+          if node < 0 then 0
+          else if List.mem node crashed_by_then then pick (node - 1)
+          else node
+        in
+        pick (params.n - 1)
+      in
+      ignore
+        (Sim.schedule sim ~delay:params.switch_at_ms (fun () ->
+             MW.change_protocol mw ~node:trigger_node protocol)
+          : Sim.handle);
+      true
+    | Some _, None | None, _ -> false
+  in
+  (match params.switch_consensus with
+  | Some (time, protocol) ->
+    ignore
+      (Sim.schedule sim ~delay:time (fun () -> MW.change_consensus mw ~node:0 protocol)
+        : Sim.handle)
+  | None -> ());
+  List.iter
+    (fun (time, node) ->
+      ignore (Sim.schedule sim ~delay:time (fun () -> MW.crash mw node) : Sim.handle))
+    crash_at;
+  MW.run_until_quiescent ~limit:(params.duration_ms +. 30_000.0) mw;
+  let collector = MW.collector mw in
+  let latency = Collector.latency_series collector in
+  let switch_window =
+    if switch_requested then
+      match Collector.switch_window collector ~generation:1 with
+      | Some (_first, last) -> Some (params.switch_at_ms, last)
+      | None -> None
+    else None
+  in
+  (* Messages sent up to [during_margin_ms] after the last stack
+     switched are still attributed to the replacement: the fresh
+     protocol's first instances are its cold start (the paper's spike
+     decays over a short period after the switch, Fig. 5). *)
+  let during_range =
+    match switch_window with
+    | Some (lo, hi) -> Some (lo, hi +. params.during_margin_ms)
+    | None -> None
+  in
+  let normal = Stats.create () in
+  let during = Stats.create () in
+  List.iter
+    (fun (p : Series.point) ->
+      if p.time >= params.warmup_ms then
+        match during_range with
+        | Some (lo, hi) when p.time >= lo && p.time <= hi -> Stats.add during p.value
+        | Some _ | None -> Stats.add normal p.value)
+    (Series.points latency);
+  let correct = Dpu_kernel.System.correct_nodes (MW.system mw) in
+  let blocked_ms =
+    Array.fold_left
+      (fun acc stack -> Float.max acc (Dpu_baselines.Maestro.blocked_ms stack))
+      0.0
+      (Dpu_kernel.System.stacks (MW.system mw))
+  in
+  let sent = Collector.send_count collector in
+  let undelivered =
+    Collector.undelivered_ids collector ~expected_copies:(List.length correct)
+  in
+  {
+    params;
+    latency;
+    normal;
+    during;
+    switch_window;
+    switch_duration_ms =
+      (match switch_window with Some (lo, hi) -> hi -. lo | None -> 0.0);
+    blocked_ms;
+    sent;
+    delivered_everywhere = sent - List.length undelivered;
+    collector;
+    trace = Dpu_kernel.System.trace (MW.system mw);
+    correct;
+  }
+
+let check result =
+  let abcast = Dpu_props.Abcast_props.check_all result.collector ~correct:result.correct in
+  let nodes = List.init result.params.n (fun i -> i) in
+  let protocols =
+    result.params.initial
+    :: (match result.params.switch_to with Some p when p <> result.params.initial -> [ p ] | Some _ | None -> [])
+  in
+  let generic =
+    if Dpu_kernel.Trace.enabled result.trace then
+      Dpu_props.Stack_props.check_generic result.trace ~protocols ~nodes
+    else []
+  in
+  abcast @ generic

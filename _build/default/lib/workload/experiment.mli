@@ -1,0 +1,73 @@
+(** The scenario runner behind every figure and table.
+
+    One [run] simulates the paper's benchmark (§6.2): [n] stacks on a
+    LAN, a constant aggregate load of ABcast messages, optionally one
+    dynamic protocol replacement triggered mid-run, under a selectable
+    DPU approach. It returns the per-message latency series (the
+    paper's average-latency metric), the statistics split into the
+    normal period and the replacement window, and enough bookkeeping
+    to check every correctness property afterwards. *)
+
+module Stats = Dpu_engine.Stats
+module Series = Dpu_engine.Series
+
+type approach =
+  | No_layer  (** application directly on [abcast] (Fig. 6 baseline) *)
+  | Repl  (** the paper's replacement module (Algorithm 1) *)
+  | Maestro  (** whole-stack switch baseline [20] *)
+  | Graceful  (** AAC/CA barrier baseline [6] *)
+
+val approach_name : approach -> string
+
+type params = {
+  n : int;
+  seed : int;
+  load : float;  (** total messages per second *)
+  duration_ms : float;  (** load generation horizon *)
+  warmup_ms : float;  (** excluded from the "normal" statistics *)
+  msg_size : int;
+  initial : string;  (** initial ABcast variant *)
+  switch_to : string option;  (** [None]: no replacement *)
+  switch_at_ms : float;
+  approach : approach;
+  batch_size : int;
+  loss : float;
+  hop_cost : float;
+  trace_enabled : bool;
+  pattern : Load_gen.pattern;  (** arrival process (default Poisson) *)
+  during_margin_ms : float;
+      (** messages sent this long after the last stack switched still
+          count as "during the replacement" (cold-start tail) *)
+  consensus_layer : string option;
+      (** install the consensus replacement layer on this initial
+          implementation *)
+  switch_consensus : (float * string) option;
+      (** (time, target implementation): hot-swap consensus mid-run
+          (needs [consensus_layer]) *)
+}
+
+val default : params
+(** n=7, 40 msg/s, 4 KB, 10 s, CT→CT switch at 5 s under [Repl] — the
+    paper's Fig. 5 setting. *)
+
+type result = {
+  params : params;
+  latency : Series.t;  (** avg latency per message, keyed by send time *)
+  normal : Stats.t;  (** messages sent outside the replacement window *)
+  during : Stats.t;  (** messages sent inside it *)
+  switch_window : (float * float) option;
+      (** [(trigger, last stack switched)] *)
+  switch_duration_ms : float;  (** window width; 0 when no switch *)
+  blocked_ms : float;  (** max application-blocked time over stacks *)
+  sent : int;
+  delivered_everywhere : int;  (** messages delivered by all correct stacks *)
+  collector : Dpu_core.Collector.t;
+  trace : Dpu_kernel.Trace.t;
+  correct : int list;
+}
+
+val run : ?crash_at:(float * int) list -> params -> result
+(** [crash_at] is a list of (virtual time, node) fail-stop injections. *)
+
+val check : result -> Dpu_props.Report.t list
+(** All ABcast properties plus the generic §3 properties for the run. *)

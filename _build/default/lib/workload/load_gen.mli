@@ -1,0 +1,30 @@
+(** Workload generators.
+
+    The paper's benchmark (§6.2): messages of 4 KB are ABcast under a
+    constant load by all machines. [Constant] reproduces that — each
+    node broadcasts at [rate/n], with staggered phases so the aggregate
+    is smooth. [Poisson] and [Burst] exist for the robustness tests and
+    ablations. *)
+
+type pattern =
+  | Constant
+  | Poisson
+  | Burst of { period_ms : float; duty : float }
+      (** all traffic compressed into a fraction [duty] of each period *)
+
+val start :
+  Dpu_core.Middleware.t ->
+  rate_per_s:float ->
+  ?pattern:pattern ->
+  ?size:int ->
+  ?body:string ->
+  until:float ->
+  unit ->
+  unit
+(** Schedule broadcasts on every node from now until virtual time
+    [until] (ms). Total system rate is [rate_per_s]. *)
+
+val send_n :
+  Dpu_core.Middleware.t -> count:int -> ?gap_ms:float -> ?size:int -> unit -> unit
+(** Round-robin [count] messages across nodes, one every [gap_ms]
+    (default 10). Convenience for tests. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Dpu_apps Dpu_core Dpu_engine Dpu_kernel Dpu_props Dpu_protocols List Printf QCheck QCheck_alcotest System

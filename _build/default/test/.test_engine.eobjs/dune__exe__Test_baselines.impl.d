@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Dpu_baselines Dpu_core Dpu_engine Dpu_kernel Float List Msg Printf Service Stack System Trace

@@ -1,0 +1,1 @@
+test/test_consensus_dpu.ml: Alcotest Array Dpu_core Dpu_engine Dpu_kernel Dpu_props Dpu_protocols List Msg Payload Printf QCheck QCheck_alcotest Registry Service Stack String System

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dpu_core Dpu_engine Dpu_kernel Dpu_net Dpu_props Dpu_protocols Format List Msg Printf QCheck QCheck_alcotest Registry Service Stack System Trace

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Dpu_engine Float Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Dpu_engine Dpu_kernel List Msg Payload Printf QCheck QCheck_alcotest Registry Service Stack System Trace

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Dpu_model Format List Printf String

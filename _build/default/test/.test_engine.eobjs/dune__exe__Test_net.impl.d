@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Dpu_engine Dpu_net List Printf QCheck QCheck_alcotest

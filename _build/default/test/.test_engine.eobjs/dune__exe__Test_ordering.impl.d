@@ -1,0 +1,1 @@
+test/test_ordering.ml: Alcotest Dpu_engine Dpu_kernel Dpu_net Dpu_props Dpu_protocols Format Gen List Payload Printf QCheck QCheck_alcotest Registry Service Stack System

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Dpu_core Dpu_kernel Dpu_props Format List Msg String Trace

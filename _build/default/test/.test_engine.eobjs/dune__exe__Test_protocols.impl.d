@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Dpu_core Dpu_engine Dpu_kernel Dpu_net Dpu_protocols List Payload Printf QCheck QCheck_alcotest Registry Service Stack String System

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Dpu_core Dpu_engine Dpu_kernel Dpu_net Dpu_props Dpu_protocols Dpu_workload List Printf String System

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dpu_core Dpu_engine Dpu_props Dpu_workload List Printf String

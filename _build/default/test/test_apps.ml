@@ -1,0 +1,459 @@
+(* Tests for the replicated key-value store (the paper's motivating
+   application: a replicated non-stop service on totally ordered
+   broadcast) and the group-membership property checkers. *)
+
+open Dpu_kernel
+module MW = Dpu_core.Middleware
+module SB = Dpu_core.Stack_builder
+module KV = Dpu_apps.Replicated_kv
+module Gm = Dpu_protocols.Gm
+module Sim = Dpu_engine.Sim
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let make ?(n = 3) ?(seed = 1) ?profile () =
+  let profile = match profile with Some p -> p | None -> SB.default_profile in
+  let config = { MW.default_config with seed; profile } in
+  let mw = MW.create ~config ~n () in
+  let replicas = Array.init n (fun node -> KV.attach mw ~node) in
+  (mw, replicas)
+
+let assert_replicas_agree replicas =
+  let digests = Array.to_list (Array.map KV.digest replicas) in
+  match digests with
+  | first :: rest ->
+    List.iteri
+      (fun i d -> check Alcotest.string (Printf.sprintf "replica %d digest" (i + 1)) first d)
+      rest
+  | [] -> fail "no replicas"
+
+(* ------------------------------------------------------------------ *)
+(* Replicated KV                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_kv_basic_put_get () =
+  let mw, r = make () in
+  KV.put r.(0) "city" "Lausanne";
+  MW.run_for mw 2_000.0;
+  for node = 0 to 2 do
+    check (Alcotest.option Alcotest.string) "replicated" (Some "Lausanne")
+      (KV.get r.(node) "city")
+  done;
+  assert_replicas_agree r
+
+let test_kv_overwrite_order () =
+  (* Concurrent writes to the same key: replicas may disagree on which
+     wins a priori, but total order makes them all pick the same one. *)
+  let mw, r = make ~seed:5 () in
+  KV.put r.(0) "k" "from-0";
+  KV.put r.(1) "k" "from-1";
+  KV.put r.(2) "k" "from-2";
+  MW.run_until_quiescent ~limit:20_000.0 mw;
+  assert_replicas_agree r;
+  check Alcotest.bool "some write won" true (KV.get r.(0) "k" <> None)
+
+let test_kv_delete () =
+  let mw, r = make () in
+  KV.put r.(0) "k" "v";
+  MW.run_for mw 1_000.0;
+  KV.delete r.(1) "k";
+  MW.run_until_quiescent ~limit:20_000.0 mw;
+  for node = 0 to 2 do
+    check (Alcotest.option Alcotest.string) "deleted" None (KV.get r.(node) "k")
+  done;
+  check Alcotest.int "size" 0 (KV.size r.(0))
+
+let test_kv_counters_lose_no_updates () =
+  (* Increments are read-modify-write inside the ordered apply, so
+     concurrent increments from every node all count. *)
+  let mw, r = make ~seed:3 () in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 29 do
+    let node = i mod 3 in
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 3.0) (fun () ->
+           KV.incr r.(node) "hits"))
+  done;
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  for node = 0 to 2 do
+    check Alcotest.int "all increments counted" 30 (KV.get_int r.(node) "hits")
+  done
+
+let test_kv_applied_positions () =
+  let mw, r = make () in
+  KV.put r.(0) "a" "1";
+  KV.put r.(1) "b" "2";
+  KV.incr r.(2) "c";
+  MW.run_until_quiescent ~limit:20_000.0 mw;
+  for node = 0 to 2 do
+    check Alcotest.int "three ops applied" 3 (KV.applied r.(node))
+  done;
+  check Alcotest.int "entries" 3 (KV.size r.(0));
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "sorted entries"
+    [ ("a", "1"); ("b", "2"); ("c", "1") ]
+    (KV.entries r.(0))
+
+let test_kv_state_survives_abcast_switch () =
+  let mw, r = make ~seed:7 () in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 19 do
+    let node = i mod 3 in
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 8.0) (fun () ->
+           KV.put r.(node) (Printf.sprintf "key%d" i) (Printf.sprintf "val%d" i);
+           KV.incr r.(node) "ops"))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:70.0 (fun () ->
+         MW.change_protocol mw ~node:1 Dpu_core.Variants.token));
+  MW.run_until_quiescent ~limit:60_000.0 mw;
+  assert_replicas_agree r;
+  check Alcotest.int "all writes present" 21 (KV.size r.(0));
+  check Alcotest.int "counter exact across switch" 20 (KV.get_int r.(1) "ops")
+
+let test_kv_state_survives_consensus_swap () =
+  let profile =
+    {
+      SB.default_profile with
+      consensus_layer = Some Dpu_protocols.Consensus_ct.protocol_name;
+    }
+  in
+  let mw, r = make ~n:5 ~seed:9 ~profile () in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 19 do
+    let node = i mod 5 in
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+           KV.incr r.(node) "balance" ~by:(i + 1)))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:90.0 (fun () ->
+         MW.change_consensus mw ~node:2 Dpu_protocols.Consensus_paxos.protocol_name));
+  MW.run_until_quiescent ~limit:60_000.0 mw;
+  assert_replicas_agree r;
+  (* sum 1..20 = 210 *)
+  for node = 0 to 4 do
+    check Alcotest.int "balance conserved" 210 (KV.get_int r.(node) "balance")
+  done
+
+let test_kv_crashed_replica_prefix () =
+  let mw, r = make ~n:3 ~seed:11 () in
+  KV.put r.(0) "early" "yes";
+  MW.run_for mw 1_000.0;
+  MW.crash mw 2;
+  KV.put r.(0) "late" "yes";
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  (* The crashed replica holds a prefix of the history; survivors agree
+     on the full state. *)
+  check Alcotest.string "survivors agree" (KV.digest r.(0)) (KV.digest r.(1));
+  check (Alcotest.option Alcotest.string) "crashed replica has the prefix" (Some "yes")
+    (KV.get r.(2) "early");
+  check (Alcotest.option Alcotest.string) "crashed replica missed the tail" None
+    (KV.get r.(2) "late")
+
+let test_kv_foreign_traffic_ignored () =
+  (* Raw middleware broadcasts that are not kv operations must not
+     disturb the store. *)
+  let mw, r = make () in
+  ignore (MW.broadcast mw ~node:0 "not a kv op");
+  KV.put r.(1) "k" "v";
+  MW.run_until_quiescent ~limit:20_000.0 mw;
+  check Alcotest.int "one op applied" 1 (KV.applied r.(0));
+  check Alcotest.int "one key" 1 (KV.size r.(0))
+
+let test_kv_late_join_catches_up () =
+  let mw, r = make () in
+  KV.put r.(0) "a" "1";
+  KV.put r.(1) "b" "2";
+  KV.incr r.(2) "hits" ~by:5;
+  MW.run_for mw 1_500.0;
+  (* A fresh replica process joins on node 2 (e.g. after an operator
+     restarted the application there): it missed everything so far. *)
+  let joiner = KV.attach_late mw ~node:2 ~from:0 in
+  check Alcotest.bool "not yet synced" false (KV.synced joiner);
+  KV.put r.(0) "c" "3";
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  check Alcotest.bool "synced" true (KV.synced joiner);
+  check (Alcotest.option Alcotest.string) "old state transferred" (Some "1")
+    (KV.get joiner "a");
+  check Alcotest.int "counter transferred" 5 (KV.get_int joiner "hits");
+  check (Alcotest.option Alcotest.string) "live tail applied" (Some "3")
+    (KV.get joiner "c");
+  check Alcotest.string "digest matches" (KV.digest r.(0)) (KV.digest joiner);
+  check Alcotest.int "applied counter consistent" (KV.applied r.(0)) (KV.applied joiner)
+
+let test_kv_late_join_buffers_inflight () =
+  (* Operations keep flowing between the sync request and the snapshot;
+     the joiner must end up with exactly the agreed history. *)
+  let mw, r = make ~seed:13 () in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 9 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 4.0) (fun () ->
+           KV.incr r.(i mod 3) "n"))
+  done;
+  let joiner = ref None in
+  ignore
+    (Sim.schedule sim ~delay:13.0 (fun () ->
+         joiner := Some (KV.attach_late mw ~node:1 ~from:2)));
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  match !joiner with
+  | Some j ->
+    check Alcotest.bool "synced" true (KV.synced j);
+    check Alcotest.int "exact counter" 10 (KV.get_int j "n");
+    check Alcotest.string "digest" (KV.digest r.(0)) (KV.digest j)
+  | None -> fail "joiner not created"
+
+let test_kv_late_join_across_switch () =
+  let mw, r = make ~seed:17 () in
+  KV.put r.(0) "pre" "x";
+  MW.run_for mw 500.0;
+  let joiner = KV.attach_late mw ~node:1 ~from:0 in
+  MW.change_protocol mw ~node:2 Dpu_core.Variants.sequencer;
+  KV.put r.(2) "post" "y";
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  check Alcotest.bool "synced across switch" true (KV.synced joiner);
+  check Alcotest.string "digest" (KV.digest r.(0)) (KV.digest joiner)
+
+let prop_kv_convergence =
+  QCheck.Test.make ~name:"replicas converge for random op mixes" ~count:10
+    QCheck.(pair (int_range 1 25) (int_range 1 1000))
+    (fun (ops, seed) ->
+      let mw, r = make ~seed () in
+      let rng = Dpu_engine.Rng.create ~seed in
+      let sim = System.sim (MW.system mw) in
+      for i = 0 to ops - 1 do
+        let node = Dpu_engine.Rng.int rng 3 in
+        let key = Printf.sprintf "k%d" (Dpu_engine.Rng.int rng 5) in
+        let action = Dpu_engine.Rng.int rng 3 in
+        ignore
+          (Sim.schedule sim ~delay:(float_of_int i *. 5.0) (fun () ->
+               match action with
+               | 0 -> KV.put r.(node) key (string_of_int i)
+               | 1 -> KV.delete r.(node) key
+               | _ -> KV.incr r.(node) key))
+      done;
+      MW.run_until_quiescent ~limit:60_000.0 mw;
+      let d0 = KV.digest r.(0) in
+      KV.digest r.(1) = d0 && KV.digest r.(2) = d0
+      && KV.applied r.(0) = ops && KV.applied r.(1) = ops)
+
+(* ------------------------------------------------------------------ *)
+(* Lock service                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Lock = Dpu_apps.Lock_service
+
+let make_locks ?(n = 3) ?(seed = 1) ?(with_gm = false) () =
+  let profile = { SB.default_profile with with_gm } in
+  let config = { MW.default_config with seed; profile } in
+  let mw = MW.create ~config ~n () in
+  (mw, Array.init n (fun node -> Lock.attach mw ~node))
+
+let assert_lock_replicas_agree locks =
+  let ds = Array.to_list (Array.map Lock.digest locks) in
+  match ds with
+  | first :: rest ->
+    List.iter (fun d -> check Alcotest.string "lock tables agree" first d) rest
+  | [] -> fail "no replicas"
+
+let test_lock_grant_and_release () =
+  let mw, l = make_locks () in
+  Lock.acquire l.(1) "db";
+  MW.run_for mw 2_000.0;
+  check (Alcotest.option Alcotest.int) "granted" (Some 1) (Lock.holder l.(0) "db");
+  check Alcotest.bool "holds" true (Lock.holds l.(1) "db");
+  Lock.release l.(1) "db";
+  MW.run_until_quiescent ~limit:20_000.0 mw;
+  check (Alcotest.option Alcotest.int) "free" None (Lock.holder l.(2) "db");
+  assert_lock_replicas_agree l
+
+let test_lock_fifo_queue () =
+  let mw, l = make_locks () in
+  Lock.acquire l.(2) "db";
+  MW.run_for mw 1_000.0;
+  Lock.acquire l.(0) "db";
+  MW.run_for mw 1_000.0;
+  Lock.acquire l.(1) "db";
+  MW.run_for mw 1_000.0;
+  check (Alcotest.option Alcotest.int) "holder" (Some 2) (Lock.holder l.(0) "db");
+  check (Alcotest.list Alcotest.int) "fifo waiters" [ 0; 1 ] (Lock.waiters l.(0) "db");
+  Lock.release l.(2) "db";
+  MW.run_for mw 1_000.0;
+  check (Alcotest.option Alcotest.int) "passed to next" (Some 0) (Lock.holder l.(1) "db");
+  assert_lock_replicas_agree l
+
+let test_lock_mutual_exclusion_under_contention () =
+  (* All nodes fight for one lock in a loop: at every replica, at every
+     grant, there is exactly one holder, and grants follow the queue. *)
+  let mw, l = make_locks ~seed:5 () in
+  let grants = ref [] in
+  for node = 0 to 2 do
+    Lock.on_granted l.(node) (fun name -> grants := (node, name) :: !grants);
+    (* Hold briefly, then release and immediately re-request, twice. *)
+    Lock.on_granted l.(node) (fun name ->
+        ignore
+          (Sim.schedule (System.sim (MW.system mw)) ~delay:20.0 (fun () ->
+               Lock.release l.(node) name)))
+  done;
+  for node = 0 to 2 do
+    Lock.acquire l.(node) "mutex";
+    Lock.acquire l.(node) "mutex" (* duplicate while queued: ignored *)
+  done;
+  MW.run_until_quiescent ~limit:60_000.0 mw;
+  assert_lock_replicas_agree l;
+  check Alcotest.int "each node granted exactly once" 3 (List.length !grants);
+  check (Alcotest.option Alcotest.int) "finally free" None (Lock.holder l.(0) "mutex")
+
+let test_lock_release_by_non_holder_ignored () =
+  let mw, l = make_locks () in
+  Lock.acquire l.(0) "db";
+  MW.run_for mw 1_000.0;
+  Lock.release l.(1) "db";
+  MW.run_until_quiescent ~limit:20_000.0 mw;
+  check (Alcotest.option Alcotest.int) "still held by 0" (Some 0) (Lock.holder l.(2) "db")
+
+let test_lock_eviction_on_crash () =
+  let mw, l = make_locks ~n:4 ~with_gm:true () in
+  Lock.acquire l.(3) "db";
+  MW.run_for mw 500.0;
+  Lock.acquire l.(1) "db";
+  MW.run_for mw 500.0;
+  check (Alcotest.option Alcotest.int) "node 3 holds" (Some 3) (Lock.holder l.(0) "db");
+  MW.crash mw 3;
+  (* FD suspicion -> GM exclusion -> view change -> eviction broadcast. *)
+  MW.run_until_quiescent ~limit:60_000.0 mw;
+  List.iter
+    (fun node ->
+      check (Alcotest.option Alcotest.int) "lock passed to waiter" (Some 1)
+        (Lock.holder l.(node) "db");
+      check (Alcotest.list Alcotest.int) "eviction recorded" [ 3 ] (Lock.evicted l.(node)))
+    [ 0; 1; 2 ]
+
+let test_lock_dead_node_requests_ignored () =
+  let mw, l = make_locks ~n:4 ~with_gm:true () in
+  (* Node 3's acquire is sent but node 3 crashes immediately; whether
+     the request is ordered before or after the eviction, the final
+     state must not contain node 3. *)
+  Lock.acquire l.(3) "db";
+  MW.crash mw 3;
+  MW.run_until_quiescent ~limit:60_000.0 mw;
+  List.iter
+    (fun node ->
+      check Alcotest.bool "node 3 not in table" false
+        (Lock.holder l.(node) "db" = Some 3 || List.mem 3 (Lock.waiters l.(node) "db")))
+    [ 0; 1; 2 ]
+
+let test_lock_across_protocol_switch () =
+  let mw, l = make_locks ~seed:7 () in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 11 do
+    let node = i mod 3 in
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 20.0) (fun () ->
+           Lock.acquire l.(node) (Printf.sprintf "lock%d" (i mod 4))))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:100.0 (fun () ->
+         MW.change_protocol mw ~node:0 Dpu_core.Variants.sequencer));
+  MW.run_until_quiescent ~limit:60_000.0 mw;
+  assert_lock_replicas_agree l
+
+(* ------------------------------------------------------------------ *)
+(* GM property checkers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let v id members = { Gm.id; members }
+
+let test_gm_props_identical_pass () =
+  let seq = [ v 0 [ 0; 1; 2 ]; v 1 [ 0; 1 ] ] in
+  let r = Dpu_props.Gm_props.identical_view_sequences [ (0, seq); (1, seq); (2, seq) ] in
+  check Alcotest.bool "ok" true r.Dpu_props.Report.ok
+
+let test_gm_props_prefix_pass () =
+  let full = [ v 0 [ 0; 1 ]; v 1 [ 0 ] ] in
+  let prefix = [ v 0 [ 0; 1 ] ] in
+  let r = Dpu_props.Gm_props.identical_view_sequences [ (0, full); (1, prefix) ] in
+  check Alcotest.bool "prefix allowed" true r.Dpu_props.Report.ok
+
+let test_gm_props_divergence_fails () =
+  let a = [ v 0 [ 0; 1 ]; v 1 [ 0 ] ] in
+  let b = [ v 0 [ 0; 1 ]; v 1 [ 1 ] ] in
+  let r = Dpu_props.Gm_props.identical_view_sequences [ (0, a); (1, b) ] in
+  check Alcotest.bool "divergence caught" false r.Dpu_props.Report.ok
+
+let test_gm_props_monotone () =
+  let good = [ (0, [ v 0 [ 0 ]; v 1 [ 0 ] ]) ] in
+  check Alcotest.bool "monotone ok" true
+    (Dpu_props.Gm_props.monotone_view_ids good).Dpu_props.Report.ok;
+  let bad = [ (0, [ v 0 [ 0 ]; v 2 [ 0 ] ]) ] in
+  check Alcotest.bool "gap caught" false
+    (Dpu_props.Gm_props.monotone_view_ids bad).Dpu_props.Report.ok
+
+let test_gm_props_on_real_run () =
+  (* Drive real GM through a protocol switch and feed the checkers. *)
+  let profile = { SB.default_profile with with_gm = true } in
+  let config = { MW.default_config with profile } in
+  let mw = MW.create ~config ~n:3 () in
+  let views = Array.make 3 [] in
+  for node = 0 to 2 do
+    MW.on_view mw ~node (fun view -> views.(node) <- view :: views.(node))
+  done;
+  MW.run_for mw 300.0;
+  MW.leave mw ~node:0 2;
+  MW.run_for mw 2_000.0;
+  MW.change_protocol mw ~node:1 Dpu_core.Variants.sequencer;
+  MW.run_for mw 2_000.0;
+  MW.join mw ~node:1 2;
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  let node_views = List.init 3 (fun node -> (node, List.rev views.(node))) in
+  let reports = Dpu_props.Gm_props.check_all node_views in
+  List.iter
+    (fun r -> check Alcotest.bool r.Dpu_props.Report.property true r.Dpu_props.Report.ok)
+    reports;
+  check Alcotest.int "three views beyond the initial" 3
+    (List.length (List.assoc 0 node_views))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "apps"
+    [
+      ( "replicated-kv",
+        [
+          tc "put/get" test_kv_basic_put_get;
+          tc "overwrite order" test_kv_overwrite_order;
+          tc "delete" test_kv_delete;
+          tc "counters lose no updates" test_kv_counters_lose_no_updates;
+          tc "applied positions" test_kv_applied_positions;
+          tc "state survives abcast switch" test_kv_state_survives_abcast_switch;
+          tc "state survives consensus swap" test_kv_state_survives_consensus_swap;
+          tc "crashed replica holds prefix" test_kv_crashed_replica_prefix;
+          tc "foreign traffic ignored" test_kv_foreign_traffic_ignored;
+          tc "late join catches up" test_kv_late_join_catches_up;
+          tc "late join buffers in-flight ops" test_kv_late_join_buffers_inflight;
+          tc "late join across a switch" test_kv_late_join_across_switch;
+        ] );
+      ( "lock-service",
+        [
+          tc "grant and release" test_lock_grant_and_release;
+          tc "fifo queue" test_lock_fifo_queue;
+          tc "mutual exclusion under contention" test_lock_mutual_exclusion_under_contention;
+          tc "non-holder release ignored" test_lock_release_by_non_holder_ignored;
+          tc "eviction on crash" test_lock_eviction_on_crash;
+          tc "dead node requests ignored" test_lock_dead_node_requests_ignored;
+          tc "across a protocol switch" test_lock_across_protocol_switch;
+        ] );
+      ( "gm-props",
+        [
+          tc "identical pass" test_gm_props_identical_pass;
+          tc "prefix pass" test_gm_props_prefix_pass;
+          tc "divergence fails" test_gm_props_divergence_fails;
+          tc "monotone" test_gm_props_monotone;
+          tc "real run through a switch" test_gm_props_on_real_run;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_kv_convergence ] );
+    ]

@@ -1,0 +1,646 @@
+(* Tests for the paper's contribution: the replacement module
+   (Algorithm 1), the variant catalogue, the collector, the monitor,
+   the stack builder and the middleware API. *)
+
+open Dpu_kernel
+module Core = Dpu_core
+module P = Dpu_protocols
+module MW = Dpu_core.Middleware
+module SB = Dpu_core.Stack_builder
+module Sim = Dpu_engine.Sim
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let default_mw ?(config = MW.default_config) ?(n = 3) () = MW.create ~config ~n ()
+
+let mw_with ?(n = 3) ?(seed = 1) ?(loss = 0.0) ?(initial = Core.Variants.ct)
+    ?(layer = Some Core.Repl.protocol_name) ?(with_gm = false) () =
+  let profile = { SB.default_profile with initial_abcast = initial; layer; with_gm } in
+  let config = { MW.default_config with seed; loss; profile } in
+  MW.create ~config ~n ()
+
+(* Per-node delivery logs of application messages, as id strings. *)
+let delivery_logs mw =
+  let n = MW.n mw in
+  let logs = Array.make n [] in
+  for node = 0 to n - 1 do
+    MW.subscribe mw ~node (fun m -> logs.(node) <- Msg.id_to_string m.Msg.id :: logs.(node))
+  done;
+  logs
+
+let sequences logs = Array.to_list (Array.map List.rev logs)
+
+let assert_consistent ?(skip = []) ~expect_count logs =
+  let seqs = sequences logs in
+  let live = List.filteri (fun i _ -> not (List.mem i skip)) seqs in
+  match live with
+  | [] -> fail "no live sequences"
+  | first :: rest ->
+    check Alcotest.int "delivery count" expect_count (List.length first);
+    check Alcotest.int "no duplicates" expect_count
+      (List.length (List.sort_uniq compare first));
+    List.iter
+      (fun seq -> check (Alcotest.list Alcotest.string) "total order" first seq)
+      rest
+
+(* ------------------------------------------------------------------ *)
+(* Variants                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_variants_catalogue () =
+  check (Alcotest.list Alcotest.string) "names"
+    [ "abcast.ct"; "abcast.seq"; "abcast.token" ]
+    Core.Variants.all
+
+let test_variants_registered () =
+  let system = System.create ~n:2 () in
+  Core.Variants.register_all system;
+  let r = System.registry system in
+  List.iter
+    (fun name -> check Alcotest.bool name true (Registry.mem r ~name))
+    (Core.Variants.all @ [ "udp"; "rp2p"; "fd"; "rbcast"; "consensus.ct" ])
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_collector_latency_math () =
+  let c = Core.Collector.create () in
+  let id = { Msg.origin = 0; seq = 0 } in
+  Core.Collector.record_send c ~node:0 ~id ~time:10.0;
+  Core.Collector.record_deliver c ~node:0 ~id ~time:14.0;
+  Core.Collector.record_deliver c ~node:1 ~id ~time:18.0;
+  (match Core.Collector.latency_of c id with
+  | Some l -> check (Alcotest.float 1e-9) "mean of per-stack latencies" 6.0 l
+  | None -> fail "no latency");
+  check Alcotest.int "send count" 1 (Core.Collector.send_count c);
+  check (Alcotest.option (Alcotest.float 0.0)) "send time" (Some 10.0)
+    (Core.Collector.send_time c id)
+
+let test_collector_undelivered () =
+  let c = Core.Collector.create () in
+  let id0 = { Msg.origin = 0; seq = 0 } in
+  let id1 = { Msg.origin = 0; seq = 1 } in
+  Core.Collector.record_send c ~node:0 ~id:id0 ~time:0.0;
+  Core.Collector.record_send c ~node:0 ~id:id1 ~time:1.0;
+  Core.Collector.record_deliver c ~node:0 ~id:id0 ~time:2.0;
+  Core.Collector.record_deliver c ~node:1 ~id:id0 ~time:2.0;
+  Core.Collector.record_deliver c ~node:0 ~id:id1 ~time:3.0;
+  let missing = Core.Collector.undelivered_ids c ~expected_copies:2 in
+  check Alcotest.int "one incomplete" 1 (List.length missing);
+  check Alcotest.bool "it is id1" true (Msg.id_equal (List.hd missing) id1)
+
+let test_collector_switch_window () =
+  let c = Core.Collector.create () in
+  Core.Collector.record_switch c ~node:0 ~generation:1 ~time:100.0;
+  Core.Collector.record_switch c ~node:1 ~generation:1 ~time:130.0;
+  Core.Collector.record_switch c ~node:2 ~generation:1 ~time:110.0;
+  (match Core.Collector.switch_window c ~generation:1 with
+  | Some (lo, hi) ->
+    check (Alcotest.float 0.0) "lo" 100.0 lo;
+    check (Alcotest.float 0.0) "hi" 130.0 hi
+  | None -> fail "no window");
+  check Alcotest.bool "absent generation" true
+    (Core.Collector.switch_window c ~generation:2 = None)
+
+let test_collector_deliver_order () =
+  let c = Core.Collector.create () in
+  let id i = { Msg.origin = 0; seq = i } in
+  Core.Collector.record_deliver c ~node:0 ~id:(id 1) ~time:1.0;
+  Core.Collector.record_deliver c ~node:0 ~id:(id 2) ~time:2.0;
+  let seq = List.map fst (Core.Collector.delivers_of c ~node:0) in
+  check Alcotest.bool "in order" true (seq = [ id 1; id 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Middleware basics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_middleware_broadcast_deliver () =
+  let mw = default_mw () in
+  let logs = delivery_logs mw in
+  let m = MW.broadcast mw ~node:1 "hello" in
+  check Alcotest.int "origin" 1 m.Msg.id.Msg.origin;
+  MW.run_for mw 2_000.0;
+  assert_consistent ~expect_count:1 logs
+
+let test_middleware_ids_unique () =
+  let mw = default_mw () in
+  let a = MW.broadcast mw ~node:0 "a" in
+  let b = MW.broadcast mw ~node:0 "b" in
+  check Alcotest.bool "distinct" false (Msg.id_equal a.Msg.id b.Msg.id)
+
+let test_middleware_msg_size () =
+  let mw = default_mw () in
+  let m = MW.broadcast mw ~node:0 ~size:128 "small" in
+  check Alcotest.int "explicit size" 128 m.Msg.size;
+  let m' = MW.broadcast mw ~node:0 "default" in
+  check Alcotest.int "default size" 4096 m'.Msg.size
+
+let test_middleware_no_layer_change_raises () =
+  let mw = mw_with ~layer:None () in
+  try
+    MW.change_protocol mw ~node:0 Core.Variants.sequencer;
+    fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_middleware_no_layer_still_broadcasts () =
+  let mw = mw_with ~layer:None () in
+  let logs = delivery_logs mw in
+  for i = 0 to 5 do
+    ignore (MW.broadcast mw ~node:(i mod 3) "x")
+  done;
+  MW.run_for mw 3_000.0;
+  assert_consistent ~expect_count:6 logs
+
+let test_middleware_crash () =
+  let mw = default_mw () in
+  MW.crash mw 2;
+  check (Alcotest.list Alcotest.int) "correct nodes" [ 0; 1 ]
+    (System.correct_nodes (MW.system mw))
+
+let test_middleware_latency_series () =
+  let mw = default_mw () in
+  ignore (delivery_logs mw);
+  ignore (MW.broadcast mw ~node:0 "x");
+  MW.run_for mw 2_000.0;
+  check Alcotest.int "one point" 1 (Dpu_engine.Series.length (MW.latency_series mw))
+
+(* ------------------------------------------------------------------ *)
+(* Stack builder                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let module_names mw node =
+  List.map Stack.module_name (Stack.modules (System.stack (MW.system mw) node))
+
+let test_builder_layered_stack_shape () =
+  let mw = default_mw () in
+  let names = module_names mw 0 in
+  List.iter
+    (fun expected ->
+      check Alcotest.bool (expected ^ " present") true (List.mem expected names))
+    [ "udp"; "rp2p"; "fd"; "rbcast"; "consensus.ct"; "abcast.ct"; "repl.abcast"; "monitor" ];
+  let stack = System.stack (MW.system mw) 0 in
+  check Alcotest.bool "abcast bound" true (Stack.bound stack Service.abcast <> None);
+  check Alcotest.bool "r-abcast bound" true (Stack.bound stack Service.r_abcast <> None)
+
+let test_builder_no_layer_stack_shape () =
+  let mw = mw_with ~layer:None () in
+  let names = module_names mw 0 in
+  check Alcotest.bool "no repl module" false (List.mem "repl.abcast" names);
+  check Alcotest.bool "abcast present" true (List.mem "abcast.ct" names)
+
+let test_builder_initial_variant_respected () =
+  let mw = mw_with ~initial:Core.Variants.sequencer () in
+  let stack = System.stack (MW.system mw) 0 in
+  (match Stack.bound stack Service.abcast with
+  | Some m -> check Alcotest.string "sequencer bound" "abcast.seq" (Stack.module_name m)
+  | None -> fail "abcast unbound");
+  (* The sequencer variant needs no consensus: the builder must not have
+     created one. *)
+  check Alcotest.bool "no consensus module" false
+    (List.mem "consensus.ct" (module_names mw 0))
+
+let test_builder_gm () =
+  let mw = mw_with ~with_gm:true () in
+  let stack = System.stack (MW.system mw) 0 in
+  check Alcotest.bool "gm bound" true (Stack.bound stack Service.gm <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Repl: Algorithm 1                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_repl_initial_generation () =
+  let mw = default_mw () in
+  check Alcotest.int "gen 0" 0 (Core.Repl.generation (System.stack (MW.system mw) 0));
+  check Alcotest.int "no undelivered" 0
+    (Core.Repl.undelivered_count (System.stack (MW.system mw) 0))
+
+let test_repl_switch_updates_generation () =
+  let mw = default_mw () in
+  ignore (delivery_logs mw);
+  let changes = ref [] in
+  MW.on_protocol_change mw ~node:0 (fun ~generation ~protocol ->
+      changes := (generation, protocol) :: !changes);
+  MW.change_protocol mw ~node:1 Core.Variants.sequencer;
+  MW.run_for mw 3_000.0;
+  check Alcotest.int "generation" 1 (Core.Repl.generation (System.stack (MW.system mw) 0));
+  check Alcotest.bool "notified" true (List.mem (1, "abcast.seq") !changes);
+  (* Every stack must now have the sequencer bound. *)
+  for node = 0 to 2 do
+    match Stack.bound (System.stack (MW.system mw) node) Service.abcast with
+    | Some m -> check Alcotest.string "new protocol bound" "abcast.seq" (Stack.module_name m)
+    | None -> fail "abcast unbound after switch"
+  done
+
+let test_repl_old_module_stays_in_stack () =
+  (* §2: unbinding does not remove the module. *)
+  let mw = default_mw () in
+  ignore (delivery_logs mw);
+  MW.change_protocol mw ~node:0 Core.Variants.sequencer;
+  MW.run_for mw 3_000.0;
+  let names = module_names mw 1 in
+  check Alcotest.bool "old ct module still present" true (List.mem "abcast.ct" names);
+  check Alcotest.bool "new seq module present" true (List.mem "abcast.seq" names)
+
+let test_repl_switch_under_load () =
+  let mw = mw_with ~seed:3 () in
+  let logs = delivery_logs mw in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 29 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 5.0) (fun () ->
+           ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:75.0 (fun () ->
+         MW.change_protocol mw ~node:0 Core.Variants.sequencer));
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  assert_consistent ~expect_count:30 logs;
+  check Alcotest.int "all switched" 1
+    (Core.Repl.generation (System.stack (MW.system mw) 2))
+
+let test_repl_switch_matrix () =
+  (* Every ordered pair of distinct variants, under load. *)
+  List.iter
+    (fun from_p ->
+      List.iter
+        (fun to_p ->
+          if from_p <> to_p then begin
+            let mw = mw_with ~seed:7 ~initial:from_p () in
+            let logs = delivery_logs mw in
+            let sim = System.sim (MW.system mw) in
+            for i = 0 to 17 do
+              ignore
+                (Sim.schedule sim ~delay:(float_of_int i *. 8.0) (fun () ->
+                     ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+            done;
+            ignore
+              (Sim.schedule sim ~delay:70.0 (fun () ->
+                   MW.change_protocol mw ~node:1 to_p));
+            MW.run_until_quiescent ~limit:30_000.0 mw;
+            assert_consistent ~expect_count:18 logs
+          end)
+        Core.Variants.all)
+    Core.Variants.all
+
+let test_repl_double_switch () =
+  let mw = default_mw () in
+  let logs = delivery_logs mw in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 19 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+           ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:50.0 (fun () ->
+         MW.change_protocol mw ~node:0 Core.Variants.sequencer));
+  ignore
+    (Sim.schedule sim ~delay:120.0 (fun () ->
+         MW.change_protocol mw ~node:2 Core.Variants.token));
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  assert_consistent ~expect_count:20 logs;
+  check Alcotest.int "two generations" 2
+    (Core.Repl.generation (System.stack (MW.system mw) 1))
+
+let test_repl_concurrent_switch_requests () =
+  (* Two nodes request a change at the same instant. Both change
+     messages carry generation 0 and are ordered in the generation-0
+     stream; the first to be delivered switches every stack, the second
+     is stale and discarded everywhere (the line-10 generation check —
+     see Dpu_model.Algo1 for why applying it would break agreement).
+     The requester of the dropped change would simply re-issue it. *)
+  let mw = default_mw () in
+  let logs = delivery_logs mw in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 11 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+           ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:55.0 (fun () ->
+         MW.change_protocol mw ~node:0 Core.Variants.sequencer;
+         MW.change_protocol mw ~node:1 Core.Variants.token));
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  assert_consistent ~expect_count:12 logs;
+  let gens =
+    List.init 3 (fun node -> Core.Repl.generation (System.stack (MW.system mw) node))
+  in
+  check (Alcotest.list Alcotest.int) "one switch applied, one dropped" [ 1; 1; 1 ] gens;
+  (* And the same final protocol everywhere. *)
+  let bound =
+    List.init 3 (fun node ->
+        match Stack.bound (System.stack (MW.system mw) node) Service.abcast with
+        | Some m -> Stack.module_name m
+        | None -> "?")
+  in
+  match bound with
+  | b0 :: rest -> List.iter (fun b -> check Alcotest.string "same protocol" b0 b) rest
+  | [] -> fail "no stacks"
+
+let test_repl_overlapping_change_dropped () =
+  (* Regression for the model checker's finding at the simulation
+     level: a second change issued while the first is still in flight
+     (both tagged generation 0) must be discarded, not applied. *)
+  let mw = default_mw () in
+  let logs = delivery_logs mw in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 11 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 6.0) (fun () ->
+           ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:30.0 (fun () ->
+         MW.change_protocol mw ~node:0 Core.Variants.sequencer));
+  (* 2 ms later: nobody has switched yet, so this request is also
+     tagged generation 0 and will be ordered behind the first. *)
+  ignore
+    (Sim.schedule sim ~delay:32.0 (fun () ->
+         MW.change_protocol mw ~node:1 Core.Variants.token));
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  assert_consistent ~expect_count:12 logs;
+  List.iter
+    (fun node ->
+      let stack = System.stack (MW.system mw) node in
+      check Alcotest.int "exactly one switch" 1 (Core.Repl.generation stack);
+      (* The stale change left a trace. *)
+      ignore stack)
+    [ 0; 1; 2 ];
+  let stale =
+    Trace.filter (System.trace (MW.system mw)) (fun e ->
+        match e.Trace.kind with
+        | Trace.App ("repl.stale-change", _) -> true
+        | _ -> false)
+  in
+  check Alcotest.int "stale change discarded at every stack" 3 (List.length stale)
+
+let test_repl_switch_with_loss () =
+  let mw = mw_with ~seed:11 ~loss:0.15 () in
+  let logs = delivery_logs mw in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 19 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+           ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:95.0 (fun () ->
+         MW.change_protocol mw ~node:2 Core.Variants.ct));
+  MW.run_until_quiescent ~limit:60_000.0 mw;
+  assert_consistent ~expect_count:20 logs
+
+let test_repl_switch_with_minority_crash () =
+  let mw = mw_with ~n:5 ~seed:13 () in
+  let logs = delivery_logs mw in
+  let sim = System.sim (MW.system mw) in
+  (* Only survivors broadcast, so every message must reach all correct
+     stacks. *)
+  for i = 0 to 19 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+           ignore (MW.broadcast mw ~node:(i mod 4) (string_of_int i))))
+  done;
+  ignore (Sim.schedule sim ~delay:60.0 (fun () -> MW.crash mw 4));
+  ignore
+    (Sim.schedule sim ~delay:100.0 (fun () ->
+         MW.change_protocol mw ~node:0 Core.Variants.ct));
+  MW.run_until_quiescent ~limit:60_000.0 mw;
+  assert_consistent ~skip:[ 4 ] ~expect_count:20 logs;
+  List.iter
+    (fun node ->
+      check Alcotest.int "survivors switched" 1
+        (Core.Repl.generation (System.stack (MW.system mw) node)))
+    [ 0; 1; 2; 3 ]
+
+let test_repl_seq_to_ct_builds_substrate () =
+  (* Algorithm 1 lines 22-28: the new protocol requires services
+     (consensus, rbcast) that are not in the stack; create_module must
+     build and bind providers recursively. *)
+  let mw = mw_with ~initial:Core.Variants.sequencer () in
+  ignore (delivery_logs mw);
+  check Alcotest.bool "no consensus initially" false
+    (List.mem "consensus.ct" (module_names mw 0));
+  MW.change_protocol mw ~node:0 Core.Variants.ct;
+  MW.run_for mw 3_000.0;
+  List.iter
+    (fun node ->
+      let names = module_names mw node in
+      check Alcotest.bool "consensus built" true (List.mem "consensus.ct" names);
+      check Alcotest.bool "rbcast built" true (List.mem "rbcast" names);
+      let stack = System.stack (MW.system mw) node in
+      check Alcotest.bool "consensus bound" true
+        (Stack.bound stack Service.consensus <> None))
+    [ 0; 1; 2 ]
+
+let test_repl_self_replacement () =
+  (* The paper's §6 experiment: replace CT by CT, exercising all steps. *)
+  let mw = default_mw () in
+  let logs = delivery_logs mw in
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 9 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+           ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:45.0 (fun () -> MW.change_protocol mw ~node:0 Core.Variants.ct));
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  assert_consistent ~expect_count:10 logs;
+  (* Two distinct ct module instances per stack now. *)
+  let ct_instances =
+    List.filter (fun name -> name = "abcast.ct") (module_names mw 1)
+  in
+  check Alcotest.int "old and new instance" 2 (List.length ct_instances)
+
+let test_repl_undelivered_reissued () =
+  (* Cut the network right after a broadcast so it is in flight at
+     switch time, then heal: the message must still be delivered
+     (through the new protocol, by the line 15-16 reissue). *)
+  let mw = mw_with ~seed:17 () in
+  let logs = delivery_logs mw in
+  let net = System.net (MW.system mw) in
+  let sim = System.sim (MW.system mw) in
+  ignore (MW.broadcast mw ~node:0 "pre");
+  MW.run_for mw 1_000.0;
+  (* Block node 0's traffic, broadcast from it, and switch from node 1.
+     Node 0's message cannot be ordered by the old protocol at the
+     switch point; when the partition heals, node 0 reissues it through
+     the new one. *)
+  Dpu_net.Datagram.partition net [ [ 0 ]; [ 1; 2 ] ];
+  ignore (MW.broadcast mw ~node:0 "inflight");
+  ignore
+    (Sim.schedule sim ~delay:200.0 (fun () ->
+         MW.change_protocol mw ~node:1 Core.Variants.ct));
+  MW.run_for mw 3_000.0;
+  Dpu_net.Datagram.heal net;
+  MW.run_until_quiescent ~limit:90_000.0 mw;
+  assert_consistent ~expect_count:2 logs
+
+let test_repl_weak_wf_and_operationability () =
+  let mw = default_mw () in
+  ignore (delivery_logs mw);
+  let sim = System.sim (MW.system mw) in
+  for i = 0 to 9 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+           ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+  done;
+  ignore
+    (Sim.schedule sim ~delay:50.0 (fun () ->
+         MW.change_protocol mw ~node:0 Core.Variants.sequencer));
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  let trace = System.trace (MW.system mw) in
+  let reports =
+    Dpu_props.Stack_props.check_generic trace
+      ~protocols:[ "abcast.ct"; "abcast.seq"; "repl.abcast" ]
+      ~nodes:[ 0; 1; 2 ]
+  in
+  List.iter
+    (fun r ->
+      check Alcotest.bool
+        (Format.asprintf "%a" Dpu_props.Report.pp r)
+        true r.Dpu_props.Report.ok)
+    reports
+
+let test_repl_abcast_properties_across_switch () =
+  (* The mechanised version of §5.2.2: the four ABcast properties hold
+     across a replacement, several seeds. *)
+  List.iter
+    (fun seed ->
+      let mw = mw_with ~seed () in
+      ignore (delivery_logs mw);
+      let sim = System.sim (MW.system mw) in
+      for i = 0 to 19 do
+        ignore
+          (Sim.schedule sim ~delay:(float_of_int i *. 7.0) (fun () ->
+               ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+      done;
+      ignore
+        (Sim.schedule sim ~delay:66.0 (fun () ->
+             MW.change_protocol mw ~node:(seed mod 3) Core.Variants.token));
+      MW.run_until_quiescent ~limit:60_000.0 mw;
+      let reports =
+        Dpu_props.Abcast_props.check_all (MW.collector mw) ~correct:[ 0; 1; 2 ]
+      in
+      List.iter
+        (fun r ->
+          check Alcotest.bool
+            (Printf.sprintf "seed %d: %s" seed r.Dpu_props.Report.property)
+            true r.Dpu_props.Report.ok)
+        reports)
+    [ 1; 2; 3; 4; 5 ]
+
+let prop_repl_switch_any_time =
+  QCheck.Test.make ~name:"switch at a random moment preserves total order" ~count:12
+    QCheck.(pair (int_range 0 150) (int_range 1 500))
+    (fun (switch_at, seed) ->
+      let mw = mw_with ~seed () in
+      let logs = delivery_logs mw in
+      let sim = System.sim (MW.system mw) in
+      for i = 0 to 14 do
+        ignore
+          (Sim.schedule sim ~delay:(float_of_int i *. 9.0) (fun () ->
+               ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
+      done;
+      ignore
+        (Sim.schedule sim ~delay:(float_of_int switch_at) (fun () ->
+             MW.change_protocol mw ~node:(seed mod 3) Core.Variants.sequencer));
+      MW.run_until_quiescent ~limit:60_000.0 mw;
+      match sequences logs with
+      | first :: rest ->
+        List.length first = 15 && List.for_all (fun s -> s = first) rest
+      | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Monitor + GM through the layer                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_monitor_records_switches () =
+  let mw = default_mw () in
+  ignore (delivery_logs mw);
+  MW.change_protocol mw ~node:0 Core.Variants.sequencer;
+  MW.run_for mw 3_000.0;
+  match MW.switch_window mw ~generation:1 with
+  | Some (lo, hi) -> check Alcotest.bool "ordered window" true (lo <= hi)
+  | None -> fail "no switch recorded"
+
+let test_gm_keeps_working_across_switch () =
+  (* GM depends on the replaced service; the paper requires it to keep
+     providing service, unaware of the replacement. *)
+  let mw = mw_with ~with_gm:true () in
+  ignore (delivery_logs mw);
+  let views = ref [] in
+  MW.on_view mw ~node:2 (fun v -> views := v.P.Gm.members :: !views);
+  MW.run_for mw 500.0;
+  MW.leave mw ~node:0 1;
+  MW.run_for mw 2_000.0;
+  MW.change_protocol mw ~node:0 Core.Variants.sequencer;
+  MW.run_for mw 2_000.0;
+  MW.join mw ~node:2 1;
+  MW.run_until_quiescent ~limit:30_000.0 mw;
+  let seq = List.rev !views in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "views across switch"
+    [ [ 0; 1; 2 ]; [ 0; 2 ]; [ 0; 1; 2 ] ]
+    seq
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "core"
+    [
+      ( "variants",
+        [ tc "catalogue" test_variants_catalogue; tc "registered" test_variants_registered ] );
+      ( "collector",
+        [
+          tc "latency math" test_collector_latency_math;
+          tc "undelivered" test_collector_undelivered;
+          tc "switch window" test_collector_switch_window;
+          tc "deliver order" test_collector_deliver_order;
+        ] );
+      ( "middleware",
+        [
+          tc "broadcast/deliver" test_middleware_broadcast_deliver;
+          tc "unique ids" test_middleware_ids_unique;
+          tc "msg size" test_middleware_msg_size;
+          tc "no layer: change raises" test_middleware_no_layer_change_raises;
+          tc "no layer: broadcasts" test_middleware_no_layer_still_broadcasts;
+          tc "crash" test_middleware_crash;
+          tc "latency series" test_middleware_latency_series;
+        ] );
+      ( "builder",
+        [
+          tc "layered shape" test_builder_layered_stack_shape;
+          tc "no-layer shape" test_builder_no_layer_stack_shape;
+          tc "initial variant" test_builder_initial_variant_respected;
+          tc "gm" test_builder_gm;
+        ] );
+      ( "repl",
+        [
+          tc "initial generation" test_repl_initial_generation;
+          tc "switch updates generation" test_repl_switch_updates_generation;
+          tc "old module stays" test_repl_old_module_stays_in_stack;
+          tc "switch under load" test_repl_switch_under_load;
+          tc "switch matrix (all pairs)" test_repl_switch_matrix;
+          tc "double switch" test_repl_double_switch;
+          tc "concurrent requests" test_repl_concurrent_switch_requests;
+          tc "overlapping change dropped" test_repl_overlapping_change_dropped;
+          tc "switch with loss" test_repl_switch_with_loss;
+          tc "switch with minority crash" test_repl_switch_with_minority_crash;
+          tc "seq->ct builds substrate" test_repl_seq_to_ct_builds_substrate;
+          tc "self replacement (paper §6)" test_repl_self_replacement;
+          tc "undelivered reissued" test_repl_undelivered_reissued;
+          tc "weak WF + operationability" test_repl_weak_wf_and_operationability;
+          tc "abcast properties across switch" test_repl_abcast_properties_across_switch;
+        ] );
+      ( "monitor+gm",
+        [
+          tc "switch window recorded" test_monitor_records_switches;
+          tc "gm across switch" test_gm_keeps_working_across_switch;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_repl_switch_any_time ] );
+    ]

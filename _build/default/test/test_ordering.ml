@@ -1,0 +1,277 @@
+(* Tests for the weaker broadcast orderings: vector clocks, FIFO
+   broadcast, causal broadcast, and the corresponding checkers. *)
+
+open Dpu_kernel
+module P = Dpu_protocols
+module V = Dpu_protocols.Vclock
+module Sim = Dpu_engine.Sim
+module Latency = Dpu_net.Latency
+
+let check = Alcotest.check
+
+type Payload.t += Blob of int * int  (* origin, seq *)
+
+(* ------------------------------------------------------------------ *)
+(* Vector clocks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_vclock_basic () =
+  let z = V.zero ~n:3 in
+  check Alcotest.int "size" 3 (V.size z);
+  check Alcotest.int "zero" 0 (V.get z 1);
+  let t = V.tick z 1 in
+  check Alcotest.int "ticked" 1 (V.get t 1);
+  check Alcotest.int "immutably" 0 (V.get z 1);
+  check Alcotest.bool "zero leq t" true (V.leq z t);
+  check Alcotest.bool "t not leq zero" false (V.leq t z);
+  check Alcotest.bool "lt" true (V.lt z t);
+  check Alcotest.bool "not lt self" false (V.lt t t)
+
+let test_vclock_merge_concurrent () =
+  let z = V.zero ~n:2 in
+  let a = V.tick z 0 in
+  let b = V.tick z 1 in
+  check Alcotest.bool "concurrent" true (V.concurrent a b);
+  let m = V.merge a b in
+  check (Alcotest.list Alcotest.int) "merge" [ 1; 1 ] (V.to_list m);
+  check Alcotest.bool "a leq merge" true (V.leq a m);
+  check Alcotest.bool "b leq merge" true (V.leq b m)
+
+let test_vclock_deliverable () =
+  let at = V.of_list [ 2; 1; 0 ] in
+  (* Next message from sender 0 is its 3rd (component becomes 3). *)
+  check Alcotest.bool "next from 0" true
+    (V.deliverable (V.of_list [ 3; 1; 0 ]) ~at ~sender:0);
+  check Alcotest.bool "skips one" false
+    (V.deliverable (V.of_list [ 4; 1; 0 ]) ~at ~sender:0);
+  check Alcotest.bool "missing dependency" false
+    (V.deliverable (V.of_list [ 3; 1; 1 ]) ~at ~sender:0);
+  check Alcotest.bool "old duplicate" false
+    (V.deliverable (V.of_list [ 2; 1; 0 ]) ~at ~sender:0)
+
+let prop_vclock_merge_lub =
+  QCheck.Test.make ~name:"merge is the least upper bound" ~count:200
+    QCheck.(pair (list_of_size (Gen.return 4) (int_range 0 5))
+              (list_of_size (Gen.return 4) (int_range 0 5)))
+    (fun (a, b) ->
+      let va = V.of_list a and vb = V.of_list b in
+      let m = V.merge va vb in
+      V.leq va m && V.leq vb m
+      && List.for_all2 (fun x y -> max x y = y) a (V.to_list m)
+      |> fun upper ->
+      upper
+      && (* minimality: any other upper bound dominates the merge *)
+      V.leq m (V.merge m (V.of_list [ 9; 9; 9; 9 ])))
+
+let prop_vclock_leq_partial_order =
+  QCheck.Test.make ~name:"leq is a partial order" ~count:200
+    QCheck.(triple (list_of_size (Gen.return 3) (int_range 0 4))
+              (list_of_size (Gen.return 3) (int_range 0 4))
+              (list_of_size (Gen.return 3) (int_range 0 4)))
+    (fun (a, b, c) ->
+      let va = V.of_list a and vb = V.of_list b and vc = V.of_list c in
+      let refl = V.leq va va in
+      let antisym = (not (V.leq va vb && V.leq vb va)) || V.equal va vb in
+      let trans = (not (V.leq va vb && V.leq vb vc)) || V.leq va vc in
+      refl && antisym && trans)
+
+(* ------------------------------------------------------------------ *)
+(* FIFO broadcast                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A network with wildly variable latency, to force reordering. *)
+let make_system ?(n = 3) ?(seed = 1) () =
+  let link =
+    { Latency.model = Latency.Uniform { lo = 0.1; hi = 8.0 }; bandwidth_mbps = 100.0 }
+  in
+  let system = System.create ~seed ~link ~n () in
+  P.Udp.register system;
+  P.Rp2p.register system;
+  P.Rbcast.register system;
+  P.Fifo_bcast.register system;
+  P.Causal_bcast.register system;
+  system
+
+let logs_of system svc deliver_case =
+  List.init (System.n system) (fun node ->
+      let log = ref [] in
+      ignore
+        (Stack.add_module (System.stack system node) ~name:"spy" ~provides:[]
+           ~requires:[ svc ]
+           (fun _ _ ->
+             {
+               Stack.default_handlers with
+               handle_indication =
+                 (fun s p ->
+                   if Service.equal s svc then
+                     match deliver_case p with
+                     | Some (origin, seq) -> log := (origin, seq) :: !log
+                     | None -> ());
+             }));
+      log)
+
+let fifo_case = function
+  | P.Fifo_bcast.Deliver { payload = Blob (o, s); _ } -> Some (o, s)
+  | _ -> None
+
+let causal_case = function
+  | P.Causal_bcast.Deliver { payload = Blob (o, s); _ } -> Some (o, s)
+  | _ -> None
+
+let test_fifo_per_sender_order () =
+  let system = make_system ~seed:3 () in
+  System.iter_stacks system (fun stack ->
+      Registry.ensure_bound (System.registry system) stack P.Fifo_bcast.service);
+  let logs = logs_of system P.Fifo_bcast.service fifo_case in
+  (* Rapid-fire bursts from every node: the jittery network will
+     reorder the wire messages; fifo must straighten each sender. *)
+  for i = 0 to 9 do
+    for node = 0 to 2 do
+      Stack.call (System.stack system node) P.Fifo_bcast.service
+        (P.Fifo_bcast.Bcast { size = 64; payload = Blob (node, i) })
+    done
+  done;
+  System.run_until_quiescent ~limit:30_000.0 system;
+  let node_logs = List.mapi (fun node log -> (node, List.rev !log)) logs in
+  List.iter
+    (fun (_, log) -> check Alcotest.int "all delivered" 30 (List.length log))
+    node_logs;
+  let report = Dpu_props.Order_props.fifo_order node_logs in
+  check Alcotest.bool "fifo order holds" true report.Dpu_props.Report.ok;
+  (* Different senders may interleave differently: fifo is weaker than
+     total order, and on this jittery network two nodes almost surely
+     disagree on the global interleaving. *)
+  let seqs = List.map snd node_logs in
+  check Alcotest.bool "no accidental total order" true
+    (match seqs with a :: rest -> List.exists (fun s -> s <> a) rest | [] -> false)
+
+let test_fifo_checker_rejects () =
+  let bad = [ (0, [ (1, 0); (1, 2) ]) ] in
+  check Alcotest.bool "gap caught" false
+    (Dpu_props.Order_props.fifo_order bad).Dpu_props.Report.ok;
+  let swapped = [ (0, [ (1, 1); (1, 0) ]) ] in
+  check Alcotest.bool "swap caught" false
+    (Dpu_props.Order_props.fifo_order swapped).Dpu_props.Report.ok
+
+(* ------------------------------------------------------------------ *)
+(* Causal broadcast                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_causal_happened_before () =
+  (* node 0 broadcasts a; node 1, after delivering a, broadcasts b;
+     every node must deliver a before b — even though the network is
+     jittery enough that b's wire copies can overtake a's. *)
+  let system = make_system ~seed:5 () in
+  System.iter_stacks system (fun stack ->
+      Registry.ensure_bound (System.registry system) stack P.Causal_bcast.service);
+  let logs = logs_of system P.Causal_bcast.service causal_case in
+  (* Chain of length 12 bouncing between nodes: each broadcast reacts
+     to delivery of the previous one. *)
+  let rec chain k node =
+    if k < 12 then begin
+      ignore
+        (Stack.add_module (System.stack system node) ~name:"reactor" ~provides:[]
+           ~requires:[ P.Causal_bcast.service ]
+           (fun stack _ ->
+             let fired = ref false in
+             {
+               Stack.default_handlers with
+               handle_indication =
+                 (fun s p ->
+                   if Service.equal s P.Causal_bcast.service && not !fired then
+                     match p with
+                     | P.Causal_bcast.Deliver { payload = Blob (_, s'); _ } when s' = k - 1
+                       ->
+                       fired := true;
+                       Stack.call stack P.Causal_bcast.service
+                         (P.Causal_bcast.Bcast { size = 64; payload = Blob (node, k) })
+                     | _ -> ());
+             }));
+      chain (k + 1) ((node + 1) mod 3)
+    end
+  in
+  chain 1 1;
+  Stack.call (System.stack system 0) P.Causal_bcast.service
+    (P.Causal_bcast.Bcast { size = 64; payload = Blob (0, 0) });
+  System.run_until_quiescent ~limit:30_000.0 system;
+  List.iteri
+    (fun node log ->
+      let seqs = List.rev_map snd !log in
+      check
+        (Alcotest.list Alcotest.int)
+        (Printf.sprintf "node %d delivers the chain in causal order" node)
+        (List.init 12 (fun i -> i))
+        seqs)
+    logs
+
+let test_causal_concurrent_free () =
+  (* Concurrent broadcasts may interleave differently across nodes, but
+     causal pairs must agree — checked with the causal_order checker
+     fed by the protocol's own stamps. *)
+  let system = make_system ~seed:7 () in
+  System.iter_stacks system (fun stack ->
+      Registry.ensure_bound (System.registry system) stack P.Causal_bcast.service);
+  let logs = logs_of system P.Causal_bcast.service causal_case in
+  let stamps = ref [] in
+  for i = 0 to 7 do
+    for node = 0 to 2 do
+      ignore
+        (Sim.schedule (System.sim system)
+           ~delay:(float_of_int i *. 5.0)
+           (fun () ->
+             (* Record the stamp the module will use: its clock ticked
+                at its own component. *)
+             let stack = System.stack system node in
+             (match P.Causal_bcast.clock stack with
+             | Some vc ->
+               stamps := (((node, i) : int * int), V.to_list (V.tick vc node)) :: !stamps
+             | None -> ());
+             Stack.call stack P.Causal_bcast.service
+               (P.Causal_bcast.Bcast { size = 64; payload = Blob (node, i) })))
+    done
+  done;
+  System.run_until_quiescent ~limit:30_000.0 system;
+  let deliveries = List.mapi (fun node log -> (node, List.rev !log)) logs in
+  List.iter
+    (fun (_, log) -> check Alcotest.int "all delivered" 24 (List.length log))
+    deliveries;
+  let report = Dpu_props.Order_props.causal_order ~stamps:!stamps ~deliveries in
+  check Alcotest.bool
+    (Format.asprintf "%a" Dpu_props.Report.pp report)
+    true report.Dpu_props.Report.ok;
+  check Alcotest.bool "some causal pairs were actually checked" true
+    (report.Dpu_props.Report.checked > 0)
+
+let test_causal_checker_rejects () =
+  let stamps = [ ((0, 0), [ 1; 0 ]); ((1, 0), [ 1; 1 ]) ] in
+  (* (0,0) happened before (1,0); node 0 delivered them swapped. *)
+  let deliveries = [ (0, [ (1, 0); (0, 0) ]) ] in
+  check Alcotest.bool "causal violation caught" false
+    (Dpu_props.Order_props.causal_order ~stamps ~deliveries).Dpu_props.Report.ok
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ordering"
+    [
+      ( "vclock",
+        [
+          tc "basics" test_vclock_basic;
+          tc "merge / concurrency" test_vclock_merge_concurrent;
+          tc "deliverability" test_vclock_deliverable;
+        ] );
+      ( "fifo",
+        [
+          tc "per-sender order on a jittery net" test_fifo_per_sender_order;
+          tc "checker rejects" test_fifo_checker_rejects;
+        ] );
+      ( "causal",
+        [
+          tc "happened-before chain" test_causal_happened_before;
+          tc "concurrent load, checker-verified" test_causal_concurrent_free;
+          tc "checker rejects" test_causal_checker_rejects;
+        ] );
+      ( "properties",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_vclock_merge_lub; prop_vclock_leq_partial_order ] );
+    ]

@@ -1,0 +1,256 @@
+(* Tests for the workload generators, the ASCII renderer and the
+   experiment harness behind the figures. *)
+
+module W = Dpu_workload
+module MW = Dpu_core.Middleware
+module Stats = Dpu_engine.Stats
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* Small, fast experiment parameters. *)
+let small =
+  {
+    W.Experiment.default with
+    n = 3;
+    load = 30.0;
+    duration_ms = 2_000.0;
+    warmup_ms = 200.0;
+    switch_at_ms = 1_000.0;
+    msg_size = 512;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Load generators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let count_sends rate pattern =
+  let mw = MW.create ~n:3 () in
+  W.Load_gen.start mw ~rate_per_s:rate ~pattern ~size:256 ~until:2_000.0 ();
+  MW.run_until_quiescent ~limit:10_000.0 mw;
+  Dpu_core.Collector.send_count (MW.collector mw)
+
+let test_constant_rate () =
+  let sent = count_sends 50.0 W.Load_gen.Constant in
+  (* 50 msg/s for 2 s => ~100 *)
+  if sent < 90 || sent > 110 then fail (Printf.sprintf "constant rate produced %d" sent)
+
+let test_poisson_rate () =
+  let sent = count_sends 50.0 W.Load_gen.Poisson in
+  if sent < 60 || sent > 140 then fail (Printf.sprintf "poisson rate produced %d" sent)
+
+let test_burst_rate () =
+  let sent = count_sends 50.0 (W.Load_gen.Burst { period_ms = 500.0; duty = 0.2 }) in
+  if sent < 50 || sent > 150 then fail (Printf.sprintf "burst produced %d" sent)
+
+let test_send_n () =
+  let mw = MW.create ~n:3 () in
+  W.Load_gen.send_n mw ~count:12 ~gap_ms:5.0 ();
+  MW.run_until_quiescent ~limit:10_000.0 mw;
+  check Alcotest.int "count" 12 (Dpu_core.Collector.send_count (MW.collector mw))
+
+let test_load_spread_across_nodes () =
+  let mw = MW.create ~n:3 () in
+  W.Load_gen.start mw ~rate_per_s:60.0 ~size:256 ~until:1_000.0 ();
+  MW.run_until_quiescent ~limit:10_000.0 mw;
+  let sends = Dpu_core.Collector.sends (MW.collector mw) in
+  let per_node = Array.make 3 0 in
+  List.iter (fun (_, node, _) -> per_node.(node) <- per_node.(node) + 1) sends;
+  Array.iter
+    (fun c -> check Alcotest.bool "each node sends" true (c > 10))
+    per_node
+
+(* ------------------------------------------------------------------ *)
+(* Ascii                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_ascii_table () =
+  let s = W.Ascii.table ~header:[ "a"; "bbbb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  check Alcotest.bool "contains rule" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0 && l.[0] = '-'));
+  check Alcotest.bool "aligned" true
+    (String.split_on_char '\n' s |> List.for_all (fun l -> not (String.contains l '\t')))
+
+let test_ascii_chart_empty () =
+  check Alcotest.string "placeholder" "(no data)\n" (W.Ascii.chart [])
+
+let test_ascii_chart_renders () =
+  let s =
+    W.Ascii.chart ~title:"t" ~x_unit:"x" ~y_unit:"y"
+      [ ("a", [ (0.0, 1.0); (1.0, 2.0) ]); ("b", [ (0.5, 1.5) ]) ]
+  in
+  check Alcotest.bool "has title" true (String.length s > 0 && s.[0] = 't');
+  check Alcotest.bool "has glyph legend" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "  + a"))
+
+let test_ascii_vbars () =
+  let s = W.Ascii.vbars [ ("one", 1.0); ("two", 2.0) ] in
+  let lines = String.split_on_char '\n' s in
+  check Alcotest.int "two bars + trailing" 3 (List.length lines)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment harness                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_experiment_runs_and_delivers () =
+  let r = W.Experiment.run small in
+  check Alcotest.bool "sent some" true (r.W.Experiment.sent > 30);
+  check Alcotest.int "all delivered everywhere" r.W.Experiment.sent
+    r.W.Experiment.delivered_everywhere;
+  check Alcotest.bool "switch completed" true (r.W.Experiment.switch_window <> None);
+  check Alcotest.bool "normal stats populated" true (Stats.count r.W.Experiment.normal > 0)
+
+let test_experiment_no_switch () =
+  let r = W.Experiment.run { small with switch_to = None } in
+  check Alcotest.bool "no window" true (r.W.Experiment.switch_window = None);
+  check (Alcotest.float 0.0) "no duration" 0.0 r.W.Experiment.switch_duration_ms;
+  check Alcotest.int "during empty" 0 (Stats.count r.W.Experiment.during)
+
+let test_experiment_no_layer () =
+  let r =
+    W.Experiment.run { small with approach = W.Experiment.No_layer; switch_to = None }
+  in
+  check Alcotest.int "all delivered" r.W.Experiment.sent r.W.Experiment.delivered_everywhere
+
+let test_experiment_no_layer_ignores_switch () =
+  (* A switch request without a layer is meaningless; the harness must
+     simply not schedule one. *)
+  let r = W.Experiment.run { small with approach = W.Experiment.No_layer } in
+  check Alcotest.bool "no window" true (r.W.Experiment.switch_window = None)
+
+let test_experiment_maestro_blocks () =
+  let r = W.Experiment.run { small with approach = W.Experiment.Maestro } in
+  check Alcotest.bool "blocked time recorded" true (r.W.Experiment.blocked_ms > 50.0);
+  check Alcotest.int "still all delivered" r.W.Experiment.sent
+    r.W.Experiment.delivered_everywhere
+
+let test_experiment_graceful () =
+  let r = W.Experiment.run { small with approach = W.Experiment.Graceful } in
+  check (Alcotest.float 0.0) "graceful does not block" 0.0 r.W.Experiment.blocked_ms;
+  check Alcotest.int "all delivered" r.W.Experiment.sent r.W.Experiment.delivered_everywhere
+
+let test_experiment_check_clean () =
+  let r = W.Experiment.run { small with trace_enabled = true } in
+  let reports = W.Experiment.check r in
+  check Alcotest.bool "several properties" true (List.length reports >= 5);
+  List.iter
+    (fun rep ->
+      check Alcotest.bool rep.Dpu_props.Report.property true rep.Dpu_props.Report.ok)
+    reports
+
+let test_experiment_crash_injection () =
+  let r =
+    W.Experiment.run
+      ~crash_at:[ (500.0, 2) ]
+      { small with n = 5; switch_at_ms = 1_200.0 }
+  in
+  check (Alcotest.list Alcotest.int) "correct nodes" [ 0; 1; 3; 4 ] r.W.Experiment.correct;
+  let reports = Dpu_props.Abcast_props.check_all r.W.Experiment.collector
+      ~correct:r.W.Experiment.correct in
+  List.iter
+    (fun rep ->
+      check Alcotest.bool rep.Dpu_props.Report.property true rep.Dpu_props.Report.ok)
+    reports
+
+let test_experiment_determinism () =
+  let r1 = W.Experiment.run small in
+  let r2 = W.Experiment.run small in
+  check Alcotest.int "same sends" r1.W.Experiment.sent r2.W.Experiment.sent;
+  check (Alcotest.float 1e-9) "same mean latency"
+    (Stats.mean r1.W.Experiment.normal)
+    (Stats.mean r2.W.Experiment.normal)
+
+let test_experiment_seed_changes_run () =
+  let r1 = W.Experiment.run small in
+  let r2 = W.Experiment.run { small with seed = 99 } in
+  check Alcotest.bool "different latencies" true
+    (Stats.mean r1.W.Experiment.normal <> Stats.mean r2.W.Experiment.normal)
+
+let test_layer_overhead_positive () =
+  (* The replacement layer adds a dispatch hop: with-layer latency must
+     exceed no-layer latency, by a small factor (paper: ~5%). *)
+  let base = { small with switch_to = None; duration_ms = 3_000.0 } in
+  let without =
+    W.Experiment.run { base with approach = W.Experiment.No_layer }
+  in
+  let with_layer = W.Experiment.run base in
+  let overhead =
+    (Stats.mean with_layer.W.Experiment.normal -. Stats.mean without.W.Experiment.normal)
+    /. Stats.mean without.W.Experiment.normal
+  in
+  check Alcotest.bool
+    (Printf.sprintf "overhead %.3f in (0, 0.25)" overhead)
+    true
+    (overhead > 0.0 && overhead < 0.25)
+
+let test_figures_render () =
+  (* Smoke-render each figure artifact on small runs. *)
+  let r = W.Experiment.run small in
+  let s5 = W.Figures.render_figure5 r in
+  check Alcotest.bool "fig5 text" true (String.length s5 > 100);
+  let points =
+    W.Figures.figure6 ~ns:[ 3 ] ~loads:[ 20.0 ] ~seed:1 ()
+  in
+  check Alcotest.int "fig6 one point" 1 (List.length points);
+  let s6 = W.Figures.render_figure6 points in
+  check Alcotest.bool "fig6 text" true (String.length s6 > 100);
+  let h =
+    {
+      W.Figures.layer_overhead_pct = 5.0;
+      spike_pct = 50.0;
+      spike_duration_ms = 40.0;
+      app_blocked_ms = 0.0;
+    }
+  in
+  check Alcotest.bool "headline text" true
+    (String.length (W.Figures.render_headline h) > 50)
+
+let test_comparison_rows () =
+  let rows = W.Figures.compare_approaches ~n:3 ~load:20.0 ~seed:1 () in
+  check Alcotest.int "three approaches" 3 (List.length rows);
+  let find a = List.find (fun r -> r.W.Figures.approach = a) rows in
+  let repl = find W.Experiment.Repl in
+  let maestro = find W.Experiment.Maestro in
+  check (Alcotest.float 0.0) "repl no blocking" 0.0 repl.W.Figures.blocked;
+  check Alcotest.bool "maestro blocks" true (maestro.W.Figures.blocked > 50.0);
+  check Alcotest.bool "everyone correct" true
+    (List.for_all (fun r -> r.W.Figures.all_delivered) rows);
+  check Alcotest.bool "rendering" true
+    (String.length (W.Figures.render_comparison rows) > 100)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "workload"
+    [
+      ( "load_gen",
+        [
+          tc "constant rate" test_constant_rate;
+          tc "poisson rate" test_poisson_rate;
+          tc "burst rate" test_burst_rate;
+          tc "send_n" test_send_n;
+          tc "spread across nodes" test_load_spread_across_nodes;
+        ] );
+      ( "ascii",
+        [
+          tc "table" test_ascii_table;
+          tc "chart empty" test_ascii_chart_empty;
+          tc "chart renders" test_ascii_chart_renders;
+          tc "vbars" test_ascii_vbars;
+        ] );
+      ( "experiment",
+        [
+          tc "runs and delivers" test_experiment_runs_and_delivers;
+          tc "no switch" test_experiment_no_switch;
+          tc "no layer" test_experiment_no_layer;
+          tc "no layer ignores switch" test_experiment_no_layer_ignores_switch;
+          tc "maestro blocks" test_experiment_maestro_blocks;
+          tc "graceful" test_experiment_graceful;
+          tc "check clean" test_experiment_check_clean;
+          tc "crash injection" test_experiment_crash_injection;
+          tc "determinism" test_experiment_determinism;
+          tc "seed sensitivity" test_experiment_seed_changes_run;
+          tc "layer overhead positive" test_layer_overhead_positive;
+        ] );
+      ( "figures",
+        [ tc "render" test_figures_render; tc "comparison" test_comparison_rows ] );
+    ]
