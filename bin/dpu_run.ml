@@ -43,7 +43,8 @@ let approach_conv =
 (* ------------------------------------------------------------------ *)
 
 let scenario n load seed duration switch_at initial switch_to approach loss batch check
-    crashes consensus_layer switch_consensus_to switch_consensus_at =
+    crashes consensus_layer switch_consensus_to switch_consensus_at faults nemesis_seed
+    nemesis_faults =
   let consensus_layer =
     if consensus_layer || switch_consensus_to <> None then
       Some Dpu_protocols.Consensus_ct.protocol_name
@@ -52,6 +53,22 @@ let scenario n load seed duration switch_at initial switch_to approach loss batc
   let switch_consensus =
     Option.map (fun prot -> (switch_consensus_at, prot)) switch_consensus_to
   in
+  let faults =
+    match nemesis_seed with
+    | None -> faults
+    | Some seed ->
+      faults
+      @ Dpu_faults.Nemesis.generate
+          ~rng:(Dpu_engine.Rng.create ~seed)
+          ~n ~horizon_ms:duration ?faults:nemesis_faults ()
+  in
+  (match Dpu_faults.Schedule.validate ~n faults with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "dpu_run: bad fault schedule: %s\n" msg;
+    exit 2);
+  if faults <> [] then
+    Format.printf "fault schedule: %a@." Dpu_faults.Schedule.pp faults;
   let params =
     {
       E.default with
@@ -68,6 +85,7 @@ let scenario n load seed duration switch_at initial switch_to approach loss batc
       trace_enabled = check;
       consensus_layer;
       switch_consensus;
+      faults;
     }
   in
   let r = E.run ~crash_at:crashes params in
@@ -90,6 +108,14 @@ let scenario n load seed duration switch_at initial switch_to approach loss batc
     Format.printf "%a" Dpu_props.Report.pp_all reports;
     if not (Dpu_props.Report.all_ok reports) then exit 1
   end
+
+let fault_conv =
+  let parse s =
+    match Dpu_faults.Schedule.event_of_spec s with
+    | Ok e -> Ok e
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Dpu_faults.Schedule.pp_event)
 
 let crash_conv =
   let parse s =
@@ -163,11 +189,36 @@ let scenario_cmd =
       & info [ "switch-consensus-at" ] ~docv:"MS"
           ~doc:"When to trigger the consensus swap.")
   in
+  let faults =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Schedule a fault (repeatable). SPEC is one of crash@T:NODE, \
+             recover@T:NODE, partition@T:0,1|2,3, heal@T, \
+             loss@FROM-UNTIL:P, dup@FROM-UNTIL:P, \
+             slow@FROM-UNTIL:SRC>DST:LAT_MS.")
+  in
+  let nemesis_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nemesis-seed" ] ~docv:"SEED"
+          ~doc:"Additionally sample a random fault schedule from SEED.")
+  in
+  let nemesis_faults =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nemesis-faults" ] ~docv:"K"
+          ~doc:"How many faults the nemesis draws (default 3).")
+  in
   let term =
     Term.(
       const scenario $ n_arg $ load_arg $ seed_arg $ duration $ switch_at $ initial
       $ switch_to $ approach $ loss $ batch $ check $ crashes $ consensus_layer
-      $ switch_consensus_to $ switch_consensus_at)
+      $ switch_consensus_to $ switch_consensus_at $ faults $ nemesis_seed
+      $ nemesis_faults)
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run one simulated group-communication scenario.")

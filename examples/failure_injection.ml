@@ -1,39 +1,52 @@
 (* Adversarial run: message loss, a partition and a crash around a
-   dynamic protocol update.
+   dynamic protocol update, declared as a Dpu_faults schedule.
 
    Run with:  dune exec examples/failure_injection.exe
 
    A 5-node cluster runs under load on a lossy LAN (2% datagram loss).
-   Mid-run we partition one node away, trigger a protocol replacement
-   while the partition is up, heal it, and finally crash another node.
+   The fault schedule partitions one node away, a protocol replacement
+   triggers while the partition is up, the partition heals, a loss
+   window spikes drop rates, and finally one node crashes for good.
    At the end every atomic broadcast property and the paper's generic
    DPU properties (§3) are checked mechanically over the full trace. *)
 
 module MW = Dpu_core.Middleware
 module Sim = Dpu_engine.Sim
 module Datagram = Dpu_net.Datagram
+module Schedule = Dpu_faults.Schedule
 
 let () =
   let config = { MW.default_config with loss = 0.02; seed = 42 } in
   let mw = MW.create ~config ~n:5 () in
   let sim = Dpu_kernel.System.sim (MW.system mw) in
   let net = Dpu_kernel.System.net (MW.system mw) in
-  let at t f = ignore (Sim.schedule sim ~delay:t f : Sim.handle) in
 
   Dpu_workload.Load_gen.start mw ~rate_per_s:30.0 ~until:6_000.0 ();
 
-  at 1_500.0 (fun () ->
-      print_endline "[1500 ms] partitioning node 4 away from the majority";
-      Datagram.partition net [ [ 0; 1; 2; 3 ]; [ 4 ] ]);
-  at 2_000.0 (fun () ->
-      print_endline "[2000 ms] replacing the ABcast protocol during the partition";
-      MW.change_protocol mw ~node:0 Dpu_core.Variants.ct);
-  at 3_000.0 (fun () ->
-      print_endline "[3000 ms] healing the partition (node 4 must catch up and switch)";
-      Datagram.heal net);
-  at 4_500.0 (fun () ->
-      print_endline "[4500 ms] crashing node 2 for good";
-      MW.crash mw 2);
+  (* The whole adverse scenario, declaratively. *)
+  let schedule =
+    [
+      Schedule.partition ~at:1_500.0 [ [ 0; 1; 2; 3 ]; [ 4 ] ];
+      Schedule.heal ~at:3_000.0;
+      Schedule.loss_window ~p:0.25 ~from_:3_200.0 ~until:3_800.0;
+      Schedule.crash ~at:4_500.0 2;
+    ]
+  in
+  (match Schedule.validate ~n:5 schedule with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  Format.printf "schedule: %a@." Schedule.pp schedule;
+  Schedule.arm net schedule
+    ~crash_node:(fun node -> MW.crash mw node)
+    ~on_event:(fun time what -> Printf.printf "[%7.1f ms] %s\n" time what);
+
+  (* The replacement fires while the partition is up: node 4 must catch
+     up and switch after the heal. *)
+  ignore
+    (Sim.schedule sim ~delay:2_000.0 (fun () ->
+         print_endline "[ 2000.0 ms] replacing the ABcast protocol during the partition";
+         MW.change_protocol mw ~node:0 Dpu_core.Variants.ct)
+      : Sim.handle);
 
   MW.run_until_quiescent ~limit:120_000.0 mw;
 
@@ -45,6 +58,11 @@ let () =
       Printf.printf "node %d generation: %d\n" node
         (Dpu_core.Repl.generation (Dpu_kernel.System.stack (MW.system mw) node)))
     correct;
+  let c = Datagram.counters net in
+  Printf.printf
+    "net: %d sent, %d delivered, %d lost, %d filtered, %d blocked (crash %d, partition %d)\n"
+    c.Datagram.sent c.Datagram.delivered c.Datagram.lost c.Datagram.filtered
+    c.Datagram.blocked c.Datagram.blocked_crash c.Datagram.blocked_partition;
 
   let abcast_reports = Dpu_props.Abcast_props.check_all (MW.collector mw) ~correct in
   let generic_reports =

@@ -39,7 +39,11 @@ let build ?collector ?register_extra ~profile system =
       ignore (Registry.instantiate registry stack ~name:profile.initial_abcast
                : Stack.module_);
       (match profile.layer with
-      | Some name -> ignore (Registry.instantiate registry stack ~name : Stack.module_)
+      | Some name ->
+        ignore (Registry.instantiate registry stack ~name : Stack.module_);
+        (* A stack that can switch generations needs the receive-side
+           hole in the epoch filter closed (see [Epoch_buffer]). *)
+        ignore (P.Epoch_buffer.install stack : Stack.module_)
       | None -> ());
       if profile.with_gm then begin
         assert (Option.is_some profile.layer);

@@ -14,7 +14,7 @@ let points t =
   (* Insertions are usually already time-ordered; a stable sort keeps
      equal-time points in insertion order. *)
   List.stable_sort
-    (fun a b -> compare a.time b.time)
+    (fun a b -> Float.compare a.time b.time)
     (List.rev t.rev_points)
 
 let values t = List.rev_map (fun p -> p.value) t.rev_points
@@ -46,7 +46,7 @@ let window_average t ~width =
         Hashtbl.replace tbl b (sum +. p.value, cnt + 1))
       ps;
     let buckets = Hashtbl.fold (fun b acc l -> (b, acc) :: l) tbl [] in
-    let buckets = List.sort (fun (a, _) (b, _) -> compare a b) buckets in
+    let buckets = List.sort (fun (a, _) (b, _) -> Int.compare a b) buckets in
     List.map
       (fun (b, (sum, cnt)) ->
         let mid = (float_of_int b +. 0.5) *. width in

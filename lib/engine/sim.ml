@@ -85,9 +85,15 @@ let run ?until ?(max_events = max_int) t =
           incr executed)
   done;
   (* Even with an empty queue, honour the requested horizon so that
-     [now] reflects the elapsed virtual time. *)
+     [now] reflects the elapsed virtual time — but never jump past
+     events still queued before the horizon (the loop may have exited
+     via [max_events] or [stop] with work pending; fast-forwarding then
+     would make the next [step] move the clock backwards). *)
   match until with
-  | Some limit when t.clock < limit && not t.stopping -> t.clock <- limit
+  | Some limit when t.clock < limit && not t.stopping -> (
+    match Heap.min_priority t.queue with
+    | None -> t.clock <- limit
+    | Some next -> if next > limit then t.clock <- limit)
   | Some _ | None -> ()
 
 let run_for t d = run ~until:(t.clock +. d) t

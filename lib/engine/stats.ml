@@ -66,7 +66,7 @@ let sorted t =
   | Some s -> s
   | None ->
     let s = Array.sub t.data 0 t.len in
-    Array.sort compare s;
+    Array.sort Float.compare s;
     t.sorted <- Some s;
     s
 

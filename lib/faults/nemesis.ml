@@ -1,0 +1,85 @@
+module Rng = Dpu_engine.Rng
+module Latency = Dpu_net.Latency
+
+type fault_class =
+  | Crashes
+  | Partitions
+  | Loss
+  | Dup
+  | Slow_links
+
+let all_classes = [ Crashes; Partitions; Loss; Dup; Slow_links ]
+
+(* Windows live inside [0.1h, 0.9h]: faults injected at the very start
+   hit protocols mid-bootstrap, and faults still open at the horizon
+   leave no time to converge before the checkers run. *)
+let window rng ~horizon_ms =
+  let lo = 0.1 *. horizon_ms and hi = 0.9 *. horizon_ms in
+  let from_ = Rng.uniform rng ~lo ~hi:(hi -. 100.0) in
+  let until = Rng.uniform rng ~lo:(from_ +. 100.0) ~hi in
+  (from_, until)
+
+let generate ~rng ~n ~horizon_ms ?(classes = all_classes) ?(faults = 3)
+    ?(recoverable = false) () =
+  assert (n >= 2);
+  let classes = if classes = [] then all_classes else classes in
+  let classes_arr = Array.of_list classes in
+  let max_down = (n - 1) / 2 in
+  let crashed = ref [] in
+  let rec gen budget acc =
+    if budget <= 0 then acc
+    else
+      let cls = classes_arr.(Rng.int rng (Array.length classes_arr)) in
+      let events =
+        match cls with
+        | Crashes ->
+          if List.length !crashed >= max_down || n < 3 then []
+          else begin
+            (* Never node 0: it bootstraps the sequencer/token variants. *)
+            let candidates =
+              List.filter
+                (fun node -> not (List.mem node !crashed))
+                (List.init (n - 1) (fun i -> i + 1))
+            in
+            match candidates with
+            | [] -> []
+            | _ ->
+              let node = List.nth candidates (Rng.int rng (List.length candidates)) in
+              crashed := node :: !crashed;
+              let from_, until = window rng ~horizon_ms in
+              if recoverable && Rng.bool rng ~p:0.5 then begin
+                crashed := List.filter (fun m -> m <> node) !crashed;
+                [ Schedule.crash ~at:from_ node; Schedule.recover ~at:until node ]
+              end
+              else [ Schedule.crash ~at:from_ node ]
+          end
+        | Partitions ->
+          (* Isolate a random minority (never containing node 0), heal
+             within the window. *)
+          let size = 1 + Rng.int rng (Stdlib.max 1 max_down) in
+          let nodes = Array.init (n - 1) (fun i -> i + 1) in
+          Rng.shuffle rng nodes;
+          let isolated = Array.to_list (Array.sub nodes 0 (Stdlib.min size (n - 1))) in
+          let rest =
+            List.filter (fun m -> not (List.mem m isolated)) (List.init n Fun.id)
+          in
+          let from_, until = window rng ~horizon_ms in
+          [ Schedule.partition ~at:from_ [ rest; isolated ]; Schedule.heal ~at:until ]
+        | Loss ->
+          let from_, until = window rng ~horizon_ms in
+          let p = Rng.uniform rng ~lo:0.05 ~hi:0.3 in
+          [ Schedule.loss_window ~p ~from_ ~until ]
+        | Dup ->
+          let from_, until = window rng ~horizon_ms in
+          let p = Rng.uniform rng ~lo:0.05 ~hi:0.3 in
+          [ Schedule.dup_burst ~p ~from_ ~until ]
+        | Slow_links ->
+          let src = Rng.int rng n in
+          let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+          let from_, until = window rng ~horizon_ms in
+          let lat = Rng.uniform rng ~lo:5.0 ~hi:50.0 in
+          [ Schedule.degrade_link ~src ~dst ~link:(Latency.constant lat) ~from_ ~until ]
+      in
+      gen (budget - 1) (events @ acc)
+  in
+  Schedule.sorted (gen faults [])

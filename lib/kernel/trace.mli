@@ -24,8 +24,11 @@ type entry = { time : float; node : int; kind : kind }
 type t
 
 val create : ?enabled:bool -> ?capacity:int -> unit -> t
-(** [capacity] bounds memory: once reached, recording stops and
-    [truncated] becomes [true] (default 2_000_000 entries). *)
+(** [capacity] bounds memory (default 2_000_000 entries). Once
+    reached, the trace behaves as a ring buffer: each new entry evicts
+    the oldest, [truncated] becomes [true], and the most recent
+    [capacity] entries are retained — long soaks keep the tail, where
+    the interesting events are. *)
 
 val enabled : t -> bool
 
@@ -34,11 +37,16 @@ val set_enabled : t -> bool -> unit
 val record : t -> time:float -> node:int -> kind -> unit
 
 val entries : t -> entry list
-(** Entries in recording order. *)
+(** Retained entries in recording order (oldest retained first). *)
 
 val length : t -> int
+(** Number of retained entries (at most [capacity]). *)
 
 val truncated : t -> bool
+(** Whether any entry has been evicted. *)
+
+val dropped : t -> int
+(** Number of evicted (oldest) entries. *)
 
 val filter : t -> (entry -> bool) -> entry list
 

@@ -5,8 +5,12 @@ type counters = {
   sent : int;
   delivered : int;
   lost : int;
+  filtered : int;
   duplicated : int;
   blocked : int;
+  blocked_crash : int;
+  blocked_partition : int;
+  blocked_no_handler : int;
   bytes : int;
 }
 
@@ -15,7 +19,7 @@ type 'a t = {
   n : int;
   rng : Rng.t;
   mutable loss : float;
-  dup : float;
+  mutable dup : float;
   link : Latency.link;
   egress_free : float array;
       (* per-node NIC: time at which the interface is free again *)
@@ -27,8 +31,11 @@ type 'a t = {
   mutable sent : int;
   mutable delivered : int;
   mutable lost : int;
+  mutable filtered : int;
   mutable duplicated : int;
-  mutable blocked : int;
+  mutable blocked_crash : int;
+  mutable blocked_partition : int;
+  mutable blocked_no_handler : int;
   mutable bytes : int;
 }
 
@@ -50,8 +57,11 @@ let create sim ~n ?(loss = 0.0) ?(dup = 0.0) ?(link = Latency.lan) () =
     sent = 0;
     delivered = 0;
     lost = 0;
+    filtered = 0;
     duplicated = 0;
-    blocked = 0;
+    blocked_crash = 0;
+    blocked_partition = 0;
+    blocked_no_handler = 0;
     bytes = 0;
   }
 
@@ -64,6 +74,12 @@ let set_handler t ~node f = t.handlers.(node) <- Some f
 let is_crashed t node = t.crashed.(node)
 
 let crash t node = t.crashed.(node) <- true
+
+let recover t node =
+  t.crashed.(node) <- false;
+  (* A rebooted interface has no transmissions queued from its past
+     life: reset the egress clock to "free now". *)
+  t.egress_free.(node) <- Sim.now t.sim
 
 let correct_nodes t =
   let rec collect i acc =
@@ -84,6 +100,12 @@ let heal t = t.group_of <- None
 
 let set_loss t p = t.loss <- p
 
+let loss t = t.loss
+
+let set_dup t p = t.dup <- p
+
+let dup t = t.dup
+
 let set_drop_filter t f = t.drop_filter <- f
 
 let set_link_override t ~src ~dst link =
@@ -97,10 +119,11 @@ let separated t src dst =
   | Some g -> g.(src) <> g.(dst)
 
 let deliver t ~src ~dst payload =
-  if t.crashed.(dst) || separated t src dst then t.blocked <- t.blocked + 1
+  if t.crashed.(dst) then t.blocked_crash <- t.blocked_crash + 1
+  else if separated t src dst then t.blocked_partition <- t.blocked_partition + 1
   else
     match t.handlers.(dst) with
-    | None -> t.blocked <- t.blocked + 1
+    | None -> t.blocked_no_handler <- t.blocked_no_handler + 1
     | Some f ->
       t.delivered <- t.delivered + 1;
       f ~src payload
@@ -120,8 +143,8 @@ let send t ~src ~dst ~size_bytes payload =
       ignore
         (Sim.schedule t.sim ~delay:0.001 (fun () -> deliver t ~src ~dst payload)
           : Sim.handle)
-    else if dropped_by_filter || (t.loss > 0.0 && Rng.bool t.rng ~p:t.loss) then
-      t.lost <- t.lost + 1
+    else if dropped_by_filter then t.filtered <- t.filtered + 1
+    else if t.loss > 0.0 && Rng.bool t.rng ~p:t.loss then t.lost <- t.lost + 1
     else begin
       let ship () =
         (* The sender's interface serialises outgoing datagrams: the
@@ -162,7 +185,11 @@ let counters t =
     sent = t.sent;
     delivered = t.delivered;
     lost = t.lost;
+    filtered = t.filtered;
     duplicated = t.duplicated;
-    blocked = t.blocked;
+    blocked = t.blocked_crash + t.blocked_partition + t.blocked_no_handler;
+    blocked_crash = t.blocked_crash;
+    blocked_partition = t.blocked_partition;
+    blocked_no_handler = t.blocked_no_handler;
     bytes = t.bytes;
   }

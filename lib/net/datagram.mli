@@ -14,9 +14,13 @@ type 'a t
 type counters = {
   sent : int;  (** datagrams accepted from senders *)
   delivered : int;  (** datagrams handed to a receiver *)
-  lost : int;  (** dropped by the loss process *)
+  lost : int;  (** dropped by the stochastic loss process *)
+  filtered : int;  (** dropped by the injected {!set_drop_filter} *)
   duplicated : int;  (** extra copies injected *)
-  blocked : int;  (** dropped by crash or partition *)
+  blocked : int;  (** total of the three [blocked_*] causes below *)
+  blocked_crash : int;  (** dropped at arrival: destination crashed *)
+  blocked_partition : int;  (** dropped at arrival: cross-partition *)
+  blocked_no_handler : int;  (** dropped at arrival: no handler installed *)
   bytes : int;  (** payload bytes accepted *)
 }
 
@@ -45,8 +49,14 @@ val send : 'a t -> src:int -> dst:int -> size_bytes:int -> 'a -> unit
     are never lost. *)
 
 val crash : 'a t -> int -> unit
-(** Silence a node permanently (fail-stop). In-flight datagrams to it
-    are discarded at arrival time. *)
+(** Silence a node (fail-stop unless later {!recover}ed). In-flight
+    datagrams to it are discarded at arrival time. *)
+
+val recover : 'a t -> int -> unit
+(** Un-crash a node: it sends and receives again, and its egress clock
+    is reset to the current virtual time (a rebooted interface has no
+    queued transmissions). Datagrams addressed to it while it was down
+    stay lost. *)
 
 val is_crashed : 'a t -> int -> bool
 
@@ -62,9 +72,18 @@ val heal : 'a t -> unit
 
 val set_loss : 'a t -> float -> unit
 
+val loss : 'a t -> float
+
+val set_dup : 'a t -> float -> unit
+
+val dup : 'a t -> float
+
 val set_drop_filter : 'a t -> (src:int -> dst:int -> 'a -> bool) option -> unit
 (** Test hook: when the filter returns [true] the datagram is dropped
-    (counted as lost). Applied before the iid loss process. *)
+    (counted as [filtered], not [lost]). Applied before the iid loss
+    process; the loss process draws no random bit for filtered
+    datagrams, so installing a filter does not perturb the RNG
+    stream of the survivors. *)
 
 val set_link_override : 'a t -> src:int -> dst:int -> Latency.link option -> unit
 (** Give one directed pair its own link (e.g. a slow WAN hop in an

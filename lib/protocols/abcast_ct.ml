@@ -13,6 +13,12 @@ let () =
       Some (Printf.sprintf "ct-abcast.disseminate e%d %s" epoch (Msg.id_to_string item.id))
     | _ -> None)
 
+let () =
+  Abcast_iface.register_wire_epoch (function
+    | Rbcast.Deliver { payload = Disseminate { epoch; _ }; _ } -> Some epoch
+    | Consensus_iface.Decide { iid = { epoch; _ }; _ } -> Some epoch
+    | _ -> None)
+
 let protocol_name = "abcast.ct"
 
 let header_size = 64

@@ -15,3 +15,16 @@ let () =
 let epoch_key = "abcast.epoch"
 
 let current_epoch stack = Stack.get_env stack epoch_key ~default:0
+
+(* Wire-epoch extractors: each ABcast implementation registers a
+   function that recognises its own wire payloads (wrapped in the
+   transport indication that carries them) and returns the generation
+   tag. [Epoch_buffer] uses this to spot traffic addressed to a
+   generation this stack has not yet reached. *)
+
+let epoch_extractors : (Payload.t -> int option) list ref = ref []
+
+let register_wire_epoch f = epoch_extractors := f :: !epoch_extractors
+
+let wire_epoch payload =
+  List.find_map (fun f -> f payload) !epoch_extractors

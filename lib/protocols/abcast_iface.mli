@@ -28,3 +28,23 @@ val epoch_key : string
 
 val current_epoch : Stack.t -> int
 (** The generation in force in [stack] (0 before any replacement). *)
+
+(** {1 Wire-epoch recognition}
+
+    A node that switches generations late (it was partitioned, or its
+    copy of the change message was delayed) receives the new
+    generation's wire traffic before the module that understands it
+    exists. The transport has already acknowledged those datagrams, so
+    without intervention they are lost permanently — the late node can
+    deadlock waiting for a sequence prefix nobody will resend. Each
+    ABcast implementation registers an extractor recognising its own
+    wire payloads so that [Epoch_buffer] can stash such traffic and
+    replay it once the generation is installed. *)
+
+val register_wire_epoch : (Payload.t -> int option) -> unit
+(** Register an extractor. It receives the full indication payload
+    (e.g. [Rp2p.Recv {...}]) and returns [Some epoch] iff it
+    recognises one of its protocol's generation-tagged wire messages. *)
+
+val wire_epoch : Payload.t -> int option
+(** Apply registered extractors; first match wins. *)

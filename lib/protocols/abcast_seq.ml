@@ -11,6 +11,12 @@ let () =
     | Wire_order { epoch; gseq; _ } -> Some (Printf.sprintf "seq-abcast.order e%d #%d" epoch gseq)
     | _ -> None)
 
+let () =
+  Abcast_iface.register_wire_epoch (function
+    | Rp2p.Recv { payload = Wire_req { epoch; _ } | Wire_order { epoch; _ }; _ } ->
+      Some epoch
+    | _ -> None)
+
 let protocol_name = "abcast.seq"
 
 let header_size = 48

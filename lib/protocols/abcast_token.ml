@@ -30,6 +30,21 @@ let () =
       Some (Printf.sprintf "token-abcast.hello e%d p%d" epoch from)
     | _ -> None)
 
+let () =
+  Abcast_iface.register_wire_epoch (function
+    | Rp2p.Recv
+        {
+          payload =
+            ( Wire_order { epoch; _ }
+            | Wire_token { epoch; _ }
+            | Wire_repair_req { epoch; _ }
+            | Wire_repair { epoch; _ }
+            | Wire_hello { epoch; _ } );
+          _;
+        } ->
+      Some epoch
+    | _ -> None)
+
 type config = { regen_timeout_ms : float; repair_timeout_ms : float }
 
 let default_config = { regen_timeout_ms = 500.0; repair_timeout_ms = 50.0 }

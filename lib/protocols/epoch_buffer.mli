@@ -1,0 +1,38 @@
+(** Future-generation wire-traffic buffer.
+
+    The replacement layer keeps each generation's wire traffic disjoint
+    by tagging it with an epoch and filtering on receipt. The filter
+    has a hole on the receive side: the reliable transports (rp2p,
+    rbcast) acknowledge a datagram when it arrives, so a message tagged
+    with a generation whose module is {e not yet installed} at the
+    receiver is acknowledged — the sender stops retransmitting — and
+    then dropped by every installed module's epoch filter. A node that
+    switches late (it was partitioned during the change, or its copy of
+    the change message was delayed) therefore loses the new protocol's
+    early traffic permanently, and a gap-sensitive protocol such as the
+    fixed sequencer deadlocks waiting for a global sequence number that
+    will never be resent.
+
+    This module closes the hole. It watches the transport and consensus
+    indications, uses {!Abcast_iface.wire_epoch} to recognise
+    generation-tagged wire messages addressed to a {e future}
+    generation, stashes them, and replays them (re-indicates on the
+    original service, in arrival order) when the replacement layer
+    announces [Protocol_changed] for that generation. Messages for
+    generations the stack already reached pass through untouched; a
+    stack that never switches stashes nothing. *)
+
+open Dpu_kernel
+
+val protocol_name : string
+(** ["abcast.epoch-buffer"]. *)
+
+val install : Stack.t -> Stack.module_
+(** Add the buffer to [stack]. It provides no service and is never
+    bound; it only listens to indications. *)
+
+val stashed : Stack.t -> int
+(** Messages stashed so far (observability). *)
+
+val replayed : Stack.t -> int
+(** Messages replayed so far (observability). *)

@@ -36,6 +36,7 @@ type params = {
   during_margin_ms : float;
   consensus_layer : string option;
   switch_consensus : (float * string) option;
+  faults : Dpu_faults.Schedule.t;
 }
 
 let default =
@@ -58,6 +59,7 @@ let default =
     during_margin_ms = 50.0;
     consensus_layer = None;
     switch_consensus = None;
+    faults = [];
   }
 
 type result = {
@@ -107,7 +109,22 @@ let run ?(crash_at = []) params =
     Dpu_baselines.Graceful.register system
   in
   let mw = MW.create ~config ~register_extra ~n:params.n () in
-  let sim = Dpu_kernel.System.sim (MW.system mw) in
+  let system = MW.system mw in
+  let sim = Dpu_kernel.System.sim system in
+  (match Dpu_faults.Schedule.validate ~n:params.n params.faults with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Experiment.run: bad fault schedule: %s" msg));
+  (* In the full-stack harness a scheduled [Crash] is fail-stop (stack
+     and network endpoint both die); a [Recover] of a fail-stopped node
+     is ignored — the process model has no rejoin — so it only applies
+     to network-level silences. *)
+  Dpu_faults.Schedule.arm
+    ~crash_node:(fun node -> MW.crash mw node)
+    ~recover_node:(fun node ->
+      if not (Dpu_kernel.Stack.is_crashed (Dpu_kernel.System.stack system node)) then
+        Dpu_net.Datagram.recover (Dpu_kernel.System.net system) node)
+    (Dpu_kernel.System.net system)
+    params.faults;
   Load_gen.start mw ~rate_per_s:params.load ~pattern:params.pattern
     ~size:params.msg_size ~until:params.duration_ms ();
   let switch_requested =
@@ -120,6 +137,7 @@ let run ?(crash_at = []) params =
           List.filter_map
             (fun (t, node) -> if t <= params.switch_at_ms then Some node else None)
             crash_at
+          @ Dpu_faults.Schedule.crashed_before params.faults ~time:params.switch_at_ms
         in
         let rec pick node =
           if node < 0 then 0
@@ -145,7 +163,7 @@ let run ?(crash_at = []) params =
     (fun (time, node) ->
       ignore (Sim.schedule sim ~delay:time (fun () -> MW.crash mw node) : Sim.handle))
     crash_at;
-  MW.run_until_quiescent ~limit:(params.duration_ms +. 30_000.0) mw;
+  MW.run_until_quiescent ~limit:(params.duration_ms +. 120_000.0) mw;
   let collector = MW.collector mw in
   let latency = Collector.latency_series collector in
   let switch_window =

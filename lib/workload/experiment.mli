@@ -44,6 +44,10 @@ type params = {
   switch_consensus : (float * string) option;
       (** (time, target implementation): hot-swap consensus mid-run
           (needs [consensus_layer]) *)
+  faults : Dpu_faults.Schedule.t;
+      (** declarative fault schedule armed at virtual time 0. [Crash]
+          is fail-stop here (stack + network endpoint); [Recover] of a
+          fail-stopped node is ignored. Default: no faults. *)
 }
 
 val default : params
@@ -67,7 +71,10 @@ type result = {
 }
 
 val run : ?crash_at:(float * int) list -> params -> result
-(** [crash_at] is a list of (virtual time, node) fail-stop injections. *)
+(** [crash_at] is a list of (virtual time, node) fail-stop injections
+    (the pre-DSL interface; equivalent to [Crash] events in [faults]).
+    Raises [Invalid_argument] if [params.faults] fails
+    {!Dpu_faults.Schedule.validate}. *)
 
 val check : result -> Dpu_props.Report.t list
 (** All ABcast properties plus the generic §3 properties for the run. *)

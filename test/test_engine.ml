@@ -315,6 +315,39 @@ let test_sim_max_events () =
   Sim.run ~max_events:50 sim;
   check Alcotest.int "bounded" 50 !count
 
+let test_sim_max_events_keeps_clock () =
+  (* Regression: exiting [run ~until] via [max_events] with events still
+     queued before the horizon must NOT fast-forward the clock — the
+     next [step] would move virtual time backwards. *)
+  let sim = Sim.create () in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~delay:(float_of_int i) (fun () -> ()))
+  done;
+  Sim.run ~until:20.0 ~max_events:3 sim;
+  check (Alcotest.float 1e-9) "clock at last executed event" 3.0 (Sim.now sim);
+  ignore (Sim.step sim : bool);
+  check (Alcotest.float 1e-9) "clock moves forward" 4.0 (Sim.now sim);
+  Sim.run ~until:20.0 sim;
+  check (Alcotest.float 1e-9) "horizon honoured once drained" 20.0 (Sim.now sim)
+
+let test_sim_stop_keeps_clock () =
+  let sim = Sim.create () in
+  for i = 1 to 5 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i) (fun () ->
+           if Sim.now sim >= 2.0 then Sim.stop sim))
+  done;
+  Sim.run ~until:50.0 sim;
+  check (Alcotest.float 1e-9) "stopped at event time" 2.0 (Sim.now sim)
+
+let test_sim_until_ff_past_queued_beyond_horizon () =
+  (* The fast-forward is still correct when the next event lies beyond
+     the horizon. *)
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:30.0 (fun () -> ()));
+  Sim.run ~until:20.0 ~max_events:5 sim;
+  check (Alcotest.float 1e-9) "fast-forwarded" 20.0 (Sim.now sim)
+
 let test_sim_nested_scheduling () =
   let sim = Sim.create () in
   let log = ref [] in
@@ -389,6 +422,14 @@ let test_stats_samples_order () =
   Stats.add_all s [ 3.0; 1.0; 2.0 ];
   check (Alcotest.array (Alcotest.float 0.0)) "insertion order" [| 3.0; 1.0; 2.0 |]
     (Stats.samples s)
+
+let test_stats_nan_sorts_first () =
+  (* [Float.compare] gives NaN a deterministic position (smallest);
+     polymorphic compare relied on the boxed-float fallback. *)
+  let s = Stats.create () in
+  Stats.add_all s [ 2.0; nan; 1.0 ];
+  check Alcotest.bool "p0 is the NaN" true (Float.is_nan (Stats.percentile s 0.0));
+  check (Alcotest.float 1e-9) "p100 unaffected" 2.0 (Stats.percentile s 100.0)
 
 let test_stats_percentile_after_more_adds () =
   (* The sorted cache must invalidate on insertion. *)
@@ -521,6 +562,9 @@ let () =
           tc "every" test_sim_every;
           tc "stop" test_sim_stop;
           tc "max_events" test_sim_max_events;
+          tc "max_events keeps clock" test_sim_max_events_keeps_clock;
+          tc "stop keeps clock" test_sim_stop_keeps_clock;
+          tc "ff past horizon-queued" test_sim_until_ff_past_queued_beyond_horizon;
           tc "nested scheduling" test_sim_nested_scheduling;
           tc "pending" test_sim_pending;
         ] );
@@ -533,6 +577,7 @@ let () =
           tc "merge" test_stats_merge;
           tc "clear" test_stats_clear;
           tc "samples order" test_stats_samples_order;
+          tc "nan ordering" test_stats_nan_sorts_first;
           tc "cache invalidation" test_stats_percentile_after_more_adds;
         ] );
       ( "series",

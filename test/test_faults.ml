@@ -1,0 +1,458 @@
+(* Tests for the Dpu_faults subsystem: schedule interpretation against
+   the datagram network, spec parsing, validation, nemesis determinism,
+   and full-harness soaks that replace the ABcast protocol *during*
+   each fault class with every §5 property checked across the switch. *)
+
+module Sim = Dpu_engine.Sim
+module Rng = Dpu_engine.Rng
+module Latency = Dpu_net.Latency
+module Datagram = Dpu_net.Datagram
+module Schedule = Dpu_faults.Schedule
+module Nemesis = Dpu_faults.Nemesis
+module E = Dpu_workload.Experiment
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let make_net ?(n = 3) ?(loss = 0.0) () =
+  let sim = Sim.create ~seed:7 () in
+  let net = Datagram.create sim ~n ~loss ~link:(Latency.constant 1.0) () in
+  (sim, net)
+
+let inbox net node =
+  let log = ref [] in
+  Datagram.set_handler net ~node (fun ~src payload -> log := (src, payload) :: !log);
+  log
+
+(* ------------------------------------------------------------------ *)
+(* Schedule interpretation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_recover_schedule () =
+  let sim, net = make_net () in
+  let inbox1 = inbox net 1 in
+  Schedule.arm net [ Schedule.crash ~at:10.0 1; Schedule.recover ~at:20.0 1 ];
+  let send_at t tag =
+    ignore
+      (Sim.schedule_at sim ~time:t (fun () ->
+           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 tag)
+        : Sim.handle)
+  in
+  send_at 5.0 "before";
+  send_at 15.0 "during";
+  send_at 25.0 "after";
+  Sim.run sim;
+  check Alcotest.int "two delivered" 2 (List.length !inbox1);
+  check Alcotest.bool "during dropped" true
+    (List.for_all (fun (_, p) -> p <> "during") !inbox1);
+  check Alcotest.int "dropped at arrival while down" 1
+    (Datagram.counters net).Datagram.blocked_crash
+
+let test_loss_window_schedule () =
+  let sim, net = make_net ~loss:0.02 () in
+  ignore (inbox net 1);
+  Schedule.arm net [ Schedule.loss_window ~p:1.0 ~from_:10.0 ~until:20.0 ];
+  let send_at t =
+    ignore
+      (Sim.schedule_at sim ~time:t (fun () ->
+           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "x")
+        : Sim.handle)
+  in
+  send_at 15.0;
+  Sim.run sim;
+  check Alcotest.int "lost inside window" 1 (Datagram.counters net).Datagram.lost;
+  (* After the window the pre-existing probability is restored. *)
+  check (Alcotest.float 1e-9) "baseline restored" 0.02 (Datagram.loss net)
+
+let test_dup_burst_schedule () =
+  let sim, net = make_net () in
+  let inbox1 = inbox net 1 in
+  Schedule.arm net [ Schedule.dup_burst ~p:1.0 ~from_:10.0 ~until:20.0 ];
+  let send_at t tag =
+    ignore
+      (Sim.schedule_at sim ~time:t (fun () ->
+           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 tag)
+        : Sim.handle)
+  in
+  send_at 15.0 "inside";
+  send_at 25.0 "outside";
+  Sim.run sim;
+  let copies tag = List.length (List.filter (fun (_, p) -> p = tag) !inbox1) in
+  check Alcotest.int "duplicated inside" 2 (copies "inside");
+  check Alcotest.int "single outside" 1 (copies "outside");
+  check (Alcotest.float 0.0) "dup restored" 0.0 (Datagram.dup net)
+
+let test_degrade_link_schedule () =
+  let sim, net = make_net () in
+  let arrivals = ref [] in
+  Datagram.set_handler net ~node:1 (fun ~src:_ tag ->
+      arrivals := (tag, Sim.now sim) :: !arrivals);
+  Schedule.arm net
+    [
+      Schedule.degrade_link ~src:0 ~dst:1 ~link:(Latency.constant 40.0) ~from_:10.0
+        ~until:20.0;
+    ];
+  let send_at t tag =
+    ignore
+      (Sim.schedule_at sim ~time:t (fun () ->
+           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 tag)
+        : Sim.handle)
+  in
+  send_at 12.0 "slow";
+  send_at 25.0 "fast";
+  Sim.run sim;
+  let time_of tag = List.assoc tag !arrivals in
+  check (Alcotest.float 1e-6) "degraded inside window" 52.0 (time_of "slow");
+  check (Alcotest.float 1e-6) "restored outside" 26.0 (time_of "fast")
+
+let test_partition_heal_schedule () =
+  let sim, net = make_net ~n:4 () in
+  let inbox3 = inbox net 3 in
+  Schedule.arm net
+    [ Schedule.partition ~at:10.0 [ [ 0; 1 ]; [ 2; 3 ] ]; Schedule.heal ~at:20.0 ];
+  let send_at t tag =
+    ignore
+      (Sim.schedule_at sim ~time:t (fun () ->
+           Datagram.send net ~src:0 ~dst:3 ~size_bytes:10 tag)
+        : Sim.handle)
+  in
+  send_at 15.0 "cross";
+  send_at 25.0 "healed";
+  Sim.run sim;
+  check Alcotest.bool "only post-heal" true (!inbox3 = [ (0, "healed") ]);
+  check Alcotest.int "partition drop counted" 1
+    (Datagram.counters net).Datagram.blocked_partition
+
+let test_on_event_observability () =
+  let sim, net = make_net () in
+  let seen = ref [] in
+  Schedule.arm net
+    ~on_event:(fun time what -> seen := (time, what) :: !seen)
+    [ Schedule.crash ~at:5.0 1; Schedule.loss_window ~p:0.5 ~from_:10.0 ~until:20.0 ];
+  Sim.run sim;
+  let times = List.rev_map fst !seen in
+  check (Alcotest.list (Alcotest.float 1e-9)) "all boundaries observed"
+    [ 5.0; 10.0; 20.0 ] times
+
+let test_custom_crash_hook () =
+  let _sim, net = make_net () in
+  let killed = ref [] in
+  Schedule.arm net ~crash_node:(fun node -> killed := node :: !killed)
+    [ Schedule.crash ~at:0.0 2 ];
+  Sim.run (Datagram.sim net);
+  check (Alcotest.list Alcotest.int) "hook used" [ 2 ] !killed;
+  check Alcotest.bool "net-level crash bypassed" false (Datagram.is_crashed net 2)
+
+(* ------------------------------------------------------------------ *)
+(* Specs, validation, inspection                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_parsing () =
+  let ok spec =
+    match Schedule.event_of_spec spec with
+    | Ok e -> e
+    | Error msg -> fail msg
+  in
+  (match (ok "crash@150:2").Schedule.action with
+  | Schedule.Crash 2 -> ()
+  | _ -> fail "crash spec");
+  (match (ok "recover@200:2").Schedule.action with
+  | Schedule.Recover 2 -> ()
+  | _ -> fail "recover spec");
+  (match (ok "partition@100:0,1|2,3").Schedule.action with
+  | Schedule.Partition [ [ 0; 1 ]; [ 2; 3 ] ] -> ()
+  | _ -> fail "partition spec");
+  (match (ok "heal@300").Schedule.action with
+  | Schedule.Heal -> ()
+  | _ -> fail "heal spec");
+  (match (ok "loss@100-200:0.3").Schedule.action with
+  | Schedule.Loss_window { p = 0.3; from_ = 100.0; until = 200.0 } -> ()
+  | _ -> fail "loss spec");
+  (match (ok "dup@100-200:0.1").Schedule.action with
+  | Schedule.Dup_burst { p = 0.1; from_ = 100.0; until = 200.0 } -> ()
+  | _ -> fail "dup spec");
+  match (ok "slow@100-200:0>1:25").Schedule.action with
+  | Schedule.Degrade_link
+      { src = 0; dst = 1; window = { from_ = 100.0; until = 200.0 }; _ } -> ()
+  | _ -> fail "slow spec"
+
+let test_spec_errors () =
+  List.iter
+    (fun spec ->
+      match Schedule.event_of_spec spec with
+      | Ok _ -> fail (Printf.sprintf "spec %S should not parse" spec)
+      | Error _ -> ())
+    [ "crash@abc:1"; "crash@100"; "explode@5"; "loss@100:0.3"; "partition@100:"; "" ]
+
+let test_of_specs_first_error_aborts () =
+  (match Schedule.of_specs [ "crash@10:1"; "heal@20" ] with
+  | Ok [ _; _ ] -> ()
+  | Ok _ | Error _ -> fail "expected two events");
+  match Schedule.of_specs [ "crash@10:1"; "nope" ] with
+  | Error _ -> ()
+  | Ok _ -> fail "expected error"
+
+let test_validate () =
+  let ok_or_fail = function Ok () -> () | Error msg -> fail msg in
+  ok_or_fail
+    (Schedule.validate ~n:3
+       [ Schedule.crash ~at:1.0 2; Schedule.loss_window ~p:0.5 ~from_:1.0 ~until:2.0 ]);
+  let expect_err sched =
+    match Schedule.validate ~n:3 sched with
+    | Error _ -> ()
+    | Ok () -> fail "expected validation error"
+  in
+  expect_err [ Schedule.crash ~at:1.0 3 ];
+  expect_err [ Schedule.crash ~at:(-1.0) 0 ];
+  expect_err [ Schedule.loss_window ~p:1.5 ~from_:1.0 ~until:2.0 ];
+  expect_err [ Schedule.loss_window ~p:0.5 ~from_:2.0 ~until:2.0 ];
+  expect_err [ Schedule.partition ~at:1.0 [ [ 0; 1 ]; [ 1; 2 ] ] ];
+  expect_err [ Schedule.degrade_link ~src:0 ~dst:5 ~link:(Latency.constant 1.0) ~from_:1.0 ~until:2.0 ]
+
+let test_crashed_before () =
+  let sched =
+    [
+      Schedule.crash ~at:10.0 1;
+      Schedule.crash ~at:20.0 2;
+      Schedule.recover ~at:30.0 1;
+    ]
+  in
+  check (Alcotest.list Alcotest.int) "both down" [ 1; 2 ]
+    (Schedule.crashed_before sched ~time:25.0);
+  check (Alcotest.list Alcotest.int) "one recovered" [ 2 ]
+    (Schedule.crashed_before sched ~time:35.0);
+  check (Alcotest.list Alcotest.int) "none yet" []
+    (Schedule.crashed_before sched ~time:5.0)
+
+let test_duration () =
+  check (Alcotest.float 0.0) "empty" 0.0 (Schedule.duration []);
+  let sched =
+    [ Schedule.crash ~at:50.0 1; Schedule.loss_window ~p:0.5 ~from_:10.0 ~until:90.0 ]
+  in
+  check (Alcotest.float 0.0) "window close counts" 90.0 (Schedule.duration sched)
+
+(* ------------------------------------------------------------------ *)
+(* Nemesis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_nemesis_deterministic () =
+  let gen seed =
+    Nemesis.generate ~rng:(Rng.create ~seed) ~n:6 ~horizon_ms:5_000.0 ~faults:6
+      ~recoverable:true ()
+  in
+  check Alcotest.bool "same seed, same schedule" true (gen 42 = gen 42);
+  check Alcotest.bool "different seeds differ" true (gen 42 <> gen 43)
+
+let test_nemesis_schedules_valid () =
+  for seed = 1 to 50 do
+    let n = 3 + (seed mod 5) in
+    let sched =
+      Nemesis.generate ~rng:(Rng.create ~seed) ~n ~horizon_ms:4_000.0 ~faults:5
+        ~recoverable:(seed mod 2 = 0) ()
+    in
+    (match Schedule.validate ~n sched with
+    | Ok () -> ()
+    | Error msg -> fail (Printf.sprintf "seed %d: %s" seed msg));
+    (* Never crash node 0; never more than a minority down at once;
+       everything settles before 0.9 * horizon. *)
+    let down_at_end = Schedule.crashed_before sched ~time:infinity in
+    check Alcotest.bool
+      (Printf.sprintf "seed %d: node 0 alive" seed)
+      false (List.mem 0 down_at_end);
+    check Alcotest.bool
+      (Printf.sprintf "seed %d: minority down" seed)
+      true
+      (List.length down_at_end <= (n - 1) / 2);
+    check Alcotest.bool
+      (Printf.sprintf "seed %d: settles before horizon" seed)
+      true
+      (Schedule.duration sched <= 0.9 *. 4_000.0)
+  done
+
+let test_nemesis_respects_classes () =
+  let sched =
+    Nemesis.generate ~rng:(Rng.create ~seed:5) ~n:5 ~horizon_ms:4_000.0
+      ~classes:[ Nemesis.Loss ] ~faults:4 ()
+  in
+  check Alcotest.int "one event per fault" 4 (List.length sched);
+  List.iter
+    (fun e ->
+      match e.Schedule.action with
+      | Schedule.Loss_window _ -> ()
+      | _ -> fail "unexpected fault class")
+    sched
+
+(* ------------------------------------------------------------------ *)
+(* Full-harness soaks: replacement during each fault class            *)
+(* ------------------------------------------------------------------ *)
+
+(* ABcast replacement at 2000 ms while the scheduled fault is active;
+   afterwards the §5 properties must hold across the switch. *)
+let soak_params ~seed faults =
+  {
+    E.default with
+    n = 5;
+    seed;
+    load = 30.0;
+    duration_ms = 4_000.0;
+    switch_at_ms = 2_000.0;
+    initial = Dpu_core.Variants.ct;
+    switch_to = Some Dpu_core.Variants.sequencer;
+    msg_size = 1024;
+    trace_enabled = true;
+    faults;
+  }
+
+let assert_props_hold ~what result =
+  let reports = E.check result in
+  let find name =
+    match
+      List.find_opt (fun r -> r.Dpu_props.Report.property = name) reports
+    with
+    | Some r -> r
+    | None -> fail (Printf.sprintf "%s: missing report %S" what name)
+  in
+  (* The acceptance pair, called out explicitly... *)
+  check Alcotest.bool
+    (Printf.sprintf "%s: uniform agreement across the switch" what)
+    true (find "uniform agreement").Dpu_props.Report.ok;
+  check Alcotest.bool
+    (Printf.sprintf "%s: uniform total order across the switch" what)
+    true (find "uniform total order").Dpu_props.Report.ok;
+  (* ...and everything else too. *)
+  List.iter
+    (fun r ->
+      check Alcotest.bool
+        (Printf.sprintf "%s: %s" what r.Dpu_props.Report.property)
+        true r.Dpu_props.Report.ok)
+    reports;
+  (* The switch really happened. *)
+  check Alcotest.bool (what ^ ": switch completed") true
+    (result.E.switch_window <> None);
+  check Alcotest.bool (what ^ ": traffic flowed") true (result.E.sent > 20)
+
+let test_switch_during_crash () =
+  let faults = [ Schedule.crash ~at:1_500.0 3 ] in
+  let result = E.run (soak_params ~seed:101 faults) in
+  check (Alcotest.list Alcotest.int) "crashed node excluded" [ 0; 1; 2; 4 ]
+    result.E.correct;
+  assert_props_hold ~what:"switch-during-crash" result
+
+let test_switch_during_partition () =
+  let faults =
+    [ Schedule.partition ~at:1_500.0 [ [ 0; 1; 2; 3 ]; [ 4 ] ]; Schedule.heal ~at:2_600.0 ]
+  in
+  let result = E.run (soak_params ~seed:102 faults) in
+  check (Alcotest.list Alcotest.int) "nobody crashed" [ 0; 1; 2; 3; 4 ] result.E.correct;
+  assert_props_hold ~what:"switch-during-partition" result
+
+let test_switch_during_loss_window () =
+  let faults = [ Schedule.loss_window ~p:0.2 ~from_:1_500.0 ~until:2_600.0 ] in
+  let result = E.run (soak_params ~seed:103 faults) in
+  assert_props_hold ~what:"switch-during-loss" result
+
+let test_switch_under_nemesis () =
+  (* Randomised soak: a sampled schedule plus a replacement, properties
+     checked across the switch. Deterministic in the seed. *)
+  List.iter
+    (fun seed ->
+      let faults =
+        Nemesis.generate ~rng:(Rng.create ~seed) ~n:5 ~horizon_ms:4_000.0 ~faults:3 ()
+      in
+      let result = E.run (soak_params ~seed faults) in
+      assert_props_hold
+        ~what:(Printf.sprintf "nemesis seed %d [%s]" seed
+                 (Format.asprintf "%a" Schedule.pp faults))
+        result)
+    [ 201; 202; 203 ]
+
+let test_epoch_buffer_engages () =
+  (* Regression for the receive-side hole in the generation filter: the
+     isolated node delivers the change message late, after the majority
+     has switched and produced new-generation wire traffic. Before
+     [Epoch_buffer] that traffic was acknowledged by the transport and
+     dropped by every installed module's epoch filter — lost for good —
+     and the late sequencer instance deadlocked on a global-sequence gap,
+     delivering nothing after its switch. The buffer must engage at the
+     late node, and every node must end with the same delivery count. *)
+  let module MW = Dpu_core.Middleware in
+  let module System = Dpu_kernel.System in
+  let config = { MW.default_config with seed = 102; msg_size = 1024 } in
+  let mw = MW.create ~config ~n:5 () in
+  let system = MW.system mw in
+  let sim = System.sim system in
+  let net = System.net system in
+  Dpu_workload.Load_gen.start mw ~rate_per_s:30.0 ~until:4_000.0 ();
+  Schedule.arm net
+    [ Schedule.partition ~at:1_500.0 [ [ 0; 1; 2; 3 ]; [ 4 ] ]; Schedule.heal ~at:2_600.0 ];
+  ignore
+    (Sim.schedule sim ~delay:2_000.0 (fun () ->
+         MW.change_protocol mw ~node:4 Dpu_core.Variants.sequencer)
+      : Sim.handle);
+  MW.run_until_quiescent ~limit:120_000.0 mw;
+  let late = System.stack system 4 in
+  check Alcotest.bool "late node stashed future-generation traffic" true
+    (Dpu_protocols.Epoch_buffer.stashed late > 0);
+  check Alcotest.bool "stash replayed after the late switch" true
+    (Dpu_protocols.Epoch_buffer.replayed late > 0);
+  let collector = MW.collector mw in
+  let count node = List.length (Dpu_core.Collector.delivers_of collector ~node) in
+  check Alcotest.bool "traffic flowed" true (count 0 > 20);
+  List.iter
+    (fun node ->
+      check Alcotest.int
+        (Printf.sprintf "node %d delivered the full stream" node)
+        (count 0) (count node))
+    [ 1; 2; 3; 4 ]
+
+let test_experiment_rejects_bad_schedule () =
+  let params = soak_params ~seed:1 [ Schedule.crash ~at:100.0 99 ] in
+  match E.run params with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "faults"
+    [
+      ( "schedule",
+        [
+          tc "crash + recover" test_crash_recover_schedule;
+          tc "loss window" test_loss_window_schedule;
+          tc "dup burst" test_dup_burst_schedule;
+          tc "degrade link" test_degrade_link_schedule;
+          tc "partition + heal" test_partition_heal_schedule;
+          tc "on_event" test_on_event_observability;
+          tc "custom crash hook" test_custom_crash_hook;
+        ] );
+      ( "spec",
+        [
+          tc "parses every kind" test_spec_parsing;
+          tc "rejects junk" test_spec_errors;
+          tc "of_specs aborts on error" test_of_specs_first_error_aborts;
+        ] );
+      ( "inspection",
+        [
+          tc "validate" test_validate;
+          tc "crashed_before" test_crashed_before;
+          tc "duration" test_duration;
+        ] );
+      ( "nemesis",
+        [
+          tc "deterministic" test_nemesis_deterministic;
+          tc "valid schedules" test_nemesis_schedules_valid;
+          tc "respects classes" test_nemesis_respects_classes;
+        ] );
+      ( "soak",
+        [
+          slow "switch during crash" test_switch_during_crash;
+          slow "switch during partition" test_switch_during_partition;
+          slow "switch during loss window" test_switch_during_loss_window;
+          slow "switch under nemesis" test_switch_under_nemesis;
+          slow "late switch engages epoch buffer" test_epoch_buffer_engages;
+          tc "rejects bad schedule" test_experiment_rejects_bad_schedule;
+        ] );
+    ]

@@ -128,6 +128,30 @@ let test_trace_capacity () =
   check Alcotest.int "capped" 3 (Trace.length t);
   check Alcotest.bool "truncated" true (Trace.truncated t)
 
+let test_trace_ring_keeps_tail () =
+  (* At capacity the trace is a ring: the *oldest* entries are evicted,
+     so a long soak keeps the interesting tail. *)
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record t ~time:(float_of_int i) ~node:i Trace.Crash
+  done;
+  let times = List.map (fun e -> e.Trace.time) (Trace.entries t) in
+  check (Alcotest.list (Alcotest.float 0.0)) "most recent retained" [ 3.0; 4.0; 5.0 ]
+    times;
+  check Alcotest.int "dropped" 2 (Trace.dropped t);
+  Trace.record t ~time:6.0 ~node:0 Trace.Crash;
+  let times = List.map (fun e -> e.Trace.time) (Trace.entries t) in
+  check (Alcotest.list (Alcotest.float 0.0)) "keeps sliding" [ 4.0; 5.0; 6.0 ] times
+
+let test_trace_below_capacity_not_truncated () =
+  let t = Trace.create ~capacity:100 () in
+  for i = 1 to 80 do
+    Trace.record t ~time:(float_of_int i) ~node:0 Trace.Crash
+  done;
+  check Alcotest.bool "not truncated" false (Trace.truncated t);
+  check Alcotest.int "no drops" 0 (Trace.dropped t);
+  check Alcotest.int "all retained" 80 (Trace.length t)
+
 let test_trace_filter () =
   let t = Trace.create () in
   Trace.record t ~time:1.0 ~node:0 (Trace.Bind ("s", "m"));
@@ -553,6 +577,8 @@ let () =
           tc "basic" test_trace_basic;
           tc "disabled" test_trace_disabled;
           tc "capacity" test_trace_capacity;
+          tc "ring keeps tail" test_trace_ring_keeps_tail;
+          tc "below capacity" test_trace_below_capacity_not_truncated;
           tc "filter" test_trace_filter;
         ] );
       ( "stack",

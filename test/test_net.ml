@@ -197,6 +197,80 @@ let test_drop_filter () =
   Sim.run sim;
   check Alcotest.int "filter removed" 2 (List.length !inbox1)
 
+let test_filtered_counted_separately () =
+  (* Regression: filter drops must not be conflated with stochastic
+     loss — fault-injection drops stay distinguishable in reports. *)
+  let sim, net = make_net ~loss:0.0 () in
+  ignore (inbox net 1);
+  Datagram.set_drop_filter net (Some (fun ~src:_ ~dst:_ p -> p = "drop-me"));
+  Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "drop-me";
+  Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "keep-me";
+  Sim.run sim;
+  let c = Datagram.counters net in
+  check Alcotest.int "filtered" 1 c.Datagram.filtered;
+  check Alcotest.int "not lost" 0 c.Datagram.lost;
+  check Alcotest.int "delivered" 1 c.Datagram.delivered
+
+let test_recover () =
+  let sim, net = make_net () in
+  let inbox1 = inbox net 1 in
+  Datagram.crash net 1;
+  Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "while-down";
+  Sim.run sim;
+  check Alcotest.int "nothing while down" 0 (List.length !inbox1);
+  Datagram.recover net 1;
+  check Alcotest.bool "not crashed" false (Datagram.is_crashed net 1);
+  check (Alcotest.list Alcotest.int) "correct again" [ 0; 1; 2 ]
+    (Datagram.correct_nodes net);
+  Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "after-recover";
+  Sim.run sim;
+  check Alcotest.int "delivery resumes" 1 (List.length !inbox1);
+  check Alcotest.bool "lost send stays lost" true (!inbox1 = [ (0, "after-recover") ])
+
+let test_recover_resets_egress_clock () =
+  let sim = Sim.create ~seed:7 () in
+  let link = { Latency.model = Latency.Constant 0.1; bandwidth_mbps = 100.0 } in
+  let net = Datagram.create sim ~n:2 ~link () in
+  Datagram.set_handler net ~node:1 (fun ~src:_ _ -> ());
+  for _ = 1 to 10 do
+    Datagram.send net ~src:0 ~dst:1 ~size_bytes:12_500 "1ms-each"
+  done;
+  check (Alcotest.float 1e-6) "backlog built" 10.0 (Datagram.egress_backlog_ms net ~node:0);
+  Datagram.crash net 0;
+  Sim.run ~until:1.0 sim;
+  Datagram.recover net 0;
+  check (Alcotest.float 0.0) "rebooted interface is idle" 0.0
+    (Datagram.egress_backlog_ms net ~node:0)
+
+let test_blocked_cause_counters () =
+  let sim, net = make_net ~n:4 () in
+  ignore (inbox net 1);
+  (* no handler on node 3 *)
+  Datagram.crash net 2;
+  Datagram.send net ~src:0 ~dst:2 ~size_bytes:10 "to-crashed";
+  Datagram.send net ~src:0 ~dst:3 ~size_bytes:10 "to-handlerless";
+  Sim.run sim;
+  Datagram.partition net [ [ 0 ]; [ 1 ] ];
+  Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "cross-partition";
+  Sim.run sim;
+  let c = Datagram.counters net in
+  check Alcotest.int "crash cause" 1 c.Datagram.blocked_crash;
+  check Alcotest.int "partition cause" 1 c.Datagram.blocked_partition;
+  check Alcotest.int "no-handler cause" 1 c.Datagram.blocked_no_handler;
+  check Alcotest.int "total" 3 c.Datagram.blocked
+
+let test_set_dup_dynamic () =
+  let sim, net = make_net () in
+  let inbox1 = inbox net 1 in
+  Datagram.set_dup net 1.0;
+  check (Alcotest.float 0.0) "getter" 1.0 (Datagram.dup net);
+  Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "x";
+  Sim.run sim;
+  Datagram.set_dup net 0.0;
+  Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "y";
+  Sim.run sim;
+  check Alcotest.int "two then one" 3 (List.length !inbox1)
+
 let test_set_loss_dynamic () =
   let sim, net = make_net () in
   let inbox1 = inbox net 1 in
@@ -339,7 +413,12 @@ let () =
           tc "heal" test_heal;
           tc "implicit group" test_partition_implicit_group;
           tc "drop filter" test_drop_filter;
+          tc "filtered counted separately" test_filtered_counted_separately;
+          tc "recover" test_recover;
+          tc "recover resets egress" test_recover_resets_egress_clock;
+          tc "blocked causes" test_blocked_cause_counters;
           tc "dynamic loss" test_set_loss_dynamic;
+          tc "dynamic dup" test_set_dup_dynamic;
           tc "counters" test_counters_bytes;
           tc "egress serialization" test_egress_serialization;
           tc "egress backlog" test_egress_backlog_reported;
