@@ -12,8 +12,15 @@ module E = W.Experiment
 module F = W.Figures
 module Stats = Dpu_engine.Stats
 module Sim = Dpu_engine.Sim
+module Json = Dpu_obs.Json
 
 let section name = Printf.printf "\n============ %s ============\n%!" name
+
+(* Machine-readable results: every section deposits its numbers here
+   and the driver writes BENCH_results.json at the end. *)
+let results : (string * Json.t) list ref = ref []
+
+let record key v = results := !results @ [ (key, v) ]
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5                                                           *)
@@ -24,6 +31,21 @@ let run_fig5 () =
   let r = F.figure5 () in
   print_string (F.render_figure5 r);
   let reports = E.check r in
+  record "fig5"
+    (Json.Obj
+       [
+         ("n", Json.Int r.E.params.E.n);
+         ("seed", Json.Int r.E.params.E.seed);
+         ("load_msg_per_s", Json.Float r.E.params.E.load);
+         ("sent", Json.Int r.E.sent);
+         ("delivered_everywhere", Json.Int r.E.delivered_everywhere);
+         ("normal_mean_ms", Json.Float (Stats.mean r.E.normal));
+         ("normal_p95_ms", Json.Float (Stats.percentile r.E.normal 95.0));
+         ("during_mean_ms", Json.Float (Stats.mean r.E.during));
+         ("switch_duration_ms", Json.Float r.E.switch_duration_ms);
+         ("blocked_ms", Json.Float r.E.blocked_ms);
+         ("properties_ok", Json.Bool (Dpu_props.Report.all_ok reports));
+       ]);
   Format.printf "properties: %s@."
     (if Dpu_props.Report.all_ok reports then "all ok" else "VIOLATED");
   if not (Dpu_props.Report.all_ok reports) then
@@ -36,6 +58,24 @@ let run_fig5 () =
 let run_fig6 () =
   section "Figure 6: latency vs load (n=3 and n=7; layer overhead; during switch)";
   let points = F.figure6 () in
+  record "fig6"
+    (Json.Obj
+       [
+         ("seed", Json.Int 1);
+         ( "points",
+           Json.List
+             (List.map
+                (fun (p : F.fig6_point) ->
+                  Json.Obj
+                    [
+                      ("n", Json.Int p.F.n);
+                      ("load_msg_per_s", Json.Float p.F.load);
+                      ("no_layer_ms", Json.Float p.F.no_layer_ms);
+                      ("with_layer_ms", Json.Float p.F.with_layer_ms);
+                      ("during_ms", Json.Float p.F.during_ms);
+                    ])
+                points) );
+       ]);
   print_string (F.render_figure6 points)
 
 (* ------------------------------------------------------------------ *)
@@ -45,6 +85,15 @@ let run_fig6 () =
 let run_headline () =
   section "Headline numbers (paper §6 vs this reproduction)";
   let h = F.headline () in
+  record "headline"
+    (Json.Obj
+       [
+         ("seeds", Json.List (List.map (fun s -> Json.Int s) [ 1; 2; 3; 4; 5 ]));
+         ("layer_overhead_pct", Json.Float h.F.layer_overhead_pct);
+         ("spike_pct", Json.Float h.F.spike_pct);
+         ("spike_duration_ms", Json.Float h.F.spike_duration_ms);
+         ("app_blocked_ms", Json.Float h.F.app_blocked_ms);
+       ]);
   print_string (F.render_headline h)
 
 (* ------------------------------------------------------------------ *)
@@ -54,6 +103,25 @@ let run_headline () =
 let run_compare () =
   section "DPU approach comparison: Repl vs Graceful Adaptation vs Maestro";
   let rows = F.compare_approaches () in
+  record "compare"
+    (Json.Obj
+       [
+         ("seed", Json.Int 1);
+         ( "approaches",
+           Json.List
+             (List.map
+                (fun (row : F.comparison_row) ->
+                  Json.Obj
+                    [
+                      ("approach", Json.Str (E.approach_name row.F.approach));
+                      ("normal_ms", Json.Float row.F.normal_ms);
+                      ("during_switch_ms", Json.Float row.F.during_switch_ms);
+                      ("switch_duration_ms", Json.Float row.F.switch_duration);
+                      ("blocked_ms", Json.Float row.F.blocked);
+                      ("all_delivered", Json.Bool row.F.all_delivered);
+                    ])
+                rows) );
+       ]);
   print_string (F.render_comparison rows);
   print_string
     (W.Ascii.vbars
@@ -672,4 +740,16 @@ let () =
           (String.concat " " (List.map fst all_sections));
         exit 2)
     requested;
-  Printf.printf "\n(total bench wall time: %.1f s)\n" (Unix.gettimeofday () -. t0)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let out =
+    Json.Obj
+      [
+        ("schema", Json.Str "dpu.bench/1");
+        ("sections", Json.List (List.map (fun s -> Json.Str s) requested));
+        ("wall_clock_s", Json.Float wall_s);
+        ("results", Json.Obj !results);
+      ]
+  in
+  Json.to_file "BENCH_results.json" out;
+  Printf.printf "\nmachine-readable results written to BENCH_results.json\n";
+  Printf.printf "(total bench wall time: %.1f s)\n" wall_s

@@ -44,7 +44,7 @@ let approach_conv =
 
 let scenario n load seed duration switch_at initial switch_to approach loss batch check
     crashes consensus_layer switch_consensus_to switch_consensus_at faults nemesis_seed
-    nemesis_faults =
+    nemesis_faults metrics_out spans_out csv_out =
   let consensus_layer =
     if consensus_layer || switch_consensus_to <> None then
       Some Dpu_protocols.Consensus_ct.protocol_name
@@ -69,6 +69,7 @@ let scenario n load seed duration switch_at initial switch_to approach loss batc
     exit 2);
   if faults <> [] then
     Format.printf "fault schedule: %a@." Dpu_faults.Schedule.pp faults;
+  let obs_requested = metrics_out <> None || spans_out <> None || csv_out <> None in
   let params =
     {
       E.default with
@@ -82,7 +83,8 @@ let scenario n load seed duration switch_at initial switch_to approach loss batc
       approach;
       loss;
       batch_size = batch;
-      trace_enabled = check;
+      trace_enabled = check || spans_out <> None;
+      metrics_enabled = obs_requested;
       consensus_layer;
       switch_consensus;
       faults;
@@ -103,6 +105,33 @@ let scenario n load seed duration switch_at initial switch_to approach loss batc
   | None -> print_endline "no replacement performed");
   if r.E.blocked_ms > 0.0 then
     Printf.printf "application blocked for %.1f ms\n" r.E.blocked_ms;
+  (match metrics_out with
+  | Some path ->
+    Dpu_obs.Json.to_file path (Dpu_obs.Metrics.to_json r.E.metrics);
+    Printf.printf "metrics snapshot written to %s\n" path
+  | None -> ());
+  (match spans_out with
+  | Some path ->
+    let events = Dpu_core.Spans.of_run ~trace:r.E.trace ~n r.E.collector in
+    Dpu_obs.Json.to_file path (Dpu_core.Spans.to_json events);
+    Printf.printf "%d trace events written to %s (load in Perfetto / chrome://tracing)\n"
+      (List.length events) path
+  | None -> ());
+  (match csv_out with
+  | Some path ->
+    let rows =
+      List.map
+        (fun (p : Dpu_engine.Series.point) ->
+          [ Printf.sprintf "%.3f" p.time; Printf.sprintf "%.3f" p.value ])
+        (Dpu_engine.Series.points r.E.latency)
+    in
+    Dpu_obs.Csv.to_file path ~header:[ "send_time_ms"; "latency_ms" ] rows;
+    Printf.printf "%d latency samples written to %s\n" (List.length rows) path
+  | None -> ());
+  if obs_requested then begin
+    print_endline "--- observability summary ---";
+    Format.printf "%a@?" Dpu_obs.Metrics.pp_summary r.E.metrics
+  end;
   if check then begin
     let reports = E.check r in
     Format.printf "%a" Dpu_props.Report.pp_all reports;
@@ -213,12 +242,35 @@ let scenario_cmd =
       & info [ "nemesis-faults" ] ~docv:"K"
           ~doc:"How many faults the nemesis draws (default 3).")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write a JSON metrics snapshot to FILE (enables metrics collection).")
+  in
+  let spans_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans-out" ] ~docv:"FILE"
+          ~doc:
+            "Write per-message spans and the replacement timeline to FILE as \
+             Chrome trace-event JSON (load in Perfetto); implies tracing.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-out" ] ~docv:"FILE"
+          ~doc:"Write the per-message latency series to FILE as CSV.")
+  in
   let term =
     Term.(
       const scenario $ n_arg $ load_arg $ seed_arg $ duration $ switch_at $ initial
       $ switch_to $ approach $ loss $ batch $ check $ crashes $ consensus_layer
       $ switch_consensus_to $ switch_consensus_at $ faults $ nemesis_seed
-      $ nemesis_faults)
+      $ nemesis_faults $ metrics_out $ spans_out $ csv_out)
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run one simulated group-communication scenario.")

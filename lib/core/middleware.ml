@@ -10,6 +10,7 @@ type config = {
   hop_cost : float;
   profile : Stack_builder.profile;
   trace_enabled : bool;
+  metrics_enabled : bool;
   msg_size : int;
 }
 
@@ -22,6 +23,7 @@ let default_config =
     hop_cost = 0.05;
     profile = Stack_builder.default_profile;
     trace_enabled = true;
+    metrics_enabled = false;
     msg_size = 4096;
   }
 
@@ -29,17 +31,29 @@ type t = {
   config : config;
   system : System.t;
   collector : Collector.t;
+  metrics : Dpu_obs.Metrics.t;
+  m_sends : Dpu_obs.Metrics.counter;
   next_seq : int array;  (* per-node app message counter *)
 }
 
 let create ?(config = default_config) ?register_extra ~n () =
+  let metrics =
+    if config.metrics_enabled then Dpu_obs.Metrics.create () else Dpu_obs.Metrics.noop
+  in
   let system =
     System.create ~seed:config.seed ~loss:config.loss ~dup:config.dup ~link:config.link
-      ~hop_cost:config.hop_cost ~trace_enabled:config.trace_enabled ~n ()
+      ~hop_cost:config.hop_cost ~trace_enabled:config.trace_enabled ~metrics ~n ()
   in
   let collector = Collector.create () in
   Stack_builder.build ~collector ?register_extra ~profile:config.profile system;
-  { config; system; collector; next_seq = Array.make n 0 }
+  {
+    config;
+    system;
+    collector;
+    metrics;
+    m_sends = Dpu_obs.Metrics.counter metrics "app_sends_total";
+    next_seq = Array.make n 0;
+  }
 
 let config t = t.config
 
@@ -48,6 +62,8 @@ let n t = System.n t.system
 let system t = t.system
 
 let collector t = t.collector
+
+let metrics t = t.metrics
 
 let now t = System.now t.system
 
@@ -62,6 +78,7 @@ let broadcast t ~node ?size body =
   let stack = System.stack t.system node in
   if Stack.is_crashed stack then m
   else begin
+  Dpu_obs.Metrics.incr t.m_sends;
   Collector.record_send t.collector ~node ~id:m.id ~time:(now t);
   Stack.app_event stack ~tag:"abcast" ~data:(Msg.id_to_string m.id);
   (if has_layer t then

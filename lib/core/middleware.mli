@@ -25,12 +25,15 @@ type config = {
   hop_cost : float;  (** per-module dispatch cost, ms *)
   profile : Stack_builder.profile;
   trace_enabled : bool;  (** record the kernel trace (needed by checkers) *)
+  metrics_enabled : bool;
+      (** allocate a live metrics registry; off by default, in which
+          case all instrumentation across the stack is no-op *)
   msg_size : int;  (** default broadcast payload size, bytes *)
 }
 
 val default_config : config
 (** Seed 1, lossless LAN, 0.05 ms hops, CT ABcast with replacement
-    layer, 4 KB messages, tracing on. *)
+    layer, 4 KB messages, tracing on, metrics off. *)
 
 type t
 
@@ -46,6 +49,10 @@ val n : t -> int
 val system : t -> System.t
 
 val collector : t -> Collector.t
+
+val metrics : t -> Dpu_obs.Metrics.t
+(** The cluster's metrics registry ({!Dpu_obs.Metrics.noop} unless
+    [config.metrics_enabled]). *)
 
 val now : t -> float
 

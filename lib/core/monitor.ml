@@ -14,7 +14,13 @@ let install ~collector ~mode stack =
   Stack.add_module stack ~name:"monitor" ~provides:[] ~requires:[ service ]
     (fun stack _self ->
       let now () = Dpu_engine.Sim.now (Stack.sim stack) in
+      let m_delivers =
+        Dpu_obs.Metrics.counter (Stack.metrics stack)
+          ~labels:[ ("node", string_of_int node) ]
+          "app_delivers_total"
+      in
       let deliver (m : Msg.t) =
+        Dpu_obs.Metrics.incr m_delivers;
         Stack.app_event stack ~tag:"adeliver" ~data:(Msg.id_to_string m.id);
         Collector.record_deliver collector ~node ~id:m.id ~time:(now ())
       in

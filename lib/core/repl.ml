@@ -29,8 +29,17 @@ let install ~registry stack =
   Stack.add_module stack ~name:protocol_name ~provides:[ Service.r_abcast ]
     ~requires:[ Service.abcast ]
     (fun stack _self ->
+      let module M = Dpu_obs.Metrics in
+      let labels = [ ("node", string_of_int me) ] in
+      let metrics = Stack.metrics stack in
+      let m_intercepted = M.counter metrics ~labels "repl_intercepted_calls_total" in
+      let m_reissued = M.counter metrics ~labels "repl_reissued_total" in
+      let m_switches = M.counter metrics ~labels "repl_switches_total" in
+      let m_stale = M.counter metrics ~labels "repl_stale_changes_total" in
       (* Algorithm 1, lines 1-4. *)
       let undelivered : (Msg.id, int * Payload.t) Hashtbl.t = Hashtbl.create 64 in
+      M.register_int metrics ~labels "repl_undelivered" (fun () ->
+          Hashtbl.length undelivered);
       let seq_number = ref 0 in
       let next_local = ref 0 in
       let sync_env () =
@@ -70,9 +79,11 @@ let install ~registry stack =
          that assumption hold (a racing change request is dropped; the
          requester can simply re-issue it). *)
       let on_new sn protocol =
-        if sn <> !seq_number then
+        if sn <> !seq_number then begin
+          M.incr m_stale;
           Stack.app_event stack ~tag:"repl.stale-change"
             ~data:(Printf.sprintf "sn=%d current=%d prot=%s" sn !seq_number protocol)
+        end
         else begin
         incr seq_number;
         Stack.unbind stack Service.abcast;
@@ -82,6 +93,7 @@ let install ~registry stack =
         Stack.set_env stack Abcast_iface.epoch_key !seq_number;
         ignore (Registry.instantiate registry stack ~name:protocol : Stack.module_);
         sync_env ();
+        M.incr m_switches;
         Stack.app_event stack ~tag:"repl.switch"
           ~data:(Printf.sprintf "gen=%d prot=%s" !seq_number protocol);
         Stack.indicate stack Service.r_abcast
@@ -92,6 +104,7 @@ let install ~registry stack =
         let pending = List.sort (fun (a, _) (b, _) -> Msg.id_compare a b) pending in
         List.iter
           (fun (id, (size, payload)) ->
+            M.incr m_reissued;
             abcast ~size:(size + header_size)
               (A_data { sn = !seq_number; id; size; payload }))
           pending
@@ -113,8 +126,12 @@ let install ~registry stack =
         handle_call =
           (fun _svc p ->
             match p with
-            | Repl_iface.R_broadcast { size; payload } -> r_broadcast ~size payload
-            | Repl_iface.Change_abcast protocol -> change_abcast protocol
+            | Repl_iface.R_broadcast { size; payload } ->
+              M.incr m_intercepted;
+              r_broadcast ~size payload
+            | Repl_iface.Change_abcast protocol ->
+              M.incr m_intercepted;
+              change_abcast protocol
             | _ -> ());
         handle_indication =
           (fun svc p ->

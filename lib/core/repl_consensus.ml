@@ -62,6 +62,14 @@ let install ~registry ~initial ~n stack =
   Stack.add_module stack ~name:protocol_name ~provides:[ Service.consensus ]
     ~requires:(Service.rp2p :: all_impl_services)
     (fun stack _self ->
+      let module M = Dpu_obs.Metrics in
+      let labels = [ ("node", string_of_int me) ] in
+      let metrics = Stack.metrics stack in
+      let m_proposals = M.counter metrics ~labels "repl_consensus_proposals_total" in
+      let m_decisions = M.counter metrics ~labels "repl_consensus_decisions_total" in
+      let m_stale = M.counter metrics ~labels "repl_consensus_stale_decisions_total" in
+      let m_switches = M.counter metrics ~labels "repl_consensus_switches_total" in
+      let m_reissued = M.counter metrics ~labels "repl_consensus_reissued_total" in
       let streams : (int, stream) Hashtbl.t = Hashtbl.create 4 in
       let request = ref None in
       let get_stream epoch =
@@ -108,6 +116,7 @@ let install ~registry ~initial ~n stack =
         if !request <> None then request := None;
         if s.epoch = 0 then Stack.set_env stack k_generation s.gen;
         ensure_impl ~protocol ~gen:s.gen;
+        M.incr m_switches;
         Stack.app_event stack ~tag:"repl-consensus.switch"
           ~data:(Printf.sprintf "stream=%d gen=%d prot=%s" s.epoch s.gen protocol);
         Stack.indicate stack Service.consensus
@@ -117,7 +126,10 @@ let install ~registry ~initial ~n stack =
            any, but a racing proposal is repaired here). *)
         Hashtbl.iter
           (fun k (value, weight) ->
-            if k > k_s then propose_impl s ~k ~value ~weight)
+            if k > k_s then begin
+              M.incr m_reissued;
+              propose_impl s ~k ~value ~weight
+            end)
           s.pending
       in
       let advance_prefix s =
@@ -136,7 +148,9 @@ let install ~registry ~initial ~n stack =
         (* Line-18 analogue: decisions of superseded generations are
            discarded; the instances they decided were (or will be)
            re-decided under the current generation. *)
-        if gen = s.gen && not (Hashtbl.mem s.forwarded k) then begin
+        if gen <> s.gen then M.incr m_stale
+        else if not (Hashtbl.mem s.forwarded k) then begin
+          M.incr m_decisions;
           let client_value, switch =
             match value with
             | Wrapped { value; switch } -> (value, switch)
@@ -155,6 +169,7 @@ let install ~registry ~initial ~n stack =
         end
       in
       let on_propose iid value weight =
+        M.incr m_proposals;
         let s = get_stream iid.CI.epoch in
         let k = iid.CI.k in
         match Hashtbl.find_opt s.forwarded k with

@@ -7,12 +7,21 @@ type t = {
   mutable clock : float;
   mutable stopping : bool;
   root_rng : Rng.t;
+  mutable scheduled : int;
+  mutable executed : int;
 }
 
 exception Stopped
 
 let create ?(seed = 1) () =
-  { queue = Heap.create (); clock = 0.0; stopping = false; root_rng = Rng.create ~seed }
+  {
+    queue = Heap.create ();
+    clock = 0.0;
+    stopping = false;
+    root_rng = Rng.create ~seed;
+    scheduled = 0;
+    executed = 0;
+  }
 
 let now t = t.clock
 
@@ -22,6 +31,7 @@ let schedule_at t ~time fn =
   let time = if time < t.clock then t.clock else time in
   let h = { cancelled = false } in
   Heap.add t.queue ~priority:time { h; fn };
+  t.scheduled <- t.scheduled + 1;
   h
 
 let schedule t ~delay fn =
@@ -60,6 +70,7 @@ let step t =
     t.clock <- time;
     if not ev.h.cancelled then begin
       ev.h.cancelled <- true;
+      t.executed <- t.executed + 1;
       ev.fn ()
     end;
     true
@@ -97,3 +108,14 @@ let run ?until ?(max_events = max_int) t =
   | Some _ | None -> ()
 
 let run_for t d = run ~until:(t.clock +. d) t
+
+let events_scheduled t = t.scheduled
+
+let events_executed t = t.executed
+
+let register_metrics t m =
+  Dpu_obs.Metrics.register_int m "sim_events_scheduled_total" (fun () -> t.scheduled);
+  Dpu_obs.Metrics.register_int m "sim_events_executed_total" (fun () -> t.executed);
+  Dpu_obs.Metrics.register_float m "sim_pending_events" (fun () ->
+      float_of_int (Heap.length t.queue));
+  Dpu_obs.Metrics.register_float m "sim_virtual_now_ms" (fun () -> t.clock)

@@ -54,3 +54,16 @@ exception Stopped
 
 val stop : t -> unit
 (** Make the current [run] return after the current event completes. *)
+
+(** {1 Observability} *)
+
+val events_scheduled : t -> int
+(** Total events (including timers) ever scheduled. *)
+
+val events_executed : t -> int
+(** Total non-cancelled events executed. *)
+
+val register_metrics : t -> Dpu_obs.Metrics.t -> unit
+(** Export [sim_events_scheduled_total], [sim_events_executed_total],
+    [sim_pending_events] and [sim_virtual_now_ms] as snapshot-time
+    callbacks (no hot-path cost). *)

@@ -29,39 +29,70 @@ type t = {
   node : int;
   hop_cost : float;
   trace : Trace.t;
+  metrics : Dpu_obs.Metrics.t;
+  blocked_hist : Dpu_obs.Metrics.histogram;
   mutable next_module_id : int;
   mutable modules : module_ list; (* reversed addition order *)
   mutable bindings : module_ Service.Map.t;
-  blocked : (Service.t, Payload.t Queue.t) Hashtbl.t;
+  blocked : (Service.t, (float * Payload.t) Queue.t) Hashtbl.t;
+      (* enqueue time, payload *)
   env : (string, int) Hashtbl.t;
   mutable crashed : bool;
   mutable calls_executed : int;
   mutable indications_executed : int;
+  mutable calls_blocked : int;
+  mutable calls_unblocked : int;
+  mutable binds : int;
+  mutable unbinds : int;
 }
 
 exception Already_bound of Service.t
 
-let create ~sim ~node ?(hop_cost = 0.05) ~trace () =
-  {
-    sim;
-    node;
-    hop_cost;
-    trace;
-    next_module_id = 0;
-    modules = [];
-    bindings = Service.Map.empty;
-    blocked = Hashtbl.create 8;
-    env = Hashtbl.create 4;
-    crashed = false;
-    calls_executed = 0;
-    indications_executed = 0;
-  }
+let create ~sim ~node ?(hop_cost = 0.05) ~trace ?(metrics = Dpu_obs.Metrics.noop) () =
+  let labels = [ ("node", string_of_int node) ] in
+  let t =
+    {
+      sim;
+      node;
+      hop_cost;
+      trace;
+      metrics;
+      blocked_hist =
+        Dpu_obs.Metrics.histogram metrics ~labels "kernel_blocked_call_ms";
+      next_module_id = 0;
+      modules = [];
+      bindings = Service.Map.empty;
+      blocked = Hashtbl.create 8;
+      env = Hashtbl.create 4;
+      crashed = false;
+      calls_executed = 0;
+      indications_executed = 0;
+      calls_blocked = 0;
+      calls_unblocked = 0;
+      binds = 0;
+      unbinds = 0;
+    }
+  in
+  let module M = Dpu_obs.Metrics in
+  M.register_int metrics ~labels "kernel_calls_total" (fun () -> t.calls_executed);
+  M.register_int metrics ~labels "kernel_indications_total" (fun () ->
+      t.indications_executed);
+  M.register_int metrics ~labels "kernel_calls_blocked_total" (fun () ->
+      t.calls_blocked);
+  M.register_int metrics ~labels "kernel_calls_unblocked_total" (fun () ->
+      t.calls_unblocked);
+  M.register_int metrics ~labels "kernel_binds_total" (fun () -> t.binds);
+  M.register_int metrics ~labels "kernel_unbinds_total" (fun () -> t.unbinds);
+  M.register_int metrics ~labels "kernel_modules" (fun () -> List.length t.modules);
+  t
 
 let node t = t.node
 
 let sim t = t.sim
 
 let trace t = t.trace
+
+let metrics t = t.metrics
 
 let hop_cost t = t.hop_cost
 
@@ -122,6 +153,7 @@ let remove_module t m =
       (fun svc bound_m ->
         if bound_m.m_id = m.m_id then begin
           t.bindings <- Service.Map.remove svc t.bindings;
+          t.unbinds <- t.unbinds + 1;
           record t (Trace.Unbind (Service.name svc, m.m_name))
         end)
       t.bindings;
@@ -152,16 +184,20 @@ let rec execute_call t svc payload =
       record_lazy t (fun d -> Trace.Call (Service.name svc, d)) payload;
       m.m_handlers.handle_call svc payload
     | None ->
+      t.calls_blocked <- t.calls_blocked + 1;
       record_lazy t (fun d -> Trace.Call_blocked (Service.name svc, d)) payload;
-      Queue.add payload (blocked_queue t svc)
+      Queue.add (Sim.now t.sim, payload) (blocked_queue t svc)
 
 and release_blocked t svc =
   match Hashtbl.find_opt t.blocked svc with
   | None -> ()
   | Some q ->
     let pending = Queue.length q in
+    let now = Sim.now t.sim in
     for _ = 1 to pending do
-      let payload = Queue.pop q in
+      let blocked_at, payload = Queue.pop q in
+      t.calls_unblocked <- t.calls_unblocked + 1;
+      Dpu_obs.Metrics.observe t.blocked_hist (now -. blocked_at);
       record t (Trace.Call_unblocked (Service.name svc));
       ignore
         (Sim.schedule t.sim ~delay:t.hop_cost (fun () -> execute_call t svc payload)
@@ -174,6 +210,7 @@ let bind t svc m =
   | Some existing when existing.m_id <> m.m_id -> raise (Already_bound svc)
   | Some _ | None -> ());
   t.bindings <- Service.Map.add svc m t.bindings;
+  t.binds <- t.binds + 1;
   record t (Trace.Bind (Service.name svc, m.m_name));
   release_blocked t svc
 
@@ -182,6 +219,7 @@ let unbind t svc =
   | None -> ()
   | Some m ->
     t.bindings <- Service.Map.remove svc t.bindings;
+    t.unbinds <- t.unbinds + 1;
     record t (Trace.Unbind (Service.name svc, m.m_name))
 
 let call t svc payload =

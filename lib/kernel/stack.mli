@@ -42,15 +42,25 @@ val create :
   node:int ->
   ?hop_cost:float ->
   trace:Trace.t ->
+  ?metrics:Dpu_obs.Metrics.t ->
   unit ->
   t
-(** A stack for machine [node]. [hop_cost] defaults to [0.05] ms. *)
+(** A stack for machine [node]. [hop_cost] defaults to [0.05] ms.
+    [metrics] (default {!Dpu_obs.Metrics.noop}) receives the per-node
+    kernel series ([kernel_calls_total], [kernel_calls_blocked_total],
+    [kernel_binds_total], …, all labelled [node=i], plus the
+    [kernel_blocked_call_ms] histogram) and is exposed to modules via
+    {!metrics} so protocol layers can register their own series. *)
 
 val node : t -> int
 
 val sim : t -> Dpu_engine.Sim.t
 
 val trace : t -> Trace.t
+
+val metrics : t -> Dpu_obs.Metrics.t
+(** The registry passed at creation ({!Dpu_obs.Metrics.noop} when
+    observability is off — instruments created against it are free). *)
 
 val hop_cost : t -> float
 

@@ -5,19 +5,23 @@ type t = {
   sim : Sim.t;
   net : Payload.t Datagram.t;
   trace : Trace.t;
+  metrics : Dpu_obs.Metrics.t;
   registry : Registry.t;
   stacks : Stack.t array;
 }
 
 let create ?(seed = 1) ?(loss = 0.0) ?(dup = 0.0) ?(link = Dpu_net.Latency.lan)
-    ?(hop_cost = 0.05) ?(trace_enabled = true) ~n () =
+    ?(hop_cost = 0.05) ?(trace_enabled = true) ?(metrics = Dpu_obs.Metrics.noop) ~n
+    () =
   let sim = Sim.create ~seed () in
   let net = Datagram.create sim ~n ~loss ~dup ~link () in
   let trace = Trace.create ~enabled:trace_enabled () in
+  Sim.register_metrics sim metrics;
+  Datagram.register_metrics net metrics;
   let stacks =
-    Array.init n (fun node -> Stack.create ~sim ~node ~hop_cost ~trace ())
+    Array.init n (fun node -> Stack.create ~sim ~node ~hop_cost ~trace ~metrics ())
   in
-  { sim; net; trace; registry = Registry.create (); stacks }
+  { sim; net; trace; metrics; registry = Registry.create (); stacks }
 
 let n t = Array.length t.stacks
 
@@ -26,6 +30,8 @@ let sim t = t.sim
 let net t = t.net
 
 let trace t = t.trace
+
+let metrics t = t.metrics
 
 let registry t = t.registry
 

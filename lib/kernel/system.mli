@@ -13,9 +13,13 @@ val create :
   ?link:Dpu_net.Latency.link ->
   ?hop_cost:float ->
   ?trace_enabled:bool ->
+  ?metrics:Dpu_obs.Metrics.t ->
   n:int ->
   unit ->
   t
+(** [metrics] (default {!Dpu_obs.Metrics.noop}) is wired into the
+    simulator, the network and every stack; protocol modules reach it
+    through [Stack.metrics]. *)
 
 val n : t -> int
 
@@ -24,6 +28,8 @@ val sim : t -> Dpu_engine.Sim.t
 val net : t -> Payload.t Dpu_net.Datagram.t
 
 val trace : t -> Trace.t
+
+val metrics : t -> Dpu_obs.Metrics.t
 
 val registry : t -> Registry.t
 

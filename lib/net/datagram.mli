@@ -92,6 +92,11 @@ val set_link_override : 'a t -> src:int -> dst:int -> Latency.link option -> uni
 
 val counters : 'a t -> counters
 
+val register_metrics : 'a t -> Dpu_obs.Metrics.t -> unit
+(** Export every {!counters} field (plus [net_blocked_by_cause_total]
+    labelled by cause and the current loss/dup probabilities) as
+    snapshot-time callbacks — no per-datagram cost. *)
+
 val egress_backlog_ms : 'a t -> node:int -> float
 (** How far ahead of the current virtual time the node's interface is
     booked: the queueing delay a datagram sent now would experience

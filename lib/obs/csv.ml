@@ -1,0 +1,34 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape field =
+  if needs_quoting field then begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else field
+
+let row_to_string row = String.concat "," (List.map escape row)
+
+let render ~header rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (row_to_string header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (row_to_string row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let to_file path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ~header rows))

@@ -1,0 +1,9 @@
+(** RFC 4180-style CSV rendering (fields containing commas, quotes or
+    newlines are quoted, quotes doubled). *)
+
+val escape : string -> string
+
+val render : header:string list -> string list list -> string
+(** Header line plus one line per row, each newline-terminated. *)
+
+val to_file : string -> header:string list -> string list list -> unit

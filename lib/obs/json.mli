@@ -1,0 +1,42 @@
+(** A minimal dependency-free JSON representation.
+
+    The exporters in this library (metrics snapshots, Chrome trace
+    events, bench artifacts) emit through this type; the parser exists
+    so that tests and CI can validate the emitted artifacts without an
+    external JSON package. Non-finite floats serialise as [null] — an
+    emitted document is always syntactically valid JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialisation. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline to a file. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document. [Error] carries a message with the
+    byte offset of the failure. *)
+
+(** {1 Accessors} *)
+
+val member : t -> string -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_list_opt : t -> t list option
+
+val to_string_opt : t -> string option
+
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both succeed. *)

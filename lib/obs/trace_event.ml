@@ -1,0 +1,91 @@
+type args = (string * Json.t) list
+
+type t =
+  | Complete of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts_us : float;
+      dur_us : float;
+      args : args;
+    }
+  | Instant of { name : string; cat : string; pid : int; tid : int; ts_us : float; args : args }
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+
+let us_of_ms ms = ms *. 1000.0
+
+let complete ~name ~cat ~pid ~tid ~ts_ms ~dur_ms ?(args = []) () =
+  Complete
+    {
+      name;
+      cat;
+      pid;
+      tid;
+      ts_us = us_of_ms ts_ms;
+      dur_us = us_of_ms (Float.max 0.0 dur_ms);
+      args;
+    }
+
+let instant ~name ~cat ~pid ~tid ~ts_ms ?(args = []) () =
+  Instant { name; cat; pid; tid; ts_us = us_of_ms ts_ms; args }
+
+let process_name ~pid name = Process_name { pid; name }
+
+let thread_name ~pid ~tid name = Thread_name { pid; tid; name }
+
+let args_field = function
+  | [] -> []
+  | args -> [ ("args", Json.Obj args) ]
+
+let event_json = function
+  | Complete { name; cat; pid; tid; ts_us; dur_us; args } ->
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("cat", Json.Str cat);
+         ("ph", Json.Str "X");
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+         ("ts", Json.Float ts_us);
+         ("dur", Json.Float dur_us);
+       ]
+      @ args_field args)
+  | Instant { name; cat; pid; tid; ts_us; args } ->
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("cat", Json.Str cat);
+         ("ph", Json.Str "i");
+         ("s", Json.Str "t");
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+         ("ts", Json.Float ts_us);
+       ]
+      @ args_field args)
+  | Process_name { pid; name } ->
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+  | Thread_name { pid; tid; name } ->
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+
+let to_json events =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]

@@ -14,6 +14,12 @@ let install stack =
   Stack.add_module stack ~name:protocol_name ~provides:[]
     ~requires:[ Service.rp2p; Rbcast.service; Service.consensus; Service.r_abcast ]
     (fun stack _self ->
+      let module M = Dpu_obs.Metrics in
+      let labels = [ ("node", string_of_int (Stack.node stack)) ] in
+      let m_stashed = M.counter (Stack.metrics stack) ~labels "epoch_buffer_stashed_total" in
+      let m_replayed =
+        M.counter (Stack.metrics stack) ~labels "epoch_buffer_replayed_total"
+      in
       (* epoch -> stashed (service, payload) in arrival order (reversed) *)
       let stash : (int, (Service.t * Payload.t) list) Hashtbl.t = Hashtbl.create 4 in
       let replay_up_to generation =
@@ -29,6 +35,7 @@ let install stack =
             List.iter
               (fun (svc, payload) ->
                 bump stack k_replayed;
+                M.incr m_replayed;
                 Stack.indicate stack svc payload)
               (List.rev msgs))
           ready
@@ -45,6 +52,7 @@ let install stack =
               match Abcast_iface.wire_epoch p with
               | Some e when e > Abcast_iface.current_epoch stack ->
                 bump stack k_stashed;
+                M.incr m_stashed;
                 let prev = Option.value ~default:[] (Hashtbl.find_opt stash e) in
                 Hashtbl.replace stash e ((svc, p) :: prev)
               | Some _ | None -> ()));

@@ -32,6 +32,7 @@ type params = {
   loss : float;
   hop_cost : float;
   trace_enabled : bool;
+  metrics_enabled : bool;
   pattern : Load_gen.pattern;
   during_margin_ms : float;
   consensus_layer : string option;
@@ -55,6 +56,7 @@ let default =
     loss = 0.0;
     hop_cost = 0.5;
     trace_enabled = false;
+    metrics_enabled = false;
     pattern = Load_gen.Poisson;
     during_margin_ms = 50.0;
     consensus_layer = None;
@@ -74,6 +76,7 @@ type result = {
   delivered_everywhere : int;
   collector : Dpu_core.Collector.t;
   trace : Dpu_kernel.Trace.t;
+  metrics : Dpu_obs.Metrics.t;
   correct : int list;
 }
 
@@ -101,6 +104,7 @@ let run ?(crash_at = []) params =
       hop_cost = params.hop_cost;
       profile;
       trace_enabled = params.trace_enabled;
+      metrics_enabled = params.metrics_enabled;
       msg_size = params.msg_size;
     }
   in
@@ -215,6 +219,7 @@ let run ?(crash_at = []) params =
     delivered_everywhere = sent - List.length undelivered;
     collector;
     trace = Dpu_kernel.System.trace (MW.system mw);
+    metrics = MW.metrics mw;
     correct;
   }
 

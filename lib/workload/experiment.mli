@@ -34,6 +34,10 @@ type params = {
   loss : float;
   hop_cost : float;
   trace_enabled : bool;
+  metrics_enabled : bool;
+      (** allocate a live metrics registry (default off: all
+          instrumentation is no-op and results are bit-identical to a
+          run without observability) *)
   pattern : Load_gen.pattern;  (** arrival process (default Poisson) *)
   during_margin_ms : float;
       (** messages sent this long after the last stack switched still
@@ -67,6 +71,9 @@ type result = {
   delivered_everywhere : int;  (** messages delivered by all correct stacks *)
   collector : Dpu_core.Collector.t;
   trace : Dpu_kernel.Trace.t;
+  metrics : Dpu_obs.Metrics.t;
+      (** the run's metrics registry ({!Dpu_obs.Metrics.noop} unless
+          [metrics_enabled]) *)
   correct : int list;
 }
 

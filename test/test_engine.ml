@@ -431,6 +431,25 @@ let test_stats_nan_sorts_first () =
   check Alcotest.bool "p0 is the NaN" true (Float.is_nan (Stats.percentile s 0.0));
   check (Alcotest.float 1e-9) "p100 unaffected" 2.0 (Stats.percentile s 100.0)
 
+let test_stats_pp_empty () =
+  (* An empty accumulator must render, not raise or print NaNs. *)
+  let s = Stats.create () in
+  check Alcotest.string "renders n=0" "n=0" (Format.asprintf "%a" Stats.pp s)
+
+let test_stats_pp_single () =
+  let s = Stats.create () in
+  Stats.add s 42.0;
+  let out = Format.asprintf "%a" Stats.pp s in
+  check Alcotest.bool "mentions n=1" true
+    (String.length out >= 4 && String.sub out 0 4 = "n=1 ");
+  (* A single sample has undefined variance but pp must still produce
+     the mean/percentiles. *)
+  check Alcotest.bool "mentions the value" true
+    (let needle = "42.000" in
+     let nl = String.length needle and hl = String.length out in
+     let rec go i = i + nl <= hl && (String.sub out i nl = needle || go (i + 1)) in
+     go 0)
+
 let test_stats_percentile_after_more_adds () =
   (* The sorted cache must invalidate on insertion. *)
   let s = Stats.create () in
@@ -579,6 +598,8 @@ let () =
           tc "samples order" test_stats_samples_order;
           tc "nan ordering" test_stats_nan_sorts_first;
           tc "cache invalidation" test_stats_percentile_after_more_adds;
+          tc "pp empty" test_stats_pp_empty;
+          tc "pp single sample" test_stats_pp_single;
         ] );
       ( "series",
         [

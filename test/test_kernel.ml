@@ -152,6 +152,35 @@ let test_trace_below_capacity_not_truncated () =
   check Alcotest.int "no drops" 0 (Trace.dropped t);
   check Alcotest.int "all retained" 80 (Trace.length t)
 
+let test_trace_dropped_exact_across_wraps () =
+  (* The dropped counter must stay exact however many times the ring
+     wraps, and the retained window must stay contiguous, oldest
+     retained first. *)
+  let cap = 4 in
+  let t = Trace.create ~capacity:cap () in
+  let total = 3 + (5 * cap) in
+  for i = 1 to total do
+    Trace.record t ~time:(float_of_int i) ~node:0 Trace.Crash
+  done;
+  check Alcotest.int "length capped" cap (Trace.length t);
+  check Alcotest.int "dropped = recorded - retained" (total - cap) (Trace.dropped t);
+  check Alcotest.bool "truncated" true (Trace.truncated t);
+  let times = List.map (fun e -> e.Trace.time) (Trace.entries t) in
+  let expected =
+    List.init cap (fun i -> float_of_int (total - cap + 1 + i))
+  in
+  check (Alcotest.list (Alcotest.float 0.0)) "contiguous most-recent window" expected times
+
+let test_trace_disabled_records_drop_nothing () =
+  (* Records refused while disabled are not evictions: they must not
+     count as dropped. *)
+  let t = Trace.create ~capacity:2 ~enabled:false () in
+  for i = 1 to 10 do
+    Trace.record t ~time:(float_of_int i) ~node:0 Trace.Crash
+  done;
+  check Alcotest.int "nothing dropped" 0 (Trace.dropped t);
+  check Alcotest.bool "not truncated" false (Trace.truncated t)
+
 let test_trace_filter () =
   let t = Trace.create () in
   Trace.record t ~time:1.0 ~node:0 (Trace.Bind ("s", "m"));
@@ -579,6 +608,8 @@ let () =
           tc "capacity" test_trace_capacity;
           tc "ring keeps tail" test_trace_ring_keeps_tail;
           tc "below capacity" test_trace_below_capacity_not_truncated;
+          tc "dropped exact across wraps" test_trace_dropped_exact_across_wraps;
+          tc "disabled drops nothing" test_trace_disabled_records_drop_nothing;
           tc "filter" test_trace_filter;
         ] );
       ( "stack",

@@ -1,0 +1,380 @@
+(* Tests for the observability stack (Dpu_obs + Spans): the JSON
+   emitter/parser, the metrics registry and its no-op path, trace-event
+   and CSV export, span reconstruction, and the cross-layer invariants
+   tying the metric values to the collector's ground truth. *)
+
+module Json = Dpu_obs.Json
+module M = Dpu_obs.Metrics
+module TE = Dpu_obs.Trace_event
+module Csv = Dpu_obs.Csv
+module Spans = Dpu_core.Spans
+module Collector = Dpu_core.Collector
+module E = Dpu_workload.Experiment
+module Series = Dpu_engine.Series
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_print () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Bool true; Json.Null ]);
+        ("c", Json.Str "x");
+      ]
+  in
+  check Alcotest.string "compact form" {|{"a":1,"b":[true,null],"c":"x"}|}
+    (Json.to_string v)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("str", Json.Str "quote \" backslash \\ newline \n tab \t");
+        ("list", Json.List [ Json.Int 1; Json.Str "two"; Json.Null ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+        ("bool", Json.Bool false);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> check Alcotest.bool "roundtrip equal" true (v = v')
+  | Error e -> fail ("parse failed: " ^ e)
+
+let test_json_unicode_escape () =
+  match Json.of_string {|"AAé"|} with
+  | Ok (Json.Str s) -> check Alcotest.string "decoded" "AA\xc3\xa9" s
+  | Ok _ -> fail "expected a string"
+  | Error e -> fail e
+
+let test_json_nonfinite () =
+  check Alcotest.string "nan is null" "null" (Json.to_string (Json.Float nan));
+  check Alcotest.string "inf is null" "null" (Json.to_string (Json.Float infinity))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> fail (Printf.sprintf "accepted malformed %S" s)
+      | Error _ -> ())
+    [ "{"; "[1,"; {|{"a":}|}; "tru"; {|"unterminated|}; "1 2" ]
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("x", Json.Int 3); ("s", Json.Str "hi"); ("f", Json.Float 2.5) ] in
+  check (Alcotest.option Alcotest.int) "member int" (Some 3)
+    (Option.bind (Json.member v "x") Json.to_int_opt);
+  check (Alcotest.option Alcotest.string) "member str" (Some "hi")
+    (Option.bind (Json.member v "s") Json.to_string_opt);
+  check (Alcotest.option (Alcotest.float 0.0)) "member float" (Some 2.5)
+    (Option.bind (Json.member v "f") Json.to_float_opt);
+  check Alcotest.bool "missing member" true (Json.member v "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counter () =
+  let m = M.create () in
+  let c = M.counter m "reqs_total" in
+  M.incr c;
+  M.add c 4;
+  check Alcotest.int "value" 5 (M.counter_value c);
+  (* Re-creating the same name+labels returns the same cell. *)
+  let c' = M.counter m "reqs_total" in
+  M.incr c';
+  check Alcotest.int "shared cell" 6 (M.counter_value c);
+  check (Alcotest.option (Alcotest.float 0.0)) "query" (Some 6.0)
+    (M.value m "reqs_total")
+
+let test_metrics_labels () =
+  let m = M.create () in
+  let a = M.counter m ~labels:[ ("node", "0"); ("proto", "ct") ] "x_total" in
+  (* Label order must not matter for identity. *)
+  let a' = M.counter m ~labels:[ ("proto", "ct"); ("node", "0") ] "x_total" in
+  let b = M.counter m ~labels:[ ("node", "1"); ("proto", "ct") ] "x_total" in
+  M.incr a;
+  M.incr a';
+  M.add b 10;
+  check Alcotest.int "label order insensitive" 2 (M.counter_value a);
+  check (Alcotest.float 0.0) "sum across label sets" 12.0 (M.sum m "x_total");
+  check (Alcotest.option (Alcotest.float 0.0)) "exact label query" (Some 10.0)
+    (M.value m ~labels:[ ("proto", "ct"); ("node", "1") ] "x_total")
+
+let test_metrics_gauge_and_callbacks () =
+  let m = M.create () in
+  let g = M.gauge m "depth" in
+  M.set g 7.5;
+  check (Alcotest.float 0.0) "gauge" 7.5 (M.gauge_value g);
+  let backing = ref 3 in
+  M.register_int m "backing_total" (fun () -> !backing);
+  backing := 9;
+  check (Alcotest.option (Alcotest.float 0.0)) "callback sampled at query" (Some 9.0)
+    (M.value m "backing_total")
+
+let test_metrics_histogram () =
+  let m = M.create () in
+  let h = M.histogram m ~bounds:[| 1.0; 10.0 |] "lat_ms" in
+  List.iter (M.observe h) [ 0.5; 5.0; 50.0 ];
+  check Alcotest.int "count" 3 (M.histogram_count h);
+  check (Alcotest.float 1e-9) "sum" 55.5 (M.histogram_sum h);
+  (* Snapshot carries the bucket counts, including the +inf bucket. *)
+  let j = M.to_json m in
+  let metrics = Option.get (Option.bind (Json.member j "metrics") Json.to_list_opt) in
+  let hist = List.hd metrics in
+  let buckets = Option.get (Option.bind (Json.member hist "buckets") Json.to_list_opt) in
+  let counts =
+    List.map (fun b -> Option.get (Option.bind (Json.member b "count") Json.to_int_opt)) buckets
+  in
+  check (Alcotest.list Alcotest.int) "bucket counts" [ 1; 1; 1 ] counts
+
+let test_metrics_noop () =
+  let c = M.counter M.noop "x_total" in
+  M.incr c;
+  M.add c 100;
+  check Alcotest.int "noop counter dead" 0 (M.counter_value c);
+  let h = M.histogram M.noop "h_ms" in
+  M.observe h 1.0;
+  check Alcotest.int "noop histogram dead" 0 (M.histogram_count h);
+  M.register_int M.noop "cb_total" (fun () ->
+      ignore (fail "sampled a noop callback" : unit);
+      0);
+  check Alcotest.bool "nothing registered" true (M.names M.noop = []);
+  check Alcotest.bool "noop disabled" true (not (M.enabled M.noop));
+  M.set_enabled M.noop true;
+  check Alcotest.bool "noop cannot be enabled" true (not (M.enabled M.noop))
+
+let test_metrics_disable_enable () =
+  let m = M.create ~enabled:false () in
+  let c = M.counter m "x_total" in
+  M.incr c;
+  check Alcotest.int "disabled: no count" 0 (M.counter_value c);
+  M.set_enabled m true;
+  M.incr c;
+  check Alcotest.int "enabled: counts" 1 (M.counter_value c)
+
+let test_metrics_snapshot_parses () =
+  let m = M.create () in
+  M.incr (M.counter m ~labels:[ ("node", "0") ] "a_total");
+  M.set (M.gauge m "b") 2.0;
+  M.observe (M.histogram m "c_ms") 1.0;
+  let s = Json.to_string (M.to_json m) in
+  match Json.of_string s with
+  | Ok j ->
+    check (Alcotest.option Alcotest.string) "schema" (Some "dpu.metrics/1")
+      (Option.bind (Json.member j "schema") Json.to_string_opt);
+    let metrics = Option.get (Option.bind (Json.member j "metrics") Json.to_list_opt) in
+    check Alcotest.int "three series" 3 (List.length metrics)
+  | Error e -> fail ("snapshot does not parse: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Trace events and CSV                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_event_json () =
+  let events =
+    [
+      TE.process_name ~pid:0 "node 0";
+      TE.complete ~name:"m" ~cat:"abcast" ~pid:0 ~tid:0 ~ts_ms:1.5 ~dur_ms:2.0 ();
+      TE.instant ~name:"i" ~cat:"dpu" ~pid:0 ~tid:1 ~ts_ms:3.0 ();
+    ]
+  in
+  let j = TE.to_json events in
+  let evs = Option.get (Option.bind (Json.member j "traceEvents") Json.to_list_opt) in
+  check Alcotest.int "three events" 3 (List.length evs);
+  List.iter
+    (fun e ->
+      check Alcotest.bool "has ph" true (Json.member e "ph" <> None);
+      check Alcotest.bool "has pid" true (Json.member e "pid" <> None))
+    evs;
+  (* Timestamps are microseconds in the trace-event format. *)
+  let x = List.nth evs 1 in
+  check (Alcotest.option (Alcotest.float 1e-9)) "ts in us" (Some 1500.0)
+    (Option.bind (Json.member x "ts") Json.to_float_opt);
+  check (Alcotest.option (Alcotest.float 1e-9)) "dur in us" (Some 2000.0)
+    (Option.bind (Json.member x "dur") Json.to_float_opt)
+
+let test_trace_event_negative_duration_clamped () =
+  let e = TE.complete ~name:"m" ~cat:"c" ~pid:0 ~tid:0 ~ts_ms:1.0 ~dur_ms:(-5.0) () in
+  match Json.member (TE.to_json [ e ]) "traceEvents" with
+  | Some (Json.List [ ev ]) ->
+    check (Alcotest.option (Alcotest.float 0.0)) "clamped" (Some 0.0)
+      (Option.bind (Json.member ev "dur") Json.to_float_opt)
+  | _ -> fail "expected one event"
+
+let test_csv_escaping () =
+  check Alcotest.string "plain" "x" (Csv.escape "x");
+  check Alcotest.string "comma" "\"a,b\"" (Csv.escape "a,b");
+  check Alcotest.string "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  check Alcotest.string "newline" "\"a\nb\"" (Csv.escape "a\nb");
+  let s = Csv.render ~header:[ "t"; "v" ] [ [ "1"; "a,b" ]; [ "2"; "c" ] ] in
+  check Alcotest.string "render" "t,v\n1,\"a,b\"\n2,c\n" s
+
+(* ------------------------------------------------------------------ *)
+(* Span reconstruction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_spans_from_collector () =
+  let open Dpu_kernel in
+  let c = Collector.create () in
+  let id = { Msg.origin = 0; seq = 1 } in
+  Collector.record_send c ~node:0 ~id ~time:10.0;
+  Collector.record_deliver c ~node:0 ~id ~time:14.0;
+  Collector.record_deliver c ~node:1 ~id ~time:16.0;
+  let never = { Msg.origin = 1; seq = 5 } in
+  Collector.record_send c ~node:1 ~id:never ~time:20.0;
+  Collector.record_switch c ~node:0 ~generation:1 ~time:30.0;
+  Collector.record_switch c ~node:1 ~generation:1 ~time:37.0;
+  let events = Spans.of_run ~n:2 c in
+  let j = TE.to_json events in
+  let evs = Option.get (Option.bind (Json.member j "traceEvents") Json.to_list_opt) in
+  let completes ph = List.filter (fun e -> Json.member e "ph" = Some (Json.Str ph)) evs in
+  (* One span per (message, delivering node) plus the gen-1 window. *)
+  check Alcotest.int "complete spans" 3 (List.length (completes "X"));
+  (* The undelivered message renders as an instant, plus 2 installs. *)
+  check Alcotest.int "instants" 3 (List.length (completes "i"));
+  let window =
+    List.find
+      (fun e ->
+        match Json.member e "name" with
+        | Some (Json.Str s) -> s = "replacement gen=1"
+        | _ -> false)
+      evs
+  in
+  check (Alcotest.option (Alcotest.float 1e-6)) "window start" (Some 30_000.0)
+    (Option.bind (Json.member window "ts") Json.to_float_opt);
+  check (Alcotest.option (Alcotest.float 1e-6)) "window width" (Some 7_000.0)
+    (Option.bind (Json.member window "dur") Json.to_float_opt);
+  (* The window lives on the synthetic timeline process (pid = n). *)
+  check (Alcotest.option Alcotest.int) "timeline pid" (Some 2)
+    (Option.bind (Json.member window "pid") Json.to_int_opt)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: metrics-enabled experiment                             *)
+(* ------------------------------------------------------------------ *)
+
+let obs_params =
+  {
+    E.default with
+    n = 3;
+    load = 30.0;
+    duration_ms = 2_000.0;
+    warmup_ms = 200.0;
+    switch_at_ms = 1_000.0;
+    msg_size = 512;
+    metrics_enabled = true;
+    trace_enabled = true;
+  }
+
+let test_cross_layer_invariants () =
+  let r = E.run obs_params in
+  let m = r.E.metrics in
+  check Alcotest.bool "registry live" true (M.enabled m);
+  (* The middleware's own send counter must agree with the collector. *)
+  check (Alcotest.option (Alcotest.float 0.0)) "sends agree"
+    (Some (float_of_int (Collector.send_count r.E.collector)))
+    (M.value m "app_sends_total");
+  (* The epoch buffer can only replay what it stashed. *)
+  check Alcotest.bool "replayed <= stashed" true
+    (M.sum m "epoch_buffer_replayed_total" <= M.sum m "epoch_buffer_stashed_total");
+  (* The net-layer series must mirror the datagram counters exactly. *)
+  let system = Dpu_kernel.System.create ~seed:1 ~n:1 () in
+  ignore system;
+  (* Every layer contributes series. *)
+  let names = M.names m in
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ " present") true (List.mem n names))
+    [
+      "sim_events_scheduled_total";
+      "sim_events_executed_total";
+      "net_sent_total";
+      "net_delivered_total";
+      "kernel_calls_total";
+      "kernel_binds_total";
+      "kernel_blocked_call_ms";
+      "repl_intercepted_calls_total";
+      "repl_switches_total";
+      "epoch_buffer_stashed_total";
+      "epoch_buffer_replayed_total";
+      "app_sends_total";
+      "app_delivers_total";
+    ];
+  (* Every node switched exactly once: the per-node switch counters sum
+     to n, and so do the collector's switch records. *)
+  check (Alcotest.float 0.0) "repl switches = collector switches"
+    (float_of_int (List.length (Collector.switches r.E.collector)))
+    (M.sum m "repl_switches_total");
+  (* Delivery counters: each node's app monitor counted its own
+     deliveries. *)
+  let delivered_via_collector =
+    List.fold_left
+      (fun acc node ->
+        acc + List.length (Collector.delivers_of r.E.collector ~node))
+      0 r.E.correct
+  in
+  check (Alcotest.float 0.0) "app delivers = collector delivers"
+    (float_of_int delivered_via_collector)
+    (M.sum m "app_delivers_total")
+
+let test_metrics_off_is_noop_registry () =
+  let r = E.run { obs_params with metrics_enabled = false; trace_enabled = false } in
+  check Alcotest.bool "noop registry" true (not (M.enabled r.E.metrics));
+  check Alcotest.bool "no series" true (M.names r.E.metrics = [])
+
+(* The acceptance criterion behind the no-op path: enabling metrics
+   must not perturb the simulation. Virtual time is deterministic, so
+   the latency series must be *identical*, not just statistically
+   close. *)
+let test_metrics_do_not_perturb_results () =
+  let on = E.run obs_params in
+  let off = E.run { obs_params with metrics_enabled = false } in
+  let pts r = List.map (fun (p : Series.point) -> (p.time, p.value)) (Series.points r.E.latency) in
+  check Alcotest.int "same message count" (List.length (pts off)) (List.length (pts on));
+  check Alcotest.bool "bit-identical latency series" true (pts on = pts off);
+  check Alcotest.int "same sends" off.E.sent on.E.sent
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          tc "print" test_json_print;
+          tc "roundtrip" test_json_roundtrip;
+          tc "unicode escape" test_json_unicode_escape;
+          tc "nonfinite floats" test_json_nonfinite;
+          tc "parse errors" test_json_parse_errors;
+          tc "accessors" test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          tc "counter" test_metrics_counter;
+          tc "labels" test_metrics_labels;
+          tc "gauge and callbacks" test_metrics_gauge_and_callbacks;
+          tc "histogram" test_metrics_histogram;
+          tc "noop" test_metrics_noop;
+          tc "disable/enable" test_metrics_disable_enable;
+          tc "snapshot parses" test_metrics_snapshot_parses;
+        ] );
+      ( "export",
+        [
+          tc "trace-event json" test_trace_event_json;
+          tc "negative duration clamped" test_trace_event_negative_duration_clamped;
+          tc "csv escaping" test_csv_escaping;
+        ] );
+      ( "spans", [ tc "from collector" test_spans_from_collector ] );
+      ( "end_to_end",
+        [
+          tc "cross-layer invariants" test_cross_layer_invariants;
+          tc "metrics off = noop registry" test_metrics_off_is_noop_registry;
+          tc "metrics do not perturb results" test_metrics_do_not_perturb_results;
+        ] );
+    ]

@@ -166,6 +166,50 @@ let test_experiment_seed_changes_run () =
   check Alcotest.bool "different latencies" true
     (Stats.mean r1.W.Experiment.normal <> Stats.mean r2.W.Experiment.normal)
 
+let test_switch_window_agrees_with_trace () =
+  (* The collector's replacement window must agree with the kernel's
+     own record of the switches: every node logs a "repl.switch" trace
+     event when it installs the new generation, and the collector
+     learns of it via the Protocol_changed indication a fixed number of
+     dispatch hops later. *)
+  let module Trace = Dpu_kernel.Trace in
+  let r = W.Experiment.run { small with trace_enabled = true } in
+  let kernel_switches =
+    Trace.filter r.W.Experiment.trace (fun e ->
+        match e.Trace.kind with
+        | Trace.App ("repl.switch", _) -> true
+        | _ -> false)
+  in
+  check Alcotest.int "one kernel switch per node" small.W.Experiment.n
+    (List.length kernel_switches);
+  let collector_switches = Dpu_core.Collector.switches r.W.Experiment.collector in
+  check Alcotest.int "collector saw the same switches"
+    (List.length kernel_switches)
+    (List.length collector_switches);
+  let slack = 5.0 in
+  (* a few dispatch hops at hop_cost 0.5 ms *)
+  List.iter
+    (fun (node, generation, t_collector) ->
+      check Alcotest.int "only generation 1" 1 generation;
+      match List.find_opt (fun e -> e.Trace.node = node) kernel_switches with
+      | None -> fail (Printf.sprintf "collector switch on node %d has no trace event" node)
+      | Some e ->
+        check Alcotest.bool
+          (Printf.sprintf "node %d: collector trails the kernel by <= %.1f ms" node slack)
+          true
+          (t_collector >= e.Trace.time && t_collector -. e.Trace.time <= slack))
+    collector_switches;
+  match Dpu_core.Collector.switch_window r.W.Experiment.collector ~generation:1 with
+  | None -> fail "no switch window"
+  | Some (lo, hi) ->
+    let times = List.map (fun e -> e.Trace.time) kernel_switches in
+    let tmin = List.fold_left Float.min infinity times in
+    let tmax = List.fold_left Float.max neg_infinity times in
+    check Alcotest.bool "window opens with the first switch" true
+      (lo >= tmin && lo -. tmin <= slack);
+    check Alcotest.bool "window closes with the last switch" true
+      (hi >= tmax && hi -. tmax <= slack)
+
 let test_layer_overhead_positive () =
   (* The replacement layer adds a dispatch hop: with-layer latency must
      exceed no-layer latency, by a small factor (paper: ~5%). *)
@@ -250,6 +294,7 @@ let () =
           tc "determinism" test_experiment_determinism;
           tc "seed sensitivity" test_experiment_seed_changes_run;
           tc "layer overhead positive" test_layer_overhead_positive;
+          tc "switch window agrees with trace" test_switch_window_agrees_with_trace;
         ] );
       ( "figures",
         [ tc "render" test_figures_render; tc "comparison" test_comparison_rows ] );
