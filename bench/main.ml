@@ -17,10 +17,34 @@ module Json = Dpu_obs.Json
 let section name = Printf.printf "\n============ %s ============\n%!" name
 
 (* Machine-readable results: every section deposits its numbers here
-   and the driver writes BENCH_results.json at the end. *)
+   and the driver writes BENCH_results.json at the end. Accumulated in
+   reverse (prepend is O(1), appending was quadratic) and reversed at
+   write-out. *)
 let results : (string * Json.t) list ref = ref []
 
-let record key v = results := !results @ [ (key, v) ]
+let record key v = results := (key, v) :: !results
+
+(* Worker count for the sweep-backed sections (fig6, headline, compare,
+   ablations); set by -j/--jobs, default DPU_JOBS or 1. *)
+let jobs = ref (W.Sweep.default_jobs ())
+
+(* Per-sweep wall-clock and realised speedup, keyed by section. These
+   live under a separate top-level "sweeps" key — never inside
+   "results" — so the results sections stay bit-identical across -j. *)
+let sweeps : (string * Json.t) list ref = ref []
+
+let record_sweep key (st : W.Sweep.stats) =
+  sweeps :=
+    ( key,
+      Json.Obj
+        [
+          ("jobs", Json.Int st.W.Sweep.jobs);
+          ("cells", Json.Int st.W.Sweep.cells);
+          ("wall_s", Json.Float st.W.Sweep.wall_s);
+          ("cells_wall_s", Json.Float st.W.Sweep.cells_wall_s);
+          ("speedup", Json.Float st.W.Sweep.speedup);
+        ] )
+    :: !sweeps
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5                                                           *)
@@ -57,7 +81,9 @@ let run_fig5 () =
 
 let run_fig6 () =
   section "Figure 6: latency vs load (n=3 and n=7; layer overhead; during switch)";
-  let points = F.figure6 () in
+  let outcome = F.figure6_sweep ~jobs:!jobs () in
+  record_sweep "fig6" outcome.W.Sweep.stats;
+  let points = Array.to_list outcome.W.Sweep.results in
   record "fig6"
     (Json.Obj
        [
@@ -84,7 +110,8 @@ let run_fig6 () =
 
 let run_headline () =
   section "Headline numbers (paper §6 vs this reproduction)";
-  let h = F.headline () in
+  let h, sweep_stats = F.headline_sweep ~jobs:!jobs () in
+  record_sweep "headline" sweep_stats;
   record "headline"
     (Json.Obj
        [
@@ -102,7 +129,8 @@ let run_headline () =
 
 let run_compare () =
   section "DPU approach comparison: Repl vs Graceful Adaptation vs Maestro";
-  let rows = F.compare_approaches () in
+  let rows, sweep_stats = F.compare_approaches_sweep ~jobs:!jobs () in
+  record_sweep "compare" sweep_stats;
   record "compare"
     (Json.Obj
        [
@@ -158,25 +186,34 @@ let run_compare () =
 (* Ablations                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Fan an (independent-cell) grid out to the worker pool; each cell
+   returns one pre-rendered table row, so rows stay in grid order. *)
+let sweep_rows name grid cell =
+  let grid = Array.of_list grid in
+  let outcome =
+    W.Sweep.run ~jobs:!jobs ~cells:(Array.length grid) (fun _ idx -> cell grid.(idx))
+  in
+  record_sweep name outcome.W.Sweep.stats;
+  Array.to_list outcome.W.Sweep.results
+
 let run_ablation () =
   section "Ablation: consensus batching (paper ran consensus per message)";
   let rows =
-    List.concat_map
-      (fun batch_size ->
-        List.map
-          (fun load ->
-            let r =
-              E.run
-                { E.default with batch_size; load; switch_to = None; duration_ms = 6_000.0 }
-            in
-            [
-              string_of_int batch_size;
-              Printf.sprintf "%.0f" load;
-              Printf.sprintf "%.2f" (Stats.mean r.E.normal);
-              Printf.sprintf "%.2f" (Stats.percentile r.E.normal 95.0);
-            ])
-          [ 40.0; 80.0 ])
-      [ 1; 4; 16 ]
+    sweep_rows "ablation_batching"
+      (List.concat_map
+         (fun batch_size -> List.map (fun load -> (batch_size, load)) [ 40.0; 80.0 ])
+         [ 1; 4; 16 ])
+      (fun (batch_size, load) ->
+        let r =
+          E.run
+            { E.default with batch_size; load; switch_to = None; duration_ms = 6_000.0 }
+        in
+        [
+          string_of_int batch_size;
+          Printf.sprintf "%.0f" load;
+          Printf.sprintf "%.2f" (Stats.mean r.E.normal);
+          Printf.sprintf "%.2f" (Stats.percentile r.E.normal 95.0);
+        ])
   in
   print_string
     (W.Ascii.table ~header:[ "batch"; "load"; "mean [ms]"; "p95 [ms]" ] rows);
@@ -255,29 +292,28 @@ let run_ablation () =
 
   section "Ablation: ABcast variant latency profiles (same service, n=3/7)";
   let rows =
-    List.concat_map
-      (fun n ->
-        List.map
-          (fun variant ->
-            let r =
-              E.run
-                {
-                  E.default with
-                  n;
-                  load = 30.0;
-                  initial = variant;
-                  switch_to = None;
-                  duration_ms = 5_000.0;
-                }
-            in
-            [
-              variant;
-              string_of_int n;
-              Printf.sprintf "%.2f" (Stats.mean r.E.normal);
-              Printf.sprintf "%.2f" (Stats.percentile r.E.normal 95.0);
-            ])
-          Dpu_core.Variants.all)
-      [ 3; 7 ]
+    sweep_rows "ablation_variants"
+      (List.concat_map
+         (fun n -> List.map (fun variant -> (n, variant)) Dpu_core.Variants.all)
+         [ 3; 7 ])
+      (fun (n, variant) ->
+        let r =
+          E.run
+            {
+              E.default with
+              n;
+              load = 30.0;
+              initial = variant;
+              switch_to = None;
+              duration_ms = 5_000.0;
+            }
+        in
+        [
+          variant;
+          string_of_int n;
+          Printf.sprintf "%.2f" (Stats.mean r.E.normal);
+          Printf.sprintf "%.2f" (Stats.percentile r.E.normal 95.0);
+        ])
   in
   print_string (W.Ascii.table ~header:[ "variant"; "n"; "mean [ms]"; "p95 [ms]" ] rows);
 
@@ -387,35 +423,33 @@ let run_ablation () =
 
   section "Ablation: heterogeneous switch matrix (during-switch latency)";
   let rows =
-    List.concat_map
-      (fun from_p ->
-        List.filter_map
-          (fun to_p ->
-            if from_p = to_p then None
-            else begin
-              let r =
-                E.run
-                  {
-                    E.default with
-                    n = 5;
-                    load = 30.0;
-                    initial = from_p;
-                    switch_to = Some to_p;
-                    duration_ms = 6_000.0;
-                    switch_at_ms = 3_000.0;
-                  }
-              in
-              Some
-                [
-                  Printf.sprintf "%s -> %s" from_p to_p;
-                  Printf.sprintf "%.2f" (Stats.mean r.E.normal);
-                  Printf.sprintf "%.2f" (Stats.mean r.E.during);
-                  Printf.sprintf "%.1f" r.E.switch_duration_ms;
-                  string_of_bool (r.E.delivered_everywhere = r.E.sent);
-                ]
-            end)
-          Dpu_core.Variants.all)
-      Dpu_core.Variants.all
+    sweep_rows "ablation_switch_matrix"
+      (List.concat_map
+         (fun from_p ->
+           List.filter_map
+             (fun to_p -> if from_p = to_p then None else Some (from_p, to_p))
+             Dpu_core.Variants.all)
+         Dpu_core.Variants.all)
+      (fun (from_p, to_p) ->
+        let r =
+          E.run
+            {
+              E.default with
+              n = 5;
+              load = 30.0;
+              initial = from_p;
+              switch_to = Some to_p;
+              duration_ms = 6_000.0;
+              switch_at_ms = 3_000.0;
+            }
+        in
+        [
+          Printf.sprintf "%s -> %s" from_p to_p;
+          Printf.sprintf "%.2f" (Stats.mean r.E.normal);
+          Printf.sprintf "%.2f" (Stats.mean r.E.during);
+          Printf.sprintf "%.1f" r.E.switch_duration_ms;
+          string_of_bool (r.E.delivered_everywhere = r.E.sent);
+        ])
   in
   print_string
     (W.Ascii.table
@@ -724,32 +758,70 @@ let all_sections =
     ("micro", run_micro);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: bench/main.exe [-j N | --jobs N] [SECTION...]\nsections: %s\n"
+    (String.concat " " (List.map fst all_sections));
+  exit 2
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ :: [] | [] -> List.map fst all_sections
+  (* Minimal hand parsing: [-j N] / [--jobs N] / [--jobs=N] anywhere,
+     remaining arguments name sections (default: all). *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse acc rest
+      | Some _ | None -> usage ())
+    | [ "-j" ] | [ "--jobs" ] -> usage ()
+    | arg :: rest
+      when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+      match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse acc rest
+      | Some _ | None -> usage ())
+    | name :: rest -> parse (name :: acc) rest
   in
-  let t0 = Unix.gettimeofday () in
+  let requested =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst all_sections
+    | names -> names
+  in
   List.iter
     (fun name ->
-      match List.assoc_opt name all_sections with
-      | Some f -> f ()
-      | None ->
-        Printf.eprintf "unknown section %s (have: %s)\n" name
-          (String.concat " " (List.map fst all_sections));
-        exit 2)
+      if not (List.mem_assoc name all_sections) then begin
+        Printf.eprintf "unknown section %s\n" name;
+        usage ()
+      end)
     requested;
+  let t0 = Unix.gettimeofday () in
+  (* Per-section wall-clock, in run order; machine-readable alongside
+     the sweep speedups so the perf trajectory is diffable PR over PR. *)
+  let timings =
+    List.map
+      (fun name ->
+        let f = List.assoc name all_sections in
+        let s0 = Unix.gettimeofday () in
+        f ();
+        (name, Json.Float (Unix.gettimeofday () -. s0)))
+      requested
+  in
   let wall_s = Unix.gettimeofday () -. t0 in
   let out =
     Json.Obj
       [
         ("schema", Json.Str "dpu.bench/1");
         ("sections", Json.List (List.map (fun s -> Json.Str s) requested));
+        ("jobs", Json.Int !jobs);
         ("wall_clock_s", Json.Float wall_s);
-        ("results", Json.Obj !results);
+        ("section_wall_s", Json.Obj timings);
+        ("sweeps", Json.Obj (List.rev !sweeps));
+        ("results", Json.Obj (List.rev !results));
       ]
   in
   Json.to_file "BENCH_results.json" out;
   Printf.printf "\nmachine-readable results written to BENCH_results.json\n";
-  Printf.printf "(total bench wall time: %.1f s)\n" wall_s
+  Printf.printf "(total bench wall time: %.1f s, jobs: %d)\n" wall_s !jobs

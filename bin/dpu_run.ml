@@ -27,6 +27,16 @@ let load_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Dpu_workload.Sweep.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Fan independent experiment cells out to $(docv) worker processes. \
+           Results are bit-identical for every $(docv). Defaults to \\$DPU_JOBS \
+           or 1.")
+
 let approach_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -296,24 +306,26 @@ let fig6_cmd =
   let ns =
     Arg.(value & opt (list int) [ 3; 7 ] & info [ "ns" ] ~docv:"N1,N2" ~doc:"Group sizes.")
   in
-  let run ns loads seed = print_string (F.render_figure6 (F.figure6 ~ns ~loads ~seed ())) in
+  let run ns loads seed jobs =
+    print_string (F.render_figure6 (F.figure6 ~ns ~loads ~seed ~jobs ()))
+  in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Regenerate Figure 6 (latency vs load).")
-    Term.(const run $ ns $ loads $ seed_arg)
+    Term.(const run $ ns $ loads $ seed_arg $ jobs_arg)
 
 let headline_cmd =
-  let run n load = print_string (F.render_headline (F.headline ~n ~load ())) in
+  let run n load jobs = print_string (F.render_headline (F.headline ~n ~load ~jobs ())) in
   Cmd.v
     (Cmd.info "headline" ~doc:"Regenerate the headline numbers of §6.")
-    Term.(const run $ n_arg $ load_arg)
+    Term.(const run $ n_arg $ load_arg $ jobs_arg)
 
 let compare_cmd =
-  let run n load seed =
-    print_string (F.render_comparison (F.compare_approaches ~n ~load ~seed ()))
+  let run n load seed jobs =
+    print_string (F.render_comparison (F.compare_approaches ~n ~load ~seed ~jobs ()))
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Quantify Repl vs Graceful Adaptation vs Maestro.")
-    Term.(const run $ n_arg $ load_arg $ seed_arg)
+    Term.(const run $ n_arg $ load_arg $ seed_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                              *)

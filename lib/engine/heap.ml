@@ -63,8 +63,12 @@ let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).valu
 
 let min_priority h = if h.size = 0 then None else Some h.data.(0).prio
 
-let pop h =
-  if h.size = 0 then None
+exception Empty
+
+let min_priority_exn h = if h.size = 0 then raise Empty else h.data.(0).prio
+
+let pop_exn h =
+  if h.size = 0 then raise Empty
   else begin
     let root = h.data.(0) in
     h.size <- h.size - 1;
@@ -72,7 +76,14 @@ let pop h =
       h.data.(0) <- h.data.(h.size);
       sift_down h 0
     end;
-    Some (root.prio, root.value)
+    root.value
+  end
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let prio = h.data.(0).prio in
+    Some (prio, pop_exn h)
   end
 
 let clear h =

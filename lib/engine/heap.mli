@@ -21,8 +21,19 @@ val add : 'a t -> priority:float -> 'a -> unit
 val min_priority : 'a t -> float option
 (** Priority of the minimum element, if any. O(1). *)
 
+exception Empty
+
+val min_priority_exn : 'a t -> float
+(** Like {!min_priority} but raising {!Empty}: no [option] allocation
+    on the simulator's hot path. O(1). *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum element with its priority. O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the minimum element, raising {!Empty} when the
+    heap is empty. Read its priority with {!min_priority_exn} first —
+    this pair allocates nothing, unlike {!pop}'s [Some (prio, v)]. *)
 
 val peek : 'a t -> (float * 'a) option
 (** Return the minimum element without removing it. O(1). *)

@@ -1,9 +1,9 @@
-type handle = { mutable cancelled : bool }
-
-type event = { h : handle; fn : unit -> unit }
+(* The event record doubles as its own cancellation handle: one
+   allocation per scheduled event instead of a handle plus an event. *)
+type handle = { mutable cancelled : bool; fn : unit -> unit }
 
 type t = {
-  queue : event Heap.t;
+  queue : handle Heap.t;
   mutable clock : float;
   mutable stopping : bool;
   root_rng : Rng.t;
@@ -29,8 +29,8 @@ let rng t = t.root_rng
 
 let schedule_at t ~time fn =
   let time = if time < t.clock then t.clock else time in
-  let h = { cancelled = false } in
-  Heap.add t.queue ~priority:time { h; fn };
+  let h = { cancelled = false; fn } in
+  Heap.add t.queue ~priority:time h;
   t.scheduled <- t.scheduled + 1;
   h
 
@@ -46,7 +46,7 @@ let every t ~period ?(jitter = 0.0) fn =
   assert (period > 0.0);
   (* The outer handle lives as long as the ticker; each tick checks it so
      that cancelling stops the chain. *)
-  let outer = { cancelled = false } in
+  let outer = { cancelled = false; fn = ignore } in
   let next_delay () =
     if jitter > 0.0 then period +. Rng.uniform t.root_rng ~lo:0.0 ~hi:jitter
     else period
@@ -63,37 +63,48 @@ let every t ~period ?(jitter = 0.0) fn =
 
 let pending t = Heap.length t.queue
 
+(* Pop and run one event known to exist, advancing the clock to [time]
+   (its priority, read by the caller). Cancelled events are reaped
+   without counting as executed. *)
+let exec_next t ~time =
+  let ev = Heap.pop_exn t.queue in
+  t.clock <- time;
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.executed <- t.executed + 1;
+    ev.fn ()
+  end
+
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, ev) ->
-    t.clock <- time;
-    if not ev.h.cancelled then begin
-      ev.h.cancelled <- true;
-      t.executed <- t.executed + 1;
-      ev.fn ()
-    end;
+  if Heap.is_empty t.queue then false
+  else begin
+    exec_next t ~time:(Heap.min_priority_exn t.queue);
     true
+  end
 
 let stop t = t.stopping <- true
 
 let run ?until ?(max_events = max_int) t =
   t.stopping <- false;
-  let executed = ref 0 in
+  (* Bound the count of events actually executed: popping a cancelled
+     event must not burn budget, or a run bounded by [max_events] ends
+     early. [t.executed] only advances on real executions, so track a
+     target against it. *)
+  let exec_limit =
+    if max_events >= max_int - t.executed then max_int else t.executed + max_events
+  in
   let continue = ref true in
   while !continue do
-    if t.stopping || !executed >= max_events then continue := false
-    else
-      match Heap.peek t.queue with
-      | None -> continue := false
-      | Some (time, _) ->
-        (match until with
-        | Some limit when time > limit ->
-          t.clock <- limit;
-          continue := false
-        | Some _ | None ->
-          ignore (step t : bool);
-          incr executed)
+    if t.stopping || t.executed >= exec_limit then continue := false
+    else if Heap.is_empty t.queue then continue := false
+    else begin
+      let time = Heap.min_priority_exn t.queue in
+      match until with
+      | Some limit when time > limit ->
+        t.clock <- limit;
+        continue := false
+      | Some _ | None -> exec_next t ~time
+    end
   done;
   (* Even with an empty queue, honour the requested horizon so that
      [now] reflects the elapsed virtual time — but never jump past

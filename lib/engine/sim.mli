@@ -45,7 +45,8 @@ val step : t -> bool
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Drain the event queue. [until] stops the clock at that virtual time
     (events beyond it remain queued); [max_events] bounds the number of
-    executed events (a runaway-loop backstop). *)
+    executed events (a runaway-loop backstop). Cancelled events reaped
+    from the queue do not count against [max_events]. *)
 
 val run_for : t -> float -> unit
 (** [run_for t d] is [run ~until:(now t +. d) t]. *)

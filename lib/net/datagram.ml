@@ -26,7 +26,9 @@ type 'a t = {
   handlers : (src:int -> 'a -> unit) option array;
   crashed : bool array;
   mutable group_of : int array option; (* partition: group id per node *)
-  overrides : (int * int, Latency.link) Hashtbl.t;
+  overrides : (int, Latency.link) Hashtbl.t;
+      (* keyed [src * n + dst]: a flat int key costs no tuple
+         allocation on the per-send lookup *)
   mutable drop_filter : (src:int -> dst:int -> 'a -> bool) option;
   mutable sent : int;
   mutable delivered : int;
@@ -108,10 +110,12 @@ let dup t = t.dup
 
 let set_drop_filter t f = t.drop_filter <- f
 
+let override_key t ~src ~dst = (src * t.n) + dst
+
 let set_link_override t ~src ~dst link =
   match link with
-  | Some l -> Hashtbl.replace t.overrides (src, dst) l
-  | None -> Hashtbl.remove t.overrides (src, dst)
+  | Some l -> Hashtbl.replace t.overrides (override_key t ~src ~dst) l
+  | None -> Hashtbl.remove t.overrides (override_key t ~src ~dst)
 
 let separated t src dst =
   match t.group_of with
@@ -151,9 +155,11 @@ let send t ~src ~dst ~size_bytes payload =
            transmission delay of queued packets adds up. This is what
            makes large fan-outs (bigger n) measurably slower. *)
         let link =
-          match Hashtbl.find_opt t.overrides (src, dst) with
-          | Some l -> l
-          | None -> t.link
+          if Hashtbl.length t.overrides = 0 then t.link
+          else
+            match Hashtbl.find_opt t.overrides (override_key t ~src ~dst) with
+            | Some l -> l
+            | None -> t.link
         in
         let now = Sim.now t.sim in
         let transmission =

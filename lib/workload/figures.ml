@@ -44,16 +44,32 @@ type fig6_point = {
   during_ms : float;
 }
 
-let figure6 ?(ns = [ 3; 7 ]) ?(loads = [ 10.0; 20.0; 40.0; 60.0; 80.0 ]) ?(seed = 1) () =
-  let point n load =
+(* Run one experiment for a sweep cell: when the sweep carries a
+   metrics registry, enable collection and fold this run's snapshot
+   into the worker's registry so the merged parent registry accounts
+   for every cell. *)
+let run_counted reg params =
+  let with_metrics = reg != Dpu_obs.Metrics.noop in
+  let r = Experiment.run { params with Experiment.metrics_enabled = with_metrics } in
+  if with_metrics then
+    Dpu_obs.Metrics.merge reg (Dpu_obs.Metrics.snapshot r.Experiment.metrics);
+  r
+
+let figure6_sweep ?(ns = [ 3; 7 ]) ?(loads = [ 10.0; 20.0; 40.0; 60.0; 80.0 ])
+    ?(seed = 1) ?jobs ?metrics () =
+  let grid =
+    Array.of_list (List.concat_map (fun n -> List.map (fun load -> (n, load)) loads) ns)
+  in
+  let point reg idx =
+    let n, load = grid.(idx) in
     let base =
       { Experiment.default with n; load; seed; duration_ms = 8_000.0; switch_at_ms = 4_000.0 }
     in
     let no_layer =
-      Experiment.run { base with approach = Experiment.No_layer; switch_to = None }
+      run_counted reg { base with approach = Experiment.No_layer; switch_to = None }
     in
-    let with_layer = Experiment.run { base with switch_to = None } in
-    let switching = Experiment.run base in
+    let with_layer = run_counted reg { base with switch_to = None } in
+    let switching = run_counted reg base in
     {
       n;
       load;
@@ -62,7 +78,10 @@ let figure6 ?(ns = [ 3; 7 ]) ?(loads = [ 10.0; 20.0; 40.0; 60.0; 80.0 ]) ?(seed 
       during_ms = Stats.mean switching.during;
     }
   in
-  List.concat_map (fun n -> List.map (fun load -> point n load) loads) ns
+  Sweep.run ?jobs ?metrics ~cells:(Array.length grid) point
+
+let figure6 ?ns ?loads ?seed ?jobs ?metrics () =
+  Array.to_list (figure6_sweep ?ns ?loads ?seed ?jobs ?metrics ()).Sweep.results
 
 let render_figure6 points =
   let buf = Buffer.create 4096 in
@@ -108,31 +127,56 @@ type headline = {
   app_blocked_ms : float;
 }
 
-let headline ?(n = 7) ?(load = 40.0) ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
+(* Marshal-safe per-seed slice of the headline aggregation: raw sample
+   arrays, not [Stats.t] (which the parent re-folds in seed order so
+   the float arithmetic matches the sequential run exactly). *)
+type headline_cell = {
+  hc_no_layer : float array;
+  hc_with_layer : float array;
+  hc_normal : float array;
+  hc_during : float array;
+  hc_duration_ms : float;
+  hc_blocked_ms : float;
+}
+
+let headline_sweep ?(n = 7) ?(load = 40.0) ?(seeds = [ 1; 2; 3; 4; 5 ]) ?jobs
+    ?metrics () =
   (* One switch yields only a handful of during-window messages (the
      window is about one ABcast latency), so the headline aggregates
-     several seeds for statistical weight. *)
+     several seeds for statistical weight. Each seed is one sweep cell. *)
+  let seeds = Array.of_list seeds in
+  let cell reg idx =
+    let base = { Experiment.default with n; load; seed = seeds.(idx) } in
+    let no_layer =
+      run_counted reg { base with approach = Experiment.No_layer; switch_to = None }
+    in
+    let with_layer = run_counted reg { base with switch_to = None } in
+    let switching = run_counted reg base in
+    {
+      hc_no_layer = Stats.samples no_layer.normal;
+      hc_with_layer = Stats.samples with_layer.normal;
+      hc_normal = Stats.samples switching.normal;
+      hc_during = Stats.samples switching.during;
+      hc_duration_ms = switching.switch_duration_ms;
+      hc_blocked_ms = switching.blocked_ms;
+    }
+  in
+  let outcome = Sweep.run ?jobs ?metrics ~cells:(Array.length seeds) cell in
   let no_layer_all = Stats.create () in
   let with_layer_all = Stats.create () in
   let normal_all = Stats.create () in
   let during_all = Stats.create () in
   let durations = Stats.create () in
   let blocked = ref 0.0 in
-  List.iter
-    (fun seed ->
-      let base = { Experiment.default with n; load; seed } in
-      let no_layer =
-        Experiment.run { base with approach = Experiment.No_layer; switch_to = None }
-      in
-      let with_layer = Experiment.run { base with switch_to = None } in
-      let switching = Experiment.run base in
-      Array.iter (Stats.add no_layer_all) (Stats.samples no_layer.normal);
-      Array.iter (Stats.add with_layer_all) (Stats.samples with_layer.normal);
-      Array.iter (Stats.add normal_all) (Stats.samples switching.normal);
-      Array.iter (Stats.add during_all) (Stats.samples switching.during);
-      Stats.add durations switching.switch_duration_ms;
-      blocked := Float.max !blocked switching.blocked_ms)
-    seeds;
+  Array.iter
+    (fun c ->
+      Array.iter (Stats.add no_layer_all) c.hc_no_layer;
+      Array.iter (Stats.add with_layer_all) c.hc_with_layer;
+      Array.iter (Stats.add normal_all) c.hc_normal;
+      Array.iter (Stats.add during_all) c.hc_during;
+      Stats.add durations c.hc_duration_ms;
+      blocked := Float.max !blocked c.hc_blocked_ms)
+    outcome.Sweep.results;
   let overhead =
     (Stats.mean with_layer_all -. Stats.mean no_layer_all)
     /. Stats.mean no_layer_all *. 100.0
@@ -140,12 +184,16 @@ let headline ?(n = 7) ?(load = 40.0) ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
   let spike =
     (Stats.mean during_all -. Stats.mean normal_all) /. Stats.mean normal_all *. 100.0
   in
-  {
-    layer_overhead_pct = overhead;
-    spike_pct = spike;
-    spike_duration_ms = Stats.mean durations;
-    app_blocked_ms = !blocked;
-  }
+  ( {
+      layer_overhead_pct = overhead;
+      spike_pct = spike;
+      spike_duration_ms = Stats.mean durations;
+      app_blocked_ms = !blocked;
+    },
+    outcome.Sweep.stats )
+
+let headline ?n ?load ?seeds ?jobs ?metrics () =
+  fst (headline_sweep ?n ?load ?seeds ?jobs ?metrics ())
 
 let render_headline h =
   Ascii.table
@@ -169,20 +217,25 @@ type comparison_row = {
   all_delivered : bool;
 }
 
-let compare_approaches ?(n = 5) ?(load = 40.0) ?(seed = 1) () =
-  let approaches = [ Experiment.Repl; Experiment.Graceful; Experiment.Maestro ] in
-  List.map
-    (fun approach ->
-      let r = Experiment.run { Experiment.default with n; load; seed; approach } in
-      {
-        approach;
-        normal_ms = Stats.mean r.normal;
-        during_switch_ms = Stats.mean r.during;
-        switch_duration = r.switch_duration_ms;
-        blocked = r.blocked_ms;
-        all_delivered = r.delivered_everywhere = r.sent;
-      })
-    approaches
+let compare_approaches_sweep ?(n = 5) ?(load = 40.0) ?(seed = 1) ?jobs ?metrics () =
+  let approaches = [| Experiment.Repl; Experiment.Graceful; Experiment.Maestro |] in
+  let cell reg idx =
+    let approach = approaches.(idx) in
+    let r = run_counted reg { Experiment.default with n; load; seed; approach } in
+    {
+      approach;
+      normal_ms = Stats.mean r.normal;
+      during_switch_ms = Stats.mean r.during;
+      switch_duration = r.switch_duration_ms;
+      blocked = r.blocked_ms;
+      all_delivered = r.delivered_everywhere = r.sent;
+    }
+  in
+  let outcome = Sweep.run ?jobs ?metrics ~cells:(Array.length approaches) cell in
+  (Array.to_list outcome.Sweep.results, outcome.Sweep.stats)
+
+let compare_approaches ?n ?load ?seed ?jobs ?metrics () =
+  fst (compare_approaches_sweep ?n ?load ?seed ?jobs ?metrics ())
 
 let render_comparison rows =
   Ascii.table

@@ -56,6 +56,20 @@ let test_heap_interleaved () =
   let rest = List.init 3 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> -1) in
   check (Alcotest.list Alcotest.int) "rest" [ 0; 2; 3 ] rest
 
+let test_heap_pop_exn () =
+  let h = Heap.create () in
+  check Alcotest.bool "pop_exn empty raises" true
+    (match Heap.pop_exn h with _ -> false | exception Heap.Empty -> true);
+  check Alcotest.bool "min_priority_exn empty raises" true
+    (match Heap.min_priority_exn h with _ -> false | exception Heap.Empty -> true);
+  List.iter (fun p -> Heap.add h ~priority:p p) [ 3.0; 1.0; 2.0 ];
+  check (Alcotest.float 1e-9) "min priority" 1.0 (Heap.min_priority_exn h);
+  check (Alcotest.float 1e-9) "pop min" 1.0 (Heap.pop_exn h);
+  check (Alcotest.float 1e-9) "next min priority" 2.0 (Heap.min_priority_exn h);
+  check (Alcotest.float 1e-9) "pop next" 2.0 (Heap.pop_exn h);
+  check (Alcotest.float 1e-9) "pop last" 3.0 (Heap.pop_exn h);
+  check Alcotest.bool "empty again" true (Heap.is_empty h)
+
 let test_heap_clear () =
   let h = Heap.create () in
   for i = 1 to 10 do
@@ -315,6 +329,22 @@ let test_sim_max_events () =
   Sim.run ~max_events:50 sim;
   check Alcotest.int "bounded" 50 !count
 
+let test_sim_max_events_ignores_cancelled () =
+  (* Regression: reaping a cancelled event from the queue must not
+     charge the [max_events] budget — a bounded run would end early. *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let handles =
+    List.init 10 (fun i ->
+        Sim.schedule sim ~delay:(float_of_int (i + 1)) (fun () -> incr count))
+  in
+  (* Cancel the five earliest events; the five live ones must all fit
+     in a budget of exactly five executions. *)
+  List.iteri (fun i h -> if i < 5 then Sim.cancel h) handles;
+  Sim.run ~max_events:5 sim;
+  check Alcotest.int "all live events ran" 5 !count;
+  check Alcotest.int "executed counter agrees" 5 (Sim.events_executed sim)
+
 let test_sim_max_events_keeps_clock () =
   (* Regression: exiting [run ~until] via [max_events] with events still
      queued before the horizon must NOT fast-forward the clock — the
@@ -549,6 +579,7 @@ let () =
           tc "fifo ties" test_heap_fifo_ties;
           tc "peek nondestructive" test_heap_peek_nondestructive;
           tc "interleaved" test_heap_interleaved;
+          tc "pop_exn" test_heap_pop_exn;
           tc "clear" test_heap_clear;
           tc "iter_unordered" test_heap_iter_unordered;
           tc "growth" test_heap_growth;
@@ -581,6 +612,7 @@ let () =
           tc "every" test_sim_every;
           tc "stop" test_sim_stop;
           tc "max_events" test_sim_max_events;
+          tc "max_events ignores cancelled" test_sim_max_events_ignores_cancelled;
           tc "max_events keeps clock" test_sim_max_events_keeps_clock;
           tc "stop keeps clock" test_sim_stop_keeps_clock;
           tc "ff past horizon-queued" test_sim_until_ff_past_queued_beyond_horizon;

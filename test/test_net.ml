@@ -349,6 +349,26 @@ let test_link_override () =
   Sim.run sim;
   check Alcotest.bool "restored" true (time_of "wan2" -. time_of "wan" < 10.0)
 
+let test_link_override_directional () =
+  (* The override table is keyed src * n + dst: the (1, 2) and (2, 1)
+     directions — and every other pair — must never alias. *)
+  let sim = Sim.create ~seed:7 () in
+  let net = Datagram.create sim ~n:3 ~link:(Latency.constant 0.5) () in
+  Datagram.set_link_override net ~src:1 ~dst:2 (Some (Latency.constant 40.0));
+  let arrivals = ref [] in
+  for node = 0 to 2 do
+    Datagram.set_handler net ~node (fun ~src:_ tag ->
+        arrivals := (tag, Sim.now sim) :: !arrivals)
+  done;
+  Datagram.send net ~src:1 ~dst:2 ~size_bytes:10 "slowed";
+  Datagram.send net ~src:2 ~dst:1 ~size_bytes:10 "reverse";
+  Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "other";
+  Sim.run sim;
+  let time_of tag = List.assoc tag !arrivals in
+  check (Alcotest.float 1e-6) "overridden direction slow" 40.0 (time_of "slowed");
+  check (Alcotest.float 1e-6) "reverse direction untouched" 0.5 (time_of "reverse");
+  check (Alcotest.float 1e-6) "other pair untouched" 0.5 (time_of "other")
+
 let test_reordering_occurs () =
   (* With high-variance latency, arrival order differs from send order
      at least once in a decent sample. *)
@@ -423,6 +443,7 @@ let () =
           tc "egress serialization" test_egress_serialization;
           tc "egress backlog" test_egress_backlog_reported;
           tc "link override" test_link_override;
+          tc "link override directional" test_link_override_directional;
           tc "reordering" test_reordering_occurs;
         ] );
       ( "properties",
