@@ -1,0 +1,44 @@
+(* dpu_lint — determinism lint over the simulation sources.
+
+   Usage: dpu_lint [--json FILE] [PATH ...]   (default path: lib)
+
+   Exit status 0 iff no unsuppressed finding. See Dpu_analysis.Lint for
+   the rule set and the suppression-comment syntax. *)
+
+let () =
+  let json_out = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json_out := Some file;
+      parse rest
+    | "--json" :: [] ->
+      prerr_endline "dpu_lint: --json needs a file argument";
+      exit 2
+    | ("--help" | "-h") :: _ ->
+      print_endline "usage: dpu_lint [--json FILE] [PATH ...]   (default: lib)";
+      exit 0
+    | path :: rest ->
+      paths := path :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+  | Some missing ->
+    Printf.eprintf "dpu_lint: no such path: %s\n" missing;
+    exit 2
+  | None -> ());
+  let findings = Dpu_analysis.Lint.scan_paths paths in
+  List.iter
+    (fun f -> Format.printf "%a@." Dpu_analysis.Lint.pp_finding f)
+    findings;
+  (match !json_out with
+  | Some file -> Dpu_obs.Json.to_file file (Dpu_analysis.Lint.to_json findings)
+  | None -> ());
+  match findings with
+  | [] -> print_endline "dpu_lint: clean"
+  | fs ->
+    Printf.printf "dpu_lint: %d finding(s)\n" (List.length fs);
+    exit 1

@@ -328,6 +328,139 @@ let compare_cmd =
     Term.(const run $ n_arg $ load_arg $ seed_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* check — static composition verification, no simulation             *)
+(* ------------------------------------------------------------------ *)
+
+let shipped_configs =
+  let base = { E.default with duration_ms = 0.0 } in
+  let ct = Dpu_core.Variants.ct in
+  let seq = Dpu_core.Variants.sequencer in
+  let token = Dpu_core.Variants.token in
+  [
+    ("repl ct->ct", { base with approach = E.Repl });
+    ("graceful ct->ct", { base with approach = E.Graceful });
+    ("maestro ct->ct", { base with approach = E.Maestro });
+    ("no-layer ct", { base with approach = E.No_layer; switch_to = None });
+    ("repl ct->seq", { base with switch_to = Some seq });
+    ("repl ct->token", { base with switch_to = Some token });
+    ("repl seq->ct", { base with initial = seq; switch_to = Some ct });
+    ("repl token->ct", { base with initial = token; switch_to = Some ct });
+    ("repl ct, no switch", { base with switch_to = None });
+    ( "repl ct->ct + consensus ct->paxos",
+      {
+        base with
+        consensus_layer = Some Dpu_protocols.Consensus_ct.protocol_name;
+        switch_consensus = Some (2_500.0, Dpu_protocols.Consensus_paxos.protocol_name);
+      } );
+  ]
+
+let check_one ~label params =
+  let reports = E.preflight params in
+  let ok = Dpu_props.Report.all_ok reports in
+  Format.printf "@[<v>-- %s: %s@,%a@]@." label
+    (if ok then "OK" else "REJECTED")
+    Dpu_props.Report.pp_all reports;
+  (ok, reports)
+
+let check n initial switch_to approach batch consensus_layer switch_consensus_to
+    shipped json_out =
+  let results =
+    if shipped then List.map (fun (label, p) -> check_one ~label p) shipped_configs
+    else begin
+      let consensus_layer =
+        if consensus_layer || switch_consensus_to <> None then
+          Some Dpu_protocols.Consensus_ct.protocol_name
+        else None
+      in
+      let params =
+        {
+          E.default with
+          n;
+          initial;
+          switch_to;
+          approach;
+          batch_size = batch;
+          consensus_layer;
+          switch_consensus =
+            Option.map (fun prot -> (2_500.0, prot)) switch_consensus_to;
+        }
+      in
+      [ check_one ~label:"configuration" params ]
+    end
+  in
+  (match json_out with
+  | Some path ->
+    let reports = List.concat_map snd results in
+    Dpu_obs.Json.to_file path (Dpu_analysis.Composition.to_json reports);
+    Printf.printf "verdicts written to %s\n" path
+  | None -> ());
+  if List.for_all fst results then
+    print_endline "static composition check: all configurations OK"
+  else begin
+    print_endline "static composition check: FAILED";
+    exit 1
+  end
+
+let check_cmd =
+  let initial =
+    Arg.(
+      value
+      & opt string Dpu_core.Variants.ct
+      & info [ "initial" ] ~docv:"PROTO" ~doc:"Initial ABcast variant.")
+  in
+  let switch_to =
+    Arg.(
+      value
+      & opt (some string) (Some Dpu_core.Variants.ct)
+      & info [ "switch-to" ] ~docv:"PROTO" ~doc:"Replacement target; omit for none.")
+  in
+  let approach =
+    Arg.(
+      value & opt approach_conv E.Repl
+      & info [ "approach" ] ~docv:"A" ~doc:"repl | graceful | maestro | no-layer.")
+  in
+  let batch =
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"K" ~doc:"Consensus batch size.")
+  in
+  let consensus_layer =
+    Arg.(
+      value & flag
+      & info [ "consensus-layer" ]
+          ~doc:"Install the consensus replacement layer (implied by --switch-consensus-to).")
+  in
+  let switch_consensus_to =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "switch-consensus-to" ] ~docv:"IMPL"
+          ~doc:"Plan a consensus hot-swap to IMPL (consensus.ct | consensus.paxos).")
+  in
+  let shipped =
+    Arg.(
+      value & flag
+      & info [ "shipped" ]
+          ~doc:"Verify every configuration the figures and tables use, instead of one.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the verdicts to FILE as JSON.")
+  in
+  let term =
+    Term.(
+      const check $ n_arg $ initial $ switch_to $ approach $ batch $ consensus_layer
+      $ switch_consensus_to $ shipped $ json_out)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify a stack composition and update plan without running \
+          any simulation (missing providers, provider cycles, duplicate \
+          bindings, unsafe replacement plans).")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* trace                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -384,4 +517,7 @@ let trace_cmd =
 let () =
   let doc = "Dynamic protocol update (IPDPS 2006) — simulation driver" in
   let info = Cmd.info "dpu_run" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ scenario_cmd; fig5_cmd; fig6_cmd; headline_cmd; compare_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ scenario_cmd; fig5_cmd; fig6_cmd; headline_cmd; compare_cmd; check_cmd; trace_cmd ]))

@@ -1,0 +1,481 @@
+open Dpu_kernel
+module Report = Dpu_props.Report
+module SB = Dpu_core.Stack_builder
+module RC = Dpu_core.Repl_consensus
+
+type decl = {
+  d_name : string;
+  d_provides : Service.t list;
+  d_requires : Service.t list;
+}
+
+type root =
+  | By_name of string
+  | By_service of Service.t
+
+type plan = {
+  prebound : decl list;
+  roots : root list;
+  passive : decl list;
+  named : string list;
+  updates : (string * string) list;
+  consensus_updates : string list;
+  layer : string option;
+}
+
+let plan_of_profile ?(updates = []) ?(consensus_updates = []) (profile : SB.profile) =
+  let prebound =
+    match profile.consensus_layer with
+    | Some _ ->
+      [
+        {
+          d_name = RC.protocol_name;
+          d_provides = [ Service.consensus ];
+          (* Generation 0 comes up on slot 0 at start; later slots are
+             populated by the layer itself as generations advance. *)
+          d_requires = [ Service.rp2p; RC.impl_service 0 ];
+        };
+      ]
+    | None -> []
+  in
+  let named =
+    match profile.consensus_layer with
+    | Some initial -> [ RC.impl_name initial ~slot:0 ]
+    | None -> []
+  in
+  let roots =
+    [ By_name profile.initial_abcast ]
+    @ (match profile.layer with Some l -> [ By_name l ] | None -> [])
+    @ (if profile.with_gm then [ By_service Service.gm ] else [])
+  in
+  let monitor_mode =
+    if Option.is_some profile.layer then Dpu_core.Monitor.Layered
+    else Dpu_core.Monitor.Direct
+  in
+  let passive =
+    (if Option.is_some profile.layer then
+       [
+         {
+           d_name = Dpu_protocols.Epoch_buffer.protocol_name;
+           d_provides = [];
+           d_requires = Dpu_protocols.Epoch_buffer.requires;
+         };
+       ]
+     else [])
+    @ [
+        {
+          d_name = Dpu_core.Monitor.module_name;
+          d_provides = [];
+          d_requires = Dpu_core.Monitor.requires monitor_mode;
+        };
+      ]
+  in
+  {
+    prebound;
+    roots;
+    passive;
+    named;
+    updates = List.map (fun target -> (profile.initial_abcast, target)) updates;
+    consensus_updates;
+    layer = profile.layer;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The static model                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let decl_of_registry registry name =
+  match Registry.provides_of registry ~name with
+  | None -> None
+  | Some provides ->
+    let requires =
+      Option.value ~default:[] (Registry.requires_of registry ~name)
+    in
+    Some { d_name = name; d_provides = provides; d_requires = requires }
+
+(* Prebound modules shadow the registry: they are installed by hand and
+   already hold their bindings when resolution starts. *)
+let lookup_decl registry plan name =
+  match List.find_opt (fun d -> String.equal d.d_name name) plan.prebound with
+  | Some d -> Some d
+  | None -> decl_of_registry registry name
+
+let path_str path = String.concat " -> " (List.rev path)
+
+(* A static mirror of [Registry.instantiate]/[ensure_bound]: bind the
+   declared provides before recursing into the declared requires, so
+   honest cycles terminate here exactly as they do dynamically. The
+   mirror accumulates missing providers and unknown protocols instead
+   of raising. *)
+type resolution = {
+  mutable bindings : string Service.Map.t;  (* service -> module name *)
+  mutable instantiated : string list;  (* reversed instantiation order *)
+  mutable res_checked : int;
+  mutable unknown : string list;  (* violation strings *)
+  mutable missing : string list;
+}
+
+let rec res_instantiate registry plan res ~path name =
+  match lookup_decl registry plan name with
+  | None ->
+    res.unknown <-
+      Printf.sprintf "unknown protocol %S (via %s)" name (path_str path)
+      :: res.unknown
+  | Some d ->
+    if not (List.mem name res.instantiated) then
+      res.instantiated <- name :: res.instantiated;
+    List.iter
+      (fun svc ->
+        if not (Service.Map.mem svc res.bindings) then
+          res.bindings <- Service.Map.add svc name res.bindings)
+      d.d_provides;
+    List.iter
+      (fun svc -> res_ensure registry plan res ~path:(name :: path) svc)
+      d.d_requires
+
+and res_ensure registry plan res ~path svc =
+  res.res_checked <- res.res_checked + 1;
+  if not (Service.Map.mem svc res.bindings) then
+    match Registry.provider_of registry svc with
+    | None ->
+      res.missing <-
+        Printf.sprintf "no provider for service %s (required via %s)"
+          (Service.name svc) (path_str path)
+        :: res.missing
+    | Some name -> res_instantiate registry plan res ~path name
+
+let resolve_plan registry plan =
+  let res =
+    {
+      bindings = Service.Map.empty;
+      instantiated = [];
+      res_checked = 0;
+      unknown = [];
+      missing = [];
+    }
+  in
+  (* Prebound modules hold their bindings before anything resolves. *)
+  List.iter
+    (fun d ->
+      res.bindings <-
+        List.fold_left
+          (fun b svc -> Service.Map.add svc d.d_name b)
+          res.bindings d.d_provides)
+    plan.prebound;
+  List.iter
+    (fun d ->
+      res.instantiated <- d.d_name :: res.instantiated;
+      List.iter
+        (fun svc -> res_ensure registry plan res ~path:[ d.d_name ] svc)
+        d.d_requires)
+    plan.prebound;
+  List.iter
+    (function
+      | By_name name -> res_instantiate registry plan res ~path:[ "<build>" ] name
+      | By_service svc -> res_ensure registry plan res ~path:[ "<build>" ] svc)
+    plan.roots;
+  List.iter
+    (fun name ->
+      if not (List.mem name res.instantiated) then
+        res_instantiate registry plan res ~path:[ "<named>" ] name)
+    plan.named;
+  res
+
+(* ------------------------------------------------------------------ *)
+(* Check 1: static strong stack-well-formedness                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_well_formedness registry plan =
+  let res = resolve_plan registry plan in
+  let violations = List.rev_append res.unknown (List.rev res.missing) in
+  ( Report.make ~property:"static strong stack-well-formedness"
+      ~checked:res.res_checked (List.sort String.compare violations),
+    res )
+
+(* ------------------------------------------------------------------ *)
+(* Check 2: acyclic provider chains                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The cycle check walks the declared requirement graph from scratch:
+   an edge goes from a module to the provider each required service
+   would resolve to, respecting only the plan's explicit bindings
+   (prebound modules and roots), not bindings a chain creates while it
+   is being resolved. A chain that loops back therefore shows up even
+   when [Registry.instantiate] would terminate on it. *)
+let compare_cycles a b = List.compare String.compare a b
+
+let check_acyclic registry plan =
+  let planned_binding =
+    let add map d =
+      List.fold_left
+        (fun m svc ->
+          if Service.Map.mem svc m then m else Service.Map.add svc d m)
+        map d.d_provides
+    in
+    let from_prebound = List.fold_left add Service.Map.empty plan.prebound in
+    List.fold_left
+      (fun map root ->
+        match root with
+        | By_name name -> (
+          match lookup_decl registry plan name with
+          | Some d -> add map d
+          | None -> map)
+        | By_service _ -> map)
+      from_prebound plan.roots
+  in
+  let resolve svc =
+    match Service.Map.find_opt svc planned_binding with
+    | Some d -> Some d.d_name
+    | None -> Registry.provider_of registry svc
+  in
+  let cycles = ref [] in
+  let edges_checked = ref 0 in
+  let finished = Hashtbl.create 16 in
+  let rec visit stack name =
+    if List.mem name stack then begin
+      let rec upto acc = function
+        | [] -> acc
+        | n :: _ when String.equal n name -> acc
+        | n :: rest -> upto (n :: acc) rest
+      in
+      let cycle = Registry.canonical_cycle (name :: upto [] stack) in
+      if not (List.mem cycle !cycles) then cycles := cycle :: !cycles
+    end
+    else if not (Hashtbl.mem finished name) then begin
+      Hashtbl.replace finished name ();
+      match lookup_decl registry plan name with
+      | None -> ()
+      | Some d ->
+        List.iter
+          (fun svc ->
+            incr edges_checked;
+            match resolve svc with
+            | Some provider -> visit (name :: stack) provider
+            | None -> ())
+          d.d_requires
+    end
+  in
+  List.iter (fun d -> visit [] d.d_name) plan.prebound;
+  List.iter
+    (function
+      | By_name name -> visit [] name
+      | By_service svc -> (
+        match resolve svc with Some name -> visit [] name | None -> ()))
+    plan.roots;
+  List.iter (fun name -> visit [] name) plan.named;
+  List.iter (fun (_, target) -> visit [] target) plan.updates;
+  let violations =
+    List.map
+      (fun cycle -> Printf.sprintf "provider cycle: %s" (String.concat " -> " cycle))
+      (List.sort compare_cycles !cycles)
+  in
+  Report.make ~property:"acyclic provider chains" ~checked:!edges_checked violations
+
+(* ------------------------------------------------------------------ *)
+(* Check 3: unique service binding                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_unique_binding registry plan =
+  let planned =
+    plan.prebound
+    @ List.filter_map
+        (function
+          | By_name name -> lookup_decl registry plan name
+          | By_service _ -> None)
+        plan.roots
+  in
+  let claims : (Service.t * string) list =
+    List.concat_map (fun d -> List.map (fun svc -> (svc, d.d_name)) d.d_provides) planned
+  in
+  let services =
+    List.sort_uniq Service.compare (List.map fst claims)
+  in
+  let violations =
+    List.filter_map
+      (fun svc ->
+        let holders =
+          List.filter_map
+            (fun (s, name) -> if Service.equal s svc then Some name else None)
+            claims
+        in
+        match holders with
+        | [] | [ _ ] -> None
+        | _ ->
+          Some
+            (Printf.sprintf "service %s claimed by %d planned modules: %s"
+               (Service.name svc) (List.length holders)
+               (String.concat ", " holders)))
+      services
+  in
+  Report.make ~property:"unique service binding" ~checked:(List.length services)
+    violations
+
+(* ------------------------------------------------------------------ *)
+(* Check 4: update-plan safety                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_update_safety registry plan (base : resolution) =
+  let checked = ref 0 in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  List.iter
+    (fun (old_name, new_name) ->
+      incr checked;
+      match lookup_decl registry plan old_name with
+      | None ->
+        violate "changeABcast(%s): old protocol %S is not registered" new_name
+          old_name
+      | Some old_d -> (
+        (* The indirection must exist and intercept every service the
+           old protocol serves, or callers keep a direct dependency on
+           the module being swapped out (§4.2). *)
+        (match plan.layer with
+        | None ->
+          violate
+            "changeABcast(%s): profile has no replacement layer, nothing \
+             intercepts callers of %s"
+            new_name old_name
+        | Some layer_name -> (
+          match lookup_decl registry plan layer_name with
+          | None -> violate "replacement layer %S is not registered" layer_name
+          | Some layer_d ->
+            List.iter
+              (fun svc ->
+                if not (List.exists (Service.equal svc) layer_d.d_requires) then
+                  violate
+                    "replacement layer %s does not intercept service %s provided \
+                     by %s"
+                    layer_name (Service.name svc) old_name)
+              old_d.d_provides));
+        (* No planned module other than the layer (and the old protocol's
+           own subtree) may call the replaced services directly. *)
+        let replaced = old_d.d_provides in
+        List.iter
+          (fun name ->
+            if
+              (not (String.equal name old_name))
+              && not (match plan.layer with Some l -> String.equal l name | None -> false)
+            then
+              match lookup_decl registry plan name with
+              | None -> ()
+              | Some d ->
+                List.iter
+                  (fun svc ->
+                    if List.exists (Service.equal svc) replaced then
+                      violate
+                        "module %s requires service %s directly; the replacement \
+                         indirection cannot intercept its calls across a swap to %s"
+                        name (Service.name svc) new_name)
+                  d.d_requires)
+          (List.rev base.instantiated);
+        match lookup_decl registry plan new_name with
+        | None ->
+          violate "changeABcast(%s): target protocol is not registered" new_name
+        | Some new_d ->
+          (* Coverage: every service callers could reach through the old
+             protocol must still be served after the swap (§5's
+             protocol-operationability across the replacement). *)
+          List.iter
+            (fun svc ->
+              if not (List.exists (Service.equal svc) new_d.d_provides) then
+                violate
+                  "changeABcast(%s): new protocol drops service %s provided by %s"
+                  new_name (Service.name svc) old_name)
+            old_d.d_provides;
+          (* The target's requirements must resolve in the post-swap
+             stack: the old protocol's bindings are gone, everything
+             else survives. *)
+          let res =
+            {
+              bindings =
+                Service.Map.filter
+                  (fun _ holder -> not (String.equal holder old_name))
+                  base.bindings;
+              instantiated = base.instantiated;
+              res_checked = 0;
+              unknown = [];
+              missing = [];
+            }
+          in
+          res_instantiate registry plan res ~path:[ "<update>" ] new_name;
+          List.iter
+            (fun v -> violate "after changeABcast(%s): %s" new_name v)
+            (List.rev_append res.unknown (List.rev res.missing))))
+    plan.updates;
+  List.iter
+    (fun target ->
+      incr checked;
+      if not (List.exists (fun d -> String.equal d.d_name RC.protocol_name) plan.prebound)
+      then
+        violate
+          "changeConsensus(%s): profile has no consensus replacement layer" target
+      else begin
+        let missing_slots =
+          List.filter
+            (fun slot -> not (Registry.mem registry ~name:(RC.impl_name target ~slot)))
+            (List.init RC.slots (fun i -> i))
+        in
+        (match missing_slots with
+        | [] -> ()
+        | slots ->
+          violate
+            "changeConsensus(%s): implementation not registered at slot(s) %s"
+            target
+            (String.concat ", "
+               (List.map (fun s -> RC.impl_name target ~slot:s) slots)));
+        if missing_slots = [] then begin
+          let res =
+            {
+              bindings = base.bindings;
+              instantiated = base.instantiated;
+              res_checked = 0;
+              unknown = [];
+              missing = [];
+            }
+          in
+          res_instantiate registry plan res ~path:[ "<consensus-update>" ]
+            (RC.impl_name target ~slot:1);
+          List.iter
+            (fun v -> violate "after changeConsensus(%s): %s" target v)
+            (List.rev_append res.unknown (List.rev res.missing))
+        end
+      end)
+    plan.consensus_updates;
+  Report.make ~property:"update-plan safety" ~checked:!checked
+    (List.sort String.compare !violations)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let verify ~registry plan =
+  let wf, base = check_well_formedness registry plan in
+  [
+    wf;
+    check_acyclic registry plan;
+    check_unique_binding registry plan;
+    check_update_safety registry plan base;
+  ]
+
+let verify_profile ~registry ?updates ?consensus_updates profile =
+  verify ~registry (plan_of_profile ?updates ?consensus_updates profile)
+
+let to_json reports =
+  let module J = Dpu_obs.Json in
+  J.Obj
+    [
+      ("schema", J.Str "dpu.analysis/1");
+      ("ok", J.Bool (Report.all_ok reports));
+      ( "reports",
+        J.List
+          (List.map
+             (fun (r : Report.t) ->
+               J.Obj
+                 [
+                   ("property", J.Str r.property);
+                   ("ok", J.Bool r.ok);
+                   ("checked", J.Int r.checked);
+                   ("violations", J.List (List.map (fun v -> J.Str v) r.violations));
+                 ])
+             reports) );
+    ]

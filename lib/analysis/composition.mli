@@ -1,0 +1,92 @@
+(** Static composition verifier — §3's correctness properties decided
+    on the configuration graph, before any simulation step.
+
+    The dynamic checkers ({!Dpu_props.Stack_props}) replay a kernel
+    trace after a run; a mis-composed stack or an unsafe replacement
+    plan therefore surfaces minutes into a sweep. This pass extracts a
+    static model of the configuration — the registry's declared
+    [provides]/[requires] edges plus the build plan of
+    {!Dpu_core.Stack_builder} — and decides, on the graph:
+
+    - {e static strong stack-well-formedness}: every service any
+      planned module (transitively) requires reaches a registered
+      provider, mirroring [Registry.instantiate]'s resolution;
+    - {e acyclic provider chains}: no requirement chain loops back to a
+      protocol it is still resolving (reported in the same normal form
+      as [Registry.Cyclic_requires]);
+    - {e unique service binding}: no two explicitly planned modules
+      claim the same service binding;
+    - {e update-plan safety}: a planned [changeABcast]-style swap keeps
+      protocol-operationability — the new protocol is registered, its
+      provided services cover the old one's, its requirements resolve
+      in the post-swap stack, and the replacement-layer indirection
+      intercepts every caller of the replaced services (§4–§5).
+
+    The verifier is deliberately conservative: a cyclic provider chain
+    is rejected statically even though [Registry.instantiate] can build
+    honest cycles (binding-before-recursion), because its termination
+    then depends on factories binding exactly what they declare.
+
+    Passive listener modules (monitor, epoch buffer) impose no static
+    obligations: they only receive indications, which the kernel
+    delivers regardless of bindings. *)
+
+open Dpu_kernel
+
+(** A module as the static model sees it. *)
+type decl = {
+  d_name : string;
+  d_provides : Service.t list;
+  d_requires : Service.t list;
+}
+
+type root =
+  | By_name of string  (** instantiate this registered protocol *)
+  | By_service of Service.t  (** [Registry.ensure_bound] this service *)
+
+(** A static build-and-update plan for one stack (all stacks are built
+    identically, so one plan covers the system). *)
+type plan = {
+  prebound : decl list;
+      (** modules installed and bound by hand before resolution runs
+          (e.g. the consensus replacement layer); their requirements
+          are resolved like a root's *)
+  roots : root list;  (** instantiated in order, as [Stack_builder.build] does *)
+  passive : decl list;  (** unbound listeners; no static obligations *)
+  named : string list;
+      (** protocol names that must be registered and resolvable even
+          though no service lookup reaches them by name (e.g. the
+          consensus layer's initial implementation, which the layer
+          instantiates by name at start-up) *)
+  updates : (string * string) list;
+      (** planned [changeABcast] swaps as [(old, new)] pairs *)
+  consensus_updates : string list;
+      (** planned consensus-implementation swap targets *)
+  layer : string option;  (** the [r-abcast] indirection, if any *)
+}
+
+val plan_of_profile :
+  ?updates:string list ->
+  ?consensus_updates:string list ->
+  Dpu_core.Stack_builder.profile ->
+  plan
+(** The static plan of the stack {!Dpu_core.Stack_builder.build}
+    assembles for [profile], with [updates] the [changeABcast] targets
+    the scenario will request and [consensus_updates] the consensus
+    swap targets. *)
+
+val verify : registry:Registry.t -> plan -> Dpu_props.Report.t list
+(** Run all four checks; one report per property, in the order listed
+    above. [Dpu_props.Report.all_ok] on the result is the verdict. *)
+
+val verify_profile :
+  registry:Registry.t ->
+  ?updates:string list ->
+  ?consensus_updates:string list ->
+  Dpu_core.Stack_builder.profile ->
+  Dpu_props.Report.t list
+(** [verify] of [plan_of_profile]. *)
+
+val to_json : Dpu_props.Report.t list -> Dpu_obs.Json.t
+(** Machine-readable findings ([dpu.analysis/1] schema): top-level
+    [ok], plus per-property [ok]/[checked]/[violations]. *)

@@ -1,0 +1,68 @@
+(** Determinism lint — a static source scanner for hazards that break
+    bit-identical sweeps.
+
+    PR 3 made determinism a load-bearing guarantee: a sweep's results
+    are bit-identical at any [-j]. That only holds if simulation code
+    never consults unordered or ambient state. This pass flags the
+    hazard classes that have bitten (or would):
+
+    - [hashtbl-iter]: [Hashtbl.iter]/[Hashtbl.fold] — iteration order
+      depends on hash internals, so anything order-sensitive downstream
+      (wire sends, indications, report text) diverges;
+    - [poly-compare]: polymorphic [compare]/[Stdlib.compare]/
+      [Hashtbl.hash] applied where a typed comparison belongs;
+    - [random]: the global [Random] state (everything must draw from
+      the seeded {!Dpu_engine.Rng});
+    - [wall-clock]: [Unix.gettimeofday]/[Unix.time]/[Sys.time] in
+      simulation code (virtual time comes from [Sim.now]);
+    - [marshal]: [Marshal] outside the {!Dpu_workload.Sweep} worker
+      protocol.
+
+    Matching runs on comment- and string-stripped source, so prose
+    mentioning a pattern never fires. A finding on a line is silenced
+    by a suppression comment on the same or the preceding line:
+
+    {[ (* dpu-lint: allow <rule> — why this use is deterministic *) ]}
+
+    The reason is mandatory: a suppression without one does not count
+    (CI fails on any finding without a reasoned suppression). *)
+
+type finding = {
+  f_file : string;
+  f_line : int;  (** 1-based *)
+  f_rule : string;
+  f_text : string;  (** the offending source line, trimmed *)
+  f_message : string;
+}
+
+type rule = {
+  r_id : string;
+  r_patterns : string list;  (** literal substrings, matched on stripped code *)
+  r_message : string;
+  r_exempt : string list;
+      (** path suffixes where the rule is off by design (e.g. [random]
+          inside [engine/rng.ml], [marshal] inside
+          [workload/sweep.ml]) *)
+}
+
+val rules : rule list
+(** The built-in rule set, in reporting order. *)
+
+val strip : string -> string
+(** Replace comment bodies and string-literal contents with spaces,
+    preserving line structure. Exposed for tests. *)
+
+val scan_source : file:string -> string -> finding list
+(** Scan one file's contents. [file] selects rule exemptions and is
+    recorded in findings. *)
+
+val scan_file : string -> finding list
+
+val scan_paths : string list -> finding list
+(** Recursively scan every [.ml] file under the given files and
+    directories, in sorted path order. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val to_json : finding list -> Dpu_obs.Json.t
+(** [dpu.lint/1] schema: top-level [ok] plus one record per finding. *)

@@ -62,7 +62,10 @@ let apply t op =
   | Evict node ->
     if not (Hashtbl.mem t.dead node) then begin
       Hashtbl.replace t.dead node ();
-      let locks = Hashtbl.fold (fun l _ acc -> l :: acc) t.queues [] in
+      let locks =
+        (* dpu-lint: allow hashtbl-iter — folded lock names are sorted before use *)
+        Hashtbl.fold (fun l _ acc -> l :: acc) t.queues [] |> List.sort String.compare
+      in
       List.iter
         (fun l ->
           let q = queue t l in
@@ -121,12 +124,14 @@ let holds t l = holder t l = Some t.node
 
 let on_granted t cb = t.granted_cb <- cb :: t.granted_cb
 
-let evicted t = Hashtbl.fold (fun n () acc -> n :: acc) t.dead [] |> List.sort compare
+(* dpu-lint: allow hashtbl-iter — folded nodes are sorted before use *)
+let evicted t = Hashtbl.fold (fun n () acc -> n :: acc) t.dead [] |> List.sort Int.compare
 
 let digest t =
   let entries =
+    (* dpu-lint: allow hashtbl-iter — folded queues are sorted by lock name below *)
     Hashtbl.fold (fun l q acc -> (l, q) :: acc) t.queues []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let buf = Buffer.create 128 in
   List.iter

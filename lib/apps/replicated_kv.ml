@@ -79,8 +79,9 @@ let int_of_cell = function
   | Some s -> ( match int_of_string_opt s with Some i -> i | None -> 0)
 
 let entries t =
+  (* dpu-lint: allow hashtbl-iter — folded entries are sorted by key below *)
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.state []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let broadcast_op t op =
   let body = encode op in

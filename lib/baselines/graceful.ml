@@ -127,6 +127,7 @@ let install ?(config = default_config) ~registry ~n stack =
             Stack.indicate stack Service.r_abcast
               (Repl_iface.Protocol_changed { generation = !gen; protocol });
             let pending =
+              (* dpu-lint: allow hashtbl-iter — folded messages are sorted by id below *)
               Hashtbl.fold (fun id v acc -> (id, v) :: acc) undelivered []
               |> List.sort (fun (a, _) (b, _) -> Msg.id_compare a b)
             in
@@ -218,4 +219,5 @@ let register ?config system =
   let registry = System.registry system in
   let n = System.n system in
   Registry.register registry ~name:protocol_name ~provides:[ Service.r_abcast ]
+    ~requires:[ Service.abcast; Service.rp2p ]
     (fun stack -> install ?config ~registry ~n stack)

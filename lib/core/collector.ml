@@ -50,7 +50,8 @@ let delivers_of t ~node =
   match Hashtbl.find_opt t.delivers node with Some l -> List.rev !l | None -> []
 
 let delivered_nodes t =
-  Hashtbl.fold (fun node _ acc -> node :: acc) t.delivers [] |> List.sort compare
+  (* dpu-lint: allow hashtbl-iter — folded nodes are sorted before use *)
+  Hashtbl.fold (fun node _ acc -> node :: acc) t.delivers [] |> List.sort Int.compare
 
 let deliver_times t id =
   match Hashtbl.find_opt t.deliveries_by_id id with Some l -> List.rev l | None -> []

@@ -6,12 +6,18 @@ type mode =
   | Layered
   | Direct
 
+let module_name = "monitor"
+
+let observed_service = function
+  | Layered -> Service.r_abcast
+  | Direct -> Service.abcast
+
+let requires mode = [ observed_service mode ]
+
 let install ~collector ~mode stack =
   let node = Stack.node stack in
-  let service =
-    match mode with Layered -> Service.r_abcast | Direct -> Service.abcast
-  in
-  Stack.add_module stack ~name:"monitor" ~provides:[] ~requires:[ service ]
+  let service = observed_service mode in
+  Stack.add_module stack ~name:module_name ~provides:[] ~requires:[ service ]
     (fun stack _self ->
       let now () = Dpu_engine.Sim.now (Stack.sim stack) in
       let m_delivers =

@@ -12,4 +12,13 @@ type mode =
   | Layered  (** observe [r-abcast] (replacement layer present) *)
   | Direct  (** observe [abcast] (no replacement layer) *)
 
+val module_name : string
+(** ["monitor"]. *)
+
+val observed_service : mode -> Service.t
+
+val requires : mode -> Service.t list
+(** The monitor's declared requirements (introspection for the static
+    analyser; it only listens, never calls). *)
+
 val install : collector:Collector.t -> mode:mode -> Stack.t -> Stack.module_

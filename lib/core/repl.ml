@@ -100,6 +100,7 @@ let install ~registry stack =
           (Repl_iface.Protocol_changed { generation = !seq_number; protocol });
         (* Lines 15-16: reissue undelivered messages through the new
            protocol. *)
+        (* dpu-lint: allow hashtbl-iter — folded messages are sorted by id below *)
         let pending = Hashtbl.fold (fun id v acc -> (id, v) :: acc) undelivered [] in
         let pending = List.sort (fun (a, _) (b, _) -> Msg.id_compare a b) pending in
         List.iter
@@ -147,4 +148,5 @@ let install ~registry stack =
 let register system =
   let registry = System.registry system in
   Registry.register registry ~name:protocol_name ~provides:[ Service.r_abcast ]
+    ~requires:[ Service.abcast ]
     (fun stack -> install ~registry stack)

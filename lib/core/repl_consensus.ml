@@ -124,13 +124,14 @@ let install ~registry ~initial ~n stack =
         (* Re-issue our undecided proposals beyond the switch point
            under the new generation (sequential clients will not have
            any, but a racing proposal is repaired here). *)
-        Hashtbl.iter
-          (fun k (value, weight) ->
-            if k > k_s then begin
-              M.incr m_reissued;
-              propose_impl s ~k ~value ~weight
-            end)
-          s.pending
+        (* dpu-lint: allow hashtbl-iter — folded pairs are sorted by k before use *)
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.pending []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.iter (fun (k, (value, weight)) ->
+               if k > k_s then begin
+                 M.incr m_reissued;
+                 propose_impl s ~k ~value ~weight
+               end)
       in
       let advance_prefix s =
         while Hashtbl.mem s.decided_ks s.prefix do

@@ -72,6 +72,9 @@ val slots : int
 val impl_name : string -> slot:int -> string
 (** Registry name of implementation [prot] at a ring slot. *)
 
+val impl_service : int -> Service.t
+(** The implementation service of a ring slot ([consensus-impl.k]). *)
+
 val register_impls : System.t -> unit
 (** Register both implementations (CT and Paxos) at every ring slot in
     the system registry, so generation switches can instantiate them. *)

@@ -42,7 +42,7 @@ let switch_events collector ~n =
       switches
   in
   let generations =
-    List.sort_uniq compare (List.map (fun (_, g, _) -> g) switches)
+    List.sort_uniq Int.compare (List.map (fun (_, g, _) -> g) switches)
   in
   let windows =
     List.filter_map

@@ -18,12 +18,15 @@ let default_profile =
     consensus_layer = None;
   }
 
-let build ?collector ?register_extra ~profile system =
+let register_protocols ?register_extra ~profile system =
   Variants.register_all ~batch_size:profile.batch_size system;
   Repl.register system;
   P.Gm.register system;
   (match register_extra with Some f -> f system | None -> ());
-  if Option.is_some profile.consensus_layer then Repl_consensus.register_impls system;
+  if Option.is_some profile.consensus_layer then Repl_consensus.register_impls system
+
+let build ?collector ?register_extra ~profile system =
+  register_protocols ?register_extra ~profile system;
   let registry = System.registry system in
   System.iter_stacks system (fun stack ->
       (* With the consensus replacement layer, the layer must hold the

@@ -35,12 +35,18 @@ type profile = {
 val default_profile : profile
 (** CT ABcast, [Repl] layer, no GM, batch 1. *)
 
+val register_protocols :
+  ?register_extra:(System.t -> unit) -> profile:profile -> System.t -> unit
+(** Populate the system registry with every protocol the profile can
+    name (plus whatever [register_extra] adds) without building any
+    stack — what the static analyser and [dpu_run check] need to reason
+    about a configuration before (or instead of) running it. *)
+
 val build :
   ?collector:Collector.t ->
   ?register_extra:(System.t -> unit) ->
   profile:profile ->
   System.t ->
   unit
-(** Register all protocols (plus whatever [register_extra] adds — e.g.
-    a baseline layer) and build the profile's stack on every node. With
-    a collector, a monitor module is installed on each stack. *)
+(** [register_protocols], then build the profile's stack on every node.
+    With a collector, a monitor module is installed on each stack. *)

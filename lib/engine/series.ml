@@ -45,6 +45,7 @@ let window_average t ~width =
         let sum, cnt = try Hashtbl.find tbl b with Not_found -> (0.0, 0) in
         Hashtbl.replace tbl b (sum +. p.value, cnt + 1))
       ps;
+    (* dpu-lint: allow hashtbl-iter — folded buckets are sorted by index below *)
     let buckets = Hashtbl.fold (fun b acc l -> (b, acc) :: l) tbl [] in
     let buckets = List.sort (fun (a, _) (b, _) -> Int.compare a b) buckets in
     List.map

@@ -58,6 +58,7 @@ let crashed_before t ~time =
       | Recover node -> Hashtbl.replace down node false
       | _ -> ())
     relevant;
+  (* dpu-lint: allow hashtbl-iter — folded nodes are sorted before use *)
   Hashtbl.fold (fun node is_down acc -> if is_down then node :: acc else acc) down []
   |> List.sort Int.compare
 

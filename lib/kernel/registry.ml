@@ -1,6 +1,11 @@
 type factory = Stack.t -> Stack.module_
 
-type entry = { e_name : string; e_provides : Service.t list; e_factory : factory }
+type entry = {
+  e_name : string;
+  e_provides : Service.t list;
+  e_requires : Service.t list;  (* declared; what the factory's module asks for *)
+  e_factory : factory;
+}
 
 type t = { mutable entries : entry list (* most recent first *) }
 
@@ -8,11 +13,13 @@ exception Unknown_protocol of string
 
 exception No_provider of Service.t
 
+exception Cyclic_requires of string list
+
 let create () = { entries = [] }
 
-let register t ~name ~provides factory =
+let register t ~name ~provides ?(requires = []) factory =
   t.entries <-
-    { e_name = name; e_provides = provides; e_factory = factory }
+    { e_name = name; e_provides = provides; e_requires = requires; e_factory = factory }
     :: List.filter (fun e -> not (String.equal e.e_name name)) t.entries
 
 let names t = List.rev_map (fun e -> e.e_name) t.entries
@@ -28,10 +35,42 @@ let provider_of t svc =
   | Some e -> Some e.e_name
   | None -> None
 
+let provides_of t ~name = Option.map (fun e -> e.e_provides) (find t name)
+
+let requires_of t ~name = Option.map (fun e -> e.e_requires) (find t name)
+
+(* Canonical form of a cycle: rotated so the smallest name comes first.
+   The static verifier ([Dpu_analysis.Composition]) normalises the same
+   way, so the dynamic exception and the static finding agree. *)
+let canonical_cycle names =
+  match names with
+  | [] -> []
+  | _ ->
+    let arr = Array.of_list names in
+    let len = Array.length arr in
+    let best = ref 0 in
+    for i = 1 to len - 1 do
+      if String.compare arr.(i) arr.(!best) < 0 then best := i
+    done;
+    List.init len (fun i -> arr.((!best + i) mod len))
+
 (* Binding the new module's provided services *before* recursing on its
-   requirements makes cyclic service graphs terminate: by the time a
-   dependency loops back, the service is already bound. *)
-let rec instantiate t stack ~name =
+   requirements makes honest cyclic service graphs terminate: by the
+   time a dependency loops back, the service is already bound. The
+   [building] path catches the remaining case — re-entering a protocol
+   whose declared services are still unbound (its factory did not bind
+   what it promised), which would otherwise recurse forever. *)
+let rec instantiate_aux t stack ~building ~name =
+  if List.mem name building then begin
+    (* [building] is the reversed path from the entry point; the cycle
+       is [name] plus everything built since we first entered it. *)
+    let rec upto acc = function
+      | [] -> acc
+      | n :: _ when String.equal n name -> acc
+      | n :: rest -> upto (n :: acc) rest
+    in
+    raise (Cyclic_requires (canonical_cycle (name :: upto [] building)))
+  end;
   match find t name with
   | None -> raise (Unknown_protocol name)
   | Some e ->
@@ -42,18 +81,25 @@ let rec instantiate t stack ~name =
         | None -> Stack.bind stack svc m
         | Some _ -> ())
       (Stack.module_provides m);
-    List.iter (fun svc -> ensure_bound t stack svc) (Stack.module_requires m);
+    List.iter
+      (fun svc -> ensure_bound_aux t stack ~building:(name :: building) svc)
+      (Stack.module_requires m);
     m
 
-and create_only t stack ~name =
-  match find t name with
-  | None -> raise (Unknown_protocol name)
-  | Some e -> e.e_factory stack
-
-and ensure_bound t stack svc =
+and ensure_bound_aux t stack ~building svc =
   match Stack.bound stack svc with
   | Some _ -> ()
   | None -> (
     match provider_of t svc with
     | None -> raise (No_provider svc)
-    | Some name -> ignore (instantiate t stack ~name : Stack.module_))
+    | Some name ->
+      ignore (instantiate_aux t stack ~building ~name : Stack.module_))
+
+let instantiate t stack ~name = instantiate_aux t stack ~building:[] ~name
+
+let ensure_bound t stack svc = ensure_bound_aux t stack ~building:[] svc
+
+let create_only t stack ~name =
+  match find t name with
+  | None -> raise (Unknown_protocol name)
+  | Some e -> e.e_factory stack

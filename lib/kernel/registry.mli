@@ -21,11 +21,23 @@ exception Unknown_protocol of string
 
 exception No_provider of Service.t
 
+exception Cyclic_requires of string list
+(** A [requires] chain re-entered a protocol whose declared services
+    never became bound, so recursive instantiation could not make
+    progress. Carries the cycle (protocol names, rotated so the
+    smallest name comes first — the same normal form
+    [Dpu_analysis.Composition] reports). *)
+
 val create : unit -> t
 
-val register : t -> name:string -> provides:Service.t list -> factory -> unit
+val register :
+  t -> name:string -> provides:Service.t list -> ?requires:Service.t list -> factory -> unit
 (** Register a protocol under [name]. Registering the same name again
-    replaces the previous factory (used to stage protocol versions). *)
+    replaces the previous factory (used to stage protocol versions).
+    [requires] (default [[]]) declares the services the factory's
+    module will ask for; it is introspection metadata for the static
+    analyser ({!requires_of}) and does not affect instantiation, which
+    always resolves the module's actual requirements. *)
 
 val names : t -> string list
 
@@ -35,11 +47,24 @@ val provider_of : t -> Service.t -> string option
 (** Name of the most recently registered protocol providing the
     service. *)
 
+val provides_of : t -> name:string -> Service.t list option
+(** Declared provided services of a registered protocol. *)
+
+val requires_of : t -> name:string -> Service.t list option
+(** Declared required services of a registered protocol. *)
+
+val canonical_cycle : string list -> string list
+(** Normal form of a dependency cycle: rotated so the smallest name
+    comes first. {!Cyclic_requires} carries cycles in this form, and
+    the static verifier reports them in the same form, so the two can
+    be compared directly. *)
+
 val instantiate : t -> Stack.t -> name:string -> Stack.module_
 (** [create_module] of Algorithm 1: create the named module, bind it to
     each of its provided services that has no current binding, then
     recursively ensure every required service has a bound provider.
-    Raises {!Unknown_protocol} or {!No_provider}. *)
+    Raises {!Unknown_protocol}, {!No_provider}, or {!Cyclic_requires}
+    (when a requirement chain loops without binding progress). *)
 
 val ensure_bound : t -> Stack.t -> Service.t -> unit
 (** Instantiate a provider chain for [service] unless one is already

@@ -8,7 +8,7 @@ let equal = String.equal
 
 let compare = String.compare
 
-let hash = Hashtbl.hash
+let hash = String.hash
 
 let pp ppf t = Format.pp_print_string ppf t
 

@@ -95,6 +95,7 @@ let rec set_nth l i v =
 
 let nth = List.nth
 
+(* dpu-lint: allow poly-compare — model states are finite int/string tuples; the polymorphic order is total and stable on them *)
 let insert_sorted x l = List.sort_uniq compare (x :: l)
 
 (* Apply one entry at one node per Algorithm 1 lines 10-21. *)
@@ -181,6 +182,7 @@ let successors mutation bounds st =
               pending = set_nth st.pending g pend';
               streams = set_nth st.streams g (nth st.streams g @ [ entry ]);
             })
+        (* dpu-lint: allow poly-compare — pending entries are int/string tuples; the polymorphic order is total and stable on them *)
         (List.sort_uniq compare pend))
     st.pending;
   (* Deliveries: each node consumes each generation's sequence in
@@ -286,6 +288,7 @@ let liveness st =
     (* Uniform agreement: anything delivered anywhere is delivered at
        every live node. *)
     let all_delivered =
+      (* dpu-lint: allow poly-compare — deliveries are int/string tuples; the polymorphic order is total and stable on them *)
       List.concat_map (fun node -> node.out) st.nodes |> List.sort_uniq compare
     in
     let agreement_violation =

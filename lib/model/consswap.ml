@@ -52,6 +52,7 @@ let rec set_nth l i v =
   | x :: rest, i -> x :: set_nth rest (i - 1) v
   | [], _ -> invalid_arg "set_nth"
 
+(* dpu-lint: allow poly-compare — model states are finite int tuples; the polymorphic order is total and stable on them *)
 let sorted l = List.sort_uniq compare l
 
 (* Advance the accepted prefix and, if a pending switch is now covered,

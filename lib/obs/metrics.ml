@@ -322,8 +322,11 @@ let pp_summary ppf t =
   let sorted =
     List.sort
       (fun a b ->
+        let label_compare (k1, v1) (k2, v2) =
+          match String.compare k1 k2 with 0 -> String.compare v1 v2 | c -> c
+        in
         match String.compare a.i_name b.i_name with
-        | 0 -> compare a.i_labels b.i_labels
+        | 0 -> List.compare label_compare a.i_labels b.i_labels
         | c -> c)
       (instruments t)
   in

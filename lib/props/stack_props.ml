@@ -25,12 +25,14 @@ let weak_stack_well_formedness trace =
       (Trace.entries trace)
   in
   let violations =
+    (* dpu-lint: allow hashtbl-iter — folded violations are sorted below *)
     Hashtbl.fold
       (fun (node, svc) count acc ->
         if count > 0 && not (List.mem node crashed) then
           Printf.sprintf "%d call(s) to %s still blocked at node %d" count svc node :: acc
         else acc)
       pending []
+    |> List.sort String.compare
   in
   Report.make ~property:"weak stack-well-formedness" ~checked:!checked violations
 

@@ -39,6 +39,7 @@ let install ?(batch_size = 1) stack =
       let maybe_propose () =
         if (not !proposed) && Hashtbl.length unordered > 0 then begin
           let items =
+            (* dpu-lint: allow hashtbl-iter — folded items are sorted by id below *)
             Hashtbl.fold (fun _ item acc -> item :: acc) unordered []
             |> List.sort (fun a b -> Msg.id_compare a.id b.id)
           in
@@ -119,4 +120,5 @@ let install ?(batch_size = 1) stack =
 let register ?batch_size system =
   Registry.register (System.registry system) ~name:protocol_name
     ~provides:[ Service.abcast ]
+    ~requires:[ Service.consensus; Rbcast.service ]
     (fun stack -> install ?batch_size stack)

@@ -85,5 +85,5 @@ let install ?(sequencer = 0) ~n stack =
 let register ?sequencer system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name
-    ~provides:[ Service.abcast ]
+    ~provides:[ Service.abcast ] ~requires:[ Service.rp2p ]
     (fun stack -> install ?sequencer ~n stack)

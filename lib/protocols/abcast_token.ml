@@ -249,4 +249,5 @@ let register ?config system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name
     ~provides:[ Service.abcast ]
+    ~requires:[ Service.rp2p; Service.fd ]
     (fun stack -> install ?config ~n stack)

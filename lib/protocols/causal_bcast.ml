@@ -97,4 +97,5 @@ let install ~n stack =
 let register system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name ~provides:[ service ]
+    ~requires:[ Rbcast.service ]
     (fun stack -> install ~n stack)

@@ -247,14 +247,15 @@ let install ?(service = Service.consensus) ~n stack =
       in
       let on_suspect p =
         suspected.(p) <- true;
-        Hashtbl.iter
-          (fun _ inst ->
-            if
-              (not inst.decided) && inst.awaiting_propose
-              && coordinator inst.iid inst.round = p
-            then
-              nack_and_advance inst)
-          insts
+        (* dpu-lint: allow hashtbl-iter — folded instances are sorted by iid before use *)
+        Hashtbl.fold (fun _ inst acc -> inst :: acc) insts []
+        |> List.sort (fun a b -> iid_compare a.iid b.iid)
+        |> List.iter (fun inst ->
+               if
+                 (not inst.decided) && inst.awaiting_propose
+                 && coordinator inst.iid inst.round = p
+               then
+                 nack_and_advance inst)
       in
       let on_wakeup iid =
         let inst = get_inst iid in
@@ -340,4 +341,5 @@ let register ?(service = Service.consensus) ?name system =
   let n = System.n system in
   let name = match name with Some name -> name | None -> protocol_name in
   Registry.register (System.registry system) ~name ~provides:[ service ]
+    ~requires:[ Service.rp2p; Service.fd ]
     (fun stack -> install ~service ~n stack)

@@ -305,9 +305,11 @@ let install ?(config = default_config) ?(service = Service.consensus) ~n stack =
       let on_fd_change () =
         (* Leadership may have moved to us: push stalled instances. *)
         if leader () = me then
-          Hashtbl.iter
-            (fun _ inst -> if (not inst.decided) && inst.attempt = None then start_ballot inst)
-            insts
+          (* dpu-lint: allow hashtbl-iter — folded instances are sorted by iid before use *)
+          Hashtbl.fold (fun _ inst acc -> inst :: acc) insts []
+          |> List.sort (fun a b -> iid_compare a.iid b.iid)
+          |> List.iter (fun inst ->
+                 if (not inst.decided) && inst.attempt = None then start_ballot inst)
       in
       ignore weight_of;
       {
@@ -334,6 +336,7 @@ let install ?(config = default_config) ?(service = Service.consensus) ~n stack =
               | _ -> ());
         on_stop =
           (fun () ->
+            (* dpu-lint: allow hashtbl-iter — cancelling every timer is order-insensitive *)
             Hashtbl.iter
               (fun _ inst ->
                 match inst.retry_timer with
@@ -346,4 +349,5 @@ let register ?config ?(service = Service.consensus) ?name system =
   let n = System.n system in
   let name = match name with Some name -> name | None -> protocol_name in
   Registry.register (System.registry system) ~name ~provides:[ service ]
+    ~requires:[ Service.rp2p; Service.fd ]
     (fun stack -> install ?config ~service ~n stack)

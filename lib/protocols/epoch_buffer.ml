@@ -10,9 +10,10 @@ let replayed stack = Stack.get_env stack k_replayed ~default:0
 
 let bump stack key = Stack.set_env stack key (Stack.get_env stack key ~default:0 + 1)
 
+let requires = [ Service.rp2p; Rbcast.service; Service.consensus; Service.r_abcast ]
+
 let install stack =
-  Stack.add_module stack ~name:protocol_name ~provides:[]
-    ~requires:[ Service.rp2p; Rbcast.service; Service.consensus; Service.r_abcast ]
+  Stack.add_module stack ~name:protocol_name ~provides:[] ~requires
     (fun stack _self ->
       let module M = Dpu_obs.Metrics in
       let labels = [ ("node", string_of_int (Stack.node stack)) ] in
@@ -24,6 +25,7 @@ let install stack =
       let stash : (int, (Service.t * Payload.t) list) Hashtbl.t = Hashtbl.create 4 in
       let replay_up_to generation =
         let ready =
+          (* dpu-lint: allow hashtbl-iter — folded epochs are sorted below *)
           Hashtbl.fold
             (fun e msgs acc -> if e <= generation then (e, msgs) :: acc else acc)
             stash []

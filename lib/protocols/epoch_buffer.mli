@@ -27,6 +27,10 @@ open Dpu_kernel
 val protocol_name : string
 (** ["abcast.epoch-buffer"]. *)
 
+val requires : Dpu_kernel.Service.t list
+(** The services the buffer listens on (introspection for the static
+    analyser; the buffer never calls any of them). *)
+
 val install : Stack.t -> Stack.module_
 (** Add the buffer to [stack]. It provides no service and is never
     bound; it only listens to indications. *)

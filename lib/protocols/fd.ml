@@ -103,5 +103,5 @@ let install ?(config = default_config) ~n stack =
 let register ?config system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name
-    ~provides:[ Service.fd ]
+    ~provides:[ Service.fd ] ~requires:[ Service.net ]
     (fun stack -> install ?config ~n stack)

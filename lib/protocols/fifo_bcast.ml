@@ -69,4 +69,5 @@ let install ~n stack =
 let register system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name ~provides:[ service ]
+    ~requires:[ Rbcast.service ]
     (fun stack -> install ~n stack)

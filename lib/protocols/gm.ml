@@ -62,7 +62,7 @@ let install ?(config = default_config) ?initial ~n stack =
   let me = Stack.node stack in
   let initial =
     match initial with
-    | Some m -> List.sort_uniq compare m
+    | Some m -> List.sort_uniq Int.compare m
     | None -> List.init n (fun i -> i)
   in
   Stack.add_module stack ~name:protocol_name ~provides:[ Service.gm ]
@@ -93,7 +93,7 @@ let install ?(config = default_config) ?initial ~n stack =
         in
         if consistent then begin
           (match op with
-          | Op_join -> members := List.sort compare (target :: !members)
+          | Op_join -> members := List.sort Int.compare (target :: !members)
           | Op_leave | Op_exclude ->
             members := List.filter (fun m -> m <> target) !members;
             Hashtbl.remove proposed_exclusion target);
@@ -157,4 +157,5 @@ let install ?(config = default_config) ?initial ~n stack =
 let register ?config ?initial system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name ~provides:[ Service.gm ]
+    ~requires:[ Service.r_abcast; Service.fd ]
     (fun stack -> install ?config ?initial ~n stack)

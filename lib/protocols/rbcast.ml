@@ -65,4 +65,5 @@ let install ?(relay = true) ~n stack =
 let register ?relay system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name ~provides:[ service ]
+    ~requires:[ Service.rp2p ]
     (fun stack -> install ?relay ~n stack)

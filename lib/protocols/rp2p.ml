@@ -228,6 +228,7 @@ let install ?(config = default_config) stack =
           (fun () ->
             (* Finalisation (the Maestro baseline tears stacks down):
                stop retransmitting everything still in flight. *)
+            (* dpu-lint: allow hashtbl-iter — cancelling every timer is order-insensitive *)
             Hashtbl.iter
               (fun _ p ->
                 match p.timer with
@@ -239,5 +240,5 @@ let install ?(config = default_config) stack =
 
 let register ?config system =
   Registry.register (System.registry system) ~name:protocol_name
-    ~provides:[ Service.rp2p ]
+    ~provides:[ Service.rp2p ] ~requires:[ Service.net ]
     (fun stack -> install ?config stack)

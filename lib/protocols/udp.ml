@@ -35,5 +35,5 @@ let install ~net stack =
 let register system =
   let net = System.net system in
   Registry.register (System.registry system) ~name:protocol_name
-    ~provides:[ Service.net ]
+    ~provides:[ Service.net ] ~requires:[]
     (fun stack -> install ~net stack)

@@ -86,16 +86,51 @@ let layer_of = function
   | Maestro -> Some Dpu_baselines.Maestro.protocol_name
   | Graceful -> Some Dpu_baselines.Graceful.protocol_name
 
-let run ?(crash_at = []) params =
-  let profile =
-    {
-      SB.initial_abcast = params.initial;
-      layer = layer_of params.approach;
-      with_gm = false;
-      batch_size = params.batch_size;
-      consensus_layer = params.consensus_layer;
-    }
+let profile_of params =
+  {
+    SB.initial_abcast = params.initial;
+    layer = layer_of params.approach;
+    with_gm = false;
+    batch_size = params.batch_size;
+    consensus_layer = params.consensus_layer;
+  }
+
+let register_extra system =
+  Dpu_baselines.Maestro.register system;
+  Dpu_baselines.Graceful.register system
+
+exception Preflight_failure of Dpu_props.Report.t list
+
+let () =
+  Printexc.register_printer (function
+    | Preflight_failure reports ->
+      Some
+        (Format.asprintf "Experiment.Preflight_failure:@.%a"
+           Dpu_props.Report.pp_all reports)
+    | _ -> None)
+
+let preflight params =
+  let profile = profile_of params in
+  (* A scratch system: registration populates the registry without
+     building any stack, which is all the static verifier needs. *)
+  let system = Dpu_kernel.System.create ~n:params.n () in
+  SB.register_protocols ~register_extra ~profile system;
+  let updates =
+    match (params.switch_to, profile.SB.layer) with
+    | Some target, Some _ -> [ target ]
+    | Some _, None | None, _ -> []
   in
+  let consensus_updates =
+    match params.switch_consensus with Some (_, target) -> [ target ] | None -> []
+  in
+  Dpu_analysis.Composition.verify_profile
+    ~registry:(Dpu_kernel.System.registry system)
+    ~updates ~consensus_updates profile
+
+let run ?(crash_at = []) params =
+  (let reports = preflight params in
+   if not (Dpu_props.Report.all_ok reports) then raise (Preflight_failure reports));
+  let profile = profile_of params in
   let config =
     {
       MW.default_config with
@@ -107,10 +142,6 @@ let run ?(crash_at = []) params =
       metrics_enabled = params.metrics_enabled;
       msg_size = params.msg_size;
     }
-  in
-  let register_extra system =
-    Dpu_baselines.Maestro.register system;
-    Dpu_baselines.Graceful.register system
   in
   let mw = MW.create ~config ~register_extra ~n:params.n () in
   let system = MW.system mw in

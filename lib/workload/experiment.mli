@@ -77,11 +77,24 @@ type result = {
   correct : int list;
 }
 
+exception Preflight_failure of Dpu_props.Report.t list
+(** The static composition verifier rejected the configuration. Raised
+    by [run] before any simulation step, so a mis-composed profile or
+    unsafe update plan fails in milliseconds instead of surfacing as a
+    stuck stack minutes into a sweep. *)
+
+val preflight : params -> Dpu_props.Report.t list
+(** Statically verify the configuration [run] would assemble
+    ({!Dpu_analysis.Composition}): stack well-formedness, provider
+    acyclicity, unique bindings and update-plan safety for the planned
+    [switch_to] / [switch_consensus] swaps. No simulation happens. *)
+
 val run : ?crash_at:(float * int) list -> params -> result
 (** [crash_at] is a list of (virtual time, node) fail-stop injections
     (the pre-DSL interface; equivalent to [Crash] events in [faults]).
     Raises [Invalid_argument] if [params.faults] fails
-    {!Dpu_faults.Schedule.validate}. *)
+    {!Dpu_faults.Schedule.validate}, and {!Preflight_failure} if the
+    static composition verifier rejects the configuration. *)
 
 val check : result -> Dpu_props.Report.t list
 (** All ABcast properties plus the generic §3 properties for the run. *)

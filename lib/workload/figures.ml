@@ -85,7 +85,7 @@ let figure6 ?ns ?loads ?seed ?jobs ?metrics () =
 
 let render_figure6 points =
   let buf = Buffer.create 4096 in
-  let ns = List.sort_uniq compare (List.map (fun p -> p.n) points) in
+  let ns = List.sort_uniq Int.compare (List.map (fun p -> p.n) points) in
   List.iter
     (fun n ->
       let mine = List.filter (fun p -> p.n = n) points in

@@ -31,6 +31,7 @@ let default_jobs () =
   | None -> 1
 
 let finish ~jobs ~cells ~t0 ~cells_wall results snapshots =
+  (* dpu-lint: allow wall-clock — host-side telemetry only; never feeds simulation state *)
   let wall_s = Unix.gettimeofday () -. t0 in
   {
     results;
@@ -46,11 +47,14 @@ let finish ~jobs ~cells ~t0 ~cells_wall results snapshots =
   }
 
 let run_sequential ~reg ~cells f =
+  (* dpu-lint: allow wall-clock — host-side telemetry only; never feeds simulation state *)
   let t0 = Unix.gettimeofday () in
   let cells_wall = ref 0.0 in
   let cell i =
+    (* dpu-lint: allow wall-clock — host-side telemetry only; never feeds simulation state *)
     let c0 = Unix.gettimeofday () in
     let r = f reg i in
+    (* dpu-lint: allow wall-clock — host-side telemetry only; never feeds simulation state *)
     cells_wall := !cells_wall +. (Unix.gettimeofday () -. c0);
     r
   in
@@ -80,8 +84,10 @@ let worker_body ~want_metrics ~jobs ~cells ~index wfd f =
   (try
      let i = ref index in
      while !i < cells do
+       (* dpu-lint: allow wall-clock — host-side telemetry only; never feeds simulation state *)
        let c0 = Unix.gettimeofday () in
        let r = f reg !i in
+       (* dpu-lint: allow wall-clock — host-side telemetry only; never feeds simulation state *)
        let wall = Unix.gettimeofday () -. c0 in
        Marshal.to_channel oc (Cell (!i, wall, r)) [];
        flush oc;
@@ -103,6 +109,7 @@ let describe_status = function
   | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
 
 let run_forked ~jobs ~metrics ~cells f =
+  (* dpu-lint: allow wall-clock — host-side telemetry only; never feeds simulation state *)
   let t0 = Unix.gettimeofday () in
   let want_metrics = metrics != Metrics.noop in
   (* Anything buffered before the fork would be replayed by every

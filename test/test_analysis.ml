@@ -1,0 +1,534 @@
+(* Tests for the static analysis pass: the composition verifier
+   (Dpu_analysis.Composition) against registries and plans crafted to
+   violate each property, its agreement with the dynamic machinery
+   (Registry.instantiate, Stack_props over a real trace), and the
+   determinism lint (Dpu_analysis.Lint). *)
+
+open Dpu_kernel
+module C = Dpu_analysis.Composition
+module L = Dpu_analysis.Lint
+module SB = Dpu_core.Stack_builder
+module RC = Dpu_core.Repl_consensus
+module E = Dpu_workload.Experiment
+module Report = Dpu_props.Report
+
+let check = Alcotest.check
+
+let has_sub ~sub s =
+  let ls = String.length sub and lv = String.length s in
+  let rec go i = i + ls <= lv && (String.sub s i ls = sub || go (i + 1)) in
+  go 0
+
+let report_named reports property =
+  match List.find_opt (fun (r : Report.t) -> r.property = property) reports with
+  | Some r -> r
+  | None -> Alcotest.failf "no report named %S" property
+
+let assert_all_ok reports =
+  if not (Report.all_ok reports) then
+    Alcotest.failf "expected all ok:@.%a" (Format.pp_print_list Report.pp) reports
+
+let some_violation_mentions reports property sub =
+  let r = report_named reports property in
+  check Alcotest.bool (property ^ " fails") false r.Report.ok;
+  check Alcotest.bool
+    (Printf.sprintf "a %s violation mentions %S" property sub)
+    true
+    (List.exists (has_sub ~sub) r.Report.violations)
+
+(* A populated registry exactly as [dpu_run] sees it. *)
+let registry_for ?(n = 3) profile =
+  let system = System.create ~n () in
+  let register_extra system =
+    Dpu_baselines.Maestro.register system;
+    Dpu_baselines.Graceful.register system
+  in
+  SB.register_protocols ~register_extra ~profile system;
+  System.registry system
+
+let verify ?updates ?consensus_updates profile =
+  C.verify_profile
+    ~registry:(registry_for profile)
+    ?updates ?consensus_updates profile
+
+(* ------------------------------------------------------------------ *)
+(* Shipped configurations verify                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_default_profile_ok () =
+  assert_all_ok (verify ~updates:[ Dpu_core.Variants.ct ] SB.default_profile)
+
+let test_all_approach_layers_ok () =
+  List.iter
+    (fun layer ->
+      assert_all_ok
+        (verify ~updates:[ Dpu_core.Variants.sequencer ]
+           { SB.default_profile with layer = Some layer }))
+    [
+      Dpu_core.Repl.protocol_name;
+      Dpu_baselines.Maestro.protocol_name;
+      Dpu_baselines.Graceful.protocol_name;
+    ];
+  assert_all_ok (verify { SB.default_profile with layer = None })
+
+let test_consensus_layer_ok () =
+  let profile =
+    {
+      SB.default_profile with
+      consensus_layer = Some Dpu_protocols.Consensus_ct.protocol_name;
+    }
+  in
+  assert_all_ok
+    (verify
+       ~consensus_updates:[ Dpu_protocols.Consensus_paxos.protocol_name ]
+       profile)
+
+let test_gm_profile_ok () =
+  assert_all_ok (verify { SB.default_profile with with_gm = true })
+
+let test_every_initial_variant_ok () =
+  List.iter
+    (fun initial ->
+      assert_all_ok
+        (verify ~updates:[ Dpu_core.Variants.ct ]
+           { SB.default_profile with initial_abcast = initial }))
+    Dpu_core.Variants.all
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness violations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_factory ~name ~provides ~requires stack =
+  Stack.add_module stack ~name ~provides ~requires (fun _ _ ->
+      Stack.default_handlers)
+
+let empty_plan =
+  {
+    C.prebound = [];
+    roots = [];
+    passive = [];
+    named = [];
+    updates = [];
+    consensus_updates = [];
+    layer = None;
+  }
+
+let test_missing_provider_named () =
+  let reg = Registry.create () in
+  let sx = Service.make "svc.x" in
+  Registry.register reg ~name:"a" ~provides:[ Service.make "svc.a" ]
+    ~requires:[ sx ]
+    (dummy_factory ~name:"a" ~provides:[ Service.make "svc.a" ] ~requires:[ sx ]);
+  let reports =
+    C.verify ~registry:reg { empty_plan with roots = [ C.By_name "a" ] }
+  in
+  some_violation_mentions reports "static strong stack-well-formedness" "svc.x";
+  some_violation_mentions reports "static strong stack-well-formedness" "a"
+
+let test_unknown_root_named () =
+  let reports =
+    C.verify ~registry:(Registry.create ())
+      { empty_plan with roots = [ C.By_name "ghost" ] }
+  in
+  some_violation_mentions reports "static strong stack-well-formedness" "ghost"
+
+(* An honest declared cycle builds dynamically (binding-before-recursion)
+   but the conservative static check must still flag it. *)
+let test_declared_cycle_flagged () =
+  let reg = Registry.create () in
+  let sa = Service.make "svc.a" and sb = Service.make "svc.b" in
+  Registry.register reg ~name:"cyc.a" ~provides:[ sa ] ~requires:[ sb ]
+    (dummy_factory ~name:"cyc.a" ~provides:[ sa ] ~requires:[ sb ]);
+  Registry.register reg ~name:"cyc.b" ~provides:[ sb ] ~requires:[ sa ]
+    (dummy_factory ~name:"cyc.b" ~provides:[ sb ] ~requires:[ sa ]);
+  let reports =
+    C.verify ~registry:reg { empty_plan with roots = [ C.By_name "cyc.a" ] }
+  in
+  (* The dynamic build terminates... *)
+  let sim = Dpu_engine.Sim.create () in
+  let stack = Stack.create ~sim ~node:0 ~trace:(Trace.create ()) () in
+  ignore (Registry.instantiate reg stack ~name:"cyc.a" : Stack.module_);
+  check Alcotest.bool "dynamic build succeeds" true (Stack.has_module stack ~name:"cyc.b");
+  (* ...yet the static verdict is a cycle, in canonical form. *)
+  some_violation_mentions reports "acyclic provider chains"
+    (String.concat " -> " (Registry.canonical_cycle [ "cyc.a"; "cyc.b" ]))
+
+let test_duplicate_binding () =
+  let reg = Registry.create () in
+  let s = Service.make "svc.shared" in
+  List.iter
+    (fun name ->
+      Registry.register reg ~name ~provides:[ s ]
+        (dummy_factory ~name ~provides:[ s ] ~requires:[]))
+    [ "dup.a"; "dup.b" ];
+  let reports =
+    C.verify ~registry:reg
+      { empty_plan with roots = [ C.By_name "dup.a"; C.By_name "dup.b" ] }
+  in
+  some_violation_mentions reports "unique service binding" "svc.shared";
+  some_violation_mentions reports "unique service binding" "dup.b"
+
+(* ------------------------------------------------------------------ *)
+(* Update-plan safety                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_update_ok_ct_to_seq () =
+  assert_all_ok (verify ~updates:[ Dpu_core.Variants.sequencer ] SB.default_profile)
+
+let test_update_to_unregistered () =
+  let reports = verify ~updates:[ "abcast.nope" ] SB.default_profile in
+  some_violation_mentions reports "update-plan safety" "abcast.nope"
+
+let test_update_drops_service () =
+  (* Swapping the ABcast variant for a consensus implementation drops
+     the abcast service its callers rely on. *)
+  let profile = { SB.default_profile with initial_abcast = Dpu_core.Variants.sequencer } in
+  let reports =
+    verify ~updates:[ Dpu_protocols.Consensus_ct.protocol_name ] profile
+  in
+  some_violation_mentions reports "update-plan safety" "drops service abcast"
+
+let test_update_without_layer () =
+  let profile = { SB.default_profile with layer = None } in
+  let reports = verify ~updates:[ Dpu_core.Variants.ct ] profile in
+  some_violation_mentions reports "update-plan safety" "no replacement layer"
+
+let test_update_post_swap_unresolvable () =
+  let profile = SB.default_profile in
+  let system = System.create ~n:3 () in
+  SB.register_protocols ~profile system;
+  let reg = System.registry system in
+  let ghost = Service.make "svc.ghost" in
+  Registry.register reg ~name:"abcast.fake"
+    ~provides:[ Service.abcast ] ~requires:[ ghost ]
+    (dummy_factory ~name:"abcast.fake" ~provides:[ Service.abcast ] ~requires:[ ghost ]);
+  let reports = C.verify_profile ~registry:reg ~updates:[ "abcast.fake" ] profile in
+  some_violation_mentions reports "update-plan safety" "svc.ghost"
+
+let test_update_direct_caller_bypass () =
+  let profile = SB.default_profile in
+  let system = System.create ~n:3 () in
+  SB.register_protocols ~profile system;
+  let reg = System.registry system in
+  (* A planned module that calls [abcast] directly, bypassing the
+     replacement layer: its calls cannot be intercepted by the swap. *)
+  Registry.register reg ~name:"app.direct" ~provides:[]
+    ~requires:[ Service.abcast ]
+    (dummy_factory ~name:"app.direct" ~provides:[] ~requires:[ Service.abcast ]);
+  let plan = C.plan_of_profile ~updates:[ Dpu_core.Variants.sequencer ] profile in
+  let plan = { plan with C.roots = plan.C.roots @ [ C.By_name "app.direct" ] } in
+  let reports = C.verify ~registry:reg plan in
+  some_violation_mentions reports "update-plan safety" "app.direct"
+
+let test_consensus_update_missing_impl () =
+  let profile =
+    {
+      SB.default_profile with
+      consensus_layer = Some Dpu_protocols.Consensus_ct.protocol_name;
+    }
+  in
+  let reports = verify ~consensus_updates:[ "consensus.nope" ] profile in
+  some_violation_mentions reports "update-plan safety" "consensus.nope"
+
+(* ------------------------------------------------------------------ *)
+(* Static verdict vs dynamic behaviour                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A "liar" registration declares provides it never binds: the dynamic
+   resolver re-enters the protocol and must raise the same canonical
+   cycle the static pass reports. *)
+let test_liar_cycle_static_eq_dynamic () =
+  let reg = Registry.create () in
+  let sa = Service.make "svc.a" and sb = Service.make "svc.b" in
+  (* Factories add modules providing nothing, so nothing ever binds and
+     resolution recurses. *)
+  Registry.register reg ~name:"liar.a" ~provides:[ sa ] ~requires:[ sb ]
+    (dummy_factory ~name:"liar.a" ~provides:[] ~requires:[ sb ]);
+  Registry.register reg ~name:"liar.b" ~provides:[ sb ] ~requires:[ sa ]
+    (dummy_factory ~name:"liar.b" ~provides:[] ~requires:[ sa ]);
+  let dynamic_cycle =
+    let sim = Dpu_engine.Sim.create () in
+    let stack = Stack.create ~sim ~node:0 ~trace:(Trace.create ()) () in
+    match Registry.instantiate reg stack ~name:"liar.a" with
+    | exception Registry.Cyclic_requires cycle -> cycle
+    | _ -> Alcotest.fail "expected Cyclic_requires"
+  in
+  check
+    Alcotest.(list string)
+    "dynamic cycle canonical" (Registry.canonical_cycle [ "liar.a"; "liar.b" ])
+    dynamic_cycle;
+  let reports =
+    C.verify ~registry:reg { empty_plan with roots = [ C.By_name "liar.a" ] }
+  in
+  some_violation_mentions reports "acyclic provider chains"
+    (String.concat " -> " dynamic_cycle)
+
+let test_missing_provider_static_eq_dynamic () =
+  let reg = Registry.create () in
+  let sx = Service.make "svc.x" in
+  Registry.register reg ~name:"needy" ~provides:[ Service.make "svc.n" ]
+    ~requires:[ sx ]
+    (dummy_factory ~name:"needy" ~provides:[ Service.make "svc.n" ] ~requires:[ sx ]);
+  let reports =
+    C.verify ~registry:reg { empty_plan with roots = [ C.By_name "needy" ] }
+  in
+  some_violation_mentions reports "static strong stack-well-formedness" "svc.x";
+  let sim = Dpu_engine.Sim.create () in
+  let stack = Stack.create ~sim ~node:0 ~trace:(Trace.create ()) () in
+  match Registry.instantiate reg stack ~name:"needy" with
+  | exception Registry.No_provider svc ->
+    check Alcotest.string "same service" "svc.x" (Service.name svc)
+  | _ -> Alcotest.fail "expected No_provider"
+
+(* Static OK must coincide with a dynamically well-formed build: build
+   the verified profile for real and replay the trace checkers. *)
+let test_static_ok_matches_dynamic_trace () =
+  let profile = SB.default_profile in
+  assert_all_ok (verify ~updates:[ Dpu_core.Variants.ct ] profile);
+  let system = System.create ~n:3 ~trace_enabled:true () in
+  SB.build ~profile system;
+  (* Bounded: the stack keeps periodic timers (fd heartbeats) alive. *)
+  Dpu_engine.Sim.run ~until:200.0 (System.sim system);
+  let trace = System.trace system in
+  let wf = Dpu_props.Stack_props.weak_stack_well_formedness trace in
+  check Alcotest.bool "dynamic weak WF" true wf.Report.ok
+
+(* ------------------------------------------------------------------ *)
+(* Registry introspection (satellites 1-2)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_introspection () =
+  let reg = registry_for SB.default_profile in
+  (match Registry.requires_of reg ~name:Dpu_core.Variants.ct with
+  | Some requires ->
+    check Alcotest.bool "abcast.ct requires consensus" true
+      (List.exists (Service.equal Service.consensus) requires)
+  | None -> Alcotest.fail "abcast.ct not registered");
+  (match Registry.provides_of reg ~name:Dpu_core.Variants.ct with
+  | Some provides ->
+    check Alcotest.bool "abcast.ct provides abcast" true
+      (List.exists (Service.equal Service.abcast) provides)
+  | None -> Alcotest.fail "abcast.ct not registered");
+  check Alcotest.bool "unknown name" true
+    (Registry.provides_of reg ~name:"ghost" = None
+    && Registry.requires_of reg ~name:"ghost" = None)
+
+let test_canonical_cycle () =
+  check
+    Alcotest.(list string)
+    "rotated to smallest first" [ "a"; "c"; "b" ]
+    (Registry.canonical_cycle [ "b"; "a"; "c" ]);
+  check Alcotest.(list string) "empty" [] (Registry.canonical_cycle [])
+
+(* ------------------------------------------------------------------ *)
+(* Experiment preflight                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_preflight_accepts_default () =
+  assert_all_ok (E.preflight E.default)
+
+let test_preflight_rejects_bad_swap () =
+  let params =
+    {
+      E.default with
+      initial = Dpu_core.Variants.sequencer;
+      switch_to = Some Dpu_protocols.Consensus_ct.protocol_name;
+    }
+  in
+  check Alcotest.bool "preflight fails" false
+    (Report.all_ok (E.preflight params));
+  match E.run { params with duration_ms = 50.0 } with
+  | exception E.Preflight_failure reports ->
+    check Alcotest.bool "carries failing reports" false (Report.all_ok reports)
+  | _ -> Alcotest.fail "expected Preflight_failure"
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_json_round_trip () =
+  let reports = verify ~updates:[ Dpu_core.Variants.ct ] SB.default_profile in
+  let json = C.to_json reports in
+  let module J = Dpu_obs.Json in
+  match J.of_string (J.to_string json) with
+  | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
+  | Ok parsed ->
+    check Alcotest.(option string) "schema" (Some "dpu.analysis/1")
+      (Option.bind (J.member parsed "schema") J.to_string_opt);
+    (match J.member parsed "ok" with
+    | Some (J.Bool true) -> ()
+    | _ -> Alcotest.fail "top-level ok must be true");
+    (match Option.bind (J.member parsed "reports") J.to_list_opt with
+    | Some l -> check Alcotest.int "four properties" 4 (List.length l)
+    | None -> Alcotest.fail "reports array missing")
+
+(* ------------------------------------------------------------------ *)
+(* Determinism lint                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Build hazard lines by concatenation so this test file never trips
+   the lint itself. *)
+let hazard rule =
+  match rule with
+  | "hashtbl-iter" -> "  Hashtbl." ^ "iter (fun k v -> send k v) tbl"
+  | "poly-compare" -> "  List.sort " ^ "compare xs"
+  | "random" -> "  let x = Rand" ^ "om.int 6 in"
+  | "wall-clock" -> "  let t = Unix.get" ^ "timeofday () in"
+  | "marshal" -> "  Mar" ^ "shal.to_string v []"
+  | r -> Alcotest.failf "unknown rule %s" r
+
+let scan_lines ?(file = "lib/fake/test_input.ml") lines =
+  L.scan_source ~file (String.concat "\n" lines)
+
+let test_each_rule_fires () =
+  List.iter
+    (fun (r : L.rule) ->
+      let findings = scan_lines [ hazard r.L.r_id ] in
+      check Alcotest.bool (r.L.r_id ^ " fires") true
+        (List.exists (fun f -> f.L.f_rule = r.L.r_id) findings))
+    L.rules
+
+let test_clean_code_no_findings () =
+  check Alcotest.int "clean snippet" 0
+    (List.length
+       (scan_lines
+          [
+            "let xs = List.sort Int.compare xs";
+            "let h = String.hash s";
+            "let t = Sim.now sim";
+          ]))
+
+let test_suppression_needs_reason () =
+  let allow = "(* dpu-lint: " ^ "allow hashtbl-iter — folded then sorted *)" in
+  let allow_no_reason = "(* dpu-lint: " ^ "allow hashtbl-iter *)" in
+  check Alcotest.int "reasoned suppression silences" 0
+    (List.length (scan_lines [ hazard "hashtbl-iter" ^ " " ^ allow ]));
+  check Alcotest.int "bare suppression does not" 1
+    (List.length (scan_lines [ hazard "hashtbl-iter" ^ " " ^ allow_no_reason ]))
+
+let test_suppression_previous_line () =
+  let allow = "(* dpu-lint: " ^ "allow wall-clock — telemetry only *)" in
+  check Alcotest.int "previous-line suppression" 0
+    (List.length (scan_lines [ allow; hazard "wall-clock" ]));
+  check Alcotest.int "two lines above is too far" 1
+    (List.length (scan_lines [ allow; ""; hazard "wall-clock" ]))
+
+let test_suppression_wrong_rule () =
+  let allow = "(* dpu-lint: " ^ "allow random — not the right rule *)" in
+  check Alcotest.int "wrong rule id does not silence" 1
+    (List.length (scan_lines [ allow; hazard "wall-clock" ]))
+
+let test_comments_and_strings_ignored () =
+  check Alcotest.int "commented-out hazard" 0
+    (List.length (scan_lines [ "(* " ^ hazard "hashtbl-iter" ^ " *)" ]));
+  check Alcotest.int "hazard inside a string literal" 0
+    (List.length (scan_lines [ "let doc = \"" ^ String.trim (hazard "marshal") ^ "\"" ]));
+  check Alcotest.int "nested comment" 0
+    (List.length (scan_lines [ "(* outer (* " ^ hazard "random" ^ " *) still out *)" ]))
+
+let test_word_boundary () =
+  check Alcotest.int "longer identifier does not match" 0
+    (List.length (scan_lines [ "  List.sort " ^ "compare_cycles cycles" ]))
+
+let test_file_exemptions () =
+  check Alcotest.int "rng.ml may use Random" 0
+    (List.length (scan_lines ~file:"lib/engine/rng.ml" [ hazard "random" ]));
+  check Alcotest.int "sweep.ml may use Marshal" 0
+    (List.length (scan_lines ~file:"lib/workload/sweep.ml" [ hazard "marshal" ]));
+  check Alcotest.int "elsewhere Random is flagged" 1
+    (List.length (scan_lines ~file:"lib/engine/sim.ml" [ hazard "random" ]))
+
+let test_line_numbers_and_text () =
+  let findings = scan_lines [ "let a = 1"; hazard "poly-compare" ] in
+  match findings with
+  | [ f ] ->
+    check Alcotest.int "line number" 2 f.L.f_line;
+    check Alcotest.bool "text excerpt trimmed" true
+      (has_sub ~sub:"List.sort" f.L.f_text && not (String.length f.L.f_text = 0))
+  | _ -> Alcotest.failf "expected exactly one finding, got %d" (List.length findings)
+
+(* The tree itself must stay lint-clean (satellite: self-clean). Dune
+   copies the sources into the build dir, so ../lib is scannable from
+   the test's cwd. *)
+let test_tree_is_clean () =
+  if Sys.file_exists "../lib" && Sys.is_directory "../lib" then begin
+    let findings = L.scan_paths [ "../lib" ] in
+    if findings <> [] then
+      Alcotest.failf "lint findings in lib:@.%s"
+        (String.concat "\n"
+           (List.map (fun f -> Format.asprintf "%a" L.pp_finding f) findings))
+  end
+
+let test_lint_json () =
+  let findings = scan_lines [ hazard "random" ] in
+  let module J = Dpu_obs.Json in
+  match J.of_string (J.to_string (L.to_json findings)) with
+  | Error e -> Alcotest.failf "lint JSON does not parse: %s" e
+  | Ok parsed ->
+    (match J.member parsed "ok" with
+    | Some (J.Bool false) -> ()
+    | _ -> Alcotest.fail "ok must be false with findings");
+    check Alcotest.(option int) "count" (Some 1)
+      (Option.bind (J.member parsed "count") J.to_int_opt)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "analysis"
+    [
+      ( "composition-ok",
+        [
+          tc "default profile" test_default_profile_ok;
+          tc "all approaches" test_all_approach_layers_ok;
+          tc "consensus layer" test_consensus_layer_ok;
+          tc "gm profile" test_gm_profile_ok;
+          tc "every initial variant" test_every_initial_variant_ok;
+        ] );
+      ( "composition-violations",
+        [
+          tc "missing provider named" test_missing_provider_named;
+          tc "unknown root named" test_unknown_root_named;
+          tc "declared cycle flagged" test_declared_cycle_flagged;
+          tc "duplicate binding" test_duplicate_binding;
+        ] );
+      ( "update-safety",
+        [
+          tc "ct->seq ok" test_update_ok_ct_to_seq;
+          tc "unregistered target" test_update_to_unregistered;
+          tc "drops service" test_update_drops_service;
+          tc "no layer" test_update_without_layer;
+          tc "post-swap unresolvable" test_update_post_swap_unresolvable;
+          tc "direct-caller bypass" test_update_direct_caller_bypass;
+          tc "consensus impl missing" test_consensus_update_missing_impl;
+        ] );
+      ( "static-vs-dynamic",
+        [
+          tc "liar cycle" test_liar_cycle_static_eq_dynamic;
+          tc "missing provider" test_missing_provider_static_eq_dynamic;
+          tc "clean build trace" test_static_ok_matches_dynamic_trace;
+        ] );
+      ( "registry",
+        [
+          tc "introspection" test_registry_introspection;
+          tc "canonical cycle" test_canonical_cycle;
+        ] );
+      ( "preflight",
+        [
+          tc "accepts default" test_preflight_accepts_default;
+          tc "rejects bad swap" test_preflight_rejects_bad_swap;
+        ] );
+      ( "json", [ tc "round trip" test_to_json_round_trip ] );
+      ( "lint",
+        [
+          tc "each rule fires" test_each_rule_fires;
+          tc "clean code" test_clean_code_no_findings;
+          tc "suppression needs reason" test_suppression_needs_reason;
+          tc "previous-line suppression" test_suppression_previous_line;
+          tc "wrong rule id" test_suppression_wrong_rule;
+          tc "comments and strings" test_comments_and_strings_ignored;
+          tc "word boundary" test_word_boundary;
+          tc "file exemptions" test_file_exemptions;
+          tc "line numbers" test_line_numbers_and_text;
+          tc "tree is clean" test_tree_is_clean;
+          tc "lint json" test_lint_json;
+        ] );
+    ]

@@ -237,6 +237,126 @@ let test_check_generic_bundle () =
   check Alcotest.bool "all ok" true (Props.Report.all_ok reports)
 
 (* ------------------------------------------------------------------ *)
+(* Adversarial traces: weak vs strong on the same history             *)
+(* ------------------------------------------------------------------ *)
+
+(* Two calls block; only one is ever released. Weak must fail naming
+   the node still blocked, strong must fail regardless. *)
+let test_wf_one_blocked_forever () =
+  let t =
+    trace_of
+      [
+        (0.0, 0, Trace.Call_blocked ("abcast", "m0"));
+        (0.0, 1, Trace.Call_blocked ("abcast", "m1"));
+        (1.0, 0, Trace.Bind ("abcast", "impl"));
+        (1.0, 0, Trace.Call_unblocked "abcast");
+      ]
+  in
+  let weak = Props.Stack_props.weak_stack_well_formedness t in
+  assert_fail weak;
+  check Alcotest.bool "violation names node 1" true
+    (List.exists
+       (fun v ->
+         let has sub =
+           let ls = String.length sub and lv = String.length v in
+           let rec go i = i + ls <= lv && (String.sub v i ls = sub || go (i + 1)) in
+           go 0
+         in
+         has "node 1" && not (has "node 0"))
+       weak.Props.Report.violations);
+  assert_fail (Props.Stack_props.strong_stack_well_formedness t)
+
+(* Every blocked call is eventually released: weak holds on a history
+   strong rejects — the §3 weak/strong gap on one trace. *)
+let test_wf_weak_strong_gap () =
+  let t =
+    trace_of
+      [
+        (0.0, 0, Trace.Call_blocked ("abcast", "m0"));
+        (0.5, 1, Trace.Call_blocked ("abcast", "m1"));
+        (1.0, 0, Trace.Bind ("abcast", "impl"));
+        (1.0, 0, Trace.Call_unblocked "abcast");
+        (1.5, 1, Trace.Bind ("abcast", "impl"));
+        (1.5, 1, Trace.Call_unblocked "abcast");
+      ]
+  in
+  assert_ok (Props.Stack_props.weak_stack_well_formedness t);
+  assert_fail (Props.Stack_props.strong_stack_well_formedness t)
+
+(* A bind that arrives only after the caller crashed: the crashed
+   node's blocked call is exempt, a live node's is not. *)
+let test_wf_bind_after_crash () =
+  let exempt =
+    trace_of
+      [
+        (0.0, 1, Trace.Call_blocked ("abcast", "m"));
+        (0.5, 1, Trace.Crash);
+        (1.0, 0, Trace.Bind ("abcast", "impl"));
+      ]
+  in
+  assert_ok (Props.Stack_props.weak_stack_well_formedness exempt);
+  let live =
+    trace_of
+      [
+        (0.0, 1, Trace.Call_blocked ("abcast", "m"));
+        (0.5, 0, Trace.Crash);
+        (1.0, 0, Trace.Bind ("abcast", "impl"));
+      ]
+  in
+  (* Same shape, but the crash hits the other node: node 1 still owes. *)
+  assert_fail (Props.Stack_props.weak_stack_well_formedness live)
+
+(* Operationability violated on exactly one non-crashed node: 0 and 2
+   run the protocol, 1 never does. Crashing 1 discharges it. *)
+let test_op_single_node_gap () =
+  let entries crash1 =
+    [
+      (0.0, 0, Trace.Add_module "p");
+      (0.0, 2, Trace.Add_module "p");
+      (1.0, 0, Trace.Bind ("s", "p"));
+    ]
+    @ if crash1 then [ (0.5, 1, Trace.Crash) ] else []
+  in
+  let gap = trace_of (entries false) in
+  let weak =
+    Props.Stack_props.weak_protocol_operationability gap ~protocol:"p"
+      ~nodes:[ 0; 1; 2 ]
+  in
+  assert_fail weak;
+  check Alcotest.int "exactly one violation" 1
+    (List.length weak.Props.Report.violations);
+  assert_ok
+    (Props.Stack_props.weak_protocol_operationability
+       (trace_of (entries true))
+       ~protocol:"p" ~nodes:[ 0; 1; 2 ])
+
+(* Strong operationability: a module added exactly at bind time (same
+   timestamp) satisfies the property; added any later it does not. *)
+let test_strong_op_bind_time_boundary () =
+  let at_bind =
+    trace_of
+      [
+        (0.0, 0, Trace.Add_module "p");
+        (1.0, 1, Trace.Add_module "p");
+        (1.0, 0, Trace.Bind ("s", "p"));
+      ]
+  in
+  assert_ok
+    (Props.Stack_props.strong_protocol_operationability at_bind ~protocol:"p"
+       ~nodes:[ 0; 1 ]);
+  let after_bind =
+    trace_of
+      [
+        (0.0, 0, Trace.Add_module "p");
+        (1.0, 0, Trace.Bind ("s", "p"));
+        (1.1, 1, Trace.Add_module "p");
+      ]
+  in
+  assert_fail
+    (Props.Stack_props.strong_protocol_operationability after_bind ~protocol:"p"
+       ~nodes:[ 0; 1 ])
+
+(* ------------------------------------------------------------------ *)
 (* Report                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -289,6 +409,14 @@ let () =
           tc "weak op vacuous" test_weak_operationability_vacuous;
           tc "strong op" test_strong_operationability;
           tc "bundle" test_check_generic_bundle;
+        ] );
+      ( "adversarial",
+        [
+          tc "one blocked forever" test_wf_one_blocked_forever;
+          tc "weak/strong gap" test_wf_weak_strong_gap;
+          tc "bind after crash" test_wf_bind_after_crash;
+          tc "single-node op gap" test_op_single_node_gap;
+          tc "strong op bind-time boundary" test_strong_op_bind_time_boundary;
         ] );
       ( "report",
         [ tc "caps violations" test_report_caps_violations; tc "pp" test_report_pp ] );
