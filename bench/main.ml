@@ -12,6 +12,7 @@ module E = W.Experiment
 module F = W.Figures
 module Stats = Dpu_engine.Stats
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 module Json = Dpu_obs.Json
 
 let section name = Printf.printf "\n============ %s ============\n%!" name
@@ -329,7 +330,7 @@ let run_ablation () =
     register_svc system;
     Dpu_kernel.System.iter_stacks system (fun stack ->
         Dpu_kernel.Registry.ensure_bound (Dpu_kernel.System.registry system) stack svc);
-    let sim = Dpu_kernel.System.sim system in
+    let clock = Dpu_kernel.System.clock system in
     let stats = Dpu_engine.Stats.create () in
     let sent : (int, float) Hashtbl.t = Hashtbl.create 256 in
     (* Latency to the farthest receiver. *)
@@ -347,7 +348,7 @@ let run_ablation () =
                    if Dpu_kernel.Service.equal s svc then
                      match unwrap p with
                      | Some i ->
-                       let t = Sim.now sim in
+                       let t = Clock.now clock in
                        Hashtbl.replace worst i
                          (Float.max t
                             (Option.value ~default:0.0 (Hashtbl.find_opt worst i)))
@@ -358,12 +359,11 @@ let run_ablation () =
     for i = 0 to 99 do
       let node = i mod 5 in
       ignore
-        (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
-             Hashtbl.replace sent i (Sim.now sim);
+        (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
+             Hashtbl.replace sent i (Clock.now clock);
              Dpu_kernel.Stack.call
                (Dpu_kernel.System.stack system node)
-               svc (wrap_bcast i))
-          : Sim.handle)
+               svc (wrap_bcast i)))
     done;
     Dpu_kernel.System.run_until_quiescent ~limit:30_000.0 system;
     Hashtbl.iter
@@ -495,12 +495,11 @@ let run_consensus () =
   let config = { Dpu_core.Middleware.default_config with profile; seed = 1 } in
   let mw = Dpu_core.Middleware.create ~config ~n:5 () in
   W.Load_gen.start mw ~rate_per_s:40.0 ~until:8_000.0 ();
-  let sim = Dpu_kernel.System.sim (Dpu_core.Middleware.system mw) in
+  let clock = Dpu_kernel.System.clock (Dpu_core.Middleware.system mw) in
   ignore
-    (Sim.schedule sim ~delay:4_000.0 (fun () ->
+    (Clock.defer clock ~delay:4_000.0 (fun () ->
          Dpu_core.Middleware.change_consensus mw ~node:2
-           Dpu_protocols.Consensus_paxos.protocol_name)
-      : Sim.handle);
+           Dpu_protocols.Consensus_paxos.protocol_name));
   Dpu_core.Middleware.run_until_quiescent ~limit:60_000.0 mw;
   let series = Dpu_core.Middleware.latency_series mw in
   let before = Dpu_engine.Series.stats_between series ~lo:500.0 ~hi:4_000.0 in
@@ -697,7 +696,7 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let sim = Sim.create () in
            let trace = Dpu_kernel.Trace.create ~enabled:false () in
-           let stack = Dpu_kernel.Stack.create ~sim ~node:0 ~trace () in
+           let stack = Dpu_kernel.Stack.create ~clock:(Dpu_runtime.Sim_backend.clock sim) ~node:0 ~trace () in
            let svc = Dpu_kernel.Service.make "s" in
            let m =
              Dpu_kernel.Stack.add_module stack ~name:"sink" ~provides:[ svc ] ~requires:[]

@@ -461,6 +461,142 @@ let check_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve — live deployment over real UDP sockets                      *)
+(* ------------------------------------------------------------------ *)
+
+let serve n load duration drain switch_at initial switch_to seed msg_size check
+    metrics_out spans_out =
+  let params =
+    {
+      Dpu_live.Serve.n;
+      load;
+      duration_ms = duration;
+      drain_ms = drain;
+      switch_at_ms = switch_at;
+      initial;
+      switch_to;
+      msg_size;
+      seed;
+    }
+  in
+  Printf.printf "serving %d nodes over UDP on 127.0.0.1 (%.0f msg/s for %.0f ms)\n%!"
+    n load duration;
+  match Dpu_live.Serve.run ?metrics_out ?spans_out params with
+  | Error msg ->
+    Printf.eprintf "dpu_run serve: %s\n" msg;
+    exit 2
+  | Ok o ->
+    let module C = Dpu_core.Collector in
+    let module T = Dpu_runtime.Transport in
+    List.iter
+      (fun (r : Dpu_live.Node.report) ->
+        let c = r.Dpu_live.Node.counters in
+        Printf.printf
+          "node %d: sent %d, delivered %d; wire: %d out / %d in / %d dropped, %d bytes\n"
+          r.Dpu_live.Node.node
+          (List.length r.Dpu_live.Node.sends)
+          (List.length r.Dpu_live.Node.delivers)
+          c.T.sent c.T.delivered c.T.dropped c.T.bytes)
+      o.Dpu_live.Serve.node_reports;
+    let collector = o.Dpu_live.Serve.collector in
+    (match (switch_to, C.switch_window collector ~generation:1) with
+    | Some proto, Some (lo, hi) ->
+      Printf.printf "replacement to %s: %.1f..%.1f ms (window %.1f ms), %d/%d nodes\n"
+        proto lo hi (hi -. lo)
+        (List.length
+           (List.filter (fun (_, g, _) -> g = 1) (C.switches collector)))
+        n
+    | Some proto, None -> Printf.printf "replacement to %s: never completed\n" proto
+    | None, _ -> print_endline "no replacement requested");
+    (match metrics_out with
+    | Some path -> Printf.printf "per-node metrics written to %s\n" path
+    | None -> ());
+    (match spans_out with
+    | Some path ->
+      Printf.printf "merged trace events written to %s (load in Perfetto)\n" path
+    | None -> ());
+    if check then begin
+      let checks = o.Dpu_live.Serve.checks in
+      Format.printf "%a" Dpu_props.Report.pp_all checks;
+      if not (Dpu_props.Report.all_ok checks) then exit 1
+    end
+
+let serve_cmd =
+  let nodes =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"OS processes to launch.")
+  in
+  let load =
+    Arg.(
+      value & opt float 30.0
+      & info [ "load" ] ~docv:"MSG/S" ~doc:"Aggregate ABcast load in messages per second.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 3_000.0
+      & info [ "duration" ] ~docv:"MS" ~doc:"Load generation horizon (wall-clock ms).")
+  in
+  let drain =
+    Arg.(
+      value & opt float 1_500.0
+      & info [ "drain" ] ~docv:"MS" ~doc:"Settle time after the load stops.")
+  in
+  let switch_at =
+    Arg.(
+      value & opt float 1_500.0
+      & info [ "switch-at" ] ~docv:"MS" ~doc:"When node 0 triggers the replacement.")
+  in
+  let initial =
+    Arg.(
+      value
+      & opt string Dpu_core.Variants.ct
+      & info [ "initial" ] ~docv:"PROTO" ~doc:"Initial ABcast variant.")
+  in
+  let switch_to =
+    Arg.(
+      value
+      & opt (some string) (Some Dpu_core.Variants.sequencer)
+      & info [ "switch-to" ] ~docv:"PROTO" ~doc:"Replacement target; omit for none.")
+  in
+  let msg_size =
+    Arg.(
+      value & opt int 1_024
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Modelled application payload size.")
+  in
+  let check =
+    Arg.(
+      value & opt bool true
+      & info [ "check" ] ~docv:"BOOL"
+          ~doc:"Verify the atomic broadcast properties on the merged trace.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write per-node metrics and transport counters to FILE as JSON.")
+  in
+  let spans_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans-out" ] ~docv:"FILE"
+          ~doc:"Write the merged per-message spans to FILE as Chrome trace-event JSON.")
+  in
+  let term =
+    Term.(
+      const serve $ nodes $ load $ duration $ drain $ switch_at $ initial $ switch_to
+      $ seed_arg $ msg_size $ check $ metrics_out $ spans_out)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the stack live: one OS process per node, real UDP sockets on \
+          localhost, wall-clock timers, with a mid-stream protocol replacement. \
+          The same code that runs under the simulator, on the live runtime \
+          backend.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* trace                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -520,4 +656,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ scenario_cmd; fig5_cmd; fig6_cmd; headline_cmd; compare_cmd; check_cmd; trace_cmd ]))
+          [
+            scenario_cmd;
+            fig5_cmd;
+            fig6_cmd;
+            headline_cmd;
+            compare_cmd;
+            check_cmd;
+            serve_cmd;
+            trace_cmd;
+          ]))

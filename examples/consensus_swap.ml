@@ -16,6 +16,7 @@ module SB = Dpu_core.Stack_builder
 module P = Dpu_protocols
 module RC = Dpu_core.Repl_consensus
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 let () =
   let profile =
@@ -29,9 +30,9 @@ let () =
 
   Dpu_workload.Load_gen.start mw ~rate_per_s:40.0 ~until:4_000.0 ();
 
-  let sim = Dpu_kernel.System.sim (MW.system mw) in
+  let clock = Dpu_kernel.System.clock (MW.system mw) in
   ignore
-    (Sim.schedule sim ~delay:2_000.0 (fun () ->
+    (Clock.defer clock ~delay:2_000.0 (fun () ->
          Printf.printf "[2000 ms] requesting consensus replacement: CT -> Paxos\n";
          MW.change_consensus mw ~node:3 P.Consensus_paxos.protocol_name));
 

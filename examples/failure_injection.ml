@@ -12,13 +12,14 @@
 
 module MW = Dpu_core.Middleware
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 module Datagram = Dpu_net.Datagram
 module Schedule = Dpu_faults.Schedule
 
 let () =
   let config = { MW.default_config with loss = 0.02; seed = 42 } in
   let mw = MW.create ~config ~n:5 () in
-  let sim = Dpu_kernel.System.sim (MW.system mw) in
+  let clock = Dpu_kernel.System.clock (MW.system mw) in
   let net = Dpu_kernel.System.net (MW.system mw) in
 
   Dpu_workload.Load_gen.start mw ~rate_per_s:30.0 ~until:6_000.0 ();
@@ -43,10 +44,9 @@ let () =
   (* The replacement fires while the partition is up: node 4 must catch
      up and switch after the heal. *)
   ignore
-    (Sim.schedule sim ~delay:2_000.0 (fun () ->
+    (Clock.defer clock ~delay:2_000.0 (fun () ->
          print_endline "[ 2000.0 ms] replacing the ABcast protocol during the partition";
-         MW.change_protocol mw ~node:0 Dpu_core.Variants.ct)
-      : Sim.handle);
+         MW.change_protocol mw ~node:0 Dpu_core.Variants.ct));
 
   MW.run_until_quiescent ~limit:120_000.0 mw;
 

@@ -15,6 +15,7 @@ module MW = Dpu_core.Middleware
 module SB = Dpu_core.Stack_builder
 module Gm = Dpu_protocols.Gm
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 let () =
   let profile = { SB.default_profile with with_gm = true } in
@@ -30,8 +31,8 @@ let () =
         v.Gm.id
         (String.concat ", " (List.map string_of_int v.Gm.members)));
 
-  let sim = Dpu_kernel.System.sim (MW.system mw) in
-  let at t f = ignore (Sim.schedule sim ~delay:t f : Sim.handle) in
+  let clock = Dpu_kernel.System.clock (MW.system mw) in
+  let at t f = ignore (Clock.defer clock ~delay:t f) in
 
   at 500.0 (fun () ->
       print_endline "--- node 3 leaves the group ---";

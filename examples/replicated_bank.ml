@@ -14,6 +14,7 @@ module MW = Dpu_core.Middleware
 module SB = Dpu_core.Stack_builder
 module KV = Dpu_apps.Replicated_kv
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 let accounts = [ "alice"; "bob"; "carol" ]
 
@@ -36,7 +37,7 @@ let () =
   List.iter (fun name -> KV.incr replicas.(0) name ~by:100) accounts;
 
   (* Random transfers from every node, two per simulated 100 ms. *)
-  let sim = Dpu_kernel.System.sim (MW.system mw) in
+  let clock = Dpu_kernel.System.clock (MW.system mw) in
   let rng = Dpu_engine.Rng.create ~seed:99 in
   for i = 0 to 59 do
     let node = Dpu_engine.Rng.int rng n in
@@ -44,15 +45,14 @@ let () =
     let dst = List.nth accounts (Dpu_engine.Rng.int rng 3) in
     let amount = 1 + Dpu_engine.Rng.int rng 9 in
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 50.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 50.0) (fun () ->
            (* A transfer is two ordered increments; both apply at every
               replica in the same order, so totals never drift. *)
            KV.incr replicas.(node) src ~by:(-amount);
-           KV.incr replicas.(node) dst ~by:amount)
-        : Sim.handle)
+           KV.incr replicas.(node) dst ~by:amount))
   done;
 
-  let at t f = ignore (Sim.schedule sim ~delay:t f : Sim.handle) in
+  let at t f = ignore (Clock.defer clock ~delay:t f) in
   at 800.0 (fun () ->
       Printf.printf "[ 800 ms] replacing ABcast: consensus-based -> token ring\n";
       MW.change_protocol mw ~node:1 Dpu_core.Variants.token);

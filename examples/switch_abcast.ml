@@ -15,6 +15,7 @@
 
 module MW = Dpu_core.Middleware
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 module Stats = Dpu_engine.Stats
 module Series = Dpu_engine.Series
 
@@ -29,13 +30,13 @@ let () =
   (* 40 msg/s for 9 virtual seconds. *)
   Dpu_workload.Load_gen.start mw ~rate_per_s:40.0 ~until:9_000.0 ();
 
-  let sim = Dpu_kernel.System.sim (MW.system mw) in
+  let clock = Dpu_kernel.System.clock (MW.system mw) in
   ignore
-    (Sim.schedule sim ~delay:3_000.0 (fun () ->
+    (Clock.defer clock ~delay:3_000.0 (fun () ->
          print_endline "--- requesting switch to the fixed-sequencer protocol ---";
          MW.change_protocol mw ~node:2 Dpu_core.Variants.sequencer));
   ignore
-    (Sim.schedule sim ~delay:6_000.0 (fun () ->
+    (Clock.defer clock ~delay:6_000.0 (fun () ->
          print_endline "--- requesting switch to the token-ring protocol ---";
          MW.change_protocol mw ~node:4 Dpu_core.Variants.token));
 

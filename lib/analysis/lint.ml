@@ -14,6 +14,7 @@ type rule = {
   r_patterns : string list;
   r_message : string;
   r_exempt : string list;
+  r_exempt_dirs : string list;
 }
 
 (* Patterns are assembled by concatenation so that this file (and its
@@ -29,6 +30,7 @@ let rules =
         "Hashtbl iteration order depends on hash-table internals; \
          collect and sort, or iterate a deterministic structure";
       r_exempt = [];
+      r_exempt_dirs = [];
     };
     {
       r_id = "poly-compare";
@@ -44,6 +46,7 @@ let rules =
         "polymorphic compare/hash can diverge across value layouts; \
          use a typed comparison (Int.compare, String.compare, ...)";
       r_exempt = [];
+      r_exempt_dirs = [];
     };
     {
       r_id = "random";
@@ -52,6 +55,7 @@ let rules =
         "the global Random state breaks seed-determinism; draw from \
          the stack's seeded Dpu_engine.Rng instead";
       r_exempt = [ "engine/rng.ml" ];
+      r_exempt_dirs = [];
     };
     {
       r_id = "wall-clock";
@@ -61,6 +65,8 @@ let rules =
         "wall-clock reads in simulation code break bit-identical \
          sweeps; virtual time comes from Sim.now";
       r_exempt = [];
+      (* the live backend is *defined* by wall-clock time *)
+      r_exempt_dirs = [ "lib/live/" ];
     };
     {
       r_id = "marshal";
@@ -69,6 +75,24 @@ let rules =
         "Marshal is layout-sensitive and unsafe on closures; confine \
          it to the Sweep worker wire protocol";
       r_exempt = [ "workload/sweep.ml" ];
+      r_exempt_dirs = [];
+    };
+    {
+      r_id = "unix-io";
+      r_patterns =
+        [
+          p "Unix." "socket";
+          p "Unix." "bind";
+          p "Unix." "connect";
+          p "Unix." "sendto";
+          p "Unix." "recvfrom";
+          p "Unix." "select";
+        ];
+      r_message =
+        "real sockets are non-deterministic; socket IO belongs to the \
+         live runtime backend (lib/live) only";
+      r_exempt = [];
+      r_exempt_dirs = [ "lib/live/" ];
     };
   ]
 
@@ -248,9 +272,17 @@ let split_lines s = Array.of_list (String.split_on_char '\n' s)
 let normalize_path f =
   String.map (fun c -> if c = '\\' then '/' else c) f
 
+(* Plain substring search (no word-boundary logic): directory
+   exemptions match path segments like "lib/live/". *)
+let path_contains ~sub s =
+  let ls = String.length sub and ln = String.length s in
+  let rec go i = i + ls <= ln && (String.sub s i ls = sub || go (i + 1)) in
+  ls > 0 && go 0
+
 let exempt ~file r =
   let f = normalize_path file in
   List.exists (fun suffix -> String.ends_with ~suffix f) r.r_exempt
+  || List.exists (fun dir -> path_contains ~sub:dir f) r.r_exempt_dirs
 
 let scan_source ~file content =
   let stripped = split_lines (strip content) in

@@ -16,7 +16,16 @@
     - [wall-clock]: [Unix.gettimeofday]/[Unix.time]/[Sys.time] in
       simulation code (virtual time comes from [Sim.now]);
     - [marshal]: [Marshal] outside the {!Dpu_workload.Sweep} worker
-      protocol.
+      protocol;
+    - [unix-io]: real socket calls ([Unix.socket]/[bind]/[sendto]/
+      [recvfrom]/[select]/[connect]) outside the live runtime backend.
+
+    Exemptions come in two scopes: single files ([r_exempt], matched as
+    path suffixes) and whole directories ([r_exempt_dirs], matched as
+    path segments). [lib/live/] is directory-exempt from [wall-clock]
+    and [unix-io] — the live backend is defined by real time and real
+    sockets — and from nothing else; in particular the exemption does
+    not extend to [lib/engine] or [lib/protocols].
 
     Matching runs on comment- and string-stripped source, so prose
     mentioning a pattern never fires. A finding on a line is silenced
@@ -43,6 +52,9 @@ type rule = {
       (** path suffixes where the rule is off by design (e.g. [random]
           inside [engine/rng.ml], [marshal] inside
           [workload/sweep.ml]) *)
+  r_exempt_dirs : string list;
+      (** path segments (e.g. ["lib/live/"]) under which the rule is
+          off for every file *)
 }
 
 val rules : rule list

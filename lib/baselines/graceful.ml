@@ -24,6 +24,72 @@ let () =
       Some (Printf.sprintf "graceful.activated gen=%d from=%d" gen from)
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"graceful"
+    ~encode:(function
+      | G_data { gen; id; size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w gen;
+            Msg.write_id w id;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | G_point { gen; protocol } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w gen;
+            Wire.W.str w protocol)
+      | C_prepare { gen; protocol; initiator } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.int w gen;
+            Wire.W.str w protocol;
+            Wire.W.int w initiator)
+      | C_prepared { gen; from; ok } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 3;
+            Wire.W.int w gen;
+            Wire.W.int w from;
+            Wire.W.bool w ok)
+      | C_activated { gen; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 4;
+            Wire.W.int w gen;
+            Wire.W.int w from)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let gen = Wire.R.int r in
+        let id = Msg.read_id r in
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        G_data { gen; id; size; payload }
+      | 1 ->
+        let gen = Wire.R.int r in
+        let protocol = Wire.R.str r in
+        G_point { gen; protocol }
+      | 2 ->
+        let gen = Wire.R.int r in
+        let protocol = Wire.R.str r in
+        let initiator = Wire.R.int r in
+        C_prepare { gen; protocol; initiator }
+      | 3 ->
+        let gen = Wire.R.int r in
+        let from = Wire.R.int r in
+        let ok = Wire.R.bool r in
+        C_prepared { gen; from; ok }
+      | 4 ->
+        let gen = Wire.R.int r in
+        let from = Wire.R.int r in
+        C_activated { gen; from }
+      | c -> raise (Wire.Error (Printf.sprintf "graceful: bad case %d" c)))
+
 type config = { control_resend_ms : float }
 
 let default_config = { control_resend_ms = 100.0 }
@@ -57,7 +123,7 @@ let install ?(config = default_config) ~registry ~n stack =
       let initiating = ref None in  (* protocol being adapted to *)
       let initiate_started = ref 0.0 in
       let point_sent = ref false in
-      let now () = Dpu_engine.Sim.now (Stack.sim stack) in
+      let now () = Stack.now stack in
       let abcast ~size payload =
         Stack.call stack Service.abcast (Abcast_iface.Broadcast { size; payload })
       in

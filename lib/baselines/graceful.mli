@@ -27,6 +27,15 @@
 
 open Dpu_kernel
 
+(** Wire payloads (exposed for wire round-trip tests and trace
+    tooling). *)
+type Payload.t +=
+  | G_data of { gen : int; id : Msg.id; size : int; payload : Payload.t }
+  | G_point of { gen : int; protocol : string }
+  | C_prepare of { gen : int; protocol : string; initiator : int }
+  | C_prepared of { gen : int; from : int; ok : bool }
+  | C_activated of { gen : int; from : int }
+
 type config = { control_resend_ms : float  (** barrier ack resend period *) }
 
 val default_config : config

@@ -14,6 +14,38 @@ let () =
       Some (Printf.sprintf "maestro.switch gen=%d %s" gen protocol)
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"maestro"
+    ~encode:(function
+      | M_data { gen; id; size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w gen;
+            Msg.write_id w id;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | M_switch { gen; protocol } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w gen;
+            Wire.W.str w protocol)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let gen = Wire.R.int r in
+        let id = Msg.read_id r in
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        M_data { gen; id; size; payload }
+      | 1 ->
+        let gen = Wire.R.int r in
+        let protocol = Wire.R.str r in
+        M_switch { gen; protocol }
+      | c -> raise (Wire.Error (Printf.sprintf "maestro: bad case %d" c)))
+
 type config = { drain_ms : float; startup_ms : float }
 
 let default_config = { drain_ms = 150.0; startup_ms = 20.0 }
@@ -45,7 +77,7 @@ let install ?(config = default_config) ~registry stack =
       let undelivered : (Msg.id, int * Payload.t) Hashtbl.t = Hashtbl.create 64 in
       let blocked = ref false in
       let blocked_since = ref 0.0 in
-      let now () = Dpu_engine.Sim.now (Stack.sim stack) in
+      let now () = Stack.now stack in
       let abcast ~size payload =
         Stack.call stack Service.abcast (Abcast_iface.Broadcast { size; payload })
       in
@@ -96,7 +128,7 @@ let install ?(config = default_config) ~registry stack =
                Stack.set_env stack k_reissued
                  (Stack.get_env stack k_reissued ~default:0 + List.length pending);
                List.iter (fun (id, (size, payload)) -> send_data id size payload) pending)
-            : Dpu_engine.Sim.handle)
+            : Dpu_runtime.Clock.timer)
       in
       let on_switch g protocol =
         if g = !gen && not !blocked then begin
@@ -107,7 +139,7 @@ let install ?(config = default_config) ~registry stack =
           blocked_since := now ();
           ignore
             (Stack.after stack ~delay:config.drain_ms (fun () -> rebuild protocol)
-              : Dpu_engine.Sim.handle)
+              : Dpu_runtime.Clock.timer)
         end
       in
       let on_data g id payload =

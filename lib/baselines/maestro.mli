@@ -26,6 +26,12 @@
 
 open Dpu_kernel
 
+(** Wire payloads (exposed for wire round-trip tests and trace
+    tooling). *)
+type Payload.t +=
+  | M_data of { gen : int; id : Msg.id; size : int; payload : Payload.t }
+  | M_switch of { gen : int; protocol : string }
+
 type config = {
   drain_ms : float;
       (** grace period between delivering the switch message and

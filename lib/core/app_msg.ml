@@ -6,3 +6,10 @@ let () =
   Payload.register_printer (function
     | App m -> Some (Printf.sprintf "app %s" (Msg.id_to_string m.Msg.id))
     | _ -> None)
+
+let () =
+  Payload.register_codec ~tag:"app"
+    ~encode:(function
+      | App m -> Some (fun w -> Msg.write w m)
+      | _ -> None)
+    ~decode:(fun r -> App (Msg.read r))

@@ -36,14 +36,8 @@ type t = {
   next_seq : int array;  (* per-node app message counter *)
 }
 
-let create ?(config = default_config) ?register_extra ~n () =
-  let metrics =
-    if config.metrics_enabled then Dpu_obs.Metrics.create () else Dpu_obs.Metrics.noop
-  in
-  let system =
-    System.create ~seed:config.seed ~loss:config.loss ~dup:config.dup ~link:config.link
-      ~hop_cost:config.hop_cost ~trace_enabled:config.trace_enabled ~metrics ~n ()
-  in
+let of_system ?(config = default_config) ?register_extra system =
+  let metrics = System.metrics system in
   let collector = Collector.create () in
   Stack_builder.build ~collector ?register_extra ~profile:config.profile system;
   {
@@ -52,8 +46,18 @@ let create ?(config = default_config) ?register_extra ~n () =
     collector;
     metrics;
     m_sends = Dpu_obs.Metrics.counter metrics "app_sends_total";
-    next_seq = Array.make n 0;
+    next_seq = Array.make (System.n system) 0;
   }
+
+let create ?(config = default_config) ?register_extra ~n () =
+  let metrics =
+    if config.metrics_enabled then Dpu_obs.Metrics.create () else Dpu_obs.Metrics.noop
+  in
+  let system =
+    System.create ~seed:config.seed ~loss:config.loss ~dup:config.dup ~link:config.link
+      ~hop_cost:config.hop_cost ~trace_enabled:config.trace_enabled ~metrics ~n ()
+  in
+  of_system ~config ?register_extra system
 
 let config t = t.config
 

@@ -42,6 +42,13 @@ val create : ?config:config -> ?register_extra:(System.t -> unit) -> n:int -> un
     the executable baselines' replacement layers) before the stacks are
     built. *)
 
+val of_system : ?config:config -> ?register_extra:(System.t -> unit) -> System.t -> t
+(** Like {!create}, but on a system the caller already built — e.g. a
+    live deployment assembled with {!Dpu_kernel.System.of_runtime}.
+    The simulation-only fields of [config] (seed, loss, dup, link,
+    hop_cost, trace/metrics switches) are ignored: those live in the
+    system itself. Only the local stacks of [system] are built. *)
+
 val config : t -> config
 
 val n : t -> int

@@ -19,7 +19,7 @@ let install ~collector ~mode stack =
   let service = observed_service mode in
   Stack.add_module stack ~name:module_name ~provides:[] ~requires:[ service ]
     (fun stack _self ->
-      let now () = Dpu_engine.Sim.now (Stack.sim stack) in
+      let now () = Stack.now stack in
       let m_delivers =
         Dpu_obs.Metrics.counter (Stack.metrics stack)
           ~labels:[ ("node", string_of_int node) ]

@@ -13,6 +13,38 @@ let () =
     | A_new { sn; protocol } -> Some (Printf.sprintf "repl.new sn=%d %s" sn protocol)
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"repl"
+    ~encode:(function
+      | A_data { sn; id; size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w sn;
+            Msg.write_id w id;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | A_new { sn; protocol } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w sn;
+            Wire.W.str w protocol)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let sn = Wire.R.int r in
+        let id = Msg.read_id r in
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        A_data { sn; id; size; payload }
+      | 1 ->
+        let sn = Wire.R.int r in
+        let protocol = Wire.R.str r in
+        A_new { sn; protocol }
+      | c -> raise (Wire.Error (Printf.sprintf "repl: bad case %d" c)))
+
 let protocol_name = "repl.abcast"
 
 let header_size = 48

@@ -28,6 +28,46 @@ let () =
     | Wire_request { protocol } -> Some (Printf.sprintf "repl-consensus.request %s" protocol)
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"repl-consensus"
+    ~encode:(function
+      | Change_consensus protocol ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.str w protocol)
+      | Consensus_changed { generation; protocol } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w generation;
+            Wire.W.str w protocol)
+      | Wrapped { value; switch } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.str w (Payload.encode_exn value);
+            Wire.W.opt w Wire.W.str switch)
+      | Wire_request { protocol } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 3;
+            Wire.W.str w protocol)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 -> Change_consensus (Wire.R.str r)
+      | 1 ->
+        let generation = Wire.R.int r in
+        let protocol = Wire.R.str r in
+        Consensus_changed { generation; protocol }
+      | 2 ->
+        let value = Payload.decode (Wire.R.str r) in
+        let switch = Wire.R.opt r Wire.R.str in
+        Wrapped { value; switch }
+      | 3 -> Wire_request { protocol = Wire.R.str r }
+      | c -> raise (Wire.Error (Printf.sprintf "repl-consensus: bad case %d" c)))
+
 let protocol_name = "repl.consensus"
 
 let slots = 8

@@ -63,6 +63,14 @@ type Payload.t +=
       (** indication (on [Service.consensus]): stream 0's switch
           completed on this stack *)
 
+(** Wire payloads (exposed for wire round-trip tests and trace
+    tooling). *)
+type Payload.t +=
+  | Wrapped of { value : Payload.t; switch : string option }
+      (** the value wrapper threaded through the underlying consensus *)
+  | Wire_request of { protocol : string }
+      (** change-request gossip, so every stack tags its proposals *)
+
 val protocol_name : string
 (** ["repl.consensus"] *)
 

@@ -18,6 +18,26 @@ let pp ppf t = Format.fprintf ppf "msg(%s,%dB)" (id_to_string t.id) t.size
 
 let make ~origin ~seq ?(size = 4096) body = { id = { origin; seq }; size; body }
 
+let write_id w { origin; seq } =
+  Wire.W.int w origin;
+  Wire.W.int w seq
+
+let read_id r =
+  let origin = Wire.R.int r in
+  let seq = Wire.R.int r in
+  { origin; seq }
+
+let write w { id; size; body } =
+  write_id w id;
+  Wire.W.int w size;
+  Wire.W.str w body
+
+let read r =
+  let id = read_id r in
+  let size = Wire.R.int r in
+  let body = Wire.R.str r in
+  { id; size; body }
+
 module Id_ord = struct
   type t = id
 

@@ -30,6 +30,15 @@ val make : origin:int -> seq:int -> ?size:int -> string -> t
 (** [make ~origin ~seq body] with a default size of 4096 bytes (the
     paper's 4 KB experiment payloads). *)
 
+val write_id : Wire.W.t -> id -> unit
+
+val read_id : Wire.R.t -> id
+
+val write : Wire.W.t -> t -> unit
+(** Wire helpers for codecs carrying message ids or whole messages. *)
+
+val read : Wire.R.t -> t
+
 module Id_map : Map.S with type key = id
 module Id_set : Set.S with type elt = id
 module Set : Set.S with type elt = t

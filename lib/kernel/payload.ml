@@ -2,6 +2,10 @@ type t = ..
 
 type t += Unit
 
+(* ------------------------------------------------------------------ *)
+(* Printers                                                            *)
+(* ------------------------------------------------------------------ *)
+
 let printers : (t -> string option) list ref = ref []
 
 let register_printer f = printers := f :: !printers
@@ -17,3 +21,138 @@ let to_string p =
     try_all !printers
 
 let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codecs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Decode_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Decode_error msg ->
+      Some (Printf.sprintf "Dpu_kernel.Payload.Decode_error(%S)" msg)
+    | _ -> None)
+
+let decode_fail fmt = Printf.ksprintf (fun msg -> raise (Decode_error msg)) fmt
+
+type codec = {
+  c_tag : string;
+  c_encode : t -> (Wire.W.t -> unit) option;
+  c_decode : Wire.R.t -> t;
+}
+
+let codecs : codec list ref = ref []
+
+let codec_by_tag : (string, codec) Hashtbl.t = Hashtbl.create 64
+
+let registered_tags () =
+  (* dpu-lint: allow hashtbl-iter — sorted before being returned *)
+  Hashtbl.fold (fun tag _ acc -> tag :: acc) codec_by_tag []
+  |> List.sort String.compare
+
+let register_codec ~tag ~encode ~decode =
+  if String.length tag = 0 || String.length tag > 0xff then
+    invalid_arg "Payload.register_codec: tag must be 1..255 bytes";
+  if Hashtbl.mem codec_by_tag tag then
+    invalid_arg (Printf.sprintf "Payload.register_codec: duplicate tag %S" tag);
+  let c = { c_tag = tag; c_encode = encode; c_decode = decode } in
+  Hashtbl.replace codec_by_tag tag c;
+  codecs := c :: !codecs
+
+(* A frame is [u8 taglen][tag bytes][body ...]; the body runs to the
+   end of the enclosing string, and [decode] rejects trailing garbage.
+   Nested payloads are written with [W.str (encode_exn inner)] so their
+   extent is delimited by the string length prefix and recursion stays
+   unambiguous. *)
+
+let encode p =
+  let rec try_all = function
+    | [] -> None
+    | c :: rest -> (
+      match c.c_encode p with
+      | None -> try_all rest
+      | Some write ->
+        let w = Wire.W.create () in
+        Wire.W.u8 w (String.length c.c_tag);
+        Wire.W.raw w c.c_tag;
+        write w;
+        Some (Wire.W.contents w))
+  in
+  try_all !codecs
+
+let encode_exn p =
+  match encode p with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Payload.encode_exn: no codec for %s" (to_string p))
+
+let has_codec p = match encode p with Some _ -> true | None -> false
+
+let decode s =
+  let r = Wire.R.of_string s in
+  let tag =
+    match
+      let taglen = Wire.R.u8 r in
+      Wire.R.raw r taglen
+    with
+    | tag -> tag
+    | exception Wire.Error msg -> decode_fail "bad frame header: %s" msg
+  in
+  match Hashtbl.find_opt codec_by_tag tag with
+  | None -> decode_fail "unknown payload tag %S" tag
+  | Some c -> (
+    match
+      let p = c.c_decode r in
+      Wire.R.expect_end r;
+      p
+    with
+    | p -> p
+    | exception Wire.Error msg -> decode_fail "bad %S frame: %s" tag msg)
+
+(* Built-in codec for the trivial payload. *)
+let () =
+  register_codec ~tag:"unit"
+    ~encode:(fun p -> match p with Unit -> Some (fun _w -> ()) | _ -> None)
+    ~decode:(fun _r -> Unit)
+
+(* ------------------------------------------------------------------ *)
+(* Envelope                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Envelope = struct
+  let magic = "DPU1"
+
+  let version = 1
+
+  type info = { src : int; service : string; generation : int }
+
+  let seal ~src ~service ~generation p =
+    let body = encode_exn p in
+    let w = Wire.W.create ~initial_size:(String.length body + 32) () in
+    Wire.W.raw w magic;
+    Wire.W.u8 w version;
+    Wire.W.int w src;
+    Wire.W.str w service;
+    Wire.W.int w generation;
+    Wire.W.str w body;
+    Wire.W.contents w
+
+  let open_ s =
+    let r = Wire.R.of_string s in
+    match
+      let m = Wire.R.raw r (String.length magic) in
+      if not (String.equal m magic) then decode_fail "bad envelope magic %S" m;
+      let v = Wire.R.u8 r in
+      if v <> version then decode_fail "unsupported envelope version %d" v;
+      let src = Wire.R.int r in
+      let service = Wire.R.str r in
+      let generation = Wire.R.int r in
+      let body = Wire.R.str r in
+      Wire.R.expect_end r;
+      ({ src; service; generation }, body)
+    with
+    | info, body -> (info, decode body)
+    | exception Wire.Error msg -> decode_fail "bad envelope: %s" msg
+end

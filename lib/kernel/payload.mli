@@ -4,7 +4,14 @@
     sharing a service (e.g. everything multiplexed over [net]) simply
     pattern-match on their own constructors and ignore the rest. This
     mirrors the untyped event model of SAMOA/Appia protocol kernels
-    while staying allocation-cheap and printable. *)
+    while staying allocation-cheap and printable.
+
+    Alongside the printer registry, protocols may register a {e wire
+    codec} for their constructors. Codecs are only exercised by
+    backends that serialise messages (the live UDP transport); the
+    simulated backend passes payload values by reference and never
+    touches them, so registering a codec has zero effect on simulated
+    runs. *)
 
 type t = ..
 
@@ -18,3 +25,60 @@ val to_string : t -> string
 (** Best-effort rendering (["<payload>"] if no printer matches). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Wire codecs} *)
+
+exception Decode_error of string
+(** Raised by {!decode} / {!Envelope.open_} on any malformed input:
+    unknown tag, truncated body, trailing garbage, bad magic. *)
+
+val register_codec :
+  tag:string ->
+  encode:(t -> (Wire.W.t -> unit) option) ->
+  decode:(Wire.R.t -> t) ->
+  unit
+(** Register a binary codec for some constructors. [tag] (1..255
+    bytes) names the frame on the wire and must be globally unique —
+    duplicate registration raises [Invalid_argument]. [encode] returns
+    [Some write] when the payload belongs to this codec; [write] emits
+    the body. [decode] parses the body and must consume it entirely
+    ({!decode} rejects frames with leftover bytes).
+
+    To nest a payload inside another (batches, wrappers), encode it
+    with [Wire.W.str (Payload.encode_exn inner)] and decode with
+    [Payload.decode (Wire.R.str r)]. *)
+
+val encode : t -> string option
+(** Frame the payload with the first codec (most recent first) that
+    claims it: [u8 tag-length][tag][body]. [None] if no codec
+    matches. *)
+
+val encode_exn : t -> string
+(** Like {!encode} but raises [Invalid_argument] when no codec is
+    registered for the payload. *)
+
+val decode : string -> t
+(** Inverse of {!encode}; raises {!Decode_error} on unknown tags,
+    truncated frames or trailing bytes. *)
+
+val has_codec : t -> bool
+
+val registered_tags : unit -> string list
+(** All registered codec tags, sorted — for diagnostics and tests. *)
+
+(** Versioned datagram envelope used by wire transports. A sealed
+    envelope carries enough routing metadata ([src] node, [service]
+    name, protocol [generation]) for a receiving node to dispatch the
+    payload without out-of-band context. *)
+module Envelope : sig
+  type info = { src : int; service : string; generation : int }
+
+  val version : int
+
+  val seal : src:int -> service:string -> generation:int -> t -> string
+  (** Raises [Invalid_argument] if the payload has no codec. *)
+
+  val open_ : string -> info * t
+  (** Raises {!Decode_error} on bad magic, unsupported version, or any
+      framing error. *)
+end

@@ -1,4 +1,4 @@
-module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 type handlers = {
   handle_call : Service.t -> Payload.t -> unit;
@@ -25,7 +25,7 @@ type module_ = {
 }
 
 type t = {
-  sim : Sim.t;
+  clock : Clock.t;
   node : int;
   hop_cost : float;
   trace : Trace.t;
@@ -48,11 +48,12 @@ type t = {
 
 exception Already_bound of Service.t
 
-let create ~sim ~node ?(hop_cost = 0.05) ~trace ?(metrics = Dpu_obs.Metrics.noop) () =
+let create ~clock ~node ?(hop_cost = 0.05) ~trace ?(metrics = Dpu_obs.Metrics.noop)
+    () =
   let labels = [ ("node", string_of_int node) ] in
   let t =
     {
-      sim;
+      clock;
       node;
       hop_cost;
       trace;
@@ -88,7 +89,9 @@ let create ~sim ~node ?(hop_cost = 0.05) ~trace ?(metrics = Dpu_obs.Metrics.noop
 
 let node t = t.node
 
-let sim t = t.sim
+let clock t = t.clock
+
+let now t = Clock.now t.clock
 
 let trace t = t.trace
 
@@ -98,7 +101,7 @@ let hop_cost t = t.hop_cost
 
 let is_crashed t = t.crashed
 
-let record t kind = Trace.record t.trace ~time:(Sim.now t.sim) ~node:t.node kind
+let record t kind = Trace.record t.trace ~time:(now t) ~node:t.node kind
 
 (* Building payload descriptions is pure overhead when the trace is
    off (the benchmark configurations); gate the formatting, not just
@@ -186,22 +189,20 @@ let rec execute_call t svc payload =
     | None ->
       t.calls_blocked <- t.calls_blocked + 1;
       record_lazy t (fun d -> Trace.Call_blocked (Service.name svc, d)) payload;
-      Queue.add (Sim.now t.sim, payload) (blocked_queue t svc)
+      Queue.add (now t, payload) (blocked_queue t svc)
 
 and release_blocked t svc =
   match Hashtbl.find_opt t.blocked svc with
   | None -> ()
   | Some q ->
     let pending = Queue.length q in
-    let now = Sim.now t.sim in
+    let now = now t in
     for _ = 1 to pending do
       let blocked_at, payload = Queue.pop q in
       t.calls_unblocked <- t.calls_unblocked + 1;
       Dpu_obs.Metrics.observe t.blocked_hist (now -. blocked_at);
       record t (Trace.Call_unblocked (Service.name svc));
-      ignore
-        (Sim.schedule t.sim ~delay:t.hop_cost (fun () -> execute_call t svc payload)
-          : Sim.handle)
+      Clock.defer t.clock ~delay:t.hop_cost (fun () -> execute_call t svc payload)
     done
 
 let bind t svc m =
@@ -224,9 +225,7 @@ let unbind t svc =
 
 let call t svc payload =
   if not t.crashed then
-    ignore
-      (Sim.schedule t.sim ~delay:t.hop_cost (fun () -> execute_call t svc payload)
-        : Sim.handle)
+    Clock.defer t.clock ~delay:t.hop_cost (fun () -> execute_call t svc payload)
 
 let execute_indication t svc payload =
   if not t.crashed then begin
@@ -241,9 +240,8 @@ let execute_indication t svc payload =
 
 let indicate t svc payload =
   if not t.crashed then
-    ignore
-      (Sim.schedule t.sim ~delay:t.hop_cost (fun () -> execute_indication t svc payload)
-        : Sim.handle)
+    Clock.defer t.clock ~delay:t.hop_cost (fun () ->
+        execute_indication t svc payload)
 
 let app_event t ~tag ~data = record t (Trace.App (tag, data))
 
@@ -255,8 +253,7 @@ let get_env t key ~default =
   match Hashtbl.find_opt t.env key with Some v -> v | None -> default
 
 let after t ~delay fn =
-  Sim.schedule t.sim ~delay (fun () -> if not t.crashed then fn ())
+  Clock.schedule t.clock ~delay (fun () -> if not t.crashed then fn ())
 
 let periodic t ~period fn =
-  let handle = Sim.every t.sim ~period (fun () -> if not t.crashed then fn ()) in
-  handle
+  Clock.every t.clock ~period (fun () -> if not t.crashed then fn ())

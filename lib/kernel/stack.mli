@@ -15,10 +15,13 @@
       “a module Qi can respond to a service call even if Qi has been
       unbound”).
 
-    Dispatch is asynchronous through the simulator and each hop costs
-    [hop_cost] virtual milliseconds, standing in for per-module
-    processing cost; the ≈5 % overhead of the replacement layer in the
-    paper's Fig. 6 emerges from this. *)
+    Dispatch is asynchronous through the runtime {!Dpu_runtime.Clock}
+    and each hop costs [hop_cost] milliseconds (virtual under the
+    simulated backend, wall-clock under the live one), standing in for
+    per-module processing cost; the ≈5 % overhead of the replacement
+    layer in the paper's Fig. 6 emerges from this. The stack never
+    touches the simulator directly — it runs unchanged on any clock
+    backend. *)
 
 type t
 
@@ -38,7 +41,7 @@ val default_handlers : handlers
 (** All no-ops. *)
 
 val create :
-  sim:Dpu_engine.Sim.t ->
+  clock:Dpu_runtime.Clock.t ->
   node:int ->
   ?hop_cost:float ->
   trace:Trace.t ->
@@ -54,7 +57,10 @@ val create :
 
 val node : t -> int
 
-val sim : t -> Dpu_engine.Sim.t
+val clock : t -> Dpu_runtime.Clock.t
+
+val now : t -> float
+(** Current time on the stack's clock, in milliseconds. *)
 
 val trace : t -> Trace.t
 
@@ -149,9 +155,9 @@ val get_env : t -> string -> default:int -> int
 
 (** {1 Timers} *)
 
-val after : t -> delay:float -> (unit -> unit) -> Dpu_engine.Sim.handle
+val after : t -> delay:float -> (unit -> unit) -> Dpu_runtime.Clock.timer
 (** One-shot timer that is suppressed if the stack has crashed by the
-    time it fires. *)
+    time it fires. Cancel with {!Dpu_runtime.Clock.cancel}. *)
 
-val periodic : t -> period:float -> (unit -> unit) -> Dpu_engine.Sim.handle
+val periodic : t -> period:float -> (unit -> unit) -> Dpu_runtime.Clock.timer
 (** Periodic timer, stopped by cancellation or by a crash. *)

@@ -1,0 +1,112 @@
+exception Error of string
+
+let () =
+  Printexc.register_printer (function
+    | Error msg -> Some (Printf.sprintf "Dpu_kernel.Wire.Error(%S)" msg)
+    | _ -> None)
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+module W = struct
+  type t = Buffer.t
+
+  let create ?(initial_size = 64) () = Buffer.create initial_size
+
+  let u8 b v =
+    assert (v >= 0 && v <= 0xff);
+    Buffer.add_char b (Char.chr v)
+
+  let int b v = Buffer.add_int64_le b (Int64.of_int v)
+
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let float b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+  let raw b s = Buffer.add_string b s
+
+  let str b s =
+    Buffer.add_int32_le b (Int32.of_int (String.length s));
+    Buffer.add_string b s
+
+  let opt b f = function
+    | None -> u8 b 0
+    | Some v ->
+      u8 b 1;
+      f b v
+
+  let list b f vs =
+    Buffer.add_int32_le b (Int32.of_int (List.length vs));
+    List.iter (fun v -> f b v) vs
+
+  let contents = Buffer.contents
+end
+
+module R = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string src = { src; pos = 0 }
+
+  let need r k what =
+    if r.pos + k > String.length r.src then
+      fail "truncated input: need %d bytes for %s at offset %d (have %d)" k what
+        r.pos
+        (String.length r.src - r.pos)
+
+  let u8 r =
+    need r 1 "u8";
+    let v = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let int r =
+    need r 8 "int";
+    let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let bool r =
+    match u8 r with
+    | 0 -> false
+    | 1 -> true
+    | v -> fail "bad bool byte %d" v
+
+  let float r =
+    need r 8 "float";
+    let v = Int64.float_of_bits (String.get_int64_le r.src r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let str r =
+    need r 4 "string length";
+    let len = Int32.to_int (String.get_int32_le r.src r.pos) in
+    r.pos <- r.pos + 4;
+    if len < 0 then fail "negative string length %d" len;
+    need r len "string body";
+    let s = String.sub r.src r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let raw r len =
+    if len < 0 then fail "negative raw length %d" len;
+    need r len "raw bytes";
+    let s = String.sub r.src r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let opt r f = match u8 r with 0 -> None | 1 -> Some (f r) | v -> fail "bad option byte %d" v
+
+  let list r f =
+    need r 4 "list length";
+    let len = Int32.to_int (String.get_int32_le r.src r.pos) in
+    r.pos <- r.pos + 4;
+    if len < 0 then fail "negative list length %d" len;
+    List.init len (fun _ -> f r)
+
+  let at_end r = r.pos = String.length r.src
+
+  let expect_end r =
+    if not (at_end r) then
+      fail "trailing garbage: %d bytes left at offset %d"
+        (String.length r.src - r.pos)
+        r.pos
+end

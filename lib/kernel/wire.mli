@@ -1,0 +1,74 @@
+(** Binary wire primitives for the payload codec registry.
+
+    A tiny, dependency-free length-prefixed binary format: fixed-width
+    little-endian integers, IEEE-754 floats, and u32-length-prefixed
+    strings. Codecs ({!Payload.register_codec}) compose these; frames
+    nest by encoding an inner frame with [W.str].
+
+    Readers are strict: reading past the end of the buffer raises
+    {!Error}, which {!Payload.decode} converts into a rejected frame —
+    a truncated datagram never produces a value. *)
+
+exception Error of string
+(** Malformed or truncated input. *)
+
+(** Writer: append-only buffer. *)
+module W : sig
+  type t
+
+  val create : ?initial_size:int -> unit -> t
+
+  val u8 : t -> int -> unit
+  (** [0 .. 255]; asserts the range. *)
+
+  val int : t -> int -> unit
+  (** Full OCaml int, signed 64-bit little-endian. *)
+
+  val bool : t -> bool -> unit
+
+  val float : t -> float -> unit
+
+  val raw : t -> string -> unit
+  (** Bytes with no length prefix — for fixed-size fields like magic
+      numbers and tags whose length is known from context. *)
+
+  val str : t -> string -> unit
+  (** u32 length then bytes. *)
+
+  val opt : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** u32 count then elements, in order. *)
+
+  val contents : t -> string
+end
+
+(** Reader: cursor over a string; every read may raise {!Error}. *)
+module R : sig
+  type t
+
+  val of_string : string -> t
+
+  val u8 : t -> int
+
+  val int : t -> int
+
+  val bool : t -> bool
+
+  val float : t -> float
+
+  val raw : t -> int -> string
+  (** Exactly that many bytes, no length prefix. *)
+
+  val str : t -> string
+
+  val opt : t -> (t -> 'a) -> 'a option
+
+  val list : t -> (t -> 'a) -> 'a list
+
+  val at_end : t -> bool
+
+  val expect_end : t -> unit
+  (** Raise {!Error} unless the whole input was consumed — trailing
+      garbage is rejected, not ignored. *)
+end

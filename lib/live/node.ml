@@ -1,0 +1,203 @@
+open Dpu_kernel
+module Clock = Dpu_runtime.Clock
+module Middleware = Dpu_core.Middleware
+module Collector = Dpu_core.Collector
+module J = Dpu_obs.Json
+
+type config = {
+  me : int;
+  n : int;
+  epoch : float;
+  service : string;
+  generation : int;
+  initial : string;
+  switch_to : string option;
+  switch_at_ms : float;
+  load : float;
+  msg_size : int;
+  duration_ms : float;
+  drain_ms : float;
+  seed : int;
+}
+
+type report = {
+  node : int;
+  sends : (Msg.id * float) list;
+  delivers : (Msg.id * float) list;
+  switches : (int * float) list;
+  counters : Dpu_runtime.Transport.counters;
+  metrics : J.t;
+}
+
+let run ~config ~fd ~peers () =
+  let wheel = Timer_wheel.create ~granularity_ms:0.5 () in
+  let lclock = Live_clock.create ~epoch:config.epoch wheel in
+  let tr =
+    Udp_transport.create ~service:config.service ~generation:config.generation
+      ~me:config.me ~fd ~peers ()
+  in
+  let metrics = Dpu_obs.Metrics.create () in
+  (* Per-node seeds: protocol-internal randomisation must not be in
+     lockstep across processes. *)
+  let rng = Dpu_engine.Rng.create ~seed:(config.seed + (7919 * (config.me + 1))) in
+  let runtime =
+    Dpu_runtime.Runtime.create ~clock:(Live_clock.clock lclock)
+      ~transport:(Udp_transport.transport tr) ~rng
+  in
+  let system =
+    System.of_runtime ~hop_cost:0.0 ~trace_enabled:false ~metrics
+      ~local:[ config.me ] ~runtime ~n:config.n ()
+  in
+  let mw_config =
+    {
+      Middleware.default_config with
+      profile =
+        {
+          Dpu_core.Stack_builder.default_profile with
+          initial_abcast = config.initial;
+        };
+      msg_size = config.msg_size;
+    }
+  in
+  let mw = Middleware.of_system ~config:mw_config system in
+  let clock = System.clock system in
+  (* Open-loop load, staggered so the n processes do not send in
+     phase: this node sends every [n / load] seconds. *)
+  let interval = 1000.0 *. float_of_int config.n /. config.load in
+  Clock.defer clock
+    ~delay:(interval *. float_of_int config.me /. float_of_int config.n)
+    (fun () ->
+      ignore
+        (Clock.every clock ~period:interval (fun () ->
+             if Live_clock.now lclock < config.duration_ms then
+               ignore (Middleware.broadcast mw ~node:config.me "live" : Msg.t))
+          : Clock.timer));
+  (match config.switch_to with
+  | Some protocol when config.me = 0 ->
+    Clock.defer clock ~delay:config.switch_at_ms (fun () ->
+        Middleware.change_protocol mw ~node:0 protocol)
+  | Some _ | None -> ());
+  let stop_at = config.duration_ms +. config.drain_ms in
+  let fd = Udp_transport.fd tr in
+  let rec loop () =
+    Live_clock.advance lclock;
+    Udp_transport.drain tr;
+    let nowms = Live_clock.now lclock in
+    if nowms < stop_at then begin
+      let next =
+        match Live_clock.next_deadline lclock with
+        | None -> stop_at
+        | Some d -> Float.min d stop_at
+      in
+      (* Cap the sleep so the stop deadline and stray wakeups are
+         handled promptly even with an empty wheel. *)
+      let timeout = Float.max 0.0 (Float.min ((next -. nowms) /. 1000.0) 0.05) in
+      (match Unix.select [ fd ] [] [] timeout with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> Udp_transport.drain tr
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  let collector = Middleware.collector mw in
+  {
+    node = config.me;
+    sends =
+      List.filter_map
+        (fun (id, node, time) -> if node = config.me then Some (id, time) else None)
+        (Collector.sends collector);
+    delivers = Collector.delivers_of collector ~node:config.me;
+    switches =
+      List.filter_map
+        (fun (node, g, time) -> if node = config.me then Some (g, time) else None)
+        (Collector.switches collector);
+    counters = Udp_transport.counters tr;
+    metrics = Dpu_obs.Metrics.to_json metrics;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report (de)serialisation — children hand results to the parent as  *)
+(* JSON files.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let stamped (id, time) =
+  J.Obj [ ("id", J.Str (Msg.id_to_string id)); ("t", J.Float time) ]
+
+let report_to_json r =
+  let c = r.counters in
+  J.Obj
+    [
+      ("node", J.Int r.node);
+      ("sends", J.List (List.map stamped r.sends));
+      ("delivers", J.List (List.map stamped r.delivers));
+      ( "switches",
+        J.List
+          (List.map
+             (fun (g, time) ->
+               J.Obj [ ("generation", J.Int g); ("t", J.Float time) ])
+             r.switches) );
+      ( "transport",
+        J.Obj
+          [
+            ("sent", J.Int c.Dpu_runtime.Transport.sent);
+            ("delivered", J.Int c.Dpu_runtime.Transport.delivered);
+            ("dropped", J.Int c.Dpu_runtime.Transport.dropped);
+            ("bytes", J.Int c.Dpu_runtime.Transport.bytes);
+          ] );
+      ("metrics", r.metrics);
+    ]
+
+let parse_fail fmt = Printf.ksprintf (fun msg -> failwith msg) fmt
+
+let get j name =
+  match J.member j name with
+  | Some v -> v
+  | None -> parse_fail "live report: missing field %S" name
+
+let get_int j name =
+  match J.to_int_opt (get j name) with
+  | Some v -> v
+  | None -> parse_fail "live report: field %S is not an int" name
+
+let get_float j name =
+  match J.to_float_opt (get j name) with
+  | Some v -> v
+  | None -> parse_fail "live report: field %S is not a number" name
+
+let get_list j name =
+  match J.to_list_opt (get j name) with
+  | Some l -> l
+  | None -> parse_fail "live report: field %S is not a list" name
+
+let parse_stamped j =
+  let id =
+    match J.to_string_opt (get j "id") with
+    | Some s -> Dpu_props.Abcast_props.id_of_string_exn s
+    | None -> parse_fail "live report: message id is not a string"
+  in
+  (id, get_float j "t")
+
+let report_of_json j =
+  match
+    let transport = get j "transport" in
+    {
+      node = get_int j "node";
+      sends = List.map parse_stamped (get_list j "sends");
+      delivers = List.map parse_stamped (get_list j "delivers");
+      switches =
+        List.map
+          (fun s -> (get_int s "generation", get_float s "t"))
+          (get_list j "switches");
+      counters =
+        {
+          Dpu_runtime.Transport.sent = get_int transport "sent";
+          delivered = get_int transport "delivered";
+          dropped = get_int transport "dropped";
+          bytes = get_int transport "bytes";
+        };
+      metrics = get j "metrics";
+    }
+  with
+  | r -> Ok r
+  | exception Failure msg -> Error msg

@@ -1,0 +1,46 @@
+(** One OS process of a live deployment: a full DPU stack on the live
+    clock and UDP transport, driven by a [select] event loop.
+
+    The process hosts exactly one node of the group. It generates its
+    share of the open-loop load, participates in every protocol
+    (consensus, ABcast, the replacement layer), optionally triggers
+    the mid-stream protocol swap (node 0), and on completion returns a
+    {!report} of everything its local {!Dpu_core.Collector} observed —
+    the parent merges these into the run-wide record. *)
+
+open Dpu_kernel
+
+type config = {
+  me : int;  (** which node this process hosts *)
+  n : int;
+  epoch : float;  (** shared wall-clock origin, from the parent *)
+  service : string;  (** envelope service name; foreign frames drop *)
+  generation : int;  (** envelope deployment generation *)
+  initial : string;  (** initial ABcast variant *)
+  switch_to : string option;  (** replacement target; [None] = no swap *)
+  switch_at_ms : float;
+  load : float;  (** aggregate messages per second across the group *)
+  msg_size : int;
+  duration_ms : float;  (** load generation horizon *)
+  drain_ms : float;  (** extra time to let in-flight traffic settle *)
+  seed : int;
+}
+
+type report = {
+  node : int;
+  sends : (Msg.id * float) list;
+  delivers : (Msg.id * float) list;
+  switches : (int * float) list;  (** (generation, time) *)
+  counters : Dpu_runtime.Transport.counters;
+  metrics : Dpu_obs.Json.t;
+}
+
+val run :
+  config:config -> fd:Unix.file_descr -> peers:Unix.sockaddr array -> unit ->
+  report
+(** Run the node to completion ([duration_ms + drain_ms] of wall
+    time). [fd] must already be bound to [peers.(config.me)]. *)
+
+val report_to_json : report -> Dpu_obs.Json.t
+
+val report_of_json : Dpu_obs.Json.t -> (report, string) result

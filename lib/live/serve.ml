@@ -1,0 +1,189 @@
+module Collector = Dpu_core.Collector
+module J = Dpu_obs.Json
+
+type params = {
+  n : int;
+  load : float;
+  duration_ms : float;
+  drain_ms : float;
+  switch_at_ms : float;
+  initial : string;
+  switch_to : string option;
+  msg_size : int;
+  seed : int;
+}
+
+let default =
+  {
+    n = 3;
+    load = 30.0;
+    duration_ms = 3_000.0;
+    drain_ms = 1_500.0;
+    switch_at_ms = 1_500.0;
+    initial = Dpu_core.Variants.ct;
+    switch_to = Some Dpu_core.Variants.sequencer;
+    msg_size = 1_024;
+    seed = 1;
+  }
+
+type outcome = {
+  node_reports : Node.report list;  (** in node order *)
+  collector : Collector.t;  (** all processes merged, one time axis *)
+  checks : Dpu_props.Report.t list;
+}
+
+let merge_reports reports =
+  let collector = Collector.create () in
+  let sends =
+    List.concat_map
+      (fun (r : Node.report) ->
+        List.map (fun (id, time) -> (id, r.Node.node, time)) r.Node.sends)
+      reports
+    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b)
+  in
+  List.iter
+    (fun (id, node, time) -> Collector.record_send collector ~node ~id ~time)
+    sends;
+  List.iter
+    (fun (r : Node.report) ->
+      List.iter
+        (fun (id, time) ->
+          Collector.record_deliver collector ~node:r.Node.node ~id ~time)
+        r.Node.delivers;
+      List.iter
+        (fun (generation, time) ->
+          Collector.record_switch collector ~node:r.Node.node ~generation ~time)
+        r.Node.switches)
+    reports;
+  collector
+
+let counters_json (c : Dpu_runtime.Transport.counters) =
+  J.Obj
+    [
+      ("sent", J.Int c.Dpu_runtime.Transport.sent);
+      ("delivered", J.Int c.Dpu_runtime.Transport.delivered);
+      ("dropped", J.Int c.Dpu_runtime.Transport.dropped);
+      ("bytes", J.Int c.Dpu_runtime.Transport.bytes);
+    ]
+
+let run ?metrics_out ?spans_out params =
+  if params.n < 1 then invalid_arg "Serve.run: need at least one node";
+  if params.load <= 0.0 then invalid_arg "Serve.run: load must be positive";
+  let fds =
+    Array.init params.n (fun _ -> Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0)
+  in
+  Array.iter
+    (fun fd -> Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)))
+    fds;
+  let peers = Array.map Unix.getsockname fds in
+  let report_paths =
+    Array.init params.n (fun i ->
+        Filename.temp_file (Printf.sprintf "dpu-live-node%d-" i) ".json")
+  in
+  let epoch = Unix.gettimeofday () in
+  (* Stamped into every envelope: frames from an earlier deployment
+     that bound the same ports are shed at the transport. *)
+  let generation = Unix.getpid () land 0xffff in
+  flush stdout;
+  flush stderr;
+  let pids =
+    Array.init params.n (fun me ->
+        match Unix.fork () with
+        | 0 ->
+          let status =
+            try
+              Array.iteri (fun i fd -> if i <> me then Unix.close fd) fds;
+              let config =
+                {
+                  Node.me;
+                  n = params.n;
+                  epoch;
+                  service = "dpu";
+                  generation;
+                  initial = params.initial;
+                  switch_to = params.switch_to;
+                  switch_at_ms = params.switch_at_ms;
+                  load = params.load;
+                  msg_size = params.msg_size;
+                  duration_ms = params.duration_ms;
+                  drain_ms = params.drain_ms;
+                  seed = params.seed;
+                }
+              in
+              let report = Node.run ~config ~fd:fds.(me) ~peers () in
+              J.to_file report_paths.(me) (Node.report_to_json report);
+              0
+            with e ->
+              Printf.eprintf "dpu live node %d: %s\n%!" me (Printexc.to_string e);
+              3
+          in
+          (* Never return into the caller: no [at_exit], no replaying
+             of buffers inherited from the parent (cf. Sweep). *)
+          Unix._exit status
+        | pid -> pid)
+  in
+  Array.iter Unix.close fds;
+  let failed = ref [] in
+  Array.iteri
+    (fun me pid ->
+      match snd (Unix.waitpid [] pid) with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED c -> failed := Printf.sprintf "node %d exited %d" me c :: !failed
+      | Unix.WSIGNALED s -> failed := Printf.sprintf "node %d killed by signal %d" me s :: !failed
+      | Unix.WSTOPPED s -> failed := Printf.sprintf "node %d stopped by signal %d" me s :: !failed)
+    pids;
+  let cleanup () =
+    Array.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) report_paths
+  in
+  if !failed <> [] then begin
+    cleanup ();
+    Error (String.concat "; " (List.rev !failed))
+  end
+  else begin
+    let parsed =
+      List.init params.n (fun me ->
+          let path = report_paths.(me) in
+          let content = In_channel.with_open_text path In_channel.input_all in
+          match J.of_string content with
+          | Error e -> Error (Printf.sprintf "node %d report: %s" me e)
+          | Ok j -> (
+            match Node.report_of_json j with
+            | Error e -> Error (Printf.sprintf "node %d report: %s" me e)
+            | Ok r -> Ok r))
+    in
+    cleanup ();
+    match
+      List.partition_map
+        (function Ok r -> Either.Left r | Error e -> Either.Right e)
+        parsed
+    with
+    | _, (_ :: _ as errors) -> Error (String.concat "; " errors)
+    | node_reports, [] ->
+      let collector = merge_reports node_reports in
+      let correct = List.init params.n Fun.id in
+      let checks = Dpu_props.Abcast_props.check_all collector ~correct in
+      (match metrics_out with
+      | Some path ->
+        J.to_file path
+          (J.Obj
+             [
+               ( "nodes",
+                 J.List
+                   (List.map
+                      (fun (r : Node.report) ->
+                        J.Obj
+                          [
+                            ("node", J.Int r.Node.node);
+                            ("transport", counters_json r.Node.counters);
+                            ("metrics", r.Node.metrics);
+                          ])
+                      node_reports) );
+             ])
+      | None -> ());
+      (match spans_out with
+      | Some path ->
+        let events = Dpu_core.Spans.of_run ~n:params.n collector in
+        J.to_file path (Dpu_core.Spans.to_json events)
+      | None -> ());
+      Ok { node_reports; collector; checks }
+  end

@@ -1,0 +1,43 @@
+(** Multi-process live deployment on localhost.
+
+    [run] binds [n] UDP sockets on 127.0.0.1 (ephemeral ports), forks
+    one OS process per node — each inheriting its socket and the full
+    peer address table — and lets them run the complete DPU stack
+    under open-loop load for [duration_ms], with node 0 triggering an
+    ABcast replacement (Algorithm 1 of the paper) at [switch_at_ms].
+    Children report what their local collectors saw; the parent merges
+    everything onto the shared time axis and checks the four atomic
+    broadcast properties of §5.1 across the replacement — the live
+    counterpart of the simulator's {!Dpu_workload.Experiment.check}.
+
+    [metrics_out]/[spans_out] mirror the sim path's exports: a JSON
+    metrics snapshot (here per-node, plus transport counters) and
+    Chrome trace-event spans of the merged run. *)
+
+type params = {
+  n : int;
+  load : float;  (** aggregate messages per second *)
+  duration_ms : float;
+  drain_ms : float;  (** settle time after the load stops *)
+  switch_at_ms : float;
+  initial : string;
+  switch_to : string option;
+  msg_size : int;
+  seed : int;
+}
+
+val default : params
+(** 3 nodes, 30 msg/s for 3 s, CT ABcast swapped to the sequencer
+    variant at 1.5 s. *)
+
+type outcome = {
+  node_reports : Node.report list;  (** in node order *)
+  collector : Dpu_core.Collector.t;  (** all processes merged, one time axis *)
+  checks : Dpu_props.Report.t list;
+}
+
+val run :
+  ?metrics_out:string -> ?spans_out:string -> params ->
+  (outcome, string) result
+(** [Error] on child crash or unreadable report; property violations
+    are not an error — inspect [checks]. *)

@@ -1,0 +1,125 @@
+module Clock = Dpu_runtime.Clock
+
+type entry = {
+  e_deadline : float;
+  e_tick : int;
+  e_seq : int;
+  e_timer : Clock.timer option;
+  e_fn : unit -> unit;
+}
+
+type t = {
+  granularity : float;
+  slots : entry list ref array;
+  mutable tick : int;  (* next tick to process; entries never file below it *)
+  mutable floor : int;
+      (* lowest tick a new entry may file at: one past the target of the
+         pass in progress, so a callback re-arming its own timer never
+         fires again within the pass however far [now] jumped *)
+  mutable seq : int;
+  mutable pending : int;
+  ready : entry Queue.t;  (* zero-delay entries, fired FIFO next advance *)
+}
+
+let create ?(granularity_ms = 1.0) ?(slots = 512) () =
+  if granularity_ms <= 0.0 then invalid_arg "Timer_wheel.create: granularity";
+  if slots < 1 then invalid_arg "Timer_wheel.create: slots";
+  {
+    granularity = granularity_ms;
+    slots = Array.init slots (fun _ -> ref []);
+    tick = 0;
+    floor = 0;
+    seq = 0;
+    pending = 0;
+    ready = Queue.create ();
+  }
+
+let pending t = t.pending
+
+let add t ~now ~delay ?timer fn =
+  let delay = Float.max delay 0.0 in
+  let deadline = now +. delay in
+  let e =
+    {
+      e_deadline = deadline;
+      e_tick = 0;
+      e_seq = t.seq;
+      e_timer = timer;
+      e_fn = fn;
+    }
+  in
+  t.seq <- t.seq + 1;
+  t.pending <- t.pending + 1;
+  if delay = 0.0 then Queue.push e t.ready
+  else begin
+    (* Clamp to [t.floor]/[t.tick]: an entry due in a tick the current
+       pass covers fires on the next advance, never in a slot the
+       cursor already passed or is about to pass. *)
+    let tick =
+      max (max t.tick t.floor)
+        (int_of_float (Float.ceil (deadline /. t.granularity)))
+    in
+    let e = { e with e_tick = tick } in
+    let bucket = t.slots.(tick mod Array.length t.slots) in
+    bucket := e :: !bucket
+  end
+
+let live e =
+  match e.e_timer with Some tm -> not (Clock.is_cancelled tm) | None -> true
+
+let next_deadline t =
+  if t.pending = 0 then None
+  else
+    let acc =
+      Queue.fold
+        (fun acc e ->
+          if not (live e) then acc
+          else
+            match acc with
+            | None -> Some e.e_deadline
+            | Some d -> Some (Float.min d e.e_deadline))
+        None t.ready
+    in
+    Array.fold_left
+      (fun acc bucket ->
+        List.fold_left
+          (fun acc e ->
+            if not (live e) then acc
+            else
+              match acc with
+              | None -> Some e.e_deadline
+              | Some d -> Some (Float.min d e.e_deadline))
+          acc !bucket)
+      acc t.slots
+
+let cmp_due a b =
+  match Float.compare a.e_deadline b.e_deadline with
+  | 0 -> Int.compare a.e_seq b.e_seq
+  | c -> c
+
+let fire t e =
+  t.pending <- t.pending - 1;
+  if live e then e.e_fn ()
+
+let advance t ~now =
+  let target = int_of_float (now /. t.granularity) in
+  t.floor <- max t.floor (target + 1);
+  if Array.exists (fun b -> !b <> []) t.slots then
+    while t.tick <= target do
+      let tk = t.tick in
+      let bucket = t.slots.(tk mod Array.length t.slots) in
+      let due, future = List.partition (fun e -> e.e_tick <= tk) !bucket in
+      bucket := future;
+      (* Bump the cursor before firing: callbacks may re-arm timers and
+         their entries must file at [tk + 1] or later (see [add]). *)
+      t.tick <- tk + 1;
+      List.iter (fire t) (List.sort cmp_due due)
+    done
+  else if target >= t.tick then t.tick <- target + 1;
+  (* Zero-delay entries run to quiescence within the pass: deferred
+     work enqueued by a firing entry (one stack hop scheduling the
+     next) happens now, exactly like same-instant events in the
+     simulator. *)
+  while not (Queue.is_empty t.ready) do
+    fire t (Queue.pop t.ready)
+  done

@@ -1,0 +1,35 @@
+(** Hashed timer wheel backing the live clock.
+
+    Deadlines are absolute times in milliseconds on whatever clock the
+    caller feeds to {!add} and {!advance}; the wheel itself never reads
+    a clock, which keeps it unit-testable with synthetic time. Entries
+    hash into [slots] buckets of [granularity_ms] ticks; {!advance}
+    walks the cursor up to [now] and fires every due entry in
+    (deadline, insertion) order. An entry whose {!Dpu_runtime.Clock}
+    timer was cancelled is dropped when its tick is reached. *)
+
+type t
+
+val create : ?granularity_ms:float -> ?slots:int -> unit -> t
+(** Default granularity 1 ms, 512 slots. *)
+
+val add :
+  t -> now:float -> delay:float -> ?timer:Dpu_runtime.Clock.timer ->
+  (unit -> unit) -> unit
+(** Arm a callback [delay] ms after [now] (clamped to be non-negative).
+    When [timer] is given, cancelling it prevents the callback from
+    firing. Positive-delay entries armed from inside a firing callback
+    never fire in the same {!advance} pass. *)
+
+val advance : t -> now:float -> unit
+(** Fire everything due at or before [now]. Zero-delay entries run to
+    quiescence within the pass (in FIFO order, including ones enqueued
+    by firing entries) — the live counterpart of the simulator's
+    same-instant event cascades. *)
+
+val next_deadline : t -> float option
+(** Earliest live deadline, for sizing a poll timeout. O(slots +
+    pending entries). *)
+
+val pending : t -> int
+(** Armed entries, including cancelled ones not yet swept. *)

@@ -1,0 +1,115 @@
+open Dpu_kernel
+module Transport = Dpu_runtime.Transport
+
+type t = {
+  me : int;
+  n : int;
+  fd : Unix.file_descr;
+  peers : Unix.sockaddr array;
+  service : string;
+  generation : int;
+  buf : Bytes.t;
+  mutable handler : (src:int -> Payload.t -> unit) option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let max_frame = 65_507 (* UDP payload limit over IPv4 *)
+
+let create ?(service = "dpu") ?(generation = 0) ~me ~fd ~peers () =
+  let n = Array.length peers in
+  if me < 0 || me >= n then invalid_arg "Udp_transport.create: me out of range";
+  Unix.set_nonblock fd;
+  {
+    me;
+    n;
+    fd;
+    peers;
+    service;
+    generation;
+    buf = Bytes.create max_frame;
+    handler = None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let fd t = t.fd
+
+let send t ~src ~dst ~size_bytes:_ payload =
+  if src <> t.me then
+    invalid_arg (Printf.sprintf "Udp_transport.send: src %d is not this node" src);
+  if dst < 0 || dst >= t.n then invalid_arg "Udp_transport.send: dst out of range";
+  match Payload.encode payload with
+  | None ->
+    (* No codec registered: the payload cannot cross a process
+       boundary. Count it as dropped rather than crashing the stack —
+       the sim backend would have delivered it, so leaving codecs
+       unregistered shows up as loss, loudly, in the counters. *)
+    t.dropped <- t.dropped + 1
+  | Some _ ->
+    let frame =
+      Payload.Envelope.seal ~src ~service:t.service ~generation:t.generation payload
+    in
+    let len = String.length frame in
+    t.sent <- t.sent + 1;
+    t.bytes <- t.bytes + len;
+    if len > max_frame then t.dropped <- t.dropped + 1
+    else
+      try ignore (Unix.sendto_substring t.fd frame 0 len [] t.peers.(dst) : int)
+      with Unix.Unix_error _ ->
+        (* Datagram semantics: sends may be lost. *)
+        t.dropped <- t.dropped + 1
+
+let set_handler t ~node f =
+  if node <> t.me then
+    invalid_arg
+      (Printf.sprintf "Udp_transport.set_handler: node %d is not this node" node);
+  t.handler <- Some f
+
+let receive_one t frame =
+  match Payload.Envelope.open_ frame with
+  | exception Payload.Decode_error _ -> t.dropped <- t.dropped + 1
+  | info, payload ->
+    if
+      (not (String.equal info.Payload.Envelope.service t.service))
+      || info.Payload.Envelope.generation <> t.generation
+      || info.Payload.Envelope.src < 0
+      || info.Payload.Envelope.src >= t.n
+    then t.dropped <- t.dropped + 1
+    else (
+      match t.handler with
+      | None -> t.dropped <- t.dropped + 1
+      | Some f ->
+        t.delivered <- t.delivered + 1;
+        f ~src:info.Payload.Envelope.src payload)
+
+let rec drain t =
+  match Unix.recvfrom t.fd t.buf 0 (Bytes.length t.buf) [] with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+    (* A peer's socket vanished; ignore like any datagram loss. *)
+    drain t
+  | len, _addr ->
+    receive_one t (Bytes.sub_string t.buf 0 len);
+    drain t
+
+let counters t =
+  {
+    Transport.sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    bytes = t.bytes;
+  }
+
+let transport t =
+  {
+    Transport.n = t.n;
+    send = (fun ~src ~dst ~size_bytes payload -> send t ~src ~dst ~size_bytes payload);
+    set_handler = (fun ~node f -> set_handler t ~node f);
+    counters = (fun () -> counters t);
+  }

@@ -1,0 +1,31 @@
+(** The live TRANSPORT backend: one UDP socket per OS process,
+    payloads crossing the wire through {!Dpu_kernel.Payload.encode}
+    inside a versioned {!Dpu_kernel.Payload.Envelope}.
+
+    Unlike the simulator transport — one value carrying all [n]
+    endpoints — a live transport belongs to exactly one node: [send]
+    only accepts [~src:me] and [set_handler] only [~node:me]. Frames
+    whose envelope fails to decode, or whose service name / deployment
+    generation differ from this transport's (stray traffic from an
+    older run), count as [dropped]. *)
+
+open Dpu_kernel
+
+type t
+
+val create :
+  ?service:string -> ?generation:int -> me:int -> fd:Unix.file_descr ->
+  peers:Unix.sockaddr array -> unit -> t
+(** [fd] must already be bound; it is switched to non-blocking mode.
+    [peers.(i)] is the address of node [i] (including our own — self
+    sends loop through the kernel's UDP stack like any other). *)
+
+val transport : t -> Payload.t Dpu_runtime.Transport.t
+
+val drain : t -> unit
+(** Receive until the socket would block, handing each decoded payload
+    to the installed handler. *)
+
+val fd : t -> Unix.file_descr
+
+val counters : t -> Dpu_runtime.Transport.counters

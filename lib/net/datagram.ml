@@ -7,6 +7,7 @@ type counters = {
   lost : int;
   filtered : int;
   duplicated : int;
+  dup_bytes : int;
   blocked : int;
   blocked_crash : int;
   blocked_partition : int;
@@ -35,6 +36,7 @@ type 'a t = {
   mutable lost : int;
   mutable filtered : int;
   mutable duplicated : int;
+  mutable dup_bytes : int;
   mutable blocked_crash : int;
   mutable blocked_partition : int;
   mutable blocked_no_handler : int;
@@ -61,6 +63,7 @@ let create sim ~n ?(loss = 0.0) ?(dup = 0.0) ?(link = Latency.lan) () =
     lost = 0;
     filtered = 0;
     duplicated = 0;
+    dup_bytes = 0;
     blocked_crash = 0;
     blocked_partition = 0;
     blocked_no_handler = 0;
@@ -178,6 +181,7 @@ let send t ~src ~dst ~size_bytes payload =
       ship ();
       if t.dup > 0.0 && Rng.bool t.rng ~p:t.dup then begin
         t.duplicated <- t.duplicated + 1;
+        t.dup_bytes <- t.dup_bytes + size_bytes;
         ship ()
       end
     end
@@ -193,6 +197,7 @@ let register_metrics t m =
   M.register_int m "net_lost_total" (fun () -> t.lost);
   M.register_int m "net_filtered_total" (fun () -> t.filtered);
   M.register_int m "net_duplicated_total" (fun () -> t.duplicated);
+  M.register_int m "net_dup_bytes_total" (fun () -> t.dup_bytes);
   M.register_int m "net_blocked_total" (fun () ->
       t.blocked_crash + t.blocked_partition + t.blocked_no_handler);
   M.register_int m ~labels:[ ("cause", "crash") ] "net_blocked_by_cause_total"
@@ -212,6 +217,7 @@ let counters t =
     lost = t.lost;
     filtered = t.filtered;
     duplicated = t.duplicated;
+    dup_bytes = t.dup_bytes;
     blocked = t.blocked_crash + t.blocked_partition + t.blocked_no_handler;
     blocked_crash = t.blocked_crash;
     blocked_partition = t.blocked_partition;

@@ -17,6 +17,11 @@ type counters = {
   lost : int;  (** dropped by the stochastic loss process *)
   filtered : int;  (** dropped by the injected {!set_drop_filter} *)
   duplicated : int;  (** extra copies injected *)
+  dup_bytes : int;
+      (** payload bytes of those extra copies. [bytes] counts each
+          datagram once at {!send}; a duplicated datagram occupies the
+          wire twice, so total wire traffic attributable to the
+          duplication process is [dup_bytes] on top of [bytes]. *)
   blocked : int;  (** total of the three [blocked_*] causes below *)
   blocked_crash : int;  (** dropped at arrival: destination crashed *)
   blocked_partition : int;  (** dropped at arrival: cross-partition *)

@@ -14,6 +14,37 @@ let () =
     | _ -> None)
 
 let () =
+  let write_item w { id; size; payload } =
+    Msg.write_id w id;
+    Wire.W.int w size;
+    Wire.W.str w (Payload.encode_exn payload)
+  in
+  let read_item r =
+    let id = Msg.read_id r in
+    let size = Wire.R.int r in
+    let payload = Payload.decode (Wire.R.str r) in
+    { id; size; payload }
+  in
+  Payload.register_codec ~tag:"ct-abcast"
+    ~encode:(function
+      | Batch items -> Some (fun w -> Wire.W.u8 w 0; Wire.W.list w write_item items)
+      | Disseminate { epoch; item } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w epoch;
+            write_item w item)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 -> Batch (Wire.R.list r read_item)
+      | 1 ->
+        let epoch = Wire.R.int r in
+        let item = read_item r in
+        Disseminate { epoch; item }
+      | c -> raise (Wire.Error (Printf.sprintf "ct-abcast: bad case %d" c)))
+
+let () =
   Abcast_iface.register_wire_epoch (function
     | Rbcast.Deliver { payload = Disseminate { epoch; _ }; _ } -> Some epoch
     | Consensus_iface.Decide { iid = { epoch; _ }; _ } -> Some epoch

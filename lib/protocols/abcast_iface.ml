@@ -12,6 +12,34 @@ let () =
       Some (Printf.sprintf "adeliver origin=%d %s" origin (Payload.to_string payload))
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"abcast"
+    ~encode:(function
+      | Broadcast { size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Deliver { origin; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w origin;
+            Wire.W.str w (Payload.encode_exn payload))
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Broadcast { size; payload }
+      | 1 ->
+        let origin = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Deliver { origin; payload }
+      | c -> raise (Wire.Error (Printf.sprintf "abcast: bad case %d" c)))
+
 let epoch_key = "abcast.epoch"
 
 let current_epoch stack = Stack.get_env stack epoch_key ~default:0

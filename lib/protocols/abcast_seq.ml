@@ -12,6 +12,44 @@ let () =
     | _ -> None)
 
 let () =
+  Payload.register_codec ~tag:"seq-abcast"
+    ~encode:(function
+      | Wire_req { epoch; id; size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w epoch;
+            Msg.write_id w id;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Wire_order { epoch; gseq; origin; size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w epoch;
+            Wire.W.int w gseq;
+            Wire.W.int w origin;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let epoch = Wire.R.int r in
+        let id = Msg.read_id r in
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Wire_req { epoch; id; size; payload }
+      | 1 ->
+        let epoch = Wire.R.int r in
+        let gseq = Wire.R.int r in
+        let origin = Wire.R.int r in
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Wire_order { epoch; gseq; origin; size; payload }
+      | c -> raise (Wire.Error (Printf.sprintf "seq-abcast: bad case %d" c)))
+
+let () =
   Abcast_iface.register_wire_epoch (function
     | Rp2p.Recv { payload = Wire_req { epoch; _ } | Wire_order { epoch; _ }; _ } ->
       Some epoch

@@ -16,6 +16,18 @@
 
 open Dpu_kernel
 
+(** Wire payloads (exposed for wire round-trip tests and trace
+    tooling). *)
+type Payload.t +=
+  | Wire_req of { epoch : int; id : Msg.id; size : int; payload : Payload.t }
+  | Wire_order of {
+      epoch : int;
+      gseq : int;
+      origin : int;
+      size : int;
+      payload : Payload.t;
+    }
+
 val protocol_name : string
 (** ["abcast.seq"] *)
 

@@ -31,6 +31,81 @@ let () =
     | _ -> None)
 
 let () =
+  let write_order w { gseq; origin; size; payload } =
+    Wire.W.int w gseq;
+    Wire.W.int w origin;
+    Wire.W.int w size;
+    Wire.W.str w (Payload.encode_exn payload)
+  in
+  let read_order r =
+    let gseq = Wire.R.int r in
+    let origin = Wire.R.int r in
+    let size = Wire.R.int r in
+    let payload = Payload.decode (Wire.R.str r) in
+    { gseq; origin; size; payload }
+  in
+  Payload.register_codec ~tag:"token-abcast"
+    ~encode:(function
+      | Wire_order { epoch; order } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w epoch;
+            write_order w order)
+      | Wire_token { epoch; era; next_gseq } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w epoch;
+            Wire.W.int w era;
+            Wire.W.int w next_gseq)
+      | Wire_repair_req { epoch; gseq; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.int w epoch;
+            Wire.W.int w gseq;
+            Wire.W.int w from)
+      | Wire_repair { epoch; order } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 3;
+            Wire.W.int w epoch;
+            write_order w order)
+      | Wire_hello { epoch; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 4;
+            Wire.W.int w epoch;
+            Wire.W.int w from)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let epoch = Wire.R.int r in
+        let order = read_order r in
+        Wire_order { epoch; order }
+      | 1 ->
+        let epoch = Wire.R.int r in
+        let era = Wire.R.int r in
+        let next_gseq = Wire.R.int r in
+        Wire_token { epoch; era; next_gseq }
+      | 2 ->
+        let epoch = Wire.R.int r in
+        let gseq = Wire.R.int r in
+        let from = Wire.R.int r in
+        Wire_repair_req { epoch; gseq; from }
+      | 3 ->
+        let epoch = Wire.R.int r in
+        let order = read_order r in
+        Wire_repair { epoch; order }
+      | 4 ->
+        let epoch = Wire.R.int r in
+        let from = Wire.R.int r in
+        Wire_hello { epoch; from }
+      | c -> raise (Wire.Error (Printf.sprintf "token-abcast: bad case %d" c)))
+
+let () =
   Abcast_iface.register_wire_epoch (function
     | Rp2p.Recv
         {
@@ -72,10 +147,10 @@ let install ?(config = default_config) ~n stack =
       let held_next = ref 0 in  (* next gseq while self-holding *)
       let era = ref 0 in  (* regeneration era of the token we hold/pass *)
       let max_era_seen = ref 0 in
-      let last_activity = ref (Dpu_engine.Sim.now (Stack.sim stack)) in
+      let last_activity = ref (Stack.now stack) in
       let repair_asked : (int, unit) Hashtbl.t = Hashtbl.create 16 in
       let timers = ref [] in
-      let now () = Dpu_engine.Sim.now (Stack.sim stack) in
+      let now () = Stack.now stack in
       let send ~dst ~size payload =
         Stack.call stack Service.rp2p (Rp2p.Send { dst; size; payload })
       in
@@ -135,7 +210,7 @@ let install ?(config = default_config) ~n stack =
                    holding := false;
                    hold_token !held_next
                  end)
-              : Dpu_engine.Sim.handle)
+              : Dpu_runtime.Clock.timer)
         end
         else begin
           holding := false;
@@ -202,13 +277,13 @@ let install ?(config = default_config) ~n stack =
               (* Initial token: injected at node 0 shortly after start. *)
               ignore
                 (Stack.after stack ~delay:0.1 (fun () -> hold_token 0)
-                  : Dpu_engine.Sim.handle);
+                  : Dpu_runtime.Clock.timer);
             timers :=
               [
                 Stack.periodic stack ~period:config.regen_timeout_ms check_token_loss;
                 Stack.periodic stack ~period:config.repair_timeout_ms check_gaps;
               ]);
-        on_stop = (fun () -> List.iter Dpu_engine.Sim.cancel !timers);
+        on_stop = (fun () -> List.iter Dpu_runtime.Clock.cancel !timers);
         handle_call =
           (fun _svc p ->
             match p with

@@ -19,6 +19,19 @@
 
 open Dpu_kernel
 
+type order = { gseq : int; origin : int; size : int; payload : Payload.t }
+(** A sequenced broadcast: the token holder assigned [gseq] to
+    [origin]'s message. *)
+
+(** Wire payloads (exposed for wire round-trip tests and trace
+    tooling). *)
+type Payload.t +=
+  | Wire_order of { epoch : int; order : order }
+  | Wire_token of { epoch : int; era : int; next_gseq : int }
+  | Wire_repair_req of { epoch : int; gseq : int; from : int }
+  | Wire_repair of { epoch : int; order : order }
+  | Wire_hello of { epoch : int; from : int }
+
 type config = {
   regen_timeout_ms : float;  (** token-loss detection horizon *)
   repair_timeout_ms : float;  (** gap-repair request delay *)

@@ -16,6 +16,46 @@ let () =
            (String.concat ";" (List.map string_of_int stamp)))
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"causal"
+    ~encode:(function
+      | Bcast { size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Deliver { origin; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w origin;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Stamped { stamp; origin; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.list w Wire.W.int stamp;
+            Wire.W.int w origin;
+            Wire.W.str w (Payload.encode_exn payload))
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Bcast { size; payload }
+      | 1 ->
+        let origin = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Deliver { origin; payload }
+      | 2 ->
+        let stamp = Wire.R.list r Wire.R.int in
+        let origin = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Stamped { stamp; origin; payload }
+      | c -> raise (Wire.Error (Printf.sprintf "causal: bad case %d" c)))
+
 let protocol_name = "causal"
 
 let service = Service.make "causal"

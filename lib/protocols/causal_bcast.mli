@@ -18,6 +18,11 @@ type Payload.t +=
   | Deliver of { origin : int; payload : Payload.t }
       (** indication — causal order *)
 
+type Payload.t +=
+  | Stamped of { stamp : int list; origin : int; payload : Payload.t }
+      (** wire payload: [payload] carrying [origin]'s ticked vector
+          clock (exposed for wire round-trip tests and trace tooling) *)
+
 val protocol_name : string
 (** ["causal"] *)
 

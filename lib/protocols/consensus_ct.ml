@@ -25,6 +25,86 @@ let () =
     | W_wakeup { iid } -> Some (Printf.sprintf "ct.wakeup %s" (pp_iid iid))
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"consensus.ct"
+    ~encode:(function
+      | W_estimate { iid; round; from; value; ts; weight } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            write_iid w iid;
+            Wire.W.int w round;
+            Wire.W.int w from;
+            Wire.W.str w (Payload.encode_exn value);
+            Wire.W.int w ts;
+            Wire.W.int w weight)
+      | W_propose { iid; round; value; weight } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            write_iid w iid;
+            Wire.W.int w round;
+            Wire.W.str w (Payload.encode_exn value);
+            Wire.W.int w weight)
+      | W_ack { iid; round; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            write_iid w iid;
+            Wire.W.int w round;
+            Wire.W.int w from)
+      | W_nack { iid; round; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 3;
+            write_iid w iid;
+            Wire.W.int w round;
+            Wire.W.int w from)
+      | W_decide { iid; value } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 4;
+            write_iid w iid;
+            Wire.W.str w (Payload.encode_exn value))
+      | W_wakeup { iid } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 5;
+            write_iid w iid)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let iid = read_iid r in
+        let round = Wire.R.int r in
+        let from = Wire.R.int r in
+        let value = Payload.decode (Wire.R.str r) in
+        let ts = Wire.R.int r in
+        let weight = Wire.R.int r in
+        W_estimate { iid; round; from; value; ts; weight }
+      | 1 ->
+        let iid = read_iid r in
+        let round = Wire.R.int r in
+        let value = Payload.decode (Wire.R.str r) in
+        let weight = Wire.R.int r in
+        W_propose { iid; round; value; weight }
+      | 2 ->
+        let iid = read_iid r in
+        let round = Wire.R.int r in
+        let from = Wire.R.int r in
+        W_ack { iid; round; from }
+      | 3 ->
+        let iid = read_iid r in
+        let round = Wire.R.int r in
+        let from = Wire.R.int r in
+        W_nack { iid; round; from }
+      | 4 ->
+        let iid = read_iid r in
+        let value = Payload.decode (Wire.R.str r) in
+        W_decide { iid; value }
+      | 5 -> W_wakeup { iid = read_iid r }
+      | c -> raise (Wire.Error (Printf.sprintf "consensus.ct: bad case %d" c)))
+
 let protocol_name = "consensus.ct"
 
 let round_pacing_ms = 10.0
@@ -168,7 +248,7 @@ let install ?(service = Service.consensus) ~n stack =
         ignore
           (Stack.after stack ~delay:round_pacing_ms (fun () ->
                if (not inst.decided) && inst.round = r then enter_round inst (r + 1))
-            : Dpu_engine.Sim.handle)
+            : Dpu_runtime.Clock.timer)
       in
       let on_estimate iid round from value ts weight =
         let inst = get_inst iid in
@@ -284,7 +364,7 @@ let install ?(service = Service.consensus) ~n stack =
                 send_all ~size:header_size (W_wakeup { iid });
                 ignore
                   (Stack.after stack ~delay:wakeup_resend_ms announce
-                    : Dpu_engine.Sim.handle)
+                    : Dpu_runtime.Clock.timer)
               end
             in
             announce ();

@@ -28,6 +28,28 @@
 
 open Dpu_kernel
 
+(** Wire payloads (exposed for wire round-trip tests and trace
+    tooling). *)
+type Payload.t +=
+  | W_estimate of {
+      iid : Consensus_iface.iid;
+      round : int;
+      from : int;
+      value : Payload.t;
+      ts : int;
+      weight : int;
+    }
+  | W_propose of {
+      iid : Consensus_iface.iid;
+      round : int;
+      value : Payload.t;
+      weight : int;
+    }
+  | W_ack of { iid : Consensus_iface.iid; round : int; from : int }
+  | W_nack of { iid : Consensus_iface.iid; round : int; from : int }
+  | W_decide of { iid : Consensus_iface.iid; value : Payload.t }
+  | W_wakeup of { iid : Consensus_iface.iid }
+
 val protocol_name : string
 (** ["consensus.ct"] *)
 

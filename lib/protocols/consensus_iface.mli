@@ -27,6 +27,11 @@ val iid_compare : iid -> iid -> int
 
 val pp_iid : iid -> string
 
+val write_iid : Wire.W.t -> iid -> unit
+
+val read_iid : Wire.R.t -> iid
+(** Wire helpers shared by the consensus providers' codecs. *)
+
 type Payload.t +=
   | Propose of { iid : iid; value : Payload.t; weight : int }
       (** call: propose [value] for [iid]. [weight] breaks initial

@@ -31,6 +31,111 @@ let () =
     | P_decide { iid; _ } -> Some (Printf.sprintf "paxos.decision %s" (pp_iid iid))
     | _ -> None)
 
+let () =
+  let write_accepted w (ballot, value, weight) =
+    Wire.W.int w ballot;
+    Wire.W.str w (Payload.encode_exn value);
+    Wire.W.int w weight
+  in
+  let read_accepted r =
+    let ballot = Wire.R.int r in
+    let value = Payload.decode (Wire.R.str r) in
+    let weight = Wire.R.int r in
+    (ballot, value, weight)
+  in
+  Payload.register_codec ~tag:"consensus.paxos"
+    ~encode:(function
+      | P_wakeup { iid } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            write_iid w iid)
+      | P_offer { iid; value; weight; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            write_iid w iid;
+            Wire.W.str w (Payload.encode_exn value);
+            Wire.W.int w weight;
+            Wire.W.int w from)
+      | P_prepare { iid; ballot; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            write_iid w iid;
+            Wire.W.int w ballot;
+            Wire.W.int w from)
+      | P_promise { iid; ballot; accepted; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 3;
+            write_iid w iid;
+            Wire.W.int w ballot;
+            Wire.W.opt w write_accepted accepted;
+            Wire.W.int w from)
+      | P_accept { iid; ballot; value; weight; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 4;
+            write_iid w iid;
+            Wire.W.int w ballot;
+            Wire.W.str w (Payload.encode_exn value);
+            Wire.W.int w weight;
+            Wire.W.int w from)
+      | P_accepted { iid; ballot; from } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 5;
+            write_iid w iid;
+            Wire.W.int w ballot;
+            Wire.W.int w from)
+      | P_decide { iid; value; weight } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 6;
+            write_iid w iid;
+            Wire.W.str w (Payload.encode_exn value);
+            Wire.W.int w weight)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 -> P_wakeup { iid = read_iid r }
+      | 1 ->
+        let iid = read_iid r in
+        let value = Payload.decode (Wire.R.str r) in
+        let weight = Wire.R.int r in
+        let from = Wire.R.int r in
+        P_offer { iid; value; weight; from }
+      | 2 ->
+        let iid = read_iid r in
+        let ballot = Wire.R.int r in
+        let from = Wire.R.int r in
+        P_prepare { iid; ballot; from }
+      | 3 ->
+        let iid = read_iid r in
+        let ballot = Wire.R.int r in
+        let accepted = Wire.R.opt r read_accepted in
+        let from = Wire.R.int r in
+        P_promise { iid; ballot; accepted; from }
+      | 4 ->
+        let iid = read_iid r in
+        let ballot = Wire.R.int r in
+        let value = Payload.decode (Wire.R.str r) in
+        let weight = Wire.R.int r in
+        let from = Wire.R.int r in
+        P_accept { iid; ballot; value; weight; from }
+      | 5 ->
+        let iid = read_iid r in
+        let ballot = Wire.R.int r in
+        let from = Wire.R.int r in
+        P_accepted { iid; ballot; from }
+      | 6 ->
+        let iid = read_iid r in
+        let value = Payload.decode (Wire.R.str r) in
+        let weight = Wire.R.int r in
+        P_decide { iid; value; weight }
+      | c -> raise (Wire.Error (Printf.sprintf "consensus.paxos: bad case %d" c)))
+
 type config = { retry_ms : float }
 
 let default_config = { retry_ms = 50.0 }
@@ -63,7 +168,7 @@ type inst = {
   (* leader state *)
   mutable attempt : attempt option;
   mutable decided : bool;
-  mutable retry_timer : Dpu_engine.Sim.handle option;
+  mutable retry_timer : Dpu_runtime.Clock.timer option;
   mutable announced : bool;
 }
 
@@ -113,7 +218,7 @@ let install ?(config = default_config) ?(service = Service.consensus) ~n stack =
         if not inst.decided then begin
           inst.decided <- true;
           (match inst.retry_timer with
-          | Some h -> Dpu_engine.Sim.cancel h
+          | Some h -> Dpu_runtime.Clock.cancel h
           | None -> ());
           (* Remember the decision for late short-circuits. *)
           inst.accepted <- Some (max_int, value, weight);
@@ -204,7 +309,7 @@ let install ?(config = default_config) ?(service = Service.consensus) ~n stack =
           let rec loop () =
             if not inst.decided then begin
               send_all ~size:header_size (P_wakeup { iid = inst.iid });
-              ignore (Stack.after stack ~delay:200.0 loop : Dpu_engine.Sim.handle)
+              ignore (Stack.after stack ~delay:200.0 loop : Dpu_runtime.Clock.timer)
             end
           in
           loop ()
@@ -340,7 +445,7 @@ let install ?(config = default_config) ?(service = Service.consensus) ~n stack =
             Hashtbl.iter
               (fun _ inst ->
                 match inst.retry_timer with
-                | Some h -> Dpu_engine.Sim.cancel h
+                | Some h -> Dpu_runtime.Clock.cancel h
                 | None -> ())
               insts);
       })

@@ -26,6 +26,33 @@
 
 open Dpu_kernel
 
+(** Wire payloads (exposed for wire round-trip tests and trace
+    tooling). *)
+type Payload.t +=
+  | P_wakeup of { iid : Consensus_iface.iid }
+  | P_offer of {
+      iid : Consensus_iface.iid;
+      value : Payload.t;
+      weight : int;
+      from : int;
+    }
+  | P_prepare of { iid : Consensus_iface.iid; ballot : int; from : int }
+  | P_promise of {
+      iid : Consensus_iface.iid;
+      ballot : int;
+      accepted : (int * Payload.t * int) option;
+      from : int;
+    }
+  | P_accept of {
+      iid : Consensus_iface.iid;
+      ballot : int;
+      value : Payload.t;
+      weight : int;
+      from : int;
+    }
+  | P_accepted of { iid : Consensus_iface.iid; ballot : int; from : int }
+  | P_decide of { iid : Consensus_iface.iid; value : Payload.t; weight : int }
+
 type config = { retry_ms : float  (** leader retry period *) }
 
 val default_config : config

@@ -13,6 +13,32 @@ let () =
     | Wire_heartbeat { src } -> Some (Printf.sprintf "fd.heartbeat src=%d" src)
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"fd"
+    ~encode:(function
+      | Suspect n ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w n)
+      | Restore n ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w n)
+      | Wire_heartbeat { src } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.int w src)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 -> Suspect (Wire.R.int r)
+      | 1 -> Restore (Wire.R.int r)
+      | 2 -> Wire_heartbeat { src = Wire.R.int r }
+      | c -> raise (Wire.Error (Printf.sprintf "fd: bad case %d" c)))
+
 type config = {
   period_ms : float;
   timeout_ms : float;
@@ -48,7 +74,7 @@ let install ?(config = default_config) ~n stack =
       let last_seen = Array.make n 0.0 in
       let timeout = Array.make n config.timeout_ms in
       let suspected = Array.make n false in
-      let now () = Dpu_engine.Sim.now (Stack.sim stack) in
+      let now () = Stack.now stack in
       let beat () =
         for dst = 0 to n - 1 do
           if dst <> me then
@@ -90,7 +116,7 @@ let install ?(config = default_config) ~n stack =
                 Stack.periodic stack ~period:config.period_ms beat;
                 Stack.periodic stack ~period:(config.period_ms /. 2.0) check;
               ]);
-        on_stop = (fun () -> List.iter Dpu_engine.Sim.cancel !timers);
+        on_stop = (fun () -> List.iter Dpu_runtime.Clock.cancel !timers);
         handle_indication =
           (fun svc p ->
             match p with

@@ -17,6 +17,11 @@ type Payload.t +=
   | Suspect of int  (** indication: node is now suspected *)
   | Restore of int  (** indication: node is no longer suspected *)
 
+type Payload.t +=
+  | Wire_heartbeat of { src : int }
+      (** wire payload (exposed for wire round-trip tests and trace
+          tooling) *)
+
 type config = {
   period_ms : float;  (** heartbeat period *)
   timeout_ms : float;  (** initial suspicion timeout *)

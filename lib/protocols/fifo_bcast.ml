@@ -14,6 +14,44 @@ let () =
     | Tagged { fseq; _ } -> Some (Printf.sprintf "fifo.tagged #%d" fseq)
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"fifo"
+    ~encode:(function
+      | Bcast { size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Deliver { origin; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w origin;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Tagged { fseq; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.int w fseq;
+            Wire.W.str w (Payload.encode_exn payload))
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Bcast { size; payload }
+      | 1 ->
+        let origin = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Deliver { origin; payload }
+      | 2 ->
+        let fseq = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Tagged { fseq; payload }
+      | c -> raise (Wire.Error (Printf.sprintf "fifo: bad case %d" c)))
+
 let protocol_name = "fifo"
 
 let service = Service.make "fifo"

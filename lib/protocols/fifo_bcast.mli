@@ -17,6 +17,12 @@ type Payload.t +=
   | Deliver of { origin : int; payload : Payload.t }
       (** indication — per-origin FIFO *)
 
+type Payload.t +=
+  | Tagged of { fseq : int; payload : Payload.t }
+      (** wire payload: per-sender sequence tag carried through the
+          underlying reliable broadcast (exposed for wire round-trip
+          tests and trace tooling) *)
+
 val protocol_name : string
 (** ["fifo"] *)
 

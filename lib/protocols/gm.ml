@@ -31,6 +31,53 @@ let () =
       Some (Printf.sprintf "gm.change %s %d" (op_to_string op) target)
     | _ -> None)
 
+let () =
+  let op_code = function Op_join -> 0 | Op_leave -> 1 | Op_exclude -> 2 in
+  Payload.register_codec ~tag:"gm"
+    ~encode:(function
+      | Join t ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w t)
+      | Leave t ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w t)
+      | View { id; members } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.int w id;
+            Wire.W.list w Wire.W.int members)
+      | Gm_change { op; target } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 3;
+            Wire.W.u8 w (op_code op);
+            Wire.W.int w target)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 -> Join (Wire.R.int r)
+      | 1 -> Leave (Wire.R.int r)
+      | 2 ->
+        let id = Wire.R.int r in
+        let members = Wire.R.list r Wire.R.int in
+        View { id; members }
+      | 3 ->
+        let op =
+          match Wire.R.u8 r with
+          | 0 -> Op_join
+          | 1 -> Op_leave
+          | 2 -> Op_exclude
+          | c -> raise (Wire.Error (Printf.sprintf "gm: bad op %d" c))
+        in
+        let target = Wire.R.int r in
+        Gm_change { op; target }
+      | c -> raise (Wire.Error (Printf.sprintf "gm: bad case %d" c)))
+
 type config = { exclusion_delay_ms : float }
 
 let default_config = { exclusion_delay_ms = 200.0 }
@@ -102,7 +149,7 @@ let install ?(config = default_config) ?initial ~n stack =
         end
       in
       let check_exclusions () =
-        let t = Dpu_engine.Sim.now (Stack.sim stack) in
+        let t = Stack.now stack in
         (* Only the smallest-id member that is not itself suspected
            proposes, to avoid a proposal storm; idempotence covers the
            rest. *)
@@ -129,7 +176,7 @@ let install ?(config = default_config) ?initial ~n stack =
             publish ();
             timers :=
               [ Stack.periodic stack ~period:(config.exclusion_delay_ms /. 2.0) check_exclusions ]);
-        on_stop = (fun () -> List.iter Dpu_engine.Sim.cancel !timers);
+        on_stop = (fun () -> List.iter Dpu_runtime.Clock.cancel !timers);
         handle_call =
           (fun _svc p ->
             match p with
@@ -147,7 +194,7 @@ let install ?(config = default_config) ?initial ~n stack =
               match p with
               | Fd.Suspect q when q < n ->
                 suspected.(q) <- true;
-                suspected_since.(q) <- Dpu_engine.Sim.now (Stack.sim stack)
+                suspected_since.(q) <- Stack.now stack
               | Fd.Restore q when q < n ->
                 suspected.(q) <- false;
                 suspected_since.(q) <- nan

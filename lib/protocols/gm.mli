@@ -24,6 +24,15 @@ type Payload.t +=
   | Leave of int  (** call: propose removing a node *)
   | View of view  (** indication: a new view was installed *)
 
+(** A membership operation as carried on the wire. *)
+type op = Op_join | Op_leave | Op_exclude
+
+type Payload.t +=
+  | Gm_change of { op : op; target : int }
+      (** wire payload: a membership proposal travelling through the
+          replaceable ABcast (exposed for wire round-trip tests and
+          trace tooling) *)
+
 type config = { exclusion_delay_ms : float }
 
 val default_config : config

@@ -14,6 +14,48 @@ let () =
     | Wire { origin; seq; _ } -> Some (Printf.sprintf "rbcast.wire %d.%d" origin seq)
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"rbcast"
+    ~encode:(function
+      | Bcast { size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Deliver { origin; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w origin;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Wire { origin; seq; size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.int w origin;
+            Wire.W.int w seq;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Bcast { size; payload }
+      | 1 ->
+        let origin = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Deliver { origin; payload }
+      | 2 ->
+        let origin = Wire.R.int r in
+        let seq = Wire.R.int r in
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Wire { origin; seq; size; payload }
+      | c -> raise (Wire.Error (Printf.sprintf "rbcast: bad case %d" c)))
+
 let protocol_name = "rbcast"
 
 let service = Service.make "rbcast"

@@ -17,6 +17,11 @@ type Payload.t +=
   | Bcast of { size : int; payload : Payload.t }  (** call *)
   | Deliver of { origin : int; payload : Payload.t }  (** indication *)
 
+type Payload.t +=
+  | Wire of { origin : int; seq : int; size : int; payload : Payload.t }
+      (** wire payload (exposed for wire round-trip tests and trace
+          tooling) *)
+
 val protocol_name : string
 (** ["rbcast"] *)
 

@@ -24,6 +24,64 @@ let () =
       Some (Printf.sprintf "rp2p.ack src=%d seq=%d try=%d" src seq attempt)
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"rp2p"
+    ~encode:(function
+      | Send { dst; size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w dst;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Recv { src; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w src;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Wire_data { src; seq; attempt; size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.int w src;
+            Wire.W.int w seq;
+            Wire.W.int w attempt;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Wire_ack { src; seq; attempt } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 3;
+            Wire.W.int w src;
+            Wire.W.int w seq;
+            Wire.W.int w attempt)
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let dst = Wire.R.int r in
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Send { dst; size; payload }
+      | 1 ->
+        let src = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Recv { src; payload }
+      | 2 ->
+        let src = Wire.R.int r in
+        let seq = Wire.R.int r in
+        let attempt = Wire.R.int r in
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Wire_data { src; seq; attempt; size; payload }
+      | 3 ->
+        let src = Wire.R.int r in
+        let seq = Wire.R.int r in
+        let attempt = Wire.R.int r in
+        Wire_ack { src; seq; attempt }
+      | c -> raise (Wire.Error (Printf.sprintf "rp2p: bad case %d" c)))
+
 type config = {
   rto_ms : float;
   backoff : float;
@@ -59,7 +117,7 @@ let stats stack =
    attempt number in the ack yields an unambiguous RTT sample. *)
 type pending = {
   mutable tries : int;
-  mutable timer : Dpu_engine.Sim.handle option;
+  mutable timer : Dpu_runtime.Clock.timer option;
   mutable sent_at : (int * float) list;  (* attempt -> send time *)
 }
 
@@ -103,7 +161,7 @@ let install ?(config = default_config) stack =
           Hashtbl.replace rto_keys dst k;
           k
       in
-      let now () = Dpu_engine.Sim.now (Stack.sim stack) in
+      let now () = Stack.now stack in
       let seen_of src =
         match Hashtbl.find_opt seen src with
         | Some s -> s
@@ -203,7 +261,7 @@ let install ?(config = default_config) stack =
           | None -> ()
           | Some p ->
             (match p.timer with
-            | Some h -> Dpu_engine.Sim.cancel h
+            | Some h -> Dpu_runtime.Clock.cancel h
             | None -> ());
             (match List.assoc_opt attempt p.sent_at with
             | Some sent -> record_rtt acker (now () -. sent)
@@ -232,7 +290,7 @@ let install ?(config = default_config) stack =
             Hashtbl.iter
               (fun _ p ->
                 match p.timer with
-                | Some h -> Dpu_engine.Sim.cancel h
+                | Some h -> Dpu_runtime.Clock.cancel h
                 | None -> ())
               pending;
             Hashtbl.clear pending);

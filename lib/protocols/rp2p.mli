@@ -18,6 +18,18 @@ type Payload.t +=
   | Send of { dst : int; size : int; payload : Payload.t }  (** call *)
   | Recv of { src : int; payload : Payload.t }  (** indication *)
 
+(** Wire payloads (exposed for wire round-trip tests and trace
+    tooling). *)
+type Payload.t +=
+  | Wire_data of {
+      src : int;
+      seq : int;
+      attempt : int;
+      size : int;
+      payload : Payload.t;
+    }
+  | Wire_ack of { src : int; seq : int; attempt : int }
+
 type config = {
   rto_ms : float;  (** initial retransmission timeout *)
   backoff : float;  (** multiplicative timeout growth per retry *)

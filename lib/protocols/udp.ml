@@ -1,5 +1,5 @@
 open Dpu_kernel
-module Datagram = Dpu_net.Datagram
+module Transport = Dpu_runtime.Transport
 
 type Payload.t +=
   | Send of { dst : int; size : int; payload : Payload.t }
@@ -13,13 +13,43 @@ let () =
       Some (Printf.sprintf "udp.recv src=%d %s" src (Payload.to_string payload))
     | _ -> None)
 
+let () =
+  Payload.register_codec ~tag:"udp"
+    ~encode:(function
+      | Send { dst; size; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 0;
+            Wire.W.int w dst;
+            Wire.W.int w size;
+            Wire.W.str w (Payload.encode_exn payload))
+      | Recv { src; payload } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 1;
+            Wire.W.int w src;
+            Wire.W.str w (Payload.encode_exn payload))
+      | _ -> None)
+    ~decode:(fun r ->
+      match Wire.R.u8 r with
+      | 0 ->
+        let dst = Wire.R.int r in
+        let size = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Send { dst; size; payload }
+      | 1 ->
+        let src = Wire.R.int r in
+        let payload = Payload.decode (Wire.R.str r) in
+        Recv { src; payload }
+      | c -> raise (Wire.Error (Printf.sprintf "udp: bad case %d" c)))
+
 let protocol_name = "udp"
 
-let install ~net stack =
+let install ~transport stack =
   let node = Stack.node stack in
   Stack.add_module stack ~name:protocol_name ~provides:[ Service.net ] ~requires:[]
     (fun stack _self ->
-      Datagram.set_handler net ~node (fun ~src payload ->
+      Transport.set_handler transport ~node (fun ~src payload ->
           if not (Stack.is_crashed stack) then
             Stack.indicate stack Service.net (Recv { src; payload }));
       {
@@ -28,12 +58,12 @@ let install ~net stack =
           (fun _svc p ->
             match p with
             | Send { dst; size; payload } ->
-              Datagram.send net ~src:node ~dst ~size_bytes:size payload
+              Transport.send transport ~src:node ~dst ~size_bytes:size payload
             | _ -> ());
       })
 
 let register system =
-  let net = System.net system in
+  let transport = System.transport system in
   Registry.register (System.registry system) ~name:protocol_name
     ~provides:[ Service.net ] ~requires:[]
-    (fun stack -> install ~net stack)
+    (fun stack -> install ~transport stack)

@@ -2,8 +2,9 @@
     datagram network, exposed as the [net] service.
 
     Calls: {!Send}. Indications: {!Recv}. Loss, duplication and
-    reordering are those of the underlying {!Dpu_net.Datagram}
-    network. *)
+    reordering are those of the underlying
+    {!Dpu_runtime.Transport} — the simulated datagram network or a
+    real socket backend. *)
 
 open Dpu_kernel
 
@@ -16,8 +17,9 @@ type Payload.t +=
 val protocol_name : string
 (** ["udp"] *)
 
-val install : net:Payload.t Dpu_net.Datagram.t -> Stack.t -> Stack.module_
-(** Add the UDP module to a stack and connect it to the network
+val install :
+  transport:Payload.t Dpu_runtime.Transport.t -> Stack.t -> Stack.module_
+(** Add the UDP module to a stack and connect it to the transport
     endpoint of the stack's node. Does not bind it; use
     [Stack.bind stack Service.net m] or a registry. *)
 

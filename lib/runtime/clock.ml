@@ -1,0 +1,30 @@
+type timer = { mutable cancelled : bool; mutable on_cancel : unit -> unit }
+
+type t = {
+  now : unit -> float;
+  defer : delay:float -> (unit -> unit) -> unit;
+  schedule_impl : delay:float -> (unit -> unit) -> timer;
+  every_impl : period:float -> (unit -> unit) -> timer;
+}
+
+let make_timer ~cancel = { cancelled = false; on_cancel = cancel }
+
+let now t = t.now ()
+
+let defer t ~delay fn = t.defer ~delay fn
+
+let schedule t ~delay fn = t.schedule_impl ~delay fn
+
+let every t ~period fn =
+  assert (period > 0.0);
+  t.every_impl ~period fn
+
+let cancel tm =
+  if not tm.cancelled then begin
+    tm.cancelled <- true;
+    let hook = tm.on_cancel in
+    tm.on_cancel <- ignore;
+    hook ()
+  end
+
+let is_cancelled tm = tm.cancelled

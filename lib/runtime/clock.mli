@@ -1,0 +1,53 @@
+(** The CLOCK signature: what protocol code may know about time.
+
+    A clock tells the current time in milliseconds (virtual for the
+    simulator backend, monotonic-wall for the live backend), schedules
+    one-shot and periodic callbacks, and cancels them. Everything under
+    [lib/kernel], [lib/core] and [lib/protocols] depends on this record
+    — never on [Dpu_engine.Sim] directly — so the same protocol stack
+    runs unmodified inside the discrete-event simulator and over real
+    sockets (see [Dpu_live]).
+
+    Implementations must preserve two ordering guarantees the
+    simulator gives and the protocols rely on:
+
+    - callbacks scheduled for the same instant fire in scheduling
+      order;
+    - [now] never goes backwards while a callback runs. *)
+
+type timer
+(** Cancellation handle for a scheduled callback. *)
+
+type t = {
+  now : unit -> float;  (** current time, milliseconds *)
+  defer : delay:float -> (unit -> unit) -> unit;
+      (** fire-and-forget one-shot: no handle is allocated, the
+          callback cannot be cancelled. This is the dispatch hot path
+          ([Stack.call]/[Stack.indicate] hop delays). *)
+  schedule_impl : delay:float -> (unit -> unit) -> timer;
+      (** use {!schedule}, which wraps the cancellation contract *)
+  every_impl : period:float -> (unit -> unit) -> timer;
+      (** use {!every} *)
+}
+
+val make_timer : cancel:(unit -> unit) -> timer
+(** For backend implementors: a timer whose [cancel] runs the given
+    hook exactly once. *)
+
+val now : t -> float
+
+val defer : t -> delay:float -> (unit -> unit) -> unit
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+(** One-shot callback after [max delay 0] ms; cancellable. *)
+
+val every : t -> period:float -> (unit -> unit) -> timer
+(** Periodic callback, first firing one period from now, until the
+    timer is cancelled. *)
+
+val cancel : timer -> unit
+(** Cancel a pending timer. Idempotent; cancelling a fired one-shot
+    timer is a no-op. *)
+
+val is_cancelled : timer -> bool
+(** Whether {!cancel} was called on this timer. *)

@@ -1,0 +1,13 @@
+type 'a t = {
+  clock : Clock.t;
+  transport : 'a Transport.t;
+  rng : Dpu_engine.Rng.t;
+}
+
+let create ~clock ~transport ~rng = { clock; transport; rng }
+
+let clock t = t.clock
+
+let transport t = t.transport
+
+let rng t = t.rng

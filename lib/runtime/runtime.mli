@@ -1,0 +1,21 @@
+(** A runtime bundles the three ambient capabilities protocol stacks
+    need — a {!Clock}, a {!Transport} and a seeded PRNG — behind
+    backend-neutral records. [Dpu_kernel.System] consumes one of
+    these; {!Sim_backend} builds the deterministic simulator instance
+    and [Dpu_live.*] builds the wall-clock / UDP instance. *)
+
+type 'a t = {
+  clock : Clock.t;
+  transport : 'a Transport.t;
+  rng : Dpu_engine.Rng.t;
+      (** the root PRNG; subsystems should [Rng.split] it *)
+}
+
+val create :
+  clock:Clock.t -> transport:'a Transport.t -> rng:Dpu_engine.Rng.t -> 'a t
+
+val clock : 'a t -> Clock.t
+
+val transport : 'a t -> 'a Transport.t
+
+val rng : 'a t -> Dpu_engine.Rng.t

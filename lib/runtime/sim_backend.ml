@@ -1,0 +1,36 @@
+module Sim = Dpu_engine.Sim
+module Datagram = Dpu_net.Datagram
+
+let clock sim =
+  {
+    Clock.now = (fun () -> Sim.now sim);
+    defer = (fun ~delay fn -> ignore (Sim.schedule sim ~delay fn : Sim.handle));
+    schedule_impl =
+      (fun ~delay fn ->
+        let h = Sim.schedule sim ~delay fn in
+        Clock.make_timer ~cancel:(fun () -> Sim.cancel h));
+    every_impl =
+      (fun ~period fn ->
+        let h = Sim.every sim ~period fn in
+        Clock.make_timer ~cancel:(fun () -> Sim.cancel h));
+  }
+
+let transport net =
+  let module D = Datagram in
+  {
+    Transport.n = D.size net;
+    send = (fun ~src ~dst ~size_bytes payload -> D.send net ~src ~dst ~size_bytes payload);
+    set_handler = (fun ~node f -> D.set_handler net ~node f);
+    counters =
+      (fun () ->
+        let c = D.counters net in
+        {
+          Transport.sent = c.D.sent;
+          delivered = c.D.delivered;
+          dropped = c.D.lost + c.D.filtered + c.D.blocked;
+          bytes = c.D.bytes;
+        });
+  }
+
+let runtime sim net =
+  Runtime.create ~clock:(clock sim) ~transport:(transport net) ~rng:(Sim.rng sim)

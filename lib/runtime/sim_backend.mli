@@ -1,0 +1,14 @@
+(** The deterministic backend: {!Clock} over the discrete-event
+    simulator and {!Transport} over the simulated datagram network.
+
+    This is a thin adapter — every call forwards 1:1 to the wrapped
+    [Sim.t]/[Datagram.t], so the event order (and therefore every
+    figure and sweep digest) is bit-identical to driving the simulator
+    directly. *)
+
+val clock : Dpu_engine.Sim.t -> Clock.t
+
+val transport : 'a Dpu_net.Datagram.t -> 'a Transport.t
+
+val runtime : Dpu_engine.Sim.t -> 'a Dpu_net.Datagram.t -> 'a Runtime.t
+(** Bundle both with the simulator's root PRNG. *)

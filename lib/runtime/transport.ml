@@ -1,0 +1,16 @@
+type counters = { sent : int; delivered : int; dropped : int; bytes : int }
+
+type 'a t = {
+  n : int;
+  send : src:int -> dst:int -> size_bytes:int -> 'a -> unit;
+  set_handler : node:int -> (src:int -> 'a -> unit) -> unit;
+  counters : unit -> counters;
+}
+
+let n t = t.n
+
+let send t ~src ~dst ~size_bytes payload = t.send ~src ~dst ~size_bytes payload
+
+let set_handler t ~node f = t.set_handler ~node f
+
+let counters t = t.counters ()

@@ -3,7 +3,7 @@ module SB = Dpu_core.Stack_builder
 module Collector = Dpu_core.Collector
 module Stats = Dpu_engine.Stats
 module Series = Dpu_engine.Series
-module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 type approach =
   | No_layer
@@ -145,7 +145,7 @@ let run ?(crash_at = []) params =
   in
   let mw = MW.create ~config ~register_extra ~n:params.n () in
   let system = MW.system mw in
-  let sim = Dpu_kernel.System.sim system in
+  let clock = Dpu_kernel.System.clock system in
   (match Dpu_faults.Schedule.validate ~n:params.n params.faults with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Experiment.run: bad fault schedule: %s" msg));
@@ -181,22 +181,18 @@ let run ?(crash_at = []) params =
         in
         pick (params.n - 1)
       in
-      ignore
-        (Sim.schedule sim ~delay:params.switch_at_ms (fun () ->
-             MW.change_protocol mw ~node:trigger_node protocol)
-          : Sim.handle);
+      Clock.defer clock ~delay:params.switch_at_ms (fun () ->
+          MW.change_protocol mw ~node:trigger_node protocol);
       true
     | Some _, None | None, _ -> false
   in
   (match params.switch_consensus with
   | Some (time, protocol) ->
-    ignore
-      (Sim.schedule sim ~delay:time (fun () -> MW.change_consensus mw ~node:0 protocol)
-        : Sim.handle)
+    Clock.defer clock ~delay:time (fun () -> MW.change_consensus mw ~node:0 protocol)
   | None -> ());
   List.iter
     (fun (time, node) ->
-      ignore (Sim.schedule sim ~delay:time (fun () -> MW.crash mw node) : Sim.handle))
+      Clock.defer clock ~delay:time (fun () -> MW.crash mw node))
     crash_at;
   MW.run_until_quiescent ~limit:(params.duration_ms +. 120_000.0) mw;
   let collector = MW.collector mw in

@@ -1,5 +1,5 @@
 module MW = Dpu_core.Middleware
-module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 module Rng = Dpu_engine.Rng
 
 type pattern =
@@ -9,8 +9,9 @@ type pattern =
 
 let start mw ~rate_per_s ?(pattern = Constant) ?size ?(body = "payload") ~until () =
   let n = MW.n mw in
-  let sim = Dpu_kernel.System.sim (MW.system mw) in
-  let rng = Rng.split (Sim.rng sim) in
+  let system = MW.system mw in
+  let clock = Dpu_kernel.System.clock system in
+  let rng = Rng.split (Dpu_kernel.System.rng system) in
   let per_node_gap = 1000.0 /. (rate_per_s /. float_of_int n) in
   let next_gap node =
     match pattern with
@@ -19,30 +20,31 @@ let start mw ~rate_per_s ?(pattern = Constant) ?size ?(body = "payload") ~until 
     | Burst { period_ms; duty } ->
       (* Send at rate/duty while inside the duty window, else wait for
          the next window. *)
-      let t = Sim.now sim in
+      let t = Clock.now clock in
       let phase = Float.rem t period_ms in
       if phase < period_ms *. duty then per_node_gap *. duty
       else period_ms -. phase +. (Rng.float rng *. 0.1 *. float_of_int node)
   in
   let rec loop node () =
-    if Sim.now sim < until then begin
+    if Clock.now clock < until then begin
       ignore (MW.broadcast mw ~node ?size body : Dpu_kernel.Msg.t);
-      ignore (Sim.schedule sim ~delay:(next_gap node) (loop node) : Sim.handle)
+      Clock.defer clock ~delay:(next_gap node) (loop node)
     end
   in
-  for node = 0 to n - 1 do
-    (* Stagger start phases so the aggregate load is smooth. *)
-    let phase = per_node_gap *. float_of_int node /. float_of_int n in
-    ignore (Sim.schedule sim ~delay:phase (loop node) : Sim.handle)
-  done
+  (* Only the nodes local to this process generate load (all of them in
+     a simulated deployment). *)
+  List.iter
+    (fun node ->
+      (* Stagger start phases so the aggregate load is smooth. *)
+      let phase = per_node_gap *. float_of_int node /. float_of_int n in
+      Clock.defer clock ~delay:phase (loop node))
+    (Dpu_kernel.System.local_nodes system)
 
 let send_n mw ~count ?(gap_ms = 10.0) ?size () =
   let n = MW.n mw in
-  let sim = Dpu_kernel.System.sim (MW.system mw) in
+  let clock = Dpu_kernel.System.clock (MW.system mw) in
   for i = 0 to count - 1 do
     let node = i mod n in
-    ignore
-      (Sim.schedule sim ~delay:(gap_ms *. float_of_int i) (fun () ->
-           ignore (MW.broadcast mw ~node ?size "msg" : Dpu_kernel.Msg.t))
-        : Sim.handle)
+    Clock.defer clock ~delay:(gap_ms *. float_of_int i) (fun () ->
+        ignore (MW.broadcast mw ~node ?size "msg" : Dpu_kernel.Msg.t))
   done

@@ -146,7 +146,7 @@ let test_declared_cycle_flagged () =
   in
   (* The dynamic build terminates... *)
   let sim = Dpu_engine.Sim.create () in
-  let stack = Stack.create ~sim ~node:0 ~trace:(Trace.create ()) () in
+  let stack = Stack.create ~clock:(Dpu_runtime.Sim_backend.clock sim) ~node:0 ~trace:(Trace.create ()) () in
   ignore (Registry.instantiate reg stack ~name:"cyc.a" : Stack.module_);
   check Alcotest.bool "dynamic build succeeds" true (Stack.has_module stack ~name:"cyc.b");
   (* ...yet the static verdict is a cycle, in canonical form. *)
@@ -248,7 +248,7 @@ let test_liar_cycle_static_eq_dynamic () =
     (dummy_factory ~name:"liar.b" ~provides:[] ~requires:[ sa ]);
   let dynamic_cycle =
     let sim = Dpu_engine.Sim.create () in
-    let stack = Stack.create ~sim ~node:0 ~trace:(Trace.create ()) () in
+    let stack = Stack.create ~clock:(Dpu_runtime.Sim_backend.clock sim) ~node:0 ~trace:(Trace.create ()) () in
     match Registry.instantiate reg stack ~name:"liar.a" with
     | exception Registry.Cyclic_requires cycle -> cycle
     | _ -> Alcotest.fail "expected Cyclic_requires"
@@ -274,7 +274,7 @@ let test_missing_provider_static_eq_dynamic () =
   in
   some_violation_mentions reports "static strong stack-well-formedness" "svc.x";
   let sim = Dpu_engine.Sim.create () in
-  let stack = Stack.create ~sim ~node:0 ~trace:(Trace.create ()) () in
+  let stack = Stack.create ~clock:(Dpu_runtime.Sim_backend.clock sim) ~node:0 ~trace:(Trace.create ()) () in
   match Registry.instantiate reg stack ~name:"needy" with
   | exception Registry.No_provider svc ->
     check Alcotest.string "same service" "svc.x" (Service.name svc)
@@ -288,7 +288,7 @@ let test_static_ok_matches_dynamic_trace () =
   let system = System.create ~n:3 ~trace_enabled:true () in
   SB.build ~profile system;
   (* Bounded: the stack keeps periodic timers (fd heartbeats) alive. *)
-  Dpu_engine.Sim.run ~until:200.0 (System.sim system);
+  System.run_until system 200.0;
   let trace = System.trace system in
   let wf = Dpu_props.Stack_props.weak_stack_well_formedness trace in
   check Alcotest.bool "dynamic weak WF" true wf.Report.ok
@@ -375,6 +375,7 @@ let hazard rule =
   | "random" -> "  let x = Rand" ^ "om.int 6 in"
   | "wall-clock" -> "  let t = Unix.get" ^ "timeofday () in"
   | "marshal" -> "  Mar" ^ "shal.to_string v []"
+  | "unix-io" -> "  let fd = Unix." ^ "socket PF_INET SOCK_DGRAM 0 in"
   | r -> Alcotest.failf "unknown rule %s" r
 
 let scan_lines ?(file = "lib/fake/test_input.ml") lines =
@@ -437,6 +438,30 @@ let test_file_exemptions () =
     (List.length (scan_lines ~file:"lib/workload/sweep.ml" [ hazard "marshal" ]));
   check Alcotest.int "elsewhere Random is flagged" 1
     (List.length (scan_lines ~file:"lib/engine/sim.ml" [ hazard "random" ]))
+
+(* The live backend is directory-exempt from wall-clock and unix-io —
+   and from nothing else, nowhere else. *)
+let test_dir_exemptions () =
+  let live = "lib/live/udp_transport.ml" in
+  check Alcotest.int "lib/live may read the wall clock" 0
+    (List.length (scan_lines ~file:live [ hazard "wall-clock" ]));
+  check Alcotest.int "lib/live may open sockets" 0
+    (List.length (scan_lines ~file:live [ hazard "unix-io" ]));
+  check Alcotest.int "lib/live is not exempt from other rules" 1
+    (List.length (scan_lines ~file:live [ hazard "random" ]));
+  (* The exemption is scoped to the directory: the same hazards in the
+     engine or a protocol module still fire. *)
+  check Alcotest.int "engine wall-clock still flagged" 1
+    (List.length (scan_lines ~file:"lib/engine/sim.ml" [ hazard "wall-clock" ]));
+  check Alcotest.int "engine socket IO still flagged" 1
+    (List.length (scan_lines ~file:"lib/engine/sim.ml" [ hazard "unix-io" ]));
+  check Alcotest.int "protocols wall-clock still flagged" 1
+    (List.length (scan_lines ~file:"lib/protocols/rp2p.ml" [ hazard "wall-clock" ]));
+  check Alcotest.int "protocols socket IO still flagged" 1
+    (List.length (scan_lines ~file:"lib/protocols/rp2p.ml" [ hazard "unix-io" ]));
+  (* A path that merely mentions live outside lib/ gets no pass. *)
+  check Alcotest.int "name alone is not enough" 1
+    (List.length (scan_lines ~file:"lib/enginelive/x.ml" [ hazard "unix-io" ]))
 
 let test_line_numbers_and_text () =
   let findings = scan_lines [ "let a = 1"; hazard "poly-compare" ] in
@@ -527,6 +552,7 @@ let () =
           tc "comments and strings" test_comments_and_strings_ignored;
           tc "word boundary" test_word_boundary;
           tc "file exemptions" test_file_exemptions;
+          tc "directory exemptions" test_dir_exemptions;
           tc "line numbers" test_line_numbers_and_text;
           tc "tree is clean" test_tree_is_clean;
           tc "lint json" test_lint_json;

@@ -8,6 +8,7 @@ module SB = Dpu_core.Stack_builder
 module KV = Dpu_apps.Replicated_kv
 module Gm = Dpu_protocols.Gm
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 let check = Alcotest.check
 let fail = Alcotest.fail
@@ -68,11 +69,11 @@ let test_kv_counters_lose_no_updates () =
   (* Increments are read-modify-write inside the ordered apply, so
      concurrent increments from every node all count. *)
   let mw, r = make ~seed:3 () in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 29 do
     let node = i mod 3 in
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 3.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 3.0) (fun () ->
            KV.incr r.(node) "hits"))
   done;
   MW.run_until_quiescent ~limit:30_000.0 mw;
@@ -98,16 +99,16 @@ let test_kv_applied_positions () =
 
 let test_kv_state_survives_abcast_switch () =
   let mw, r = make ~seed:7 () in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 19 do
     let node = i mod 3 in
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 8.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 8.0) (fun () ->
            KV.put r.(node) (Printf.sprintf "key%d" i) (Printf.sprintf "val%d" i);
            KV.incr r.(node) "ops"))
   done;
   ignore
-    (Sim.schedule sim ~delay:70.0 (fun () ->
+    (Clock.defer clock ~delay:70.0 (fun () ->
          MW.change_protocol mw ~node:1 Dpu_core.Variants.token));
   MW.run_until_quiescent ~limit:60_000.0 mw;
   assert_replicas_agree r;
@@ -122,15 +123,15 @@ let test_kv_state_survives_consensus_swap () =
     }
   in
   let mw, r = make ~n:5 ~seed:9 ~profile () in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 19 do
     let node = i mod 5 in
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            KV.incr r.(node) "balance" ~by:(i + 1)))
   done;
   ignore
-    (Sim.schedule sim ~delay:90.0 (fun () ->
+    (Clock.defer clock ~delay:90.0 (fun () ->
          MW.change_consensus mw ~node:2 Dpu_protocols.Consensus_paxos.protocol_name));
   MW.run_until_quiescent ~limit:60_000.0 mw;
   assert_replicas_agree r;
@@ -189,15 +190,15 @@ let test_kv_late_join_buffers_inflight () =
   (* Operations keep flowing between the sync request and the snapshot;
      the joiner must end up with exactly the agreed history. *)
   let mw, r = make ~seed:13 () in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 9 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 4.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 4.0) (fun () ->
            KV.incr r.(i mod 3) "n"))
   done;
   let joiner = ref None in
   ignore
-    (Sim.schedule sim ~delay:13.0 (fun () ->
+    (Clock.defer clock ~delay:13.0 (fun () ->
          joiner := Some (KV.attach_late mw ~node:1 ~from:2)));
   MW.run_until_quiescent ~limit:30_000.0 mw;
   match !joiner with
@@ -224,13 +225,13 @@ let prop_kv_convergence =
     (fun (ops, seed) ->
       let mw, r = make ~seed () in
       let rng = Dpu_engine.Rng.create ~seed in
-      let sim = System.sim (MW.system mw) in
+      let clock = System.clock (MW.system mw) in
       for i = 0 to ops - 1 do
         let node = Dpu_engine.Rng.int rng 3 in
         let key = Printf.sprintf "k%d" (Dpu_engine.Rng.int rng 5) in
         let action = Dpu_engine.Rng.int rng 3 in
         ignore
-          (Sim.schedule sim ~delay:(float_of_int i *. 5.0) (fun () ->
+          (Clock.defer clock ~delay:(float_of_int i *. 5.0) (fun () ->
                match action with
                | 0 -> KV.put r.(node) key (string_of_int i)
                | 1 -> KV.delete r.(node) key
@@ -296,7 +297,7 @@ let test_lock_mutual_exclusion_under_contention () =
     (* Hold briefly, then release and immediately re-request, twice. *)
     Lock.on_granted l.(node) (fun name ->
         ignore
-          (Sim.schedule (System.sim (MW.system mw)) ~delay:20.0 (fun () ->
+          (Clock.defer (System.clock (MW.system mw)) ~delay:20.0 (fun () ->
                Lock.release l.(node) name)))
   done;
   for node = 0 to 2 do
@@ -349,15 +350,15 @@ let test_lock_dead_node_requests_ignored () =
 
 let test_lock_across_protocol_switch () =
   let mw, l = make_locks ~seed:7 () in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 11 do
     let node = i mod 3 in
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 20.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 20.0) (fun () ->
            Lock.acquire l.(node) (Printf.sprintf "lock%d" (i mod 4))))
   done;
   ignore
-    (Sim.schedule sim ~delay:100.0 (fun () ->
+    (Clock.defer clock ~delay:100.0 (fun () ->
          MW.change_protocol mw ~node:0 Dpu_core.Variants.sequencer));
   MW.run_until_quiescent ~limit:60_000.0 mw;
   assert_lock_replicas_agree l

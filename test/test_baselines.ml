@@ -7,6 +7,7 @@ module MW = Dpu_core.Middleware
 module SB = Dpu_core.Stack_builder
 module B = Dpu_baselines
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 let check = Alcotest.check
 let fail = Alcotest.fail
@@ -38,15 +39,15 @@ let assert_consistent ~expect_count logs =
 
 let drive_switch ?(msgs = 24) ?(switch_at = 80.0) ~to_p mw =
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   let n = MW.n mw in
   for i = 0 to msgs - 1 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 12.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 12.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod n) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:switch_at (fun () -> MW.change_protocol mw ~node:0 to_p));
+    (Clock.defer clock ~delay:switch_at (fun () -> MW.change_protocol mw ~node:0 to_p));
   MW.run_until_quiescent ~limit:60_000.0 mw;
   logs
 
@@ -96,12 +97,12 @@ let test_maestro_reissues_inflight () =
      switch message is ordered, get discarded by the cut, and must be
      re-broadcast through the new stack. *)
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
-  ignore (Sim.schedule sim ~delay:10.0 (fun () ->
+  let clock = System.clock (MW.system mw) in
+  ignore (Clock.defer clock ~delay:10.0 (fun () ->
       MW.change_protocol mw ~node:0 Core.Variants.sequencer));
   for i = 0 to 7 do
     ignore
-      (Sim.schedule sim ~delay:(12.0 +. float_of_int i) (fun () ->
+      (Clock.defer clock ~delay:(12.0 +. float_of_int i) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 4) (string_of_int i))))
   done;
   MW.run_until_quiescent ~limit:60_000.0 mw;
@@ -118,10 +119,10 @@ let test_maestro_generation_tagging () =
   (* Two successive switches: both must apply, in order. *)
   let mw = mw_with ~layer:B.Maestro.protocol_name () in
   ignore (delivery_logs mw);
-  let sim = System.sim (MW.system mw) in
-  ignore (Sim.schedule sim ~delay:10.0 (fun () ->
+  let clock = System.clock (MW.system mw) in
+  ignore (Clock.defer clock ~delay:10.0 (fun () ->
       MW.change_protocol mw ~node:0 Core.Variants.sequencer));
-  ignore (Sim.schedule sim ~delay:800.0 (fun () ->
+  ignore (Clock.defer clock ~delay:800.0 (fun () ->
       MW.change_protocol mw ~node:1 Core.Variants.ct));
   MW.run_until_quiescent ~limit:60_000.0 mw;
   match Stack.bound (System.stack (MW.system mw) 2) Service.abcast with
@@ -168,13 +169,13 @@ let test_graceful_refuses_new_dependencies () =
      need new providers, which Graceful AACs may not create (§4.2). *)
   let mw = mw_with ~initial:Core.Variants.sequencer ~layer:B.Graceful.protocol_name () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 9 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 4) (string_of_int i))))
   done;
-  ignore (Sim.schedule sim ~delay:35.0 (fun () ->
+  ignore (Clock.defer clock ~delay:35.0 (fun () ->
       MW.change_protocol mw ~node:0 Core.Variants.ct));
   MW.run_until_quiescent ~limit:30_000.0 mw;
   (* Adaptation refused; traffic unharmed on the old protocol. *)

@@ -11,6 +11,7 @@ module MW = Dpu_core.Middleware
 module SB = Dpu_core.Stack_builder
 module RC = Dpu_core.Repl_consensus
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 let check = Alcotest.check
 let fail = Alcotest.fail
@@ -128,7 +129,7 @@ let test_paxos_crash_seeds_agree () =
     let iid = { CI.epoch = 0; k = 0 } in
     propose system ~node:((victim + 1) mod 5) ~iid "v";
     ignore
-      (Sim.schedule (System.sim system) ~delay:(float_of_int (seed * 2)) (fun () ->
+      (Clock.defer (System.clock system) ~delay:(float_of_int (seed * 2)) (fun () ->
            System.crash_node system victim));
     System.run_until_quiescent ~limit:60_000.0 system;
     List.iteri
@@ -187,7 +188,7 @@ let test_abcast_over_paxos () =
   for i = 0 to 19 do
     let node = i mod 5 in
     ignore
-      (Sim.schedule (System.sim system) ~delay:(float_of_int i *. 8.0) (fun () ->
+      (Clock.defer (System.clock system) ~delay:(float_of_int i *. 8.0) (fun () ->
            Stack.call (System.stack system node) Service.abcast
              (P.Abcast_iface.Broadcast { size = 256; payload = Blob (string_of_int i) })))
   done;
@@ -229,16 +230,16 @@ let assert_consistent ?(skip = []) ~expect_count logs =
 
 let drive ?(msgs = 24) ?(gap = 10.0) ?switch_at ?target mw =
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   let n = MW.n mw in
   for i = 0 to msgs - 1 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. gap) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. gap) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod n) (string_of_int i))))
   done;
   (match (switch_at, target) with
   | Some t, Some prot ->
-    ignore (Sim.schedule sim ~delay:t (fun () -> MW.change_consensus mw ~node:1 prot))
+    ignore (Clock.defer clock ~delay:t (fun () -> MW.change_consensus mw ~node:1 prot))
   | _, _ -> ());
   MW.run_until_quiescent ~limit:60_000.0 mw;
   logs
@@ -285,17 +286,17 @@ let test_layer_switch_paxos_to_ct () =
 let test_layer_double_switch () =
   let mw = mw_with_consensus_layer () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 35 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 5) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:80.0 (fun () ->
+    (Clock.defer clock ~delay:80.0 (fun () ->
          MW.change_consensus mw ~node:0 P.Consensus_paxos.protocol_name));
   ignore
-    (Sim.schedule sim ~delay:220.0 (fun () ->
+    (Clock.defer clock ~delay:220.0 (fun () ->
          MW.change_consensus mw ~node:3 P.Consensus_ct.protocol_name));
   MW.run_until_quiescent ~limit:60_000.0 mw;
   assert_consistent ~expect_count:36 logs;
@@ -312,16 +313,16 @@ let test_layer_switch_with_loss () =
 let test_layer_switch_with_minority_crash () =
   let mw = mw_with_consensus_layer ~seed:9 () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   (* Only survivors broadcast. *)
   for i = 0 to 19 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 12.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 12.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 4) (string_of_int i))))
   done;
-  ignore (Sim.schedule sim ~delay:50.0 (fun () -> MW.crash mw 4));
+  ignore (Clock.defer clock ~delay:50.0 (fun () -> MW.crash mw 4));
   ignore
-    (Sim.schedule sim ~delay:120.0 (fun () ->
+    (Clock.defer clock ~delay:120.0 (fun () ->
          MW.change_consensus mw ~node:0 P.Consensus_paxos.protocol_name));
   MW.run_until_quiescent ~limit:90_000.0 mw;
   assert_consistent ~skip:[ 4 ] ~expect_count:20 logs;
@@ -354,15 +355,15 @@ let test_layer_request_from_silent_node () =
      must still thread the switch through other nodes' proposals. *)
   let mw = mw_with_consensus_layer () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 15 do
     (* node 4 stays silent *)
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 4) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:60.0 (fun () ->
+    (Clock.defer clock ~delay:60.0 (fun () ->
          MW.change_consensus mw ~node:4 P.Consensus_paxos.protocol_name));
   MW.run_until_quiescent ~limit:60_000.0 mw;
   assert_consistent ~expect_count:16 logs;
@@ -382,17 +383,17 @@ let test_layer_combined_with_abcast_switch () =
      consensus implementation (documented). *)
   let mw = mw_with_consensus_layer () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 29 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 15.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 15.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 5) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:80.0 (fun () ->
+    (Clock.defer clock ~delay:80.0 (fun () ->
          MW.change_consensus mw ~node:1 P.Consensus_paxos.protocol_name));
   ignore
-    (Sim.schedule sim ~delay:250.0 (fun () ->
+    (Clock.defer clock ~delay:250.0 (fun () ->
          MW.change_protocol mw ~node:2 Core.Variants.ct));
   MW.run_until_quiescent ~limit:90_000.0 mw;
   assert_consistent ~expect_count:30 logs;
@@ -406,14 +407,14 @@ let prop_consensus_switch_any_time =
     (fun (switch_at, seed) ->
       let mw = mw_with_consensus_layer ~seed () in
       let logs = delivery_logs mw in
-      let sim = System.sim (MW.system mw) in
+      let clock = System.clock (MW.system mw) in
       for i = 0 to 14 do
         ignore
-          (Sim.schedule sim ~delay:(float_of_int i *. 11.0) (fun () ->
+          (Clock.defer clock ~delay:(float_of_int i *. 11.0) (fun () ->
                ignore (MW.broadcast mw ~node:(i mod 5) (string_of_int i))))
       done;
       ignore
-        (Sim.schedule sim ~delay:(float_of_int switch_at) (fun () ->
+        (Clock.defer clock ~delay:(float_of_int switch_at) (fun () ->
              MW.change_consensus mw ~node:(seed mod 5) P.Consensus_paxos.protocol_name));
       MW.run_until_quiescent ~limit:90_000.0 mw;
       match Array.to_list (Array.map List.rev logs) with

@@ -8,6 +8,7 @@ module P = Dpu_protocols
 module MW = Dpu_core.Middleware
 module SB = Dpu_core.Stack_builder
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 let check = Alcotest.check
 let fail = Alcotest.fail
@@ -246,14 +247,14 @@ let test_repl_old_module_stays_in_stack () =
 let test_repl_switch_under_load () =
   let mw = mw_with ~seed:3 () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 29 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 5.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 5.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:75.0 (fun () ->
+    (Clock.defer clock ~delay:75.0 (fun () ->
          MW.change_protocol mw ~node:0 Core.Variants.sequencer));
   MW.run_until_quiescent ~limit:30_000.0 mw;
   assert_consistent ~expect_count:30 logs;
@@ -269,14 +270,14 @@ let test_repl_switch_matrix () =
           if from_p <> to_p then begin
             let mw = mw_with ~seed:7 ~initial:from_p () in
             let logs = delivery_logs mw in
-            let sim = System.sim (MW.system mw) in
+            let clock = System.clock (MW.system mw) in
             for i = 0 to 17 do
               ignore
-                (Sim.schedule sim ~delay:(float_of_int i *. 8.0) (fun () ->
+                (Clock.defer clock ~delay:(float_of_int i *. 8.0) (fun () ->
                      ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
             done;
             ignore
-              (Sim.schedule sim ~delay:70.0 (fun () ->
+              (Clock.defer clock ~delay:70.0 (fun () ->
                    MW.change_protocol mw ~node:1 to_p));
             MW.run_until_quiescent ~limit:30_000.0 mw;
             assert_consistent ~expect_count:18 logs
@@ -287,17 +288,17 @@ let test_repl_switch_matrix () =
 let test_repl_double_switch () =
   let mw = default_mw () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 19 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:50.0 (fun () ->
+    (Clock.defer clock ~delay:50.0 (fun () ->
          MW.change_protocol mw ~node:0 Core.Variants.sequencer));
   ignore
-    (Sim.schedule sim ~delay:120.0 (fun () ->
+    (Clock.defer clock ~delay:120.0 (fun () ->
          MW.change_protocol mw ~node:2 Core.Variants.token));
   MW.run_until_quiescent ~limit:30_000.0 mw;
   assert_consistent ~expect_count:20 logs;
@@ -313,14 +314,14 @@ let test_repl_concurrent_switch_requests () =
      The requester of the dropped change would simply re-issue it. *)
   let mw = default_mw () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 11 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:55.0 (fun () ->
+    (Clock.defer clock ~delay:55.0 (fun () ->
          MW.change_protocol mw ~node:0 Core.Variants.sequencer;
          MW.change_protocol mw ~node:1 Core.Variants.token));
   MW.run_until_quiescent ~limit:30_000.0 mw;
@@ -346,19 +347,19 @@ let test_repl_overlapping_change_dropped () =
      (both tagged generation 0) must be discarded, not applied. *)
   let mw = default_mw () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 11 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 6.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 6.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:30.0 (fun () ->
+    (Clock.defer clock ~delay:30.0 (fun () ->
          MW.change_protocol mw ~node:0 Core.Variants.sequencer));
   (* 2 ms later: nobody has switched yet, so this request is also
      tagged generation 0 and will be ordered behind the first. *)
   ignore
-    (Sim.schedule sim ~delay:32.0 (fun () ->
+    (Clock.defer clock ~delay:32.0 (fun () ->
          MW.change_protocol mw ~node:1 Core.Variants.token));
   MW.run_until_quiescent ~limit:30_000.0 mw;
   assert_consistent ~expect_count:12 logs;
@@ -380,14 +381,14 @@ let test_repl_overlapping_change_dropped () =
 let test_repl_switch_with_loss () =
   let mw = mw_with ~seed:11 ~loss:0.15 () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 19 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:95.0 (fun () ->
+    (Clock.defer clock ~delay:95.0 (fun () ->
          MW.change_protocol mw ~node:2 Core.Variants.ct));
   MW.run_until_quiescent ~limit:60_000.0 mw;
   assert_consistent ~expect_count:20 logs
@@ -395,17 +396,17 @@ let test_repl_switch_with_loss () =
 let test_repl_switch_with_minority_crash () =
   let mw = mw_with ~n:5 ~seed:13 () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   (* Only survivors broadcast, so every message must reach all correct
      stacks. *)
   for i = 0 to 19 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 4) (string_of_int i))))
   done;
-  ignore (Sim.schedule sim ~delay:60.0 (fun () -> MW.crash mw 4));
+  ignore (Clock.defer clock ~delay:60.0 (fun () -> MW.crash mw 4));
   ignore
-    (Sim.schedule sim ~delay:100.0 (fun () ->
+    (Clock.defer clock ~delay:100.0 (fun () ->
          MW.change_protocol mw ~node:0 Core.Variants.ct));
   MW.run_until_quiescent ~limit:60_000.0 mw;
   assert_consistent ~skip:[ 4 ] ~expect_count:20 logs;
@@ -439,14 +440,14 @@ let test_repl_self_replacement () =
   (* The paper's §6 experiment: replace CT by CT, exercising all steps. *)
   let mw = default_mw () in
   let logs = delivery_logs mw in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 9 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:45.0 (fun () -> MW.change_protocol mw ~node:0 Core.Variants.ct));
+    (Clock.defer clock ~delay:45.0 (fun () -> MW.change_protocol mw ~node:0 Core.Variants.ct));
   MW.run_until_quiescent ~limit:30_000.0 mw;
   assert_consistent ~expect_count:10 logs;
   (* Two distinct ct module instances per stack now. *)
@@ -462,7 +463,7 @@ let test_repl_undelivered_reissued () =
   let mw = mw_with ~seed:17 () in
   let logs = delivery_logs mw in
   let net = System.net (MW.system mw) in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   ignore (MW.broadcast mw ~node:0 "pre");
   MW.run_for mw 1_000.0;
   (* Block node 0's traffic, broadcast from it, and switch from node 1.
@@ -472,7 +473,7 @@ let test_repl_undelivered_reissued () =
   Dpu_net.Datagram.partition net [ [ 0 ]; [ 1; 2 ] ];
   ignore (MW.broadcast mw ~node:0 "inflight");
   ignore
-    (Sim.schedule sim ~delay:200.0 (fun () ->
+    (Clock.defer clock ~delay:200.0 (fun () ->
          MW.change_protocol mw ~node:1 Core.Variants.ct));
   MW.run_for mw 3_000.0;
   Dpu_net.Datagram.heal net;
@@ -482,14 +483,14 @@ let test_repl_undelivered_reissued () =
 let test_repl_weak_wf_and_operationability () =
   let mw = default_mw () in
   ignore (delivery_logs mw);
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   for i = 0 to 9 do
     ignore
-      (Sim.schedule sim ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer clock ~delay:(float_of_int i *. 10.0) (fun () ->
            ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
   done;
   ignore
-    (Sim.schedule sim ~delay:50.0 (fun () ->
+    (Clock.defer clock ~delay:50.0 (fun () ->
          MW.change_protocol mw ~node:0 Core.Variants.sequencer));
   MW.run_until_quiescent ~limit:30_000.0 mw;
   let trace = System.trace (MW.system mw) in
@@ -512,14 +513,14 @@ let test_repl_abcast_properties_across_switch () =
     (fun seed ->
       let mw = mw_with ~seed () in
       ignore (delivery_logs mw);
-      let sim = System.sim (MW.system mw) in
+      let clock = System.clock (MW.system mw) in
       for i = 0 to 19 do
         ignore
-          (Sim.schedule sim ~delay:(float_of_int i *. 7.0) (fun () ->
+          (Clock.defer clock ~delay:(float_of_int i *. 7.0) (fun () ->
                ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
       done;
       ignore
-        (Sim.schedule sim ~delay:66.0 (fun () ->
+        (Clock.defer clock ~delay:66.0 (fun () ->
              MW.change_protocol mw ~node:(seed mod 3) Core.Variants.token));
       MW.run_until_quiescent ~limit:60_000.0 mw;
       let reports =
@@ -539,14 +540,14 @@ let prop_repl_switch_any_time =
     (fun (switch_at, seed) ->
       let mw = mw_with ~seed () in
       let logs = delivery_logs mw in
-      let sim = System.sim (MW.system mw) in
+      let clock = System.clock (MW.system mw) in
       for i = 0 to 14 do
         ignore
-          (Sim.schedule sim ~delay:(float_of_int i *. 9.0) (fun () ->
+          (Clock.defer clock ~delay:(float_of_int i *. 9.0) (fun () ->
                ignore (MW.broadcast mw ~node:(i mod 3) (string_of_int i))))
       done;
       ignore
-        (Sim.schedule sim ~delay:(float_of_int switch_at) (fun () ->
+        (Clock.defer clock ~delay:(float_of_int switch_at) (fun () ->
              MW.change_protocol mw ~node:(seed mod 3) Core.Variants.sequencer));
       MW.run_until_quiescent ~limit:60_000.0 mw;
       match sequences logs with

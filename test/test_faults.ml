@@ -4,6 +4,7 @@
    each fault class with every §5 property checked across the switch. *)
 
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 module Rng = Dpu_engine.Rng
 module Latency = Dpu_net.Latency
 module Datagram = Dpu_net.Datagram
@@ -35,8 +36,7 @@ let test_crash_recover_schedule () =
   let send_at t tag =
     ignore
       (Sim.schedule_at sim ~time:t (fun () ->
-           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 tag)
-        : Sim.handle)
+           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 tag))
   in
   send_at 5.0 "before";
   send_at 15.0 "during";
@@ -55,8 +55,7 @@ let test_loss_window_schedule () =
   let send_at t =
     ignore
       (Sim.schedule_at sim ~time:t (fun () ->
-           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "x")
-        : Sim.handle)
+           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 "x"))
   in
   send_at 15.0;
   Sim.run sim;
@@ -71,8 +70,7 @@ let test_dup_burst_schedule () =
   let send_at t tag =
     ignore
       (Sim.schedule_at sim ~time:t (fun () ->
-           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 tag)
-        : Sim.handle)
+           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 tag))
   in
   send_at 15.0 "inside";
   send_at 25.0 "outside";
@@ -95,8 +93,7 @@ let test_degrade_link_schedule () =
   let send_at t tag =
     ignore
       (Sim.schedule_at sim ~time:t (fun () ->
-           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 tag)
-        : Sim.handle)
+           Datagram.send net ~src:0 ~dst:1 ~size_bytes:10 tag))
   in
   send_at 12.0 "slow";
   send_at 25.0 "fast";
@@ -113,8 +110,7 @@ let test_partition_heal_schedule () =
   let send_at t tag =
     ignore
       (Sim.schedule_at sim ~time:t (fun () ->
-           Datagram.send net ~src:0 ~dst:3 ~size_bytes:10 tag)
-        : Sim.handle)
+           Datagram.send net ~src:0 ~dst:3 ~size_bytes:10 tag))
   in
   send_at 15.0 "cross";
   send_at 25.0 "healed";
@@ -380,15 +376,14 @@ let test_epoch_buffer_engages () =
   let config = { MW.default_config with seed = 102; msg_size = 1024 } in
   let mw = MW.create ~config ~n:5 () in
   let system = MW.system mw in
-  let sim = System.sim system in
+  let clock = System.clock system in
   let net = System.net system in
   Dpu_workload.Load_gen.start mw ~rate_per_s:30.0 ~until:4_000.0 ();
   Schedule.arm net
     [ Schedule.partition ~at:1_500.0 [ [ 0; 1; 2; 3 ]; [ 4 ] ]; Schedule.heal ~at:2_600.0 ];
   ignore
-    (Sim.schedule sim ~delay:2_000.0 (fun () ->
-         MW.change_protocol mw ~node:4 Dpu_core.Variants.sequencer)
-      : Sim.handle);
+    (Clock.defer clock ~delay:2_000.0 (fun () ->
+         MW.change_protocol mw ~node:4 Dpu_core.Variants.sequencer));
   MW.run_until_quiescent ~limit:120_000.0 mw;
   let late = System.stack system 4 in
   check Alcotest.bool "late node stashed future-generation traffic" true

@@ -3,6 +3,7 @@
 
 open Dpu_kernel
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 let check = Alcotest.check
 let fail = Alcotest.fail
@@ -16,7 +17,7 @@ let svc_b = Service.make "svc.b"
 let make_stack ?(hop_cost = 0.1) () =
   let sim = Sim.create ~seed:1 () in
   let trace = Trace.create () in
-  let stack = Stack.create ~sim ~node:0 ~hop_cost ~trace () in
+  let stack = Stack.create ~clock:(Dpu_runtime.Sim_backend.clock sim) ~node:0 ~hop_cost ~trace () in
   (sim, trace, stack)
 
 (* A module that logs the calls and indications it receives. *)
@@ -218,7 +219,7 @@ let test_stack_call_hop_cost () =
   ignore calls;
   (* Wrap: record time at dispatch via another probe module. *)
   Stack.call stack svc_a (Ping 1);
-  ignore (Sim.schedule sim ~delay:0.49 (fun () -> ()));
+  ignore (Sim.schedule sim ~delay:0.49 (fun () -> ()) : Sim.handle);
   Sim.run sim;
   ignore !arrived_at;
   check (Alcotest.float 1e-9) "clock advanced by hop" 0.5 (Sim.now sim)
@@ -350,7 +351,7 @@ let test_stack_timers () =
   let p = Stack.periodic stack ~period:1.0 (fun () -> incr fired) in
   Sim.run ~until:3.5 sim;
   check Alcotest.int "one-shot + 3 ticks" 4 !fired;
-  Sim.cancel p;
+  Clock.cancel p;
   Sim.run ~until:10.0 sim;
   check Alcotest.int "cancelled" 4 !fired
 
@@ -423,7 +424,7 @@ let prop_dispatch_conservation =
     (fun ops ->
       let sim = Sim.create ~seed:1 () in
       let trace = Trace.create ~enabled:false () in
-      let stack = Stack.create ~sim ~node:0 ~trace () in
+      let stack = Stack.create ~clock:(Dpu_runtime.Sim_backend.clock sim) ~node:0 ~trace () in
       let executed = ref 0 in
       let m =
         Stack.add_module stack ~name:"sink" ~provides:[ svc_a ] ~requires:[]

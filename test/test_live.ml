@@ -1,0 +1,212 @@
+(* The live runtime backend: timer wheel semantics (on synthetic time —
+   no wall clock involved), and the UDP transport loopback path with
+   its envelope filtering. *)
+
+open Dpu_kernel
+module Clock = Dpu_runtime.Clock
+module Wheel = Dpu_live.Timer_wheel
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_wheel_fire_order () =
+  let w = Wheel.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  Wheel.add w ~now:0.0 ~delay:30.0 (note "c");
+  Wheel.add w ~now:0.0 ~delay:10.0 (note "a");
+  Wheel.add w ~now:0.0 ~delay:20.0 (note "b");
+  Wheel.advance w ~now:5.0;
+  check Alcotest.(list string) "nothing due yet" [] (List.rev !log);
+  Wheel.advance w ~now:15.0;
+  check Alcotest.(list string) "first due" [ "a" ] (List.rev !log);
+  Wheel.advance w ~now:100.0;
+  check Alcotest.(list string) "deadline order" [ "a"; "b"; "c" ] (List.rev !log);
+  check Alcotest.int "wheel drained" 0 (Wheel.pending w)
+
+let test_wheel_same_deadline_fifo () =
+  let w = Wheel.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Wheel.add w ~now:0.0 ~delay:10.0 (fun () -> log := i :: !log)
+  done;
+  Wheel.advance w ~now:50.0;
+  check Alcotest.(list int) "insertion order at equal deadlines"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_wheel_cancellation () =
+  let w = Wheel.create () in
+  let fired = ref 0 in
+  let tm = Clock.make_timer ~cancel:ignore in
+  Wheel.add w ~now:0.0 ~delay:10.0 ~timer:tm (fun () -> incr fired);
+  Wheel.add w ~now:0.0 ~delay:10.0 (fun () -> incr fired);
+  Clock.cancel tm;
+  Wheel.advance w ~now:50.0;
+  check Alcotest.int "cancelled entry skipped" 1 !fired
+
+let test_wheel_far_slots () =
+  (* Deadlines beyond slots * granularity must survive cursor wraps. *)
+  let w = Wheel.create ~granularity_ms:1.0 ~slots:8 () in
+  let fired = ref false in
+  Wheel.add w ~now:0.0 ~delay:100.0 (fun () -> fired := true);
+  Wheel.advance w ~now:99.0;
+  check Alcotest.bool "not yet" false !fired;
+  Wheel.advance w ~now:101.0;
+  check Alcotest.bool "fires after wraps" true !fired
+
+let test_wheel_rearm_not_same_pass () =
+  let w = Wheel.create ~granularity_ms:1.0 () in
+  let fired = ref 0 in
+  let rec arm () =
+    Wheel.add w ~now:10.0 ~delay:1.0 (fun () ->
+        incr fired;
+        arm ())
+  in
+  arm ();
+  (* A positive-delay entry re-armed by its own callback must not fire
+     again in the same pass, however far [now] advanced. *)
+  Wheel.advance w ~now:1000.0;
+  check Alcotest.int "one firing per pass" 1 !fired;
+  Wheel.advance w ~now:2000.0;
+  check Alcotest.int "next pass fires the re-arm" 2 !fired
+
+let test_wheel_zero_delay_cascade () =
+  let w = Wheel.create () in
+  let log = ref [] in
+  Wheel.add w ~now:0.0 ~delay:0.0 (fun () ->
+      log := "outer" :: !log;
+      Wheel.add w ~now:0.0 ~delay:0.0 (fun () -> log := "inner" :: !log));
+  Wheel.advance w ~now:0.0;
+  (* Same-instant cascades drain within one pass, like the simulator. *)
+  check Alcotest.(list string) "cascade drained" [ "outer"; "inner" ] (List.rev !log);
+  check Alcotest.int "nothing pending" 0 (Wheel.pending w)
+
+let test_wheel_next_deadline () =
+  let w = Wheel.create () in
+  check Alcotest.(option (float 0.0)) "empty" None (Wheel.next_deadline w);
+  Wheel.add w ~now:0.0 ~delay:30.0 ignore;
+  Wheel.add w ~now:0.0 ~delay:10.0 ignore;
+  check Alcotest.(option (float 0.001)) "earliest" (Some 10.0) (Wheel.next_deadline w);
+  let tm = Clock.make_timer ~cancel:ignore in
+  Wheel.add w ~now:0.0 ~delay:5.0 ~timer:tm ignore;
+  Clock.cancel tm;
+  check
+    Alcotest.(option (float 0.001))
+    "cancelled entries invisible" (Some 10.0) (Wheel.next_deadline w)
+
+(* ------------------------------------------------------------------ *)
+(* UDP transport loopback                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_pair f =
+  let mk () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    fd
+  in
+  let fd0 = mk () and fd1 = mk () in
+  let peers = [| Unix.getsockname fd0; Unix.getsockname fd1 |] in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close fd0;
+      Unix.close fd1)
+    (fun () -> f ~fd0 ~fd1 ~peers)
+
+let await_readable fd =
+  match Unix.select [ fd ] [] [] 5.0 with
+  | [], _, _ -> Alcotest.fail "timed out waiting for a datagram"
+  | _ -> ()
+
+let msg = Dpu_core.App_msg.App (Msg.make ~origin:0 ~seq:7 ~size:32 "live")
+
+let test_udp_loopback () =
+  with_pair (fun ~fd0 ~fd1 ~peers ->
+      let t0 = Dpu_live.Udp_transport.create ~me:0 ~fd:fd0 ~peers () in
+      let t1 = Dpu_live.Udp_transport.create ~me:1 ~fd:fd1 ~peers () in
+      let got = ref [] in
+      Dpu_runtime.Transport.set_handler
+        (Dpu_live.Udp_transport.transport t1)
+        ~node:1
+        (fun ~src p -> got := (src, Payload.to_string p) :: !got);
+      Dpu_runtime.Transport.send
+        (Dpu_live.Udp_transport.transport t0)
+        ~src:0 ~dst:1 ~size_bytes:32 msg;
+      await_readable fd1;
+      Dpu_live.Udp_transport.drain t1;
+      check
+        Alcotest.(list (pair int string))
+        "delivered with sender identity"
+        [ (0, Payload.to_string msg) ]
+        (List.rev !got);
+      let c = Dpu_live.Udp_transport.counters t1 in
+      check Alcotest.int "delivered counter" 1 c.Dpu_runtime.Transport.delivered;
+      check Alcotest.int "dropped counter" 0 c.Dpu_runtime.Transport.dropped)
+
+let test_udp_foreign_frames_dropped () =
+  with_pair (fun ~fd0 ~fd1 ~peers ->
+      let t0 =
+        Dpu_live.Udp_transport.create ~service:"dpu" ~generation:1 ~me:0 ~fd:fd0
+          ~peers ()
+      in
+      let t1 =
+        Dpu_live.Udp_transport.create ~service:"dpu" ~generation:2 ~me:1 ~fd:fd1
+          ~peers ()
+      in
+      let got = ref 0 in
+      Dpu_runtime.Transport.set_handler
+        (Dpu_live.Udp_transport.transport t1)
+        ~node:1
+        (fun ~src:_ _ -> incr got);
+      (* Wrong deployment generation: shed at the transport. *)
+      Dpu_runtime.Transport.send
+        (Dpu_live.Udp_transport.transport t0)
+        ~src:0 ~dst:1 ~size_bytes:32 msg;
+      await_readable fd1;
+      Dpu_live.Udp_transport.drain t1;
+      (* Not even an envelope: also shed. *)
+      let sent =
+        Unix.sendto_substring fd1 "not a frame" 0 11 [] peers.(1)
+      in
+      check Alcotest.int "raw bytes sent" 11 sent;
+      await_readable fd1;
+      Dpu_live.Udp_transport.drain t1;
+      check Alcotest.int "nothing delivered" 0 !got;
+      let c = Dpu_live.Udp_transport.counters t1 in
+      check Alcotest.int "both dropped" 2 c.Dpu_runtime.Transport.dropped)
+
+let test_udp_wrong_node_refused () =
+  with_pair (fun ~fd0 ~fd1:_ ~peers ->
+      let t0 = Dpu_live.Udp_transport.create ~me:0 ~fd:fd0 ~peers () in
+      let tr = Dpu_live.Udp_transport.transport t0 in
+      (match Dpu_runtime.Transport.send tr ~src:1 ~dst:0 ~size_bytes:1 msg with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "sending as a foreign node accepted");
+      match Dpu_runtime.Transport.set_handler tr ~node:1 (fun ~src:_ _ -> ()) with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "handling a foreign node accepted")
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "live"
+    [
+      ( "timer-wheel",
+        [
+          tc "fire order" test_wheel_fire_order;
+          tc "same deadline is FIFO" test_wheel_same_deadline_fifo;
+          tc "cancellation" test_wheel_cancellation;
+          tc "far deadlines survive wraps" test_wheel_far_slots;
+          tc "re-arm waits for the next pass" test_wheel_rearm_not_same_pass;
+          tc "zero-delay cascade" test_wheel_zero_delay_cascade;
+          tc "next deadline" test_wheel_next_deadline;
+        ] );
+      ( "udp-transport",
+        [
+          tc "loopback delivery" test_udp_loopback;
+          tc "foreign frames dropped" test_udp_foreign_frames_dropped;
+          tc "single-node ownership" test_udp_wrong_node_refused;
+        ] );
+    ]

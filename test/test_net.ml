@@ -121,6 +121,28 @@ let test_duplication () =
   check Alcotest.int "two copies" 2 (List.length !inbox1);
   check Alcotest.int "dup counter" 1 (Datagram.counters net).Datagram.duplicated
 
+let test_dup_bytes_accounting () =
+  (* [bytes] counts each datagram once at send; the duplication
+     process's extra wire traffic is exactly [dup_bytes] on top. *)
+  let sim, net = make_net ~dup:1.0 () in
+  let inbox1 = inbox net 1 in
+  let sizes = [ 10; 200; 3_000; 47 ] in
+  List.iter (fun s -> Datagram.send net ~src:0 ~dst:1 ~size_bytes:s "x") sizes;
+  Sim.run sim;
+  let total = List.fold_left ( + ) 0 sizes in
+  let c = Datagram.counters net in
+  check Alcotest.int "every datagram duplicated" (List.length sizes)
+    c.Datagram.duplicated;
+  check Alcotest.int "dup_bytes = bytes of the extra copies" total
+    c.Datagram.dup_bytes;
+  check Alcotest.int "bytes counts each datagram once" total c.Datagram.bytes;
+  check Alcotest.int "delivered = sent + duplicated"
+    (c.Datagram.sent + c.Datagram.duplicated)
+    c.Datagram.delivered;
+  check Alcotest.int "receiver saw every copy"
+    (c.Datagram.delivered)
+    (List.length !inbox1)
+
 let test_crash_dst () =
   let sim, net = make_net () in
   let inbox1 = inbox net 1 in
@@ -425,6 +447,7 @@ let () =
           tc "loss=0" test_loss_zero;
           tc "self send never lost" test_self_send_never_lost;
           tc "duplication" test_duplication;
+          tc "dup bytes accounting" test_dup_bytes_accounting;
           tc "crash dst" test_crash_dst;
           tc "crash src" test_crash_src;
           tc "crash in flight" test_crash_in_flight;

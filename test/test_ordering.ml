@@ -5,6 +5,7 @@ open Dpu_kernel
 module P = Dpu_protocols
 module V = Dpu_protocols.Vclock
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 module Latency = Dpu_net.Latency
 
 let check = Alcotest.check
@@ -216,7 +217,7 @@ let test_causal_concurrent_free () =
   for i = 0 to 7 do
     for node = 0 to 2 do
       ignore
-        (Sim.schedule (System.sim system)
+        (Clock.defer (System.clock system)
            ~delay:(float_of_int i *. 5.0)
            (fun () ->
              (* Record the stamp the module will use: its clock ticked

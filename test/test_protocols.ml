@@ -5,6 +5,7 @@
 open Dpu_kernel
 module P = Dpu_protocols
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 module Latency = Dpu_net.Latency
 
 let check = Alcotest.check
@@ -157,7 +158,7 @@ let count_retrans_after_warmup ~adaptive () =
   (* Steady state: 30 more messages, spaced out. *)
   for i = 11 to 40 do
     ignore
-      (Sim.schedule (System.sim system) ~delay:(float_of_int i *. 60.0) (fun () ->
+      (Clock.defer (System.clock system) ~delay:(float_of_int i *. 60.0) (fun () ->
            Stack.call (System.stack system 0) Service.rp2p
              (P.Rp2p.Send { dst = 1; size = 64; payload = Blob (string_of_int i) })))
   done;
@@ -192,7 +193,7 @@ let test_rp2p_storm_backoff_resets_on_sample () =
   System.run_for system 2_000.0;
   check Alcotest.int "first delivered after heal" 1 (List.length !got);
   (* Clean phase: send and measure delivery promptness. *)
-  let t0 = Sim.now (System.sim system) in
+  let t0 = Clock.now (System.clock system) in
   Stack.call (System.stack system 0) Service.rp2p
     (P.Rp2p.Send { dst = 1; size = 64; payload = Blob "clean" });
   System.run_for system 1_000.0;
@@ -343,7 +344,7 @@ let relay_agreement_scenario ~relay =
   Stack.call (System.stack system 0) P.Rbcast.service
     (P.Rbcast.Bcast { size = 64; payload = Blob "m" });
   ignore
-    (Sim.schedule (System.sim system) ~delay:5.0 (fun () -> System.crash_node system 0));
+    (Clock.defer (System.clock system) ~delay:5.0 (fun () -> System.crash_node system 0));
   System.run_until_quiescent ~limit:30_000.0 system;
   (delivered.(1), delivered.(2))
 
@@ -464,7 +465,7 @@ let test_consensus_crash_seeds_agree () =
     let iid = { P.Consensus_iface.epoch = 0; k = 0 } in
     propose system ~node:((victim + 1) mod 5) ~iid "v";
     ignore
-      (Sim.schedule (System.sim system) ~delay:(float_of_int (seed * 3)) (fun () ->
+      (Clock.defer (System.clock system) ~delay:(float_of_int (seed * 3)) (fun () ->
            System.crash_node system victim));
     System.run_until_quiescent ~limit:30_000.0 system;
     let decided =
@@ -572,7 +573,7 @@ let run_abcast_scenario ?(n = 3) ?(seed = 1) ?(loss = 0.0) ~msgs variant =
   for i = 0 to msgs - 1 do
     let node = i mod n in
     ignore
-      (Sim.schedule (System.sim system) ~delay:(float_of_int i *. 3.0) (fun () ->
+      (Clock.defer (System.clock system) ~delay:(float_of_int i *. 3.0) (fun () ->
            abcast system ~node (Printf.sprintf "%d:%d" node i)))
   done;
   System.run_until_quiescent ~limit:30_000.0 system;
@@ -616,7 +617,7 @@ let test_abcast_under_duplication variant () =
   let logs = abcast_logs system in
   for i = 0 to 14 do
     ignore
-      (Sim.schedule (System.sim system) ~delay:(float_of_int i *. 6.0) (fun () ->
+      (Clock.defer (System.clock system) ~delay:(float_of_int i *. 6.0) (fun () ->
            abcast system ~node:(i mod 3) (string_of_int i)))
   done;
   System.run_until_quiescent ~limit:30_000.0 system;
@@ -667,11 +668,11 @@ let test_abcast_token_holder_crash () =
     let node = i mod 3 in
     (* only nodes 0-2 send; 3 will crash *)
     ignore
-      (Sim.schedule (System.sim system) ~delay:(float_of_int i *. 10.0) (fun () ->
+      (Clock.defer (System.clock system) ~delay:(float_of_int i *. 10.0) (fun () ->
            abcast system ~node (string_of_int i)))
   done;
   ignore
-    (Sim.schedule (System.sim system) ~delay:35.0 (fun () -> System.crash_node system 3));
+    (Clock.defer (System.clock system) ~delay:35.0 (fun () -> System.crash_node system 3));
   System.run_until_quiescent ~limit:30_000.0 system;
   let sequences = List.filteri (fun i _ -> i <> 3) logs in
   match List.map (fun l -> List.rev !l) sequences with

@@ -9,6 +9,7 @@ module MW = Dpu_core.Middleware
 module SB = Dpu_core.Stack_builder
 module Rng = Dpu_engine.Rng
 module Sim = Dpu_engine.Sim
+module Clock = Dpu_runtime.Clock
 
 let check = Alcotest.check
 
@@ -84,35 +85,32 @@ let run_plan plan =
     }
   in
   let mw = MW.create ~config ~n:plan.n () in
-  let sim = System.sim (MW.system mw) in
+  let clock = System.clock (MW.system mw) in
   let net = System.net (MW.system mw) in
   Dpu_workload.Load_gen.start mw ~rate_per_s:plan.rate ~until:plan.duration_ms ();
   List.iter
     (fun (t, variant) ->
       ignore
-        (Sim.schedule sim ~delay:t (fun () -> MW.change_protocol mw ~node:0 variant)
-          : Sim.handle))
+        (Clock.defer clock ~delay:t (fun () -> MW.change_protocol mw ~node:0 variant)))
     plan.switches;
   (match plan.consensus_swap with
   | Some t ->
     ignore
-      (Sim.schedule sim ~delay:t (fun () ->
-           MW.change_consensus mw ~node:1 Dpu_protocols.Consensus_paxos.protocol_name)
-        : Sim.handle)
+      (Clock.defer clock ~delay:t (fun () ->
+           MW.change_consensus mw ~node:1 Dpu_protocols.Consensus_paxos.protocol_name))
   | None -> ());
   (match plan.partition with
   | Some (start, heal) ->
     let isolated = plan.n - 1 in
     ignore
-      (Sim.schedule sim ~delay:start (fun () ->
+      (Clock.defer clock ~delay:start (fun () ->
            Dpu_net.Datagram.partition net
-             [ List.init (plan.n - 1) (fun i -> i); [ isolated ] ])
-        : Sim.handle);
-    ignore (Sim.schedule sim ~delay:heal (fun () -> Dpu_net.Datagram.heal net) : Sim.handle)
+             [ List.init (plan.n - 1) (fun i -> i); [ isolated ] ]));
+    ignore (Clock.defer clock ~delay:heal (fun () -> Dpu_net.Datagram.heal net))
   | None -> ());
   (match plan.crash with
   | Some (t, node) ->
-    ignore (Sim.schedule sim ~delay:t (fun () -> MW.crash mw node) : Sim.handle)
+    ignore (Clock.defer clock ~delay:t (fun () -> MW.crash mw node))
   | None -> ());
   MW.run_until_quiescent ~limit:(plan.duration_ms +. 120_000.0) mw;
   mw

@@ -1,0 +1,275 @@
+(* Wire-format coverage: every shipped payload has a printer (no
+   "<payload>" fallback anywhere) and a codec that round-trips;
+   truncated, trailing-garbage and foreign frames are rejected. *)
+
+open Dpu_kernel
+module P = Dpu_protocols
+module Ci = P.Consensus_iface
+
+let check = Alcotest.check
+
+let has_sub ~sub s =
+  let ls = String.length sub and ln = String.length s in
+  let rec go i = i + ls <= ln && (String.sub s i ls = sub || go (i + 1)) in
+  go 0
+
+let iid = { Ci.epoch = 1; k = 4 }
+
+let mid = { Msg.origin = 1; seq = 42 }
+
+let msg = Msg.make ~origin:1 ~seq:42 ~size:64 "hello"
+
+let app = Dpu_core.App_msg.App msg
+
+let item = { P.Abcast_ct.id = mid; size = 64; payload = app }
+
+let order = { P.Abcast_token.gseq = 9; origin = 2; size = 64; payload = app }
+
+(* One sample per constructor of every shipped payload type. *)
+let samples : (string * Payload.t) list =
+  [
+    ("unit", Payload.Unit);
+    ("app", app);
+    ("udp.send", P.Udp.Send { dst = 2; size = 77; payload = app });
+    ("udp.recv", P.Udp.Recv { src = 1; payload = Payload.Unit });
+    ("rbcast.bcast", P.Rbcast.Bcast { size = 77; payload = app });
+    ("rbcast.deliver", P.Rbcast.Deliver { origin = 3; payload = app });
+    ("rbcast.wire", P.Rbcast.Wire { origin = 3; seq = 7; size = 77; payload = app });
+    ("rp2p.send", P.Rp2p.Send { dst = 0; size = 12; payload = app });
+    ("rp2p.recv", P.Rp2p.Recv { src = 5; payload = app });
+    ( "rp2p.data",
+      P.Rp2p.Wire_data { src = 5; seq = 8; attempt = 2; size = 12; payload = app } );
+    ("rp2p.ack", P.Rp2p.Wire_ack { src = 5; seq = 8; attempt = 2 });
+    ("fd.suspect", P.Fd.Suspect 3);
+    ("fd.restore", P.Fd.Restore 1);
+    ("fd.heartbeat", P.Fd.Wire_heartbeat { src = 2 });
+    ("consensus.propose", Ci.Propose { iid; value = app; weight = 2 });
+    ("consensus.decide", Ci.Decide { iid; value = app });
+    ("consensus.no-value", Ci.No_value);
+    ( "ct.estimate",
+      P.Consensus_ct.W_estimate
+        { iid; round = 3; from = 1; value = app; ts = 2; weight = 1 } );
+    ("ct.propose", P.Consensus_ct.W_propose { iid; round = 3; value = app; weight = 1 });
+    ("ct.ack", P.Consensus_ct.W_ack { iid; round = 3; from = 1 });
+    ("ct.nack", P.Consensus_ct.W_nack { iid; round = 3; from = 1 });
+    ("ct.decide", P.Consensus_ct.W_decide { iid; value = app });
+    ("ct.wakeup", P.Consensus_ct.W_wakeup { iid });
+    ("paxos.wakeup", P.Consensus_paxos.P_wakeup { iid });
+    ("paxos.offer", P.Consensus_paxos.P_offer { iid; value = app; weight = 1; from = 0 });
+    ("paxos.prepare", P.Consensus_paxos.P_prepare { iid; ballot = 12; from = 0 });
+    ( "paxos.promise-none",
+      P.Consensus_paxos.P_promise { iid; ballot = 12; accepted = None; from = 0 } );
+    ( "paxos.promise-some",
+      P.Consensus_paxos.P_promise
+        { iid; ballot = 12; accepted = Some (9, app, 2); from = 0 } );
+    ( "paxos.accept",
+      P.Consensus_paxos.P_accept { iid; ballot = 12; value = app; weight = 2; from = 0 } );
+    ("paxos.accepted", P.Consensus_paxos.P_accepted { iid; ballot = 12; from = 3 });
+    ("paxos.decide", P.Consensus_paxos.P_decide { iid; value = app; weight = 2 });
+    ("abcast.broadcast", P.Abcast_iface.Broadcast { size = 77; payload = app });
+    ("abcast.deliver", P.Abcast_iface.Deliver { origin = 3; payload = app });
+    ("ct-abcast.batch", P.Abcast_ct.Batch [ item; item ]);
+    ("ct-abcast.batch-empty", P.Abcast_ct.Batch []);
+    ("ct-abcast.disseminate", P.Abcast_ct.Disseminate { epoch = 2; item });
+    ( "seq-abcast.req",
+      P.Abcast_seq.Wire_req { epoch = 2; id = mid; size = 77; payload = app } );
+    ( "seq-abcast.order",
+      P.Abcast_seq.Wire_order
+        { epoch = 2; gseq = 4; origin = 1; size = 77; payload = app } );
+    ("token.order", P.Abcast_token.Wire_order { epoch = 2; order });
+    ("token.token", P.Abcast_token.Wire_token { epoch = 2; era = 1; next_gseq = 10 });
+    ("token.repair-req", P.Abcast_token.Wire_repair_req { epoch = 2; gseq = 4; from = 1 });
+    ("token.repair", P.Abcast_token.Wire_repair { epoch = 2; order });
+    ("token.hello", P.Abcast_token.Wire_hello { epoch = 2; from = 1 });
+    ("causal.bcast", P.Causal_bcast.Bcast { size = 77; payload = app });
+    ("causal.deliver", P.Causal_bcast.Deliver { origin = 3; payload = app });
+    ( "causal.stamped",
+      P.Causal_bcast.Stamped { stamp = [ 0; 2; 1 ]; origin = 1; payload = app } );
+    ("fifo.bcast", P.Fifo_bcast.Bcast { size = 77; payload = app });
+    ("fifo.deliver", P.Fifo_bcast.Deliver { origin = 3; payload = app });
+    ("fifo.tagged", P.Fifo_bcast.Tagged { fseq = 6; payload = app });
+    ("gm.join", P.Gm.Join 2);
+    ("gm.leave", P.Gm.Leave 0);
+    ("gm.view", P.Gm.View { P.Gm.id = 3; members = [ 0; 1; 2 ] });
+    ("gm.change-join", P.Gm.Gm_change { op = P.Gm.Op_join; target = 2 });
+    ("gm.change-leave", P.Gm.Gm_change { op = P.Gm.Op_leave; target = 2 });
+    ("gm.change-exclude", P.Gm.Gm_change { op = P.Gm.Op_exclude; target = 2 });
+    ("r-abcast.broadcast", P.Repl_iface.R_broadcast { size = 77; payload = app });
+    ("r-abcast.deliver", P.Repl_iface.R_deliver { origin = 3; payload = app });
+    ("r-abcast.change", P.Repl_iface.Change_abcast "abcast.seq");
+    ( "r-abcast.changed",
+      P.Repl_iface.Protocol_changed { generation = 1; protocol = "abcast.seq" } );
+    ("repl.data", Dpu_core.Repl.A_data { sn = 7; id = mid; size = 77; payload = app });
+    ("repl.new", Dpu_core.Repl.A_new { sn = 7; protocol = "abcast.token" });
+    ("repl-consensus.change", Dpu_core.Repl_consensus.Change_consensus "consensus.paxos");
+    ( "repl-consensus.changed",
+      Dpu_core.Repl_consensus.Consensus_changed
+        { generation = 1; protocol = "consensus.paxos" } );
+    ( "repl-consensus.wrapped-none",
+      Dpu_core.Repl_consensus.Wrapped { value = app; switch = None } );
+    ( "repl-consensus.wrapped-some",
+      Dpu_core.Repl_consensus.Wrapped { value = app; switch = Some "consensus.paxos" } );
+    ( "repl-consensus.request",
+      Dpu_core.Repl_consensus.Wire_request { protocol = "consensus.paxos" } );
+    ( "maestro.data",
+      Dpu_baselines.Maestro.M_data { gen = 1; id = mid; size = 77; payload = app } );
+    ("maestro.switch", Dpu_baselines.Maestro.M_switch { gen = 1; protocol = "abcast.seq" });
+    ( "graceful.data",
+      Dpu_baselines.Graceful.G_data { gen = 1; id = mid; size = 77; payload = app } );
+    ("graceful.point", Dpu_baselines.Graceful.G_point { gen = 1; protocol = "abcast.seq" });
+    ( "graceful.prepare",
+      Dpu_baselines.Graceful.C_prepare { gen = 1; protocol = "abcast.seq"; initiator = 0 }
+    );
+    ("graceful.prepared", Dpu_baselines.Graceful.C_prepared { gen = 1; from = 2; ok = true });
+    ("graceful.activated", Dpu_baselines.Graceful.C_activated { gen = 1; from = 2 });
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: printers everywhere, never the "<payload>" fallback     *)
+(* ------------------------------------------------------------------ *)
+
+let test_printers_no_fallback () =
+  List.iter
+    (fun (label, p) ->
+      let s = Payload.to_string p in
+      check Alcotest.bool (label ^ " prints without fallback") false
+        (has_sub ~sub:"<payload>" s);
+      check Alcotest.bool (label ^ " prints something") true (String.length s > 0))
+    samples
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let frame_tag frame =
+  let taglen = Char.code frame.[0] in
+  String.sub frame 1 taglen
+
+let test_roundtrip_every_sample () =
+  List.iter
+    (fun (label, p) ->
+      match Payload.encode p with
+      | None -> Alcotest.failf "%s: no codec" label
+      | Some frame ->
+        let q = Payload.decode frame in
+        check Alcotest.string (label ^ " re-encodes identically") frame
+          (Payload.encode_exn q);
+        check Alcotest.string (label ^ " prints identically") (Payload.to_string p)
+          (Payload.to_string q))
+    samples
+
+let test_every_registered_codec_exercised () =
+  let covered =
+    List.sort_uniq String.compare
+      (List.map (fun (_, p) -> frame_tag (Payload.encode_exn p)) samples)
+  in
+  check
+    Alcotest.(list string)
+    "samples cover every registered tag" (Payload.registered_tags ()) covered
+
+(* ------------------------------------------------------------------ *)
+(* Rejection: truncation, trailing garbage, unknown frames            *)
+(* ------------------------------------------------------------------ *)
+
+let expect_reject label s =
+  match Payload.decode s with
+  | exception Payload.Decode_error _ -> ()
+  | _ -> Alcotest.failf "%s: bogus frame decoded" label
+
+let test_truncated_frames_rejected () =
+  List.iter
+    (fun (label, p) ->
+      let frame = Payload.encode_exn p in
+      for cut = 0 to String.length frame - 1 do
+        expect_reject
+          (Printf.sprintf "%s cut to %d bytes" label cut)
+          (String.sub frame 0 cut)
+      done)
+    samples
+
+let test_garbage_frames_rejected () =
+  List.iter
+    (fun (label, p) ->
+      expect_reject (label ^ " + trailing byte") (Payload.encode_exn p ^ "\x00"))
+    samples;
+  expect_reject "empty" "";
+  expect_reject "unknown tag" "\x03zzz";
+  expect_reject "taglen beyond end" "\xff\xff\xff";
+  expect_reject "all zeros" (String.make 16 '\x00')
+
+(* ------------------------------------------------------------------ *)
+(* Envelope                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_envelope_roundtrip () =
+  List.iter
+    (fun (label, p) ->
+      let sealed = Payload.Envelope.seal ~src:2 ~service:"dpu" ~generation:7 p in
+      let info, q = Payload.Envelope.open_ sealed in
+      check Alcotest.int (label ^ " src") 2 info.Payload.Envelope.src;
+      check Alcotest.string (label ^ " service") "dpu" info.Payload.Envelope.service;
+      check Alcotest.int (label ^ " generation") 7 info.Payload.Envelope.generation;
+      check Alcotest.string (label ^ " payload survives")
+        (Payload.encode_exn p) (Payload.encode_exn q))
+    samples
+
+let expect_reject_envelope label s =
+  match Payload.Envelope.open_ s with
+  | exception Payload.Decode_error _ -> ()
+  | _ -> Alcotest.failf "%s: bogus envelope opened" label
+
+let test_envelope_rejection () =
+  let sealed = Payload.Envelope.seal ~src:2 ~service:"dpu" ~generation:7 app in
+  for cut = 0 to String.length sealed - 1 do
+    expect_reject_envelope
+      (Printf.sprintf "cut to %d bytes" cut)
+      (String.sub sealed 0 cut)
+  done;
+  expect_reject_envelope "trailing garbage" (sealed ^ "\x00");
+  let corrupt i c = String.mapi (fun j x -> if i = j then c else x) sealed in
+  expect_reject_envelope "bad magic" (corrupt 0 'X');
+  expect_reject_envelope "bad version" (corrupt 4 '\xfe')
+
+(* ------------------------------------------------------------------ *)
+(* Codec registry hygiene                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_hygiene () =
+  (match
+     Payload.register_codec ~tag:"unit"
+       ~encode:(fun _ -> None)
+       ~decode:(fun _ -> Payload.Unit)
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate tag accepted");
+  (match
+     Payload.register_codec ~tag:""
+       ~encode:(fun _ -> None)
+       ~decode:(fun _ -> Payload.Unit)
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "empty tag accepted");
+  check Alcotest.bool "has_codec Unit" true (Payload.has_codec Payload.Unit)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "wire"
+    [
+      ("printers", [ tc "no payload falls back to <payload>" test_printers_no_fallback ]);
+      ( "codecs",
+        [
+          tc "every sample round-trips" test_roundtrip_every_sample;
+          tc "every registered codec exercised" test_every_registered_codec_exercised;
+          tc "registry hygiene" test_registry_hygiene;
+        ] );
+      ( "rejection",
+        [
+          tc "truncated frames" test_truncated_frames_rejected;
+          tc "garbage frames" test_garbage_frames_rejected;
+        ] );
+      ( "envelope",
+        [
+          tc "round-trip" test_envelope_roundtrip;
+          tc "rejection" test_envelope_rejection;
+        ] );
+    ]
