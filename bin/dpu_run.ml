@@ -5,7 +5,11 @@
      fig5       regenerate Figure 5
      fig6       regenerate Figure 6
      headline   regenerate the §6 headline numbers
-     compare    quantify Repl vs Graceful vs Maestro *)
+     compare    quantify Repl vs Graceful vs Maestro
+     check      static composition verification, no simulation
+     serve      live deployment over real UDP sockets (--nemesis/--scenario)
+     corpus     adversarial replacement scenarios, sim or live
+     trace      dump the kernel event trace of a short scenario *)
 
 open Cmdliner
 module E = Dpu_workload.Experiment
@@ -464,8 +468,14 @@ let check_cmd =
 (* serve — live deployment over real UDP sockets                      *)
 (* ------------------------------------------------------------------ *)
 
+let corpus_switches (sc : Dpu_faults.Corpus.t) =
+  List.map
+    (fun (s : Dpu_faults.Corpus.switch) ->
+      (s.Dpu_faults.Corpus.sw_at, s.Dpu_faults.Corpus.sw_node, s.Dpu_faults.Corpus.sw_to))
+    sc.Dpu_faults.Corpus.switches
+
 let serve n load duration drain switch_at initial switch_to seed msg_size check
-    metrics_out spans_out =
+    nemesis scenario_name metrics_out spans_out =
   let params =
     {
       Dpu_live.Serve.n;
@@ -475,12 +485,42 @@ let serve n load duration drain switch_at initial switch_to seed msg_size check
       switch_at_ms = switch_at;
       initial;
       switch_to;
+      switches = [];
+      nemesis;
       msg_size;
       seed;
     }
   in
+  let params =
+    match scenario_name with
+    | None -> params
+    | Some name -> (
+      match Dpu_faults.Corpus.find name with
+      | None ->
+        Printf.eprintf "dpu_run serve: unknown scenario %S (have: %s)\n" name
+          (String.concat ", " (Dpu_faults.Corpus.names ()));
+        exit 2
+      | Some sc ->
+        Printf.printf "scenario %s: %s\n" sc.Dpu_faults.Corpus.name
+          sc.Dpu_faults.Corpus.summary;
+        {
+          params with
+          Dpu_live.Serve.n = sc.Dpu_faults.Corpus.n;
+          load = sc.Dpu_faults.Corpus.load;
+          duration_ms = sc.Dpu_faults.Corpus.duration_ms;
+          drain_ms = sc.Dpu_faults.Corpus.drain_ms;
+          initial = sc.Dpu_faults.Corpus.initial;
+          switch_to = None;
+          switches = corpus_switches sc;
+          nemesis = sc.Dpu_faults.Corpus.schedule;
+        })
+  in
   Printf.printf "serving %d nodes over UDP on 127.0.0.1 (%.0f msg/s for %.0f ms)\n%!"
-    n load duration;
+    params.Dpu_live.Serve.n params.Dpu_live.Serve.load
+    params.Dpu_live.Serve.duration_ms;
+  if params.Dpu_live.Serve.nemesis <> [] then
+    Format.printf "fault schedule: %a@.%!" Dpu_faults.Schedule.pp
+      params.Dpu_live.Serve.nemesis;
   match Dpu_live.Serve.run ?metrics_out ?spans_out params with
   | Error msg ->
     Printf.eprintf "dpu_run serve: %s\n" msg;
@@ -488,6 +528,7 @@ let serve n load duration drain switch_at initial switch_to seed msg_size check
   | Ok o ->
     let module C = Dpu_core.Collector in
     let module T = Dpu_runtime.Transport in
+    let module FT = Dpu_faults.Fault_transport in
     List.iter
       (fun (r : Dpu_live.Node.report) ->
         let c = r.Dpu_live.Node.counters in
@@ -496,18 +537,43 @@ let serve n load duration drain switch_at initial switch_to seed msg_size check
           r.Dpu_live.Node.node
           (List.length r.Dpu_live.Node.sends)
           (List.length r.Dpu_live.Node.delivers)
-          c.T.sent c.T.delivered c.T.dropped c.T.bytes)
+          c.T.sent c.T.delivered c.T.dropped c.T.bytes;
+        if r.Dpu_live.Node.rx_errors > 0 then
+          Printf.printf "node %d: survived %d receive errors\n"
+            r.Dpu_live.Node.node r.Dpu_live.Node.rx_errors;
+        match r.Dpu_live.Node.faults with
+        | None -> ()
+        | Some f ->
+          Printf.printf
+            "node %d faults: crash-blocked %d, partition-blocked %d, lost %d, \
+             duplicated %d, delayed %d, rx-blocked %d\n"
+            r.Dpu_live.Node.node f.FT.blocked_crash f.FT.blocked_partition
+            f.FT.injected_loss f.FT.injected_dup f.FT.delayed f.FT.rx_blocked)
       o.Dpu_live.Serve.node_reports;
     let collector = o.Dpu_live.Serve.collector in
-    (match (switch_to, C.switch_window collector ~generation:1) with
-    | Some proto, Some (lo, hi) ->
-      Printf.printf "replacement to %s: %.1f..%.1f ms (window %.1f ms), %d/%d nodes\n"
-        proto lo hi (hi -. lo)
-        (List.length
-           (List.filter (fun (_, g, _) -> g = 1) (C.switches collector)))
-        n
-    | Some proto, None -> Printf.printf "replacement to %s: never completed\n" proto
-    | None, _ -> print_endline "no replacement requested");
+    let planned =
+      (match params.Dpu_live.Serve.switch_to with
+      | Some p -> [ (params.Dpu_live.Serve.switch_at_ms, 0, p) ]
+      | None -> [])
+      @ params.Dpu_live.Serve.switches
+    in
+    if planned = [] then print_endline "no replacement requested"
+    else
+      List.iteri
+        (fun i (_, _, proto) ->
+          let generation = i + 1 in
+          match C.switch_window collector ~generation with
+          | Some (lo, hi) ->
+            Printf.printf
+              "replacement to %s: %.1f..%.1f ms (window %.1f ms), %d/%d nodes\n"
+              proto lo hi (hi -. lo)
+              (List.length
+                 (List.filter
+                    (fun (_, g, _) -> g = generation)
+                    (C.switches collector)))
+              params.Dpu_live.Serve.n
+          | None -> Printf.printf "replacement to %s: never completed\n" proto)
+        planned;
     (match metrics_out with
     | Some path -> Printf.printf "per-node metrics written to %s\n" path
     | None -> ());
@@ -568,6 +634,27 @@ let serve_cmd =
       & info [ "check" ] ~docv:"BOOL"
           ~doc:"Verify the atomic broadcast properties on the merged trace.")
   in
+  let nemesis =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "nemesis" ] ~docv:"SPEC"
+          ~doc:
+            "Schedule a network fault against the live deployment (repeatable). \
+             SPEC is one of crash@T:NODE, recover@T:NODE, partition@T:0,1|2,3, \
+             heal@T, loss@FROM-UNTIL:P, dup@FROM-UNTIL:P, \
+             slow@FROM-UNTIL:SRC>DST:LAT_MS. Interpreted by a fault shim behind \
+             the transport seam in every node process.")
+  in
+  let scenario_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Run a named corpus scenario (overrides -n, --load, --duration, \
+             --drain, --initial, --switch-to and installs its fault schedule). \
+             See $(b,dpu_run corpus) for the list.")
+  in
   let metrics_out =
     Arg.(
       value
@@ -585,16 +672,122 @@ let serve_cmd =
   let term =
     Term.(
       const serve $ nodes $ load $ duration $ drain $ switch_at $ initial $ switch_to
-      $ seed_arg $ msg_size $ check $ metrics_out $ spans_out)
+      $ seed_arg $ msg_size $ check $ nemesis $ scenario_name $ metrics_out
+      $ spans_out)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the stack live: one OS process per node, real UDP sockets on \
-          localhost, wall-clock timers, with a mid-stream protocol replacement. \
+          localhost, wall-clock timers, with a mid-stream protocol replacement — \
+          optionally under a scripted fault schedule (--nemesis / --scenario). \
           The same code that runs under the simulator, on the live runtime \
           backend.")
     term
+
+(* ------------------------------------------------------------------ *)
+(* corpus — the adversarial replacement scenarios, sim or live        *)
+(* ------------------------------------------------------------------ *)
+
+let corpus only live seed msg_size =
+  let module Corpus = Dpu_faults.Corpus in
+  let module S = Dpu_workload.Scenario in
+  let scenarios =
+    match only with
+    | None -> Corpus.all
+    | Some name -> (
+      match Corpus.find name with
+      | Some sc -> [ sc ]
+      | None ->
+        Printf.eprintf "dpu_run corpus: unknown scenario %S (have: %s)\n" name
+          (String.concat ", " (Corpus.names ()));
+        exit 2)
+  in
+  let failures = ref [] in
+  List.iter
+    (fun (sc : Corpus.t) ->
+      Printf.printf "== %s (%s) ==\n" sc.Corpus.name
+        (if live then "live UDP" else "simulated");
+      Printf.printf "%s\n" sc.Corpus.summary;
+      Format.printf "fault schedule: %a@.%!" Dpu_faults.Schedule.pp
+        sc.Corpus.schedule;
+      let ok =
+        if live then begin
+          let params =
+            {
+              Dpu_live.Serve.n = sc.Corpus.n;
+              load = sc.Corpus.load;
+              duration_ms = sc.Corpus.duration_ms;
+              drain_ms = sc.Corpus.drain_ms;
+              switch_at_ms = 0.0;
+              initial = sc.Corpus.initial;
+              switch_to = None;
+              switches = corpus_switches sc;
+              nemesis = sc.Corpus.schedule;
+              msg_size;
+              seed;
+            }
+          in
+          match Dpu_live.Serve.run params with
+          | Error msg ->
+            Printf.printf "run failed: %s\n" msg;
+            false
+          | Ok o ->
+            Format.printf "%a" Dpu_props.Report.pp_all o.Dpu_live.Serve.checks;
+            Dpu_props.Report.all_ok o.Dpu_live.Serve.checks
+        end
+        else begin
+          let r = S.run_sim ~seed sc in
+          List.iter
+            (fun (generation, window) ->
+              match window with
+              | Some (lo, hi) ->
+                Printf.printf "generation %d installed: %.1f..%.1f ms\n"
+                  generation lo hi
+              | None -> Printf.printf "generation %d: not installed\n" generation)
+            r.S.switch_windows;
+          Format.printf "%a" Dpu_props.Report.pp_all r.S.reports;
+          S.ok r
+        end
+      in
+      Printf.printf "%s: %s\n\n" sc.Corpus.name (if ok then "OK" else "FAILED");
+      if not ok then failures := sc.Corpus.name :: !failures)
+    scenarios;
+  match List.rev !failures with
+  | [] -> print_endline "corpus: all scenarios OK"
+  | failed ->
+    Printf.printf "corpus: FAILED: %s\n" (String.concat ", " failed);
+    exit 1
+
+let corpus_cmd =
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"NAME" ~doc:"Run a single scenario instead of all.")
+  in
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Run over real UDP sockets (one process per node) instead of the \
+             simulator. Same scenario values, same fault shim, different clock.")
+  in
+  let msg_size =
+    Arg.(
+      value & opt int 1_024
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Modelled application payload size.")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Run the adversarial replacement scenario corpus — replacements under \
+          partitions, races, coordinator crashes, rollbacks and cascades — and \
+          check the full atomic broadcast battery on every merged trace. \
+          Defaults to the simulator; --live replays the same schedules over \
+          real UDP sockets.")
+    Term.(const corpus $ only $ live $ seed_arg $ msg_size)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                              *)
@@ -664,5 +857,6 @@ let () =
             compare_cmd;
             check_cmd;
             serve_cmd;
+            corpus_cmd;
             trace_cmd;
           ]))

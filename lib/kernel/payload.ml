@@ -128,8 +128,7 @@ module Envelope = struct
 
   type info = { src : int; service : string; generation : int }
 
-  let seal ~src ~service ~generation p =
-    let body = encode_exn p in
+  let seal_encoded ~src ~service ~generation body =
     let w = Wire.W.create ~initial_size:(String.length body + 32) () in
     Wire.W.raw w magic;
     Wire.W.u8 w version;
@@ -138,6 +137,9 @@ module Envelope = struct
     Wire.W.int w generation;
     Wire.W.str w body;
     Wire.W.contents w
+
+  let seal ~src ~service ~generation p =
+    seal_encoded ~src ~service ~generation (encode_exn p)
 
   let open_ s =
     let r = Wire.R.of_string s in

@@ -78,6 +78,11 @@ module Envelope : sig
   val seal : src:int -> service:string -> generation:int -> t -> string
   (** Raises [Invalid_argument] if the payload has no codec. *)
 
+  val seal_encoded : src:int -> service:string -> generation:int -> string -> string
+  (** Like {!seal} on a body already produced by {!encode} — lets hot
+      paths that must first probe for a codec reuse the encoded bytes
+      instead of encoding twice. *)
+
   val open_ : string -> info * t
   (** Raises {!Decode_error} on bad magic, unsupported version, or any
       framing error. *)

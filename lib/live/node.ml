@@ -11,8 +11,8 @@ type config = {
   service : string;
   generation : int;
   initial : string;
-  switch_to : string option;
-  switch_at_ms : float;
+  switches : (float * int * string) list;
+  nemesis : Dpu_faults.Schedule.t;
   load : float;
   msg_size : int;
   duration_ms : float;
@@ -26,6 +26,8 @@ type report = {
   delivers : (Msg.id * float) list;
   switches : (int * float) list;
   counters : Dpu_runtime.Transport.counters;
+  rx_errors : int;
+  faults : Dpu_faults.Fault_transport.stats option;
   metrics : J.t;
 }
 
@@ -40,9 +42,27 @@ let run ~config ~fd ~peers () =
   (* Per-node seeds: protocol-internal randomisation must not be in
      lockstep across processes. *)
   let rng = Dpu_engine.Rng.create ~seed:(config.seed + (7919 * (config.me + 1))) in
+  (* The nemesis interposes behind the Transport seam, on this node's
+     clock: the same schedule value every other process (and the
+     simulated driver) interprets. Distinct per-node RNG seeds keep the
+     probabilistic faults independent across processes. *)
+  let shim =
+    match config.nemesis with
+    | [] -> None
+    | schedule ->
+      Some
+        (Dpu_faults.Fault_transport.create
+           ~seed:(config.seed + (31 * (config.me + 1)))
+           ~schedule ~clock:(Live_clock.clock lclock)
+           (Udp_transport.transport tr))
+  in
+  let transport =
+    match shim with
+    | None -> Udp_transport.transport tr
+    | Some s -> Dpu_faults.Fault_transport.transport s
+  in
   let runtime =
-    Dpu_runtime.Runtime.create ~clock:(Live_clock.clock lclock)
-      ~transport:(Udp_transport.transport tr) ~rng
+    Dpu_runtime.Runtime.create ~clock:(Live_clock.clock lclock) ~transport ~rng
   in
   let system =
     System.of_runtime ~hop_cost:0.0 ~trace_enabled:false ~metrics
@@ -72,11 +92,12 @@ let run ~config ~fd ~peers () =
              if Live_clock.now lclock < config.duration_ms then
                ignore (Middleware.broadcast mw ~node:config.me "live" : Msg.t))
           : Clock.timer));
-  (match config.switch_to with
-  | Some protocol when config.me = 0 ->
-    Clock.defer clock ~delay:config.switch_at_ms (fun () ->
-        Middleware.change_protocol mw ~node:0 protocol)
-  | Some _ | None -> ());
+  List.iter
+    (fun (at, node, protocol) ->
+      if node = config.me then
+        Clock.defer clock ~delay:at (fun () ->
+            Middleware.change_protocol mw ~node protocol))
+    config.switches;
   let stop_at = config.duration_ms +. config.drain_ms in
   let fd = Udp_transport.fd tr in
   let rec loop () =
@@ -112,7 +133,12 @@ let run ~config ~fd ~peers () =
       List.filter_map
         (fun (node, g, time) -> if node = config.me then Some (g, time) else None)
         (Collector.switches collector);
-    counters = Udp_transport.counters tr;
+    counters =
+      (match shim with
+      | None -> Udp_transport.counters tr
+      | Some s -> Dpu_faults.Fault_transport.counters s);
+    rx_errors = Udp_transport.rx_errors tr;
+    faults = Option.map Dpu_faults.Fault_transport.stats shim;
     metrics = Dpu_obs.Metrics.to_json metrics;
   }
 
@@ -126,27 +152,49 @@ let stamped (id, time) =
 
 let report_to_json r =
   let c = r.counters in
+  (* "faults" is only present on nemesis runs, and readers must accept
+     its absence: clean-run reports keep the pre-nemesis shape (modulo
+     the additive "rx_errors" counter). *)
+  let faults_fields =
+    match r.faults with
+    | None -> []
+    | Some f ->
+      [
+        ( "faults",
+          J.Obj
+            [
+              ("blocked_crash", J.Int f.Dpu_faults.Fault_transport.blocked_crash);
+              ("blocked_partition", J.Int f.blocked_partition);
+              ("injected_loss", J.Int f.injected_loss);
+              ("injected_dup", J.Int f.injected_dup);
+              ("delayed", J.Int f.delayed);
+              ("rx_blocked", J.Int f.rx_blocked);
+            ] );
+      ]
+  in
   J.Obj
-    [
-      ("node", J.Int r.node);
-      ("sends", J.List (List.map stamped r.sends));
-      ("delivers", J.List (List.map stamped r.delivers));
-      ( "switches",
-        J.List
-          (List.map
-             (fun (g, time) ->
-               J.Obj [ ("generation", J.Int g); ("t", J.Float time) ])
-             r.switches) );
-      ( "transport",
-        J.Obj
-          [
-            ("sent", J.Int c.Dpu_runtime.Transport.sent);
-            ("delivered", J.Int c.Dpu_runtime.Transport.delivered);
-            ("dropped", J.Int c.Dpu_runtime.Transport.dropped);
-            ("bytes", J.Int c.Dpu_runtime.Transport.bytes);
-          ] );
-      ("metrics", r.metrics);
-    ]
+    ([
+       ("node", J.Int r.node);
+       ("sends", J.List (List.map stamped r.sends));
+       ("delivers", J.List (List.map stamped r.delivers));
+       ( "switches",
+         J.List
+           (List.map
+              (fun (g, time) ->
+                J.Obj [ ("generation", J.Int g); ("t", J.Float time) ])
+              r.switches) );
+       ( "transport",
+         J.Obj
+           [
+             ("sent", J.Int c.Dpu_runtime.Transport.sent);
+             ("delivered", J.Int c.Dpu_runtime.Transport.delivered);
+             ("dropped", J.Int c.Dpu_runtime.Transport.dropped);
+             ("bytes", J.Int c.Dpu_runtime.Transport.bytes);
+             ("rx_errors", J.Int r.rx_errors);
+           ] );
+     ]
+    @ faults_fields
+    @ [ ("metrics", r.metrics) ])
 
 let parse_fail fmt = Printf.ksprintf (fun msg -> failwith msg) fmt
 
@@ -181,6 +229,30 @@ let parse_stamped j =
 let report_of_json j =
   match
     let transport = get j "transport" in
+    (* Optional fields default: reports written by pre-nemesis builds
+       (and clean runs) stay parseable. *)
+    let rx_errors =
+      match J.member transport "rx_errors" with
+      | None -> 0
+      | Some v -> (
+        match J.to_int_opt v with
+        | Some v -> v
+        | None -> parse_fail "live report: field \"rx_errors\" is not an int")
+    in
+    let faults =
+      match J.member j "faults" with
+      | None -> None
+      | Some f ->
+        Some
+          {
+            Dpu_faults.Fault_transport.blocked_crash = get_int f "blocked_crash";
+            blocked_partition = get_int f "blocked_partition";
+            injected_loss = get_int f "injected_loss";
+            injected_dup = get_int f "injected_dup";
+            delayed = get_int f "delayed";
+            rx_blocked = get_int f "rx_blocked";
+          }
+    in
     {
       node = get_int j "node";
       sends = List.map parse_stamped (get_list j "sends");
@@ -196,6 +268,8 @@ let report_of_json j =
           dropped = get_int transport "dropped";
           bytes = get_int transport "bytes";
         };
+      rx_errors;
+      faults;
       metrics = get j "metrics";
     }
   with

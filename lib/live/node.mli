@@ -3,10 +3,15 @@
 
     The process hosts exactly one node of the group. It generates its
     share of the open-loop load, participates in every protocol
-    (consensus, ABcast, the replacement layer), optionally triggers
-    the mid-stream protocol swap (node 0), and on completion returns a
-    {!report} of everything its local {!Dpu_core.Collector} observed —
-    the parent merges these into the run-wide record. *)
+    (consensus, ABcast, the replacement layer), triggers whichever
+    mid-stream protocol swaps are assigned to it, and on completion
+    returns a {!report} of everything its local {!Dpu_core.Collector}
+    observed — the parent merges these into the run-wide record.
+
+    When [nemesis] is non-empty the UDP transport is wrapped in
+    {!Dpu_faults.Fault_transport} on this node's live clock: every
+    process interprets the same schedule value against its own traffic,
+    so the whole deployment experiences the scripted adversity. *)
 
 open Dpu_kernel
 
@@ -17,8 +22,9 @@ type config = {
   service : string;  (** envelope service name; foreign frames drop *)
   generation : int;  (** envelope deployment generation *)
   initial : string;  (** initial ABcast variant *)
-  switch_to : string option;  (** replacement target; [None] = no swap *)
-  switch_at_ms : float;
+  switches : (float * int * string) list;
+      (** (at_ms, node, target): this process arms only its own *)
+  nemesis : Dpu_faults.Schedule.t;  (** [[]] = clean network *)
   load : float;  (** aggregate messages per second across the group *)
   msg_size : int;
   duration_ms : float;  (** load generation horizon *)
@@ -32,6 +38,10 @@ type report = {
   delivers : (Msg.id * float) list;
   switches : (int * float) list;  (** (generation, time) *)
   counters : Dpu_runtime.Transport.counters;
+      (** the shim's view when a nemesis is active, else the raw wire *)
+  rx_errors : int;  (** receive-path syscall errors survived by drain *)
+  faults : Dpu_faults.Fault_transport.stats option;
+      (** [Some] iff the run had a nemesis *)
   metrics : Dpu_obs.Json.t;
 }
 

@@ -9,6 +9,8 @@ type params = {
   switch_at_ms : float;
   initial : string;
   switch_to : string option;
+  switches : (float * int * string) list;
+  nemesis : Dpu_faults.Schedule.t;
   msg_size : int;
   seed : int;
 }
@@ -22,6 +24,8 @@ let default =
     switch_at_ms = 1_500.0;
     initial = Dpu_core.Variants.ct;
     switch_to = Some Dpu_core.Variants.sequencer;
+    switches = [];
+    nemesis = [];
     msg_size = 1_024;
     seed = 1;
   }
@@ -69,6 +73,20 @@ let counters_json (c : Dpu_runtime.Transport.counters) =
 let run ?metrics_out ?spans_out params =
   if params.n < 1 then invalid_arg "Serve.run: need at least one node";
   if params.load <= 0.0 then invalid_arg "Serve.run: load must be positive";
+  (match Dpu_faults.Schedule.validate ~n:params.n params.nemesis with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Serve.run: nemesis: %s" msg));
+  let switches =
+    (match params.switch_to with
+    | Some p -> [ (params.switch_at_ms, 0, p) ]
+    | None -> [])
+    @ params.switches
+  in
+  List.iter
+    (fun (_, node, _) ->
+      if node < 0 || node >= params.n then
+        invalid_arg (Printf.sprintf "Serve.run: switch node %d out of range" node))
+    switches;
   let fds =
     Array.init params.n (fun _ -> Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0)
   in
@@ -101,8 +119,8 @@ let run ?metrics_out ?spans_out params =
                   service = "dpu";
                   generation;
                   initial = params.initial;
-                  switch_to = params.switch_to;
-                  switch_at_ms = params.switch_at_ms;
+                  switches;
+                  nemesis = params.nemesis;
                   load = params.load;
                   msg_size = params.msg_size;
                   duration_ms = params.duration_ms;
@@ -160,7 +178,16 @@ let run ?metrics_out ?spans_out params =
     | _, (_ :: _ as errors) -> Error (String.concat "; " errors)
     | node_reports, [] ->
       let collector = merge_reports node_reports in
-      let correct = List.init params.n Fun.id in
+      (* Nodes the nemesis silences for good make no promises — the
+         properties quantify over the nodes that stay correct. *)
+      let silenced =
+        Dpu_faults.Schedule.crashed_before params.nemesis ~time:infinity
+      in
+      let correct =
+        List.filter
+          (fun node -> not (List.mem node silenced))
+          (List.init params.n Fun.id)
+      in
       let checks = Dpu_props.Abcast_props.check_all collector ~correct in
       (match metrics_out with
       | Some path ->

@@ -10,6 +10,15 @@
     broadcast properties of §5.1 across the replacement — the live
     counterpart of the simulator's {!Dpu_workload.Experiment.check}.
 
+    A non-empty [nemesis] schedule is inherited by every child through
+    the fork and interpreted by a per-process
+    {!Dpu_faults.Fault_transport} shim, so the whole deployment lives
+    through the same scripted adversity; nodes the schedule
+    crash-silences for good are excluded from the [~correct] set the
+    property checkers get. [switches] arms additional replacements
+    beyond the [switch_to]/[switch_at_ms] pair (each triple is
+    [(at_ms, node, target)]).
+
     [metrics_out]/[spans_out] mirror the sim path's exports: a JSON
     metrics snapshot (here per-node, plus transport counters) and
     Chrome trace-event spans of the merged run. *)
@@ -22,13 +31,16 @@ type params = {
   switch_at_ms : float;
   initial : string;
   switch_to : string option;
+  switches : (float * int * string) list;
+      (** extra replacements: [(at_ms, node, target)] *)
+  nemesis : Dpu_faults.Schedule.t;  (** [[]] = clean network *)
   msg_size : int;
   seed : int;
 }
 
 val default : params
 (** 3 nodes, 30 msg/s for 3 s, CT ABcast swapped to the sequencer
-    variant at 1.5 s. *)
+    variant at 1.5 s, clean network. *)
 
 type outcome = {
   node_reports : Node.report list;  (** in node order *)
@@ -40,4 +52,5 @@ val run :
   ?metrics_out:string -> ?spans_out:string -> params ->
   (outcome, string) result
 (** [Error] on child crash or unreadable report; property violations
-    are not an error — inspect [checks]. *)
+    are not an error — inspect [checks]. Raises [Invalid_argument] if
+    the nemesis schedule or a switch targets a node out of range. *)

@@ -2,10 +2,13 @@ module Clock = Dpu_runtime.Clock
 
 type entry = {
   e_deadline : float;
-  e_tick : int;
+  e_tick : int;  (* 0 for ready-queue entries; the filing tick otherwise *)
   e_seq : int;
   e_timer : Clock.timer option;
   e_fn : unit -> unit;
+  mutable e_counted : bool;
+      (* still counted in [pending]; cleared the first time the entry is
+         fired or observed cancelled, wherever that happens first *)
 }
 
 type t = {
@@ -46,6 +49,7 @@ let add t ~now ~delay ?timer fn =
       e_seq = t.seq;
       e_timer = timer;
       e_fn = fn;
+      e_counted = true;
     }
   in
   t.seq <- t.seq + 1;
@@ -67,29 +71,39 @@ let add t ~now ~delay ?timer fn =
 let live e =
   match e.e_timer with Some tm -> not (Clock.is_cancelled tm) | None -> true
 
+(* Take the entry out of the pending count, exactly once. Called when
+   the entry fires, and from any scan that observes it cancelled — so
+   [pending] never reports phantom work from cancelled entries waiting
+   in far slots for their sweep. *)
+let discount t e =
+  if e.e_counted then begin
+    e.e_counted <- false;
+    t.pending <- t.pending - 1
+  end
+
+(* When the entry will actually fire: ready-queue entries run on the
+   next advance, slotted entries when the cursor reaches [e_tick] —
+   which, after floor/tick clamping, can be later than the nominal
+   [e_deadline]. *)
+let effective_deadline t e =
+  if e.e_tick = 0 then e.e_deadline
+  else Float.max e.e_deadline (float_of_int e.e_tick *. t.granularity)
+
 let next_deadline t =
   if t.pending = 0 then None
   else
-    let acc =
-      Queue.fold
-        (fun acc e ->
-          if not (live e) then acc
-          else
-            match acc with
-            | None -> Some e.e_deadline
-            | Some d -> Some (Float.min d e.e_deadline))
-        None t.ready
+    let consider acc e =
+      if not (live e) then begin
+        discount t e;
+        acc
+      end
+      else
+        let d = effective_deadline t e in
+        match acc with None -> Some d | Some d' -> Some (Float.min d d')
     in
+    let acc = Queue.fold consider None t.ready in
     Array.fold_left
-      (fun acc bucket ->
-        List.fold_left
-          (fun acc e ->
-            if not (live e) then acc
-            else
-              match acc with
-              | None -> Some e.e_deadline
-              | Some d -> Some (Float.min d e.e_deadline))
-          acc !bucket)
+      (fun acc bucket -> List.fold_left consider acc !bucket)
       acc t.slots
 
 let cmp_due a b =
@@ -98,7 +112,7 @@ let cmp_due a b =
   | c -> c
 
 let fire t e =
-  t.pending <- t.pending - 1;
+  discount t e;
   if live e then e.e_fn ()
 
 let advance t ~now =

@@ -28,8 +28,13 @@ val advance : t -> now:float -> unit
     same-instant event cascades. *)
 
 val next_deadline : t -> float option
-(** Earliest live deadline, for sizing a poll timeout. O(slots +
-    pending entries). *)
+(** Earliest {e effective} fire time among live entries — the instant
+    {!advance} would actually run one, accounting for floor/tick
+    clamping — for sizing a poll timeout. Cancelled entries are
+    invisible and are discounted from {!pending} as the scan observes
+    them. O(slots + pending entries). *)
 
 val pending : t -> int
-(** Armed entries, including cancelled ones not yet swept. *)
+(** Entries still expected to fire. Cancelled entries leave the count
+    as soon as any scan observes them ({!next_deadline}, {!advance}),
+    so idle detection never sees phantom work. *)

@@ -14,6 +14,7 @@ type t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  mutable rx_errors : int;
 }
 
 let max_frame = 65_507 (* UDP payload limit over IPv4 *)
@@ -35,6 +36,7 @@ let create ?(service = "dpu") ?(generation = 0) ~me ~fd ~peers () =
     delivered = 0;
     dropped = 0;
     bytes = 0;
+    rx_errors = 0;
   }
 
 let fd t = t.fd
@@ -50,19 +52,25 @@ let send t ~src ~dst ~size_bytes:_ payload =
        the sim backend would have delivered it, so leaving codecs
        unregistered shows up as loss, loudly, in the counters. *)
     t.dropped <- t.dropped + 1
-  | Some _ ->
+  | Some body ->
     let frame =
-      Payload.Envelope.seal ~src ~service:t.service ~generation:t.generation payload
+      Payload.Envelope.seal_encoded ~src ~service:t.service
+        ~generation:t.generation body
     in
     let len = String.length frame in
-    t.sent <- t.sent + 1;
-    t.bytes <- t.bytes + len;
+    (* A frame counts as sent (and its bytes are charged) only once the
+       syscall accepted it: oversized frames and sendto failures are
+       dropped, never double-counted, so [sent - delivered-at-peers]
+       still equals in-flight loss. *)
     if len > max_frame then t.dropped <- t.dropped + 1
-    else
-      try ignore (Unix.sendto_substring t.fd frame 0 len [] t.peers.(dst) : int)
-      with Unix.Unix_error _ ->
+    else (
+      match Unix.sendto_substring t.fd frame 0 len [] t.peers.(dst) with
+      | exception Unix.Unix_error _ ->
         (* Datagram semantics: sends may be lost. *)
         t.dropped <- t.dropped + 1
+      | (_ : int) ->
+        t.sent <- t.sent + 1;
+        t.bytes <- t.bytes + len)
 
 let set_handler t ~node f =
   if node <> t.me then
@@ -94,9 +102,18 @@ let rec drain t =
   | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
     (* A peer's socket vanished; ignore like any datagram loss. *)
     drain t
+  | exception Unix.Unix_error (_, _, _) ->
+    (* Anything else (ENOMEM, EBADF during a shutdown race, ...) must
+       not kill the node loop mid-scenario: count it as dropped input
+       and stop this drain pass — recursing could spin forever on a
+       persistent error. *)
+    t.rx_errors <- t.rx_errors + 1;
+    t.dropped <- t.dropped + 1
   | len, _addr ->
     receive_one t (Bytes.sub_string t.buf 0 len);
     drain t
+
+let rx_errors t = t.rx_errors
 
 let counters t =
   {

@@ -24,7 +24,15 @@ val transport : t -> Payload.t Dpu_runtime.Transport.t
 
 val drain : t -> unit
 (** Receive until the socket would block, handing each decoded payload
-    to the installed handler. *)
+    to the installed handler. Unexpected receive errors (e.g. [ENOMEM],
+    [EBADF] in a shutdown race) end the pass and are counted — as
+    [dropped] and in {!rx_errors} — instead of escaping into the node
+    loop. *)
+
+val rx_errors : t -> int
+(** Receive syscalls that failed with something other than
+    would-block/interrupt/connection-refused. Each is also counted as
+    one [dropped] datagram. *)
 
 val fd : t -> Unix.file_descr
 

@@ -10,6 +10,11 @@ module Latency = Dpu_net.Latency
 module Datagram = Dpu_net.Datagram
 module Schedule = Dpu_faults.Schedule
 module Nemesis = Dpu_faults.Nemesis
+module FT = Dpu_faults.Fault_transport
+module RT = Dpu_runtime.Transport
+module Runtime = Dpu_runtime.Runtime
+module Corpus = Dpu_faults.Corpus
+module Scenario = Dpu_workload.Scenario
 module E = Dpu_workload.Experiment
 
 let check = Alcotest.check
@@ -138,6 +143,239 @@ let test_custom_crash_hook () =
   Sim.run (Datagram.sim net);
   check (Alcotest.list Alcotest.int) "hook used" [ 2 ] !killed;
   check Alcotest.bool "net-level crash bypassed" false (Datagram.is_crashed net 2)
+
+(* ------------------------------------------------------------------ *)
+(* Fault_transport: the shim behind the Transport seam                *)
+(* ------------------------------------------------------------------ *)
+
+(* The shim wrapped around the simulated backend — the sim stands in
+   for "any transport"; the live variant is exercised in test_live. *)
+let make_shim ?(n = 3) ?(seed = 11) schedule =
+  let sim = Sim.create ~seed () in
+  let net = Datagram.create sim ~n ~loss:0.0 ~link:(Latency.constant 1.0) () in
+  let rt = Dpu_runtime.Sim_backend.runtime sim net in
+  let shim =
+    FT.create ~seed:(seed + 1) ~schedule ~clock:(Runtime.clock rt)
+      (Runtime.transport rt)
+  in
+  (sim, shim, FT.transport shim)
+
+let shim_inbox tr node =
+  let log = ref [] in
+  RT.set_handler tr ~node (fun ~src p -> log := (src, p) :: !log);
+  log
+
+let send_at sim tr t ~src ~dst tag =
+  ignore
+    (Sim.schedule_at sim ~time:t (fun () ->
+         RT.send tr ~src ~dst ~size_bytes:10 tag))
+
+let tags box = List.rev_map snd !box
+
+let test_shim_crash_blocks_both_directions () =
+  let sim, shim, tr =
+    make_shim [ Schedule.crash ~at:10.0 1; Schedule.recover ~at:20.0 1 ]
+  in
+  let inbox0 = shim_inbox tr 0 and inbox1 = shim_inbox tr 1 in
+  send_at sim tr 5.0 ~src:0 ~dst:1 "before";
+  send_at sim tr 15.0 ~src:0 ~dst:1 "to-crashed";
+  send_at sim tr 15.0 ~src:1 ~dst:0 "from-crashed";
+  send_at sim tr 25.0 ~src:0 ~dst:1 "after";
+  Sim.run sim;
+  check (Alcotest.list Alcotest.string) "crashed node silent, then back"
+    [ "before"; "after" ] (tags inbox1);
+  check (Alcotest.list Alcotest.string) "nothing escapes the crashed node" []
+    (tags inbox0);
+  check Alcotest.int "both directions absorbed" 2 (FT.stats shim).FT.blocked_crash
+
+let test_shim_partition_symmetry () =
+  (* Nodes 2 and 3 appear in no group: they form the implicit leftover
+     group, mirroring Datagram.partition. Blocking is symmetric. *)
+  let sim, shim, tr =
+    make_shim ~n:4
+      [ Schedule.partition ~at:10.0 [ [ 0; 1 ] ]; Schedule.heal ~at:20.0 ]
+  in
+  let boxes = Array.init 4 (fun node -> shim_inbox tr node) in
+  send_at sim tr 15.0 ~src:0 ~dst:1 "same-group";
+  send_at sim tr 15.0 ~src:2 ~dst:3 "leftover-group";
+  send_at sim tr 15.0 ~src:0 ~dst:2 "cross-a";
+  send_at sim tr 15.0 ~src:2 ~dst:0 "cross-b";
+  send_at sim tr 25.0 ~src:0 ~dst:2 "healed";
+  Sim.run sim;
+  check (Alcotest.list Alcotest.string) "inside a named group" [ "same-group" ]
+    (tags boxes.(1));
+  check (Alcotest.list Alcotest.string) "inside the implicit group"
+    [ "leftover-group" ] (tags boxes.(3));
+  check (Alcotest.list Alcotest.string) "cross-group only after heal"
+    [ "healed" ] (tags boxes.(2));
+  check (Alcotest.list Alcotest.string) "symmetric: nothing crossed back" []
+    (tags boxes.(0));
+  check Alcotest.int "both crossings absorbed" 2
+    (FT.stats shim).FT.blocked_partition
+
+let test_shim_loss_window_halfopen () =
+  let sim, shim, tr =
+    make_shim [ Schedule.loss_window ~p:1.0 ~from_:10.0 ~until:20.0 ] in
+  let inbox1 = shim_inbox tr 1 in
+  send_at sim tr 5.0 ~src:0 ~dst:1 "before";
+  send_at sim tr 10.0 ~src:0 ~dst:1 "opens";
+  send_at sim tr 15.0 ~src:0 ~dst:1 "inside";
+  send_at sim tr 20.0 ~src:0 ~dst:1 "closes";
+  send_at sim tr 25.0 ~src:0 ~dst:1 "after";
+  Sim.run sim;
+  (* [from_, until): the opening instant is inside, the closing instant
+     restores the pre-window behaviour. *)
+  check (Alcotest.list Alcotest.string) "half-open window"
+    [ "before"; "closes"; "after" ] (tags inbox1);
+  check Alcotest.int "losses charged to the shim" 2
+    (FT.stats shim).FT.injected_loss;
+  let c = FT.counters shim in
+  check Alcotest.int "absorbed frames still count as sent" 5 c.RT.sent;
+  check Alcotest.int "delivered" 3 c.RT.delivered;
+  check Alcotest.int "dropped" 2 c.RT.dropped;
+  check Alcotest.int "sent = delivered + dropped" c.RT.sent
+    (c.RT.delivered + c.RT.dropped)
+
+let test_shim_dup_burst () =
+  let sim, shim, tr =
+    make_shim [ Schedule.dup_burst ~p:1.0 ~from_:10.0 ~until:20.0 ] in
+  let inbox1 = shim_inbox tr 1 in
+  send_at sim tr 15.0 ~src:0 ~dst:1 "inside";
+  send_at sim tr 25.0 ~src:0 ~dst:1 "outside";
+  Sim.run sim;
+  let copies tag = List.length (List.filter (( = ) tag) (tags inbox1)) in
+  check Alcotest.int "duplicated inside" 2 (copies "inside");
+  check Alcotest.int "single outside" 1 (copies "outside");
+  check Alcotest.int "dup charged to the shim" 1 (FT.stats shim).FT.injected_dup
+
+let test_shim_degrade_delay () =
+  let sim, shim, tr =
+    make_shim
+      [
+        Schedule.degrade_link ~src:0 ~dst:1 ~link:(Latency.constant 40.0)
+          ~from_:10.0 ~until:20.0;
+      ]
+  in
+  let arrivals = ref [] in
+  RT.set_handler tr ~node:1 (fun ~src:_ tag ->
+      arrivals := (tag, Sim.now sim) :: !arrivals);
+  send_at sim tr 12.0 ~src:0 ~dst:1 "slow";
+  send_at sim tr 25.0 ~src:0 ~dst:1 "fast";
+  Sim.run sim;
+  let time_of tag = List.assoc tag !arrivals in
+  (* The degraded-link delay stacks on top of the base 1 ms link. *)
+  check (Alcotest.float 1e-6) "deferred inside the window" 53.0 (time_of "slow");
+  check (Alcotest.float 1e-6) "restored outside" 26.0 (time_of "fast");
+  check Alcotest.int "delay charged to the shim" 1 (FT.stats shim).FT.delayed
+
+let test_shim_rx_blocks_in_flight () =
+  (* A frame sent just before the partition opens is still in flight
+     when it lands: the receive-side re-check must absorb it. *)
+  let sim, shim, tr =
+    make_shim [ Schedule.partition ~at:10.0 [ [ 0 ]; [ 1; 2 ] ] ] in
+  let inbox1 = shim_inbox tr 1 in
+  send_at sim tr 9.5 ~src:0 ~dst:1 "in-flight";
+  Sim.run sim;
+  check (Alcotest.list Alcotest.string) "absorbed at arrival" [] (tags inbox1);
+  check Alcotest.int "rx-side absorption counted" 1
+    (FT.stats shim).FT.rx_blocked;
+  let c = FT.counters shim in
+  check Alcotest.int "delivered excludes the blocked frame" 0 c.RT.delivered;
+  check Alcotest.int "dropped includes it" 1 c.RT.dropped;
+  check Alcotest.int "sent = delivered + dropped" c.RT.sent
+    (c.RT.delivered + c.RT.dropped)
+
+let test_shim_replay_deterministic () =
+  (* Probabilistic faults draw from the shim's private RNG: same seeds,
+     same schedule, byte-identical interleaving — twice. *)
+  let run_once () =
+    let sim, shim, tr =
+      make_shim
+        [
+          Schedule.loss_window ~p:0.4 ~from_:10.0 ~until:60.0;
+          Schedule.dup_burst ~p:0.3 ~from_:30.0 ~until:80.0;
+        ]
+    in
+    let log = ref [] in
+    RT.set_handler tr ~node:1 (fun ~src tag ->
+        log := (src, tag, Sim.now sim) :: !log);
+    for i = 0 to 49 do
+      send_at sim tr
+        (1.0 +. (1.5 *. float_of_int i))
+        ~src:0 ~dst:1 (string_of_int i)
+    done;
+    Sim.run sim;
+    (List.rev !log, FT.stats shim)
+  in
+  let log1, stats1 = run_once () in
+  let log2, stats2 = run_once () in
+  check Alcotest.bool "same delivery interleaving" true (log1 = log2);
+  check Alcotest.bool "same fault accounting" true (stats1 = stats2);
+  (* The schedule actually bit — this is not vacuous. *)
+  check Alcotest.bool "losses happened" true (stats1.FT.injected_loss > 0);
+  check Alcotest.bool "dups happened" true (stats1.FT.injected_dup > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The adversarial scenario corpus, on the simulated backend          *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_well_formed () =
+  check Alcotest.int "five scenarios" 5 (List.length Corpus.all);
+  List.iter
+    (fun (sc : Corpus.t) ->
+      match Corpus.validate sc with
+      | Ok () -> ()
+      | Error msg -> fail (Printf.sprintf "%s: %s" sc.Corpus.name msg))
+    Corpus.all;
+  check Alcotest.bool "find resolves every name" true
+    (List.for_all (fun name -> Corpus.find name <> None) (Corpus.names ()));
+  check Alcotest.bool "unknown name is None" true (Corpus.find "nope" = None)
+
+let expect_installed ~what windows =
+  List.iter
+    (fun (generation, window) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s: generation %d installed" what generation)
+        true (window <> None))
+    windows
+
+let test_corpus_scenarios_hold_properties () =
+  List.iter
+    (fun (sc : Corpus.t) ->
+      let what = sc.Corpus.name in
+      let r = Scenario.run_sim ~seed:1 sc in
+      check Alcotest.bool (what ^ ": traffic flowed") true (r.Scenario.sent > 20);
+      check Alcotest.bool (what ^ ": full §5.1 battery holds") true
+        (Scenario.ok r);
+      match what with
+      | "racing-replacements" -> (
+        (* Two changes race through generation 0; total order picks one
+           winner and the loser is dropped as stale. *)
+        match r.Scenario.switch_windows with
+        | [ (1, Some _); (2, None) ] -> ()
+        | _ -> fail "racing: expected exactly the first-ordered change to win")
+      | "coordinator-crash-mid-switch" ->
+        check (Alcotest.list Alcotest.int) "crashed coordinator excluded"
+          [ 0; 1; 3; 4 ] r.Scenario.correct;
+        expect_installed ~what r.Scenario.switch_windows
+      | "replacement-under-partition" ->
+        check Alcotest.bool "the partition actually bit" true
+          (r.Scenario.faults.FT.blocked_partition > 0);
+        expect_installed ~what r.Scenario.switch_windows
+      | _ -> expect_installed ~what r.Scenario.switch_windows)
+    Corpus.all
+
+let test_corpus_replay_deterministic () =
+  let sc =
+    match Corpus.find "replacement-under-partition" with
+    | Some sc -> sc
+    | None -> fail "scenario missing"
+  in
+  let s1 = Scenario.signature (Scenario.run_sim ~seed:3 sc) in
+  let s2 = Scenario.signature (Scenario.run_sim ~seed:3 sc) in
+  check Alcotest.bool "byte-identical replay" true (String.equal s1 s2);
+  let s3 = Scenario.signature (Scenario.run_sim ~seed:4 sc) in
+  check Alcotest.bool "the seed matters" true (not (String.equal s1 s3))
 
 (* ------------------------------------------------------------------ *)
 (* Specs, validation, inspection                                      *)
@@ -422,6 +660,22 @@ let () =
           tc "partition + heal" test_partition_heal_schedule;
           tc "on_event" test_on_event_observability;
           tc "custom crash hook" test_custom_crash_hook;
+        ] );
+      ( "fault-transport",
+        [
+          tc "crash blocks both directions" test_shim_crash_blocks_both_directions;
+          tc "partition symmetry + implicit group" test_shim_partition_symmetry;
+          tc "loss window is half-open and restores" test_shim_loss_window_halfopen;
+          tc "dup burst" test_shim_dup_burst;
+          tc "degrade defers on the clock" test_shim_degrade_delay;
+          tc "in-flight frames blocked at arrival" test_shim_rx_blocks_in_flight;
+          tc "replay determinism" test_shim_replay_deterministic;
+        ] );
+      ( "corpus",
+        [
+          tc "well-formed" test_corpus_well_formed;
+          slow "every scenario holds the battery" test_corpus_scenarios_hold_properties;
+          slow "replay determinism" test_corpus_replay_deterministic;
         ] );
       ( "spec",
         [

@@ -98,6 +98,39 @@ let test_wheel_next_deadline () =
     Alcotest.(option (float 0.001))
     "cancelled entries invisible" (Some 10.0) (Wheel.next_deadline w)
 
+let test_wheel_cancel_discounts_pending () =
+  let w = Wheel.create () in
+  let tm = Clock.make_timer ~cancel:ignore in
+  Wheel.add w ~now:0.0 ~delay:10.0 ~timer:tm ignore;
+  Wheel.add w ~now:0.0 ~delay:20.0 ignore;
+  check Alcotest.int "both counted" 2 (Wheel.pending w);
+  Clock.cancel tm;
+  (* The scan observes the cancellation and takes the entry out of the
+     count — no phantom work reported while the dead entry waits in a
+     far slot for its sweep. *)
+  ignore (Wheel.next_deadline w);
+  check Alcotest.int "cancelled entry discounted" 1 (Wheel.pending w);
+  ignore (Wheel.next_deadline w);
+  check Alcotest.int "discounted exactly once" 1 (Wheel.pending w);
+  Wheel.advance w ~now:50.0;
+  check Alcotest.int "drained" 0 (Wheel.pending w)
+
+let test_wheel_next_deadline_is_effective_fire_time () =
+  (* Floor/tick clamping can push an entry past its nominal deadline;
+     next_deadline must report when the entry will actually fire, or the
+     node loop would wake early, see nothing due, and spin. *)
+  let w = Wheel.create ~granularity_ms:1.0 () in
+  Wheel.advance w ~now:5.0;
+  let fired = ref false in
+  Wheel.add w ~now:5.2 ~delay:0.3 (fun () -> fired := true);
+  check
+    Alcotest.(option (float 1e-9))
+    "clamped to the filing tick" (Some 6.0) (Wheel.next_deadline w);
+  Wheel.advance w ~now:5.6;
+  check Alcotest.bool "nominal deadline passes without firing" false !fired;
+  Wheel.advance w ~now:6.0;
+  check Alcotest.bool "fires at the reported deadline" true !fired
+
 (* ------------------------------------------------------------------ *)
 (* UDP transport loopback                                             *)
 (* ------------------------------------------------------------------ *)
@@ -178,6 +211,104 @@ let test_udp_foreign_frames_dropped () =
       let c = Dpu_live.Udp_transport.counters t1 in
       check Alcotest.int "both dropped" 2 c.Dpu_runtime.Transport.dropped)
 
+let test_udp_send_accounting () =
+  with_pair (fun ~fd0 ~fd1:_ ~peers ->
+      let t0 = Dpu_live.Udp_transport.create ~me:0 ~fd:fd0 ~peers () in
+      let tr = Dpu_live.Udp_transport.transport t0 in
+      (* The sealed frame exceeds the UDP payload limit: dropped before
+         the syscall, and neither [sent] nor [bytes] may move. *)
+      let big =
+        Dpu_core.App_msg.App
+          (Msg.make ~origin:0 ~seq:1 ~size:32 (String.make 70_000 'x'))
+      in
+      Dpu_runtime.Transport.send tr ~src:0 ~dst:1 ~size_bytes:70_000 big;
+      let c = Dpu_live.Udp_transport.counters t0 in
+      check Alcotest.int "oversized: dropped" 1 c.Dpu_runtime.Transport.dropped;
+      check Alcotest.int "oversized: not sent" 0 c.Dpu_runtime.Transport.sent;
+      check Alcotest.int "oversized: no bytes charged" 0
+        c.Dpu_runtime.Transport.bytes)
+
+let test_udp_syscall_failure_accounting () =
+  (* Own sockets (not with_pair): the test closes the descriptor itself. *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let peers = [| Unix.getsockname fd; Unix.getsockname fd |] in
+  let t0 = Dpu_live.Udp_transport.create ~me:0 ~fd ~peers () in
+  Unix.close fd;
+  (* sendto fails with EBADF: counted as dropped, never as sent. *)
+  Dpu_runtime.Transport.send
+    (Dpu_live.Udp_transport.transport t0)
+    ~src:0 ~dst:1 ~size_bytes:32 msg;
+  let c = Dpu_live.Udp_transport.counters t0 in
+  check Alcotest.int "failed send: dropped" 1 c.Dpu_runtime.Transport.dropped;
+  check Alcotest.int "failed send: not sent" 0 c.Dpu_runtime.Transport.sent;
+  check Alcotest.int "failed send: no bytes charged" 0
+    c.Dpu_runtime.Transport.bytes;
+  (* drain on the dead descriptor must survive, count the error, and
+     not recurse into a spin. *)
+  Dpu_live.Udp_transport.drain t0;
+  check Alcotest.int "rx error counted" 1 (Dpu_live.Udp_transport.rx_errors t0);
+  let c = Dpu_live.Udp_transport.counters t0 in
+  check Alcotest.int "rx error surfaces as dropped input" 2
+    c.Dpu_runtime.Transport.dropped
+
+(* ------------------------------------------------------------------ *)
+(* The fault shim over the live transport                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-cranked clock: the test sets [now]; deferred work runs
+   immediately (no degraded links here, so nothing is ever deferred). *)
+let manual_clock now_ref =
+  {
+    Clock.now = (fun () -> !now_ref);
+    defer = (fun ~delay:_ f -> f ());
+    schedule_impl =
+      (fun ~delay:_ f ->
+        f ();
+        Clock.make_timer ~cancel:ignore);
+    every_impl = (fun ~period:_ _ -> Clock.make_timer ~cancel:ignore);
+  }
+
+let test_live_shim_loss_window_restores () =
+  with_pair (fun ~fd0 ~fd1 ~peers ->
+      let t0 = Dpu_live.Udp_transport.create ~me:0 ~fd:fd0 ~peers () in
+      let t1 = Dpu_live.Udp_transport.create ~me:1 ~fd:fd1 ~peers () in
+      let now = ref 0.0 in
+      let shim =
+        Dpu_faults.Fault_transport.create ~seed:5
+          ~schedule:
+            [ Dpu_faults.Schedule.loss_window ~p:1.0 ~from_:10.0 ~until:20.0 ]
+          ~clock:(manual_clock now)
+          (Dpu_live.Udp_transport.transport t0)
+      in
+      let ftr = Dpu_faults.Fault_transport.transport shim in
+      let got = ref 0 in
+      Dpu_runtime.Transport.set_handler
+        (Dpu_live.Udp_transport.transport t1)
+        ~node:1
+        (fun ~src:_ _ -> incr got);
+      let send () = Dpu_runtime.Transport.send ftr ~src:0 ~dst:1 ~size_bytes:32 msg in
+      now := 15.0;
+      send ();
+      (* inside the window: absorbed before any syscall *)
+      now := 25.0;
+      send ();
+      (* after [until): the clean path is restored *)
+      await_readable fd1;
+      Dpu_live.Udp_transport.drain t1;
+      check Alcotest.int "only the post-window frame arrives" 1 !got;
+      let s = Dpu_faults.Fault_transport.stats shim in
+      check Alcotest.int "loss charged to the shim" 1
+        s.Dpu_faults.Fault_transport.injected_loss;
+      (* Folded counters keep the protocols' invariant over real UDP. *)
+      let c = Dpu_faults.Fault_transport.counters shim in
+      check Alcotest.int "absorbed frame still counts as sent" 2
+        c.Dpu_runtime.Transport.sent;
+      check Alcotest.int "and as dropped" 1 c.Dpu_runtime.Transport.dropped;
+      check Alcotest.bool "bytes include the absorbed frame" true
+        (c.Dpu_runtime.Transport.bytes
+        > (Dpu_live.Udp_transport.counters t0).Dpu_runtime.Transport.bytes))
+
 let test_udp_wrong_node_refused () =
   with_pair (fun ~fd0 ~fd1:_ ~peers ->
       let t0 = Dpu_live.Udp_transport.create ~me:0 ~fd:fd0 ~peers () in
@@ -202,11 +333,18 @@ let () =
           tc "re-arm waits for the next pass" test_wheel_rearm_not_same_pass;
           tc "zero-delay cascade" test_wheel_zero_delay_cascade;
           tc "next deadline" test_wheel_next_deadline;
+          tc "cancel discounts pending" test_wheel_cancel_discounts_pending;
+          tc "next deadline is the effective fire time"
+            test_wheel_next_deadline_is_effective_fire_time;
         ] );
       ( "udp-transport",
         [
           tc "loopback delivery" test_udp_loopback;
           tc "foreign frames dropped" test_udp_foreign_frames_dropped;
           tc "single-node ownership" test_udp_wrong_node_refused;
+          tc "send counts only accepted frames" test_udp_send_accounting;
+          tc "syscall failures never count as sent" test_udp_syscall_failure_accounting;
         ] );
+      ( "fault-shim",
+        [ tc "loss window restores over real UDP" test_live_shim_loss_window_restores ] );
     ]
