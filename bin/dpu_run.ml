@@ -9,7 +9,8 @@
      check      static composition verification, no simulation
      serve      live deployment over real UDP sockets (--nemesis/--scenario)
      corpus     adversarial replacement scenarios, sim or live
-     trace      dump the kernel event trace of a short scenario *)
+     trace      dump the kernel event trace of a short scenario
+     report     render metrics/trace/bench-history artifacts as HTML *)
 
 open Cmdliner
 module E = Dpu_workload.Experiment
@@ -58,7 +59,7 @@ let approach_conv =
 
 let scenario n load seed duration switch_at initial switch_to approach loss batch check
     crashes consensus_layer switch_consensus_to switch_consensus_at faults nemesis_seed
-    nemesis_faults metrics_out spans_out csv_out =
+    nemesis_faults metrics_out spans_out csv_out log_out =
   let consensus_layer =
     if consensus_layer || switch_consensus_to <> None then
       Some Dpu_protocols.Consensus_ct.protocol_name
@@ -102,6 +103,7 @@ let scenario n load seed duration switch_at initial switch_to approach loss batc
       consensus_layer;
       switch_consensus;
       faults;
+      log_out;
     }
   in
   let r = E.run ~crash_at:crashes params in
@@ -141,6 +143,9 @@ let scenario n load seed duration switch_at initial switch_to approach loss batc
     in
     Dpu_obs.Csv.to_file path ~header:[ "send_time_ms"; "latency_ms" ] rows;
     Printf.printf "%d latency samples written to %s\n" (List.length rows) path
+  | None -> ());
+  (match log_out with
+  | Some path -> Printf.printf "structured log written to %s\n" path
   | None -> ());
   if obs_requested then begin
     print_endline "--- observability summary ---";
@@ -279,12 +284,21 @@ let scenario_cmd =
       & info [ "csv-out" ] ~docv:"FILE"
           ~doc:"Write the per-message latency series to FILE as CSV.")
   in
+  let log_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-out" ] ~docv:"FILE"
+          ~doc:
+            "Write structured JSONL milestone logs to FILE, stamped on the \
+             virtual clock (identical runs produce identical files).")
+  in
   let term =
     Term.(
       const scenario $ n_arg $ load_arg $ seed_arg $ duration $ switch_at $ initial
       $ switch_to $ approach $ loss $ batch $ check $ crashes $ consensus_layer
       $ switch_consensus_to $ switch_consensus_at $ faults $ nemesis_seed
-      $ nemesis_faults $ metrics_out $ spans_out $ csv_out)
+      $ nemesis_faults $ metrics_out $ spans_out $ csv_out $ log_out)
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run one simulated group-communication scenario.")
@@ -475,7 +489,7 @@ let corpus_switches (sc : Dpu_faults.Corpus.t) =
     sc.Dpu_faults.Corpus.switches
 
 let serve n load duration drain switch_at initial switch_to seed msg_size check
-    nemesis scenario_name metrics_out spans_out =
+    nemesis scenario_name metrics_out spans_out trace_out logs_dir =
   let params =
     {
       Dpu_live.Serve.n;
@@ -521,7 +535,7 @@ let serve n load duration drain switch_at initial switch_to seed msg_size check
   if params.Dpu_live.Serve.nemesis <> [] then
     Format.printf "fault schedule: %a@.%!" Dpu_faults.Schedule.pp
       params.Dpu_live.Serve.nemesis;
-  match Dpu_live.Serve.run ?metrics_out ?spans_out params with
+  match Dpu_live.Serve.run ?metrics_out ?spans_out ?trace_out ?logs_dir params with
   | Error msg ->
     Printf.eprintf "dpu_run serve: %s\n" msg;
     exit 2
@@ -580,6 +594,14 @@ let serve n load duration drain switch_at initial switch_to seed msg_size check
     (match spans_out with
     | Some path ->
       Printf.printf "merged trace events written to %s (load in Perfetto)\n" path
+    | None -> ());
+    (match trace_out with
+    | Some path ->
+      Printf.printf
+        "merged cross-process trace written to %s (load in Perfetto)\n" path
+    | None -> ());
+    (match logs_dir with
+    | Some dir -> Printf.printf "per-node JSONL logs written to %s/\n" dir
     | None -> ());
     if check then begin
       let checks = o.Dpu_live.Serve.checks in
@@ -669,11 +691,31 @@ let serve_cmd =
       & info [ "spans-out" ] ~docv:"FILE"
           ~doc:"Write the merged per-message spans to FILE as Chrome trace-event JSON.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Turn per-node trace recording on and write ONE merged Chrome trace \
+             to FILE: per-message spans, each process's own events (switch \
+             triggers, fault injections, start/stop marks) and the nemesis \
+             schedule as fault windows, all on the shared epoch's time axis.")
+  in
+  let logs_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "logs-out" ] ~docv:"DIR"
+          ~doc:
+            "Give each node process a structured JSONL log file \
+             (DIR/node-<i>.jsonl, created on demand).")
+  in
   let term =
     Term.(
       const serve $ nodes $ load $ duration $ drain $ switch_at $ initial $ switch_to
       $ seed_arg $ msg_size $ check $ nemesis $ scenario_name $ metrics_out
-      $ spans_out)
+      $ spans_out $ trace_out $ logs_dir)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -843,6 +885,117 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Dump the kernel event trace of a short scenario.")
     Term.(const run $ n_arg $ load_arg $ duration $ switch_at $ switch_to $ grep)
 
+(* ------------------------------------------------------------------ *)
+(* report — render observability artifacts as one HTML page           *)
+(* ------------------------------------------------------------------ *)
+
+let report metrics_path trace_path history_dir out title =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "dpu_run report: %s\n" m; exit 2) fmt in
+  let read_json path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e -> fail "%s" e
+    | content -> (
+      match Dpu_obs.Json.of_string content with
+      | Ok j -> j
+      | Error e -> fail "%s: %s" path e)
+  in
+  let metrics = Option.map read_json metrics_path in
+  let trace =
+    Option.map
+      (fun path ->
+        match Dpu_obs.Trace_event.events_of_json (read_json path) with
+        | Ok events -> events
+        | Error e -> fail "%s: %s" path e)
+      trace_path
+  in
+  let history =
+    match history_dir with
+    | None -> []
+    | Some dir ->
+      let entries =
+        match Sys.readdir dir with
+        | exception Sys_error e -> fail "%s" e
+        | entries -> entries
+      in
+      (* Filename order IS the history order: name the files so they
+         sort chronologically (zero-padded sequence numbers, dates, or
+         CI run numbers). *)
+      Array.sort String.compare entries;
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.map (fun f ->
+             (Filename.remove_extension f, read_json (Filename.concat dir f)))
+  in
+  if metrics = None && trace = None && history = [] then
+    fail "nothing to render: give at least one of --metrics, --trace, --history";
+  let html = Dpu_obs.Report_html.render ?metrics ?trace ~history ~title () in
+  Out_channel.with_open_text out (fun oc -> Out_channel.output_string oc html);
+  (match trace with
+  | Some events ->
+    List.iter
+      (fun (generation, (lo, hi)) ->
+        Printf.printf "replacement gen=%d: %.1f..%.1f ms (window %.1f ms)\n"
+          generation lo hi (hi -. lo))
+      (Dpu_obs.Report_html.windows_of_events events)
+  | None -> ());
+  if history <> [] then
+    Printf.printf "trend history: %d bench entries (%s .. %s)\n"
+      (List.length history)
+      (fst (List.hd history))
+      (fst (List.nth history (List.length history - 1)));
+  Printf.printf "report written to %s (%d bytes, self-contained HTML)\n" out
+    (String.length html)
+
+let report_cmd =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Metrics snapshot to render latency-quantile tables from (either a \
+             $(b,scenario --metrics-out) snapshot or a $(b,serve --metrics-out) \
+             per-node file).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Chrome trace to render the replacement timeline from (a $(b,serve \
+             --trace-out) merged trace or a --spans-out export).")
+  in
+  let history =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "history" ] ~docv:"DIR"
+          ~doc:
+            "Directory of BENCH_results.json files (sorted by filename = \
+             chronological order) to render per-commit trend charts from.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "dpu_report.html"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output HTML path.")
+  in
+  let title =
+    Arg.(
+      value
+      & opt string "dpu run report"
+      & info [ "title" ] ~docv:"TITLE" ~doc:"Page title.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render observability artifacts — a metrics snapshot, a merged Chrome \
+          trace, a history of bench results — as one self-contained HTML page: \
+          switch-window timeline, p50/p99/p999 latency tables, per-commit trend \
+          charts.")
+    Term.(const report $ metrics $ trace $ history $ out $ title)
+
 let () =
   let doc = "Dynamic protocol update (IPDPS 2006) — simulation driver" in
   let info = Cmd.info "dpu_run" ~version:"1.0" ~doc in
@@ -859,4 +1012,5 @@ let () =
             serve_cmd;
             corpus_cmd;
             trace_cmd;
+            report_cmd;
           ]))

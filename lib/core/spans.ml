@@ -121,6 +121,24 @@ let metadata ~n =
       TE.thread_name ~pid:(timeline_pid ~n) ~tid:0 "windows";
     ]
 
+(* The replacement windows two ways: straight from the collector, and
+   parsed back out of a trace-event list — the round-trip tests pin
+   that a merged live trace carries exactly the windows the parent
+   measured. *)
+let replacement_timeline collector =
+  let generations =
+    List.sort_uniq Int.compare
+      (List.map (fun (_, g, _) -> g) (Collector.switches collector))
+  in
+  List.filter_map
+    (fun generation ->
+      Option.map
+        (fun window -> (generation, window))
+        (Collector.switch_window collector ~generation))
+    generations
+
+let windows_of_trace_events = Dpu_obs.Report_html.windows_of_events
+
 let of_run ?trace ~n collector =
   let from_trace =
     match trace with

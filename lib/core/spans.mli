@@ -26,6 +26,17 @@ val blocked_events : Trace.t -> Dpu_obs.Trace_event.t list
     matching [Call_unblocked]); requires the trace to have been
     enabled during the run. *)
 
+val replacement_timeline : Collector.t -> (int * (float * float)) list
+(** Per generation, the [(first_install, last_install)] window — the
+    data behind the timeline-process spans, sorted by generation. *)
+
+val windows_of_trace_events :
+  Dpu_obs.Trace_event.t list -> (int * (float * float)) list
+(** Recover the replacement windows from trace events (the
+    ["replacement gen=N"] spans, wherever they were merged from), in
+    milliseconds. On a trace produced by {!of_run} this agrees with
+    {!replacement_timeline} on the same collector. *)
+
 val of_run : ?trace:Trace.t -> n:int -> Collector.t -> Dpu_obs.Trace_event.t list
 (** Everything above plus process/thread naming metadata. [trace]
     contributes blocked-call spans and switch-trigger instants when

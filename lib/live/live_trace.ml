@@ -1,0 +1,90 @@
+(* Assembly of the run-wide Chrome trace for a live deployment: the
+   merged collector's message/switch spans, each process's shipped
+   trace buffer, and the nemesis schedule rendered as fault windows on
+   a synthetic process — all on the one time axis the shared epoch
+   gives us. *)
+
+module TE = Dpu_obs.Trace_event
+module Schedule = Dpu_faults.Schedule
+
+(* Spans.timeline_pid is [n]; the nemesis gets the next synthetic
+   process so fault windows sit in their own swimlane. *)
+let nemesis_pid ~n = n + 1
+
+let group_string groups =
+  String.concat "|"
+    (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups)
+
+let schedule_events ~n ~horizon_ms schedule =
+  match schedule with
+  | [] -> []
+  | _ ->
+    let pid = nemesis_pid ~n in
+    let out = ref [] in
+    let mark ~name ~ts_ms =
+      out := TE.instant ~name ~cat:"nemesis" ~pid ~tid:0 ~ts_ms () :: !out
+    in
+    let span ~name ~t0 ~t1 =
+      out :=
+        TE.complete ~name ~cat:"nemesis" ~pid ~tid:0 ~ts_ms:t0
+          ~dur_ms:(Float.min t1 horizon_ms -. t0)
+          ()
+        :: !out
+    in
+    (* Crash and partition windows are implicit (crash .. recover,
+       partition .. heal/next partition); ones never closed by the
+       schedule are clamped at the horizon — the fault outlives the
+       run. *)
+    let crash_open : (int, float) Hashtbl.t = Hashtbl.create 4 in
+    let partition_open = ref None in
+    let close_partition ~at =
+      match !partition_open with
+      | None -> ()
+      | Some (t0, desc) ->
+        partition_open := None;
+        span ~name:("partition " ^ desc) ~t0 ~t1:at
+    in
+    List.iter
+      (fun (e : Schedule.event) ->
+        match e.Schedule.action with
+        | Schedule.Crash node ->
+          mark ~name:(Printf.sprintf "crash node %d" node) ~ts_ms:e.at;
+          Hashtbl.replace crash_open node e.at
+        | Schedule.Recover node -> (
+          mark ~name:(Printf.sprintf "recover node %d" node) ~ts_ms:e.at;
+          match Hashtbl.find_opt crash_open node with
+          | Some t0 ->
+            Hashtbl.remove crash_open node;
+            span ~name:(Printf.sprintf "crash node %d" node) ~t0 ~t1:e.at
+          | None -> ())
+        | Schedule.Partition groups ->
+          close_partition ~at:e.at;
+          let desc = group_string groups in
+          mark ~name:("partition " ^ desc) ~ts_ms:e.at;
+          partition_open := Some (e.at, desc)
+        | Schedule.Heal ->
+          mark ~name:"heal" ~ts_ms:e.at;
+          close_partition ~at:e.at
+        | Schedule.Loss_window { p; from_; until } ->
+          span ~name:(Printf.sprintf "loss p=%g" p) ~t0:from_ ~t1:until
+        | Schedule.Dup_burst { p; from_; until } ->
+          span ~name:(Printf.sprintf "dup p=%g" p) ~t0:from_ ~t1:until
+        | Schedule.Degrade_link { src; dst; window; _ } ->
+          span
+            ~name:(Printf.sprintf "slow %d>%d" src dst)
+            ~t0:window.Schedule.from_ ~t1:window.Schedule.until)
+      (Schedule.sorted schedule);
+    (* dpu-lint: allow hashtbl-iter — folded nodes are sorted before use *)
+    Hashtbl.fold (fun node t0 acc -> (node, t0) :: acc) crash_open []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.iter (fun (node, t0) ->
+           span ~name:(Printf.sprintf "crash node %d" node) ~t0 ~t1:horizon_ms);
+    close_partition ~at:horizon_ms;
+    TE.process_name ~pid "nemesis"
+    :: TE.thread_name ~pid ~tid:0 "fault windows"
+    :: List.rev !out
+
+let merged ~n ~horizon_ms ~nemesis ~collector ~node_traces =
+  Dpu_core.Spans.of_run ~n collector
+  @ List.concat node_traces
+  @ schedule_events ~n ~horizon_ms nemesis

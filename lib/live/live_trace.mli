@@ -1,0 +1,29 @@
+(** Run-wide Chrome trace assembly for live deployments.
+
+    Every process stamps its events in milliseconds since the epoch the
+    parent handed out before forking, so the merged event list needs no
+    clock reconciliation: collector-derived spans, per-node shipped
+    buffers and nemesis windows all share one time axis. *)
+
+val nemesis_pid : n:int -> int
+(** The synthetic trace process carrying fault windows — one past
+    {!Dpu_core.Spans}' replacement-timeline pid. *)
+
+val schedule_events :
+  n:int -> horizon_ms:float -> Dpu_faults.Schedule.t -> Dpu_obs.Trace_event.t list
+(** Render a nemesis schedule as trace events on the synthetic pid:
+    instants at every boundary (crash/recover, partition/heal) and
+    duration spans for each window — crash .. recover, partition ..
+    heal, loss/dup/degrade windows. Windows the schedule never closes
+    are clamped at [horizon_ms]. Empty schedule, no events. *)
+
+val merged :
+  n:int ->
+  horizon_ms:float ->
+  nemesis:Dpu_faults.Schedule.t ->
+  collector:Dpu_core.Collector.t ->
+  node_traces:Dpu_obs.Trace_event.t list list ->
+  Dpu_obs.Trace_event.t list
+(** The full merged trace: {!Dpu_core.Spans.of_run} over the merged
+    collector (per-message spans, install instants, replacement
+    windows), each node's own events, and {!schedule_events}. *)

@@ -3,6 +3,9 @@ module Clock = Dpu_runtime.Clock
 module Middleware = Dpu_core.Middleware
 module Collector = Dpu_core.Collector
 module J = Dpu_obs.Json
+module TE = Dpu_obs.Trace_event
+module Metrics = Dpu_obs.Metrics
+module Log = Dpu_obs.Log
 
 type config = {
   me : int;
@@ -18,6 +21,8 @@ type config = {
   duration_ms : float;
   drain_ms : float;
   seed : int;
+  trace_enabled : bool;
+  log_path : string option;
 }
 
 type report = {
@@ -29,7 +34,17 @@ type report = {
   rx_errors : int;
   faults : Dpu_faults.Fault_transport.stats option;
   metrics : J.t;
+  trace : TE.t list;
 }
+
+(* Safety valve for the per-node trace buffer: a nemesis injecting per
+   frame can emit thousands of instants; past this point the buffer
+   stops growing rather than bloating the report file. *)
+let max_trace_events = 20_000
+
+(* The kernel/dpu lane of this node's process in the trace viewer,
+   matching [Dpu_core.Spans.tid_kernel]. *)
+let tid_kernel = 1
 
 let run ~config ~fd ~peers () =
   let wheel = Timer_wheel.create ~granularity_ms:0.5 () in
@@ -39,6 +54,27 @@ let run ~config ~fd ~peers () =
       ~me:config.me ~fd ~peers ()
   in
   let metrics = Dpu_obs.Metrics.create () in
+  let mlabels = [ ("node", string_of_int config.me) ] in
+  (* Per-node trace buffer: events against the shared epoch, shipped in
+     the report for the parent to merge onto one time axis. *)
+  let trace = ref [] in
+  let trace_len = ref 0 in
+  let record ev =
+    if config.trace_enabled && !trace_len < max_trace_events then begin
+      trace := ev :: !trace;
+      incr trace_len
+    end
+  in
+  let instant ~name ~cat =
+    record
+      (TE.instant ~name ~cat ~pid:config.me ~tid:tid_kernel
+         ~ts_ms:(Live_clock.now lclock) ())
+  in
+  let log, close_log =
+    match config.log_path with
+    | None -> (Log.noop, fun () -> ())
+    | Some path -> Log.to_file ~clock:(fun () -> Live_clock.now lclock) path
+  in
   (* Per-node seeds: protocol-internal randomisation must not be in
      lockstep across processes. *)
   let rng = Dpu_engine.Rng.create ~seed:(config.seed + (7919 * (config.me + 1))) in
@@ -46,6 +82,7 @@ let run ~config ~fd ~peers () =
      clock: the same schedule value every other process (and the
      simulated driver) interprets. Distinct per-node RNG seeds keep the
      probabilistic faults independent across processes. *)
+  let on_fault ~kind ~detail = instant ~name:(kind ^ " " ^ detail) ~cat:"fault" in
   let shim =
     match config.nemesis with
     | [] -> None
@@ -53,6 +90,7 @@ let run ~config ~fd ~peers () =
       Some
         (Dpu_faults.Fault_transport.create
            ~seed:(config.seed + (31 * (config.me + 1)))
+           ?on_event:(if config.trace_enabled then Some on_fault else None)
            ~schedule ~clock:(Live_clock.clock lclock)
            (Udp_transport.transport tr))
   in
@@ -96,13 +134,42 @@ let run ~config ~fd ~peers () =
     (fun (at, node, protocol) ->
       if node = config.me then
         Clock.defer clock ~delay:at (fun () ->
+            instant ~name:("trigger change-abcast -> " ^ protocol) ~cat:"dpu";
+            Log.info log
+              ~fields:[ ("node", J.Int node); ("target", J.Str protocol) ]
+              "switch trigger";
             Middleware.change_protocol mw ~node protocol))
     config.switches;
+  (* Event-loop profile. The histograms/gauges live in the node's
+     registry under a per-node label, so the parent's merged snapshot
+     keeps the series apart; wheel totals are sampled only when the
+     snapshot is taken. *)
+  let select_wait = Metrics.histogram metrics ~labels:mlabels "live_select_wait_ms" in
+  let drain_batch =
+    Metrics.histogram metrics ~labels:mlabels
+      ~bounds:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
+      "live_drain_batch"
+  in
+  let busy_ms = ref 0.0 and idle_ms = ref 0.0 in
+  Metrics.register_int metrics ~labels:mlabels "live_wheel_fired" (fun () ->
+      Timer_wheel.fired wheel);
+  Metrics.register_int metrics ~labels:mlabels "live_wheel_cascades" (fun () ->
+      Timer_wheel.cascades wheel);
+  Metrics.register_float metrics ~labels:mlabels "live_wheel_pending" (fun () ->
+      float_of_int (Timer_wheel.pending wheel));
+  Metrics.register_float metrics ~labels:mlabels "live_busy_ms" (fun () -> !busy_ms);
+  Metrics.register_float metrics ~labels:mlabels "live_idle_ms" (fun () -> !idle_ms);
+  instant ~name:"node start" ~cat:"node";
+  Log.info log
+    ~fields:
+      [ ("n", J.Int config.n); ("initial", J.Str config.initial);
+        ("load", J.Float config.load) ]
+    "node start";
   let stop_at = config.duration_ms +. config.drain_ms in
   let fd = Udp_transport.fd tr in
-  let rec loop () =
+  let rec loop ~busy_from =
     Live_clock.advance lclock;
-    Udp_transport.drain tr;
+    Metrics.observe drain_batch (float_of_int (Udp_transport.drain tr));
     let nowms = Live_clock.now lclock in
     if nowms < stop_at then begin
       let next =
@@ -113,14 +180,37 @@ let run ~config ~fd ~peers () =
       (* Cap the sleep so the stop deadline and stray wakeups are
          handled promptly even with an empty wheel. *)
       let timeout = Float.max 0.0 (Float.min ((next -. nowms) /. 1000.0) 0.05) in
-      (match Unix.select [ fd ] [] [] timeout with
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> Udp_transport.drain tr
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      loop ()
+      let before = Unix.gettimeofday () in
+      busy_ms := !busy_ms +. ((before -. busy_from) *. 1000.0);
+      let ready =
+        match Unix.select [ fd ] [] [] timeout with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      let after = Unix.gettimeofday () in
+      idle_ms := !idle_ms +. ((after -. before) *. 1000.0);
+      Metrics.observe select_wait ((after -. before) *. 1000.0);
+      (match ready with
+      | [] -> ()
+      | _ :: _ ->
+        Metrics.observe drain_batch (float_of_int (Udp_transport.drain tr)));
+      loop ~busy_from:after
     end
   in
-  loop ();
+  loop ~busy_from:(Unix.gettimeofday ());
+  instant ~name:"node stop" ~cat:"node";
+  let counters =
+    match shim with
+    | None -> Udp_transport.counters tr
+    | Some s -> Dpu_faults.Fault_transport.counters s
+  in
+  Log.info log
+    ~fields:
+      [ ("sent", J.Int counters.Dpu_runtime.Transport.sent);
+        ("delivered", J.Int counters.Dpu_runtime.Transport.delivered);
+        ("dropped", J.Int counters.Dpu_runtime.Transport.dropped) ]
+    "node stop";
+  close_log ();
   let collector = Middleware.collector mw in
   {
     node = config.me;
@@ -133,13 +223,11 @@ let run ~config ~fd ~peers () =
       List.filter_map
         (fun (node, g, time) -> if node = config.me then Some (g, time) else None)
         (Collector.switches collector);
-    counters =
-      (match shim with
-      | None -> Udp_transport.counters tr
-      | Some s -> Dpu_faults.Fault_transport.counters s);
+    counters;
     rx_errors = Udp_transport.rx_errors tr;
     faults = Option.map Dpu_faults.Fault_transport.stats shim;
     metrics = Dpu_obs.Metrics.to_json metrics;
+    trace = List.rev !trace;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -194,6 +282,11 @@ let report_to_json r =
            ] );
      ]
     @ faults_fields
+    (* "trace" is additive too: absent on trace-off runs (and in every
+       pre-observability report), so readers must default it empty. *)
+    @ (match r.trace with
+      | [] -> []
+      | events -> [ ("trace", J.List (List.map TE.event_json events)) ])
     @ [ ("metrics", r.metrics) ])
 
 let parse_fail fmt = Printf.ksprintf (fun msg -> failwith msg) fmt
@@ -271,6 +364,13 @@ let report_of_json j =
       rx_errors;
       faults;
       metrics = get j "metrics";
+      trace =
+        (match J.member j "trace" with
+        | None -> []
+        | Some t -> (
+          match TE.events_of_json t with
+          | Ok events -> events
+          | Error e -> parse_fail "live report: %s" e));
     }
   with
   | r -> Ok r

@@ -30,6 +30,13 @@ type config = {
   duration_ms : float;  (** load generation horizon *)
   drain_ms : float;  (** extra time to let in-flight traffic settle *)
   seed : int;
+  trace_enabled : bool;
+      (** record trace events (switch triggers, fault injections,
+          start/stop marks) against the shared epoch, shipped in the
+          report; [false] keeps the hot path allocation-free *)
+  log_path : string option;
+      (** write structured JSONL logs here; [None] (the default
+          everywhere) is the frozen noop logger *)
 }
 
 type report = {
@@ -43,6 +50,10 @@ type report = {
   faults : Dpu_faults.Fault_transport.stats option;
       (** [Some] iff the run had a nemesis *)
   metrics : Dpu_obs.Json.t;
+  trace : Dpu_obs.Trace_event.t list;
+      (** this process's trace events, pid = node, timestamps in ms
+          since the shared epoch; [[]] when tracing was off (and in
+          reports written by pre-observability builds) *)
 }
 
 val run :

@@ -70,7 +70,7 @@ let counters_json (c : Dpu_runtime.Transport.counters) =
       ("bytes", J.Int c.Dpu_runtime.Transport.bytes);
     ]
 
-let run ?metrics_out ?spans_out params =
+let run ?metrics_out ?spans_out ?trace_out ?logs_dir params =
   if params.n < 1 then invalid_arg "Serve.run: need at least one node";
   if params.load <= 0.0 then invalid_arg "Serve.run: load must be positive";
   (match Dpu_faults.Schedule.validate ~n:params.n params.nemesis with
@@ -102,6 +102,15 @@ let run ?metrics_out ?spans_out params =
   (* Stamped into every envelope: frames from an earlier deployment
      that bound the same ports are shed at the transport. *)
   let generation = Unix.getpid () land 0xffff in
+  (match logs_dir with
+  | None -> ()
+  | Some dir -> (
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()));
+  let log_path_of me =
+    Option.map
+      (fun dir -> Filename.concat dir (Printf.sprintf "node-%d.jsonl" me))
+      logs_dir
+  in
   flush stdout;
   flush stderr;
   let pids =
@@ -126,6 +135,8 @@ let run ?metrics_out ?spans_out params =
                   duration_ms = params.duration_ms;
                   drain_ms = params.drain_ms;
                   seed = params.seed;
+                  trace_enabled = trace_out <> None;
+                  log_path = log_path_of me;
                 }
               in
               let report = Node.run ~config ~fd:fds.(me) ~peers () in
@@ -211,6 +222,16 @@ let run ?metrics_out ?spans_out params =
       | Some path ->
         let events = Dpu_core.Spans.of_run ~n:params.n collector in
         J.to_file path (Dpu_core.Spans.to_json events)
+      | None -> ());
+      (match trace_out with
+      | Some path ->
+        let events =
+          Live_trace.merged ~n:params.n
+            ~horizon_ms:(params.duration_ms +. params.drain_ms)
+            ~nemesis:params.nemesis ~collector
+            ~node_traces:(List.map (fun (r : Node.report) -> r.Node.trace) node_reports)
+        in
+        J.to_file path (Dpu_obs.Trace_event.to_json events)
       | None -> ());
       Ok { node_reports; collector; checks }
   end

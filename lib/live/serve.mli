@@ -21,7 +21,16 @@
 
     [metrics_out]/[spans_out] mirror the sim path's exports: a JSON
     metrics snapshot (here per-node, plus transport counters) and
-    Chrome trace-event spans of the merged run. *)
+    Chrome trace-event spans of the merged run.
+
+    [trace_out] goes further: it turns per-node trace recording on
+    (each child records switch triggers, fault injections and
+    start/stop marks against the shared epoch, shipped in its report)
+    and writes ONE merged Chrome trace — collector spans, every node's
+    events and the nemesis schedule as fault windows — loadable in
+    Perfetto. [logs_dir] gives each child a structured JSONL log file
+    ([node-<i>.jsonl], created on demand); with neither given, children
+    run with tracing off and the noop logger, exactly as before. *)
 
 type params = {
   n : int;
@@ -49,7 +58,11 @@ type outcome = {
 }
 
 val run :
-  ?metrics_out:string -> ?spans_out:string -> params ->
+  ?metrics_out:string ->
+  ?spans_out:string ->
+  ?trace_out:string ->
+  ?logs_dir:string ->
+  params ->
   (outcome, string) result
 (** [Error] on child crash or unreadable report; property violations
     are not an error — inspect [checks]. Raises [Invalid_argument] if

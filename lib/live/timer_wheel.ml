@@ -22,6 +22,10 @@ type t = {
   mutable seq : int;
   mutable pending : int;
   ready : entry Queue.t;  (* zero-delay entries, fired FIFO next advance *)
+  (* Event-loop profile: lifetime totals, sampled by observability
+     callbacks at snapshot time. *)
+  mutable fired : int;
+  mutable cascades : int;
 }
 
 let create ?(granularity_ms = 1.0) ?(slots = 512) () =
@@ -35,9 +39,15 @@ let create ?(granularity_ms = 1.0) ?(slots = 512) () =
     seq = 0;
     pending = 0;
     ready = Queue.create ();
+    fired = 0;
+    cascades = 0;
   }
 
 let pending t = t.pending
+
+let fired t = t.fired
+
+let cascades t = t.cascades
 
 let add t ~now ~delay ?timer fn =
   let delay = Float.max delay 0.0 in
@@ -113,7 +123,10 @@ let cmp_due a b =
 
 let fire t e =
   discount t e;
-  if live e then e.e_fn ()
+  if live e then begin
+    t.fired <- t.fired + 1;
+    e.e_fn ()
+  end
 
 let advance t ~now =
   let target = int_of_float (now /. t.granularity) in
@@ -135,5 +148,7 @@ let advance t ~now =
      next) happens now, exactly like same-instant events in the
      simulator. *)
   while not (Queue.is_empty t.ready) do
-    fire t (Queue.pop t.ready)
+    let e = Queue.pop t.ready in
+    if live e then t.cascades <- t.cascades + 1;
+    fire t e
   done

@@ -38,3 +38,16 @@ val pending : t -> int
 (** Entries still expected to fire. Cancelled entries leave the count
     as soon as any scan observes them ({!next_deadline}, {!advance}),
     so idle detection never sees phantom work. *)
+
+(** {1 Event-loop profile} — lifetime totals, for observability
+    callbacks sampled at metrics-snapshot time. Reading them costs
+    nothing on the hot path; they are maintained unconditionally (two
+    integer bumps per callback run). *)
+
+val fired : t -> int
+(** Callbacks actually run (cancelled entries excluded). *)
+
+val cascades : t -> int
+(** The subset of {!fired} that ran from the zero-delay ready queue —
+    same-instant cascade work, the live counterpart of the simulator's
+    same-time event chains. *)

@@ -95,23 +95,28 @@ let receive_one t frame =
         t.delivered <- t.delivered + 1;
         f ~src:info.Payload.Envelope.src payload)
 
-let rec drain t =
-  match Unix.recvfrom t.fd t.buf 0 (Bytes.length t.buf) [] with
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-    -> ()
-  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
-    (* A peer's socket vanished; ignore like any datagram loss. *)
-    drain t
-  | exception Unix.Unix_error (_, _, _) ->
-    (* Anything else (ENOMEM, EBADF during a shutdown race, ...) must
-       not kill the node loop mid-scenario: count it as dropped input
-       and stop this drain pass — recursing could spin forever on a
-       persistent error. *)
-    t.rx_errors <- t.rx_errors + 1;
-    t.dropped <- t.dropped + 1
-  | len, _addr ->
-    receive_one t (Bytes.sub_string t.buf 0 len);
-    drain t
+let drain t =
+  let rec go frames =
+    match Unix.recvfrom t.fd t.buf 0 (Bytes.length t.buf) [] with
+    | exception Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      frames
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+      (* A peer's socket vanished; ignore like any datagram loss. *)
+      go frames
+    | exception Unix.Unix_error (_, _, _) ->
+      (* Anything else (ENOMEM, EBADF during a shutdown race, ...) must
+         not kill the node loop mid-scenario: count it as dropped input
+         and stop this drain pass — recursing could spin forever on a
+         persistent error. *)
+      t.rx_errors <- t.rx_errors + 1;
+      t.dropped <- t.dropped + 1;
+      frames
+    | len, _addr ->
+      receive_one t (Bytes.sub_string t.buf 0 len);
+      go (frames + 1)
+  in
+  go 0
 
 let rx_errors t = t.rx_errors
 

@@ -22,12 +22,13 @@ val create :
 
 val transport : t -> Payload.t Dpu_runtime.Transport.t
 
-val drain : t -> unit
+val drain : t -> int
 (** Receive until the socket would block, handing each decoded payload
-    to the installed handler. Unexpected receive errors (e.g. [ENOMEM],
-    [EBADF] in a shutdown race) end the pass and are counted — as
-    [dropped] and in {!rx_errors} — instead of escaping into the node
-    loop. *)
+    to the installed handler; returns the number of frames pulled this
+    pass (the event-loop batch size, fed to the drain-batch profile
+    histogram). Unexpected receive errors (e.g. [ENOMEM], [EBADF] in a
+    shutdown race) end the pass and are counted — as [dropped] and in
+    {!rx_errors} — instead of escaping into the node loop. *)
 
 val rx_errors : t -> int
 (** Receive syscalls that failed with something other than

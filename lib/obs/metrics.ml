@@ -149,6 +149,62 @@ let histogram_count hd = hd.h_hist.h_count
 
 let histogram_sum hd = hd.h_hist.h_sum
 
+(* Bucket-based quantile estimation in the Prometheus
+   histogram_quantile style: find the bucket where the cumulative count
+   crosses rank [q * total] and interpolate linearly inside it. The
+   observed extremes tighten the first bucket's lower edge and cap the
+   open-ended +inf bucket, so p999 of a histogram whose tail sits in
+   the last bounded bucket never reports an infinite value. *)
+let quantile_of_buckets ~bounds ~counts ?lo:(observed_min = nan) ?hi:(observed_max = nan) q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Metrics.quantile_of_buckets: q outside [0, 1]";
+  if Array.length counts <> Array.length bounds + 1 then
+    invalid_arg "Metrics.quantile_of_buckets: counts must have one more entry than bounds";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then None
+  else begin
+    let rank = q *. float_of_int total in
+    let nb = Array.length bounds in
+    (* First bucket whose cumulative count reaches [rank]; [below] is
+       the cumulative count strictly before it. *)
+    let rec find i below =
+      let cum = below + counts.(i) in
+      if float_of_int cum >= rank || i >= nb then (i, below)
+      else find (i + 1) cum
+    in
+    let i, below = find 0 0 in
+    let lower =
+      if i = 0 then
+        if Float.is_nan observed_min then 0.0 else Float.min observed_min bounds.(0)
+      else bounds.(i - 1)
+    in
+    if i >= nb then
+      (* The open +inf bucket: no upper edge to interpolate towards —
+         report the best finite estimate available. *)
+      Some
+        (if not (Float.is_nan observed_max) then observed_max
+         else if nb > 0 then bounds.(nb - 1)
+         else if not (Float.is_nan observed_min) then observed_min
+         else 0.0)
+    else begin
+      let upper = bounds.(i) in
+      let inside = float_of_int counts.(i) in
+      let fraction = if inside <= 0.0 then 1.0 else (rank -. float_of_int below) /. inside in
+      let v = lower +. ((upper -. lower) *. fraction) in
+      let v = if Float.is_nan observed_max then v else Float.min v observed_max in
+      let v = if Float.is_nan observed_min then v else Float.max v observed_min in
+      Some v
+    end
+  end
+
+let hist_quantile h q =
+  if h.h_count = 0 then None
+  else
+    quantile_of_buckets ~bounds:h.bounds ~counts:h.bucket_counts ~lo:h.h_min
+      ~hi:h.h_max q
+
+let histogram_quantile hd q = hist_quantile hd.h_hist q
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot / query                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -343,9 +399,11 @@ let pp_summary ppf t =
         if h.h_count = 0 then
           Format.fprintf ppf "%s%s count=0@." i.i_name labels
         else
-          Format.fprintf ppf "%s%s count=%d mean=%.3f min=%.3f max=%.3f@." i.i_name
-            labels h.h_count
+          let q p = Option.value ~default:Float.nan (hist_quantile h p) in
+          Format.fprintf ppf
+            "%s%s count=%d mean=%.3f min=%.3f max=%.3f p50=%.3f p99=%.3f p999=%.3f@."
+            i.i_name labels h.h_count
             (h.h_sum /. float_of_int h.h_count)
-            h.h_min h.h_max
+            h.h_min h.h_max (q 0.5) (q 0.99) (q 0.999)
       | v -> Format.fprintf ppf "%s%s %g@." i.i_name labels (read_value v))
     sorted

@@ -75,6 +75,26 @@ val histogram_count : histogram -> int
 
 val histogram_sum : histogram -> float
 
+val histogram_quantile : histogram -> float -> float option
+(** Bucket-based quantile estimate (Prometheus [histogram_quantile]
+    style): the bucket where the cumulative count crosses rank
+    [q * count] is interpolated linearly, tightened by the observed
+    min/max so the open +inf bucket never yields an infinite estimate.
+    [None] on an empty histogram. Raises [Invalid_argument] unless
+    [0 <= q <= 1]. *)
+
+val quantile_of_buckets :
+  bounds:float array ->
+  counts:int array ->
+  ?lo:float ->
+  ?hi:float ->
+  float ->
+  float option
+(** The same estimator over raw bucket data — e.g. buckets parsed back
+    from an exported metrics snapshot. [counts] must have exactly one
+    more entry than [bounds] (the final +inf bucket); [lo]/[hi] are the
+    observed extremes when known. *)
+
 (** {1 Snapshots}
 
     A {!snapshot} is a pure-data copy of every instrument — callbacks

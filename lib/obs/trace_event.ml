@@ -89,3 +89,83 @@ let to_json events =
       ("traceEvents", Json.List (List.map event_json events));
       ("displayTimeUnit", Json.Str "ms");
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Parsing — events shipped across process boundaries (live node      *)
+(* reports) and artifacts re-read by `dpu_run report` and tests.      *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = Result.bind r f
+
+let field j name to_ kind =
+  match Option.bind (Json.member j name) to_ with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "trace event: missing or non-%s field %S" kind name)
+
+let str j name = field j name Json.to_string_opt "string"
+
+let int_ j name = field j name Json.to_int_opt "int"
+
+let num j name = field j name Json.to_float_opt "number"
+
+let parse_args j =
+  match Json.member j "args" with
+  | None -> Ok []
+  | Some (Json.Obj fields) -> Ok fields
+  | Some _ -> Error "trace event: \"args\" is not an object"
+
+let of_json j =
+  let* ph = str j "ph" in
+  match ph with
+  | "X" ->
+    let* name = str j "name" in
+    let* cat = str j "cat" in
+    let* pid = int_ j "pid" in
+    let* tid = int_ j "tid" in
+    let* ts_us = num j "ts" in
+    let* dur_us = num j "dur" in
+    let* args = parse_args j in
+    Ok (Complete { name; cat; pid; tid; ts_us; dur_us; args })
+  | "i" ->
+    let* name = str j "name" in
+    let* cat = str j "cat" in
+    let* pid = int_ j "pid" in
+    let* tid = int_ j "tid" in
+    let* ts_us = num j "ts" in
+    let* args = parse_args j in
+    Ok (Instant { name; cat; pid; tid; ts_us; args })
+  | "M" -> (
+    let* kind = str j "name" in
+    let* pid = int_ j "pid" in
+    let* args =
+      match Json.member j "args" with
+      | Some a -> Ok a
+      | None -> Error "trace event: metadata without args"
+    in
+    let* name = str args "name" in
+    match kind with
+    | "process_name" -> Ok (Process_name { pid; name })
+    | "thread_name" ->
+      let* tid = int_ j "tid" in
+      Ok (Thread_name { pid; tid; name })
+    | other -> Error (Printf.sprintf "trace event: unknown metadata kind %S" other))
+  | other -> Error (Printf.sprintf "trace event: unknown phase %S" other)
+
+let events_of_json j =
+  let events =
+    match j with
+    | Json.List l -> Ok l
+    | Json.Obj _ -> (
+      match Option.bind (Json.member j "traceEvents") Json.to_list_opt with
+      | Some l -> Ok l
+      | None -> Error "trace: no \"traceEvents\" list")
+    | _ -> Error "trace: expected an object or a list"
+  in
+  let* events = events in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest ->
+      let* e = of_json e in
+      go (e :: acc) rest
+  in
+  go [] events

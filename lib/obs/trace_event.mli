@@ -46,3 +46,15 @@ val thread_name : pid:int -> tid:int -> string -> t
 val to_json : t list -> Json.t
 (** The standard envelope:
     [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val event_json : t -> Json.t
+(** One event as its trace-format JSON object. *)
+
+val of_json : Json.t -> (t, string) result
+(** Parse one event back; inverse of {!event_json} for the four phases
+    this module emits ("X", "i", and the two "M" metadata kinds). *)
+
+val events_of_json : Json.t -> (t list, string) result
+(** Parse either the {!to_json} envelope or a bare event list. Used to
+    merge trace buffers shipped in live node reports and to re-read
+    exported artifacts. *)

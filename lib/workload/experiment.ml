@@ -38,6 +38,7 @@ type params = {
   consensus_layer : string option;
   switch_consensus : (float * string) option;
   faults : Dpu_faults.Schedule.t;
+  log_out : string option;
 }
 
 let default =
@@ -62,6 +63,7 @@ let default =
     consensus_layer = None;
     switch_consensus = None;
     faults = [];
+    log_out = None;
   }
 
 type result = {
@@ -146,6 +148,22 @@ let run ?(crash_at = []) params =
   let mw = MW.create ~config ~register_extra ~n:params.n () in
   let system = MW.system mw in
   let clock = Dpu_kernel.System.clock system in
+  (* The structured log is stamped on the VIRTUAL clock: with the same
+     params the emitted JSONL bytes are a pure function of the run —
+     the determinism tests diff two runs' files verbatim. *)
+  let log, close_log =
+    match params.log_out with
+    | None -> (Dpu_obs.Log.noop, fun () -> ())
+    | Some path -> Dpu_obs.Log.to_file ~clock:(fun () -> Clock.now clock) path
+  in
+  Dpu_obs.Log.info log
+    ~fields:
+      [ ("n", Dpu_obs.Json.Int params.n);
+        ("seed", Dpu_obs.Json.Int params.seed);
+        ("load", Dpu_obs.Json.Float params.load);
+        ("approach", Dpu_obs.Json.Str (approach_name params.approach));
+        ("initial", Dpu_obs.Json.Str params.initial) ]
+    "experiment start";
   (match Dpu_faults.Schedule.validate ~n:params.n params.faults with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Experiment.run: bad fault schedule: %s" msg));
@@ -182,17 +200,30 @@ let run ?(crash_at = []) params =
         pick (params.n - 1)
       in
       Clock.defer clock ~delay:params.switch_at_ms (fun () ->
+          Dpu_obs.Log.info log
+            ~fields:
+              [ ("node", Dpu_obs.Json.Int trigger_node);
+                ("target", Dpu_obs.Json.Str protocol) ]
+            "switch trigger";
           MW.change_protocol mw ~node:trigger_node protocol);
       true
     | Some _, None | None, _ -> false
   in
   (match params.switch_consensus with
   | Some (time, protocol) ->
-    Clock.defer clock ~delay:time (fun () -> MW.change_consensus mw ~node:0 protocol)
+    Clock.defer clock ~delay:time (fun () ->
+        Dpu_obs.Log.info log
+          ~fields:[ ("target", Dpu_obs.Json.Str protocol) ]
+          "consensus switch trigger";
+        MW.change_consensus mw ~node:0 protocol)
   | None -> ());
   List.iter
     (fun (time, node) ->
-      Clock.defer clock ~delay:time (fun () -> MW.crash mw node))
+      Clock.defer clock ~delay:time (fun () ->
+          Dpu_obs.Log.warn log
+            ~fields:[ ("node", Dpu_obs.Json.Int node) ]
+            "crash";
+          MW.crash mw node))
     crash_at;
   MW.run_until_quiescent ~limit:(params.duration_ms +. 120_000.0) mw;
   let collector = MW.collector mw in
@@ -233,6 +264,19 @@ let run ?(crash_at = []) params =
   let undelivered =
     Collector.undelivered_ids collector ~expected_copies:(List.length correct)
   in
+  Dpu_obs.Log.info log
+    ~fields:
+      ([ ("sent", Dpu_obs.Json.Int sent);
+         ("delivered_everywhere", Dpu_obs.Json.Int (sent - List.length undelivered))
+       ]
+      @
+      match switch_window with
+      | Some (lo, hi) ->
+        [ ("switch_from_ms", Dpu_obs.Json.Float lo);
+          ("switch_to_ms", Dpu_obs.Json.Float hi) ]
+      | None -> [])
+    "experiment done";
+  close_log ();
   {
     params;
     latency;

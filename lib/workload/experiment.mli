@@ -52,6 +52,11 @@ type params = {
       (** declarative fault schedule armed at virtual time 0. [Crash]
           is fail-stop here (stack + network endpoint); [Recover] of a
           fail-stopped node is ignored. Default: no faults. *)
+  log_out : string option;
+      (** write structured JSONL milestone logs (start, switch
+          triggers, crashes, completion) to this path, stamped on the
+          {e virtual} clock — identical params produce byte-identical
+          files; [None] (the default) is the noop logger *)
 }
 
 val default : params

@@ -169,7 +169,7 @@ let test_udp_loopback () =
         (Dpu_live.Udp_transport.transport t0)
         ~src:0 ~dst:1 ~size_bytes:32 msg;
       await_readable fd1;
-      Dpu_live.Udp_transport.drain t1;
+      ignore (Dpu_live.Udp_transport.drain t1 : int);
       check
         Alcotest.(list (pair int string))
         "delivered with sender identity"
@@ -199,14 +199,14 @@ let test_udp_foreign_frames_dropped () =
         (Dpu_live.Udp_transport.transport t0)
         ~src:0 ~dst:1 ~size_bytes:32 msg;
       await_readable fd1;
-      Dpu_live.Udp_transport.drain t1;
+      ignore (Dpu_live.Udp_transport.drain t1 : int);
       (* Not even an envelope: also shed. *)
       let sent =
         Unix.sendto_substring fd1 "not a frame" 0 11 [] peers.(1)
       in
       check Alcotest.int "raw bytes sent" 11 sent;
       await_readable fd1;
-      Dpu_live.Udp_transport.drain t1;
+      ignore (Dpu_live.Udp_transport.drain t1 : int);
       check Alcotest.int "nothing delivered" 0 !got;
       let c = Dpu_live.Udp_transport.counters t1 in
       check Alcotest.int "both dropped" 2 c.Dpu_runtime.Transport.dropped)
@@ -246,7 +246,7 @@ let test_udp_syscall_failure_accounting () =
     c.Dpu_runtime.Transport.bytes;
   (* drain on the dead descriptor must survive, count the error, and
      not recurse into a spin. *)
-  Dpu_live.Udp_transport.drain t0;
+  ignore (Dpu_live.Udp_transport.drain t0 : int);
   check Alcotest.int "rx error counted" 1 (Dpu_live.Udp_transport.rx_errors t0);
   let c = Dpu_live.Udp_transport.counters t0 in
   check Alcotest.int "rx error surfaces as dropped input" 2
@@ -295,7 +295,7 @@ let test_live_shim_loss_window_restores () =
       send ();
       (* after [until): the clean path is restored *)
       await_readable fd1;
-      Dpu_live.Udp_transport.drain t1;
+      ignore (Dpu_live.Udp_transport.drain t1 : int);
       check Alcotest.int "only the post-window frame arrives" 1 !got;
       let s = Dpu_faults.Fault_transport.stats shim in
       check Alcotest.int "loss charged to the shim" 1
@@ -320,6 +320,159 @@ let test_udp_wrong_node_refused () =
       | exception Invalid_argument _ -> ()
       | () -> Alcotest.fail "handling a foreign node accepted")
 
+(* ------------------------------------------------------------------ *)
+(* Event-loop profile counters                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_wheel_profile_counters () =
+  let w = Wheel.create () in
+  check Alcotest.int "fired starts at 0" 0 (Wheel.fired w);
+  check Alcotest.int "cascades start at 0" 0 (Wheel.cascades w);
+  Wheel.add w ~now:0.0 ~delay:10.0 ignore;
+  Wheel.add w ~now:0.0 ~delay:20.0 ignore;
+  let tm = Clock.make_timer ~cancel:ignore in
+  Wheel.add w ~now:0.0 ~delay:15.0 ~timer:tm ignore;
+  Clock.cancel tm;
+  Wheel.advance w ~now:50.0;
+  (* Cancelled entries are skipped, not fired. *)
+  check Alcotest.int "slotted firings counted" 2 (Wheel.fired w);
+  check Alcotest.int "no cascades yet" 0 (Wheel.cascades w);
+  (* Zero-delay entries drained within a pass count as cascades. *)
+  Wheel.add w ~now:50.0 ~delay:0.0 (fun () ->
+      Wheel.add w ~now:50.0 ~delay:0.0 ignore);
+  Wheel.advance w ~now:50.0;
+  check Alcotest.int "cascade firings counted" 4 (Wheel.fired w);
+  check Alcotest.int "both zero-delay entries cascaded" 2 (Wheel.cascades w)
+
+(* ------------------------------------------------------------------ *)
+(* Report compatibility and the merged live trace                     *)
+(* ------------------------------------------------------------------ *)
+
+module Node = Dpu_live.Node
+module Serve = Dpu_live.Serve
+module Json = Dpu_obs.Json
+module Spans = Dpu_core.Spans
+
+(* A report exactly as a pre-observability build wrote it: no "trace"
+   field (and no "faults" — a clean run). Newer parsers must accept it
+   and default the trace empty; dropping this shape would break mixed
+   parent/child version rollouts and archived artifacts. *)
+let pre_observability_report =
+  {|{"node":1,
+     "sends":[{"id":"1.1","t":12.5}],
+     "delivers":[{"id":"1.1","t":14.0},{"id":"0.3","t":15.25}],
+     "switches":[{"generation":1,"t":30.0}],
+     "transport":{"sent":4,"delivered":3,"dropped":1,"bytes":4096,"rx_errors":0},
+     "metrics":{"schema":"dpu.metrics/1","metrics":[]}}|}
+
+let test_report_pre_observability_parses () =
+  match Json.of_string pre_observability_report with
+  | Error e -> Alcotest.fail ("fixture does not parse as JSON: " ^ e)
+  | Ok j -> (
+    match Node.report_of_json j with
+    | Error e -> Alcotest.fail ("pre-observability report rejected: " ^ e)
+    | Ok r ->
+      check Alcotest.int "node" 1 r.Node.node;
+      check Alcotest.int "sends" 1 (List.length r.Node.sends);
+      check Alcotest.int "delivers" 2 (List.length r.Node.delivers);
+      check Alcotest.bool "faults default None" true (r.Node.faults = None);
+      check Alcotest.bool "trace defaults empty" true (r.Node.trace = []);
+      (* And a trace-off report written by THIS build keeps that shape:
+         re-serialising must not introduce the field. *)
+      let j' = Node.report_to_json r in
+      check Alcotest.bool "trace field stays absent" true
+        (Json.member j' "trace" = None))
+
+let test_report_trace_roundtrip () =
+  match Json.of_string pre_observability_report with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+    match Node.report_of_json j with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+      let trace =
+        [
+          Dpu_obs.Trace_event.instant ~name:"node start" ~cat:"node" ~pid:1 ~tid:1
+            ~ts_ms:0.5 ();
+          Dpu_obs.Trace_event.instant ~name:"injected_loss src=1 dst=0" ~cat:"fault"
+            ~pid:1 ~tid:1 ~ts_ms:20.0 ();
+        ]
+      in
+      let r = { r with Node.trace } in
+      match Node.report_of_json (Node.report_to_json r) with
+      | Error e -> Alcotest.fail ("traced report did not parse back: " ^ e)
+      | Ok r' -> check Alcotest.bool "trace roundtrips" true (r'.Node.trace = trace))
+
+(* A short real deployment with [trace_out]: the windows recoverable
+   from the merged Chrome trace must be exactly the windows the parent
+   measured on its merged collector — the property `dpu_run report`
+   relies on when it renders a timeline from the artifact alone. *)
+let test_serve_merged_trace_matches_collector () =
+  let trace_path = Filename.temp_file "dpu-live-trace" ".json" in
+  let logs_dir = Filename.temp_file "dpu-live-logs" "" in
+  Sys.remove logs_dir;
+  (* temp_file created it as a file; Serve recreates it as a dir *)
+  let params =
+    {
+      Serve.default with
+      load = 20.0;
+      duration_ms = 2_000.0;
+      drain_ms = 1_200.0;
+      switch_at_ms = 800.0;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove trace_path with Sys_error _ -> ());
+      if Sys.file_exists logs_dir && Sys.is_directory logs_dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat logs_dir f) with Sys_error _ -> ())
+          (Sys.readdir logs_dir);
+        try Unix.rmdir logs_dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () ->
+      match Serve.run ~trace_out:trace_path ~logs_dir params with
+      | Error e -> Alcotest.fail ("live deployment failed: " ^ e)
+      | Ok outcome ->
+        let timeline = Spans.replacement_timeline outcome.Serve.collector in
+        check Alcotest.bool "the switch completed" true (timeline <> []);
+        let content = In_channel.with_open_text trace_path In_channel.input_all in
+        (match Json.of_string content with
+        | Error e -> Alcotest.fail ("merged trace is not JSON: " ^ e)
+        | Ok j -> (
+          match Dpu_obs.Trace_event.events_of_json j with
+          | Error e -> Alcotest.fail ("merged trace does not parse: " ^ e)
+          | Ok events ->
+            check
+              Alcotest.(list (pair int (pair (float 1e-6) (float 1e-6))))
+              "windows in the artifact = windows the parent measured" timeline
+              (Spans.windows_of_trace_events events);
+            (* The merge carries every node's own events too. *)
+            let node_instants =
+              List.filter
+                (function
+                  | Dpu_obs.Trace_event.Instant { cat = "node"; _ } -> true
+                  | _ -> false)
+                events
+            in
+            check Alcotest.bool "per-node start/stop marks present" true
+              (List.length node_instants >= 2 * params.Serve.n)));
+        (* Each child wrote a parseable structured log. *)
+        List.init params.Serve.n Fun.id
+        |> List.iter (fun me ->
+               let path = Filename.concat logs_dir (Printf.sprintf "node-%d.jsonl" me) in
+               check Alcotest.bool (Printf.sprintf "node %d log exists" me) true
+                 (Sys.file_exists path);
+               let s = In_channel.with_open_text path In_channel.input_all in
+               match Dpu_obs.Log.entries_of_string s with
+               | Error e -> Alcotest.fail (Printf.sprintf "node %d log: %s" me e)
+               | Ok entries ->
+                 check Alcotest.bool
+                   (Printf.sprintf "node %d logged milestones" me)
+                   true
+                   (List.exists (fun e -> e.Dpu_obs.Log.e_msg = "node start") entries
+                   && List.exists (fun e -> e.Dpu_obs.Log.e_msg = "node stop") entries)))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "live"
@@ -336,6 +489,7 @@ let () =
           tc "cancel discounts pending" test_wheel_cancel_discounts_pending;
           tc "next deadline is the effective fire time"
             test_wheel_next_deadline_is_effective_fire_time;
+          tc "profile counters" test_wheel_profile_counters;
         ] );
       ( "udp-transport",
         [
@@ -347,4 +501,11 @@ let () =
         ] );
       ( "fault-shim",
         [ tc "loss window restores over real UDP" test_live_shim_loss_window_restores ] );
+      ( "reports",
+        [
+          tc "pre-observability report parses" test_report_pre_observability_parses;
+          tc "traced report roundtrips" test_report_trace_roundtrip;
+        ] );
+      ( "deployment",
+        [ tc "merged trace matches the collector" test_serve_merged_trace_matches_collector ] );
     ]

@@ -7,6 +7,8 @@ module Json = Dpu_obs.Json
 module M = Dpu_obs.Metrics
 module TE = Dpu_obs.Trace_event
 module Csv = Dpu_obs.Csv
+module Log = Dpu_obs.Log
+module RH = Dpu_obs.Report_html
 module Spans = Dpu_core.Spans
 module Collector = Dpu_core.Collector
 module E = Dpu_workload.Experiment
@@ -14,6 +16,11 @@ module Series = Dpu_engine.Series
 
 let check = Alcotest.check
 let fail = Alcotest.fail
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                               *)
@@ -173,6 +180,139 @@ let test_metrics_snapshot_parses () =
   | Error e -> fail ("snapshot does not parse: " ^ e)
 
 (* ------------------------------------------------------------------ *)
+(* Bucket-based quantile estimation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qopt = Alcotest.option (Alcotest.float 1e-9)
+
+let test_quantile_empty () =
+  check qopt "all-zero buckets" None
+    (M.quantile_of_buckets ~bounds:[| 1.0; 2.0; 4.0 |] ~counts:[| 0; 0; 0; 0 |] 0.5);
+  let m = M.create () in
+  let h = M.histogram m "lat_ms" in
+  check qopt "empty histogram" None (M.histogram_quantile h 0.5)
+
+let test_quantile_interpolation () =
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  (* All ten observations in the (1, 2] bucket: the median sits halfway
+     up that bucket's linear interpolation. *)
+  check qopt "median interpolates" (Some 1.5)
+    (M.quantile_of_buckets ~bounds ~counts:[| 0; 10; 0; 0 |] 0.5);
+  check qopt "p90 interpolates" (Some 1.9)
+    (M.quantile_of_buckets ~bounds ~counts:[| 0; 10; 0; 0 |] 0.9)
+
+let test_quantile_inf_bucket_capped () =
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  (* Mass in the open +inf bucket: the observed max caps the estimate;
+     without it the last finite bound is the best answer. *)
+  check qopt "+inf capped by hi" (Some 7.5)
+    (M.quantile_of_buckets ~bounds ~counts:[| 0; 0; 0; 5 |] ~hi:7.5 0.99);
+  check qopt "+inf falls back to last bound" (Some 4.0)
+    (M.quantile_of_buckets ~bounds ~counts:[| 0; 0; 0; 5 |] 0.99)
+
+let test_quantile_clamped_to_extremes () =
+  (* The observed min tightens the first bucket's lower edge. *)
+  check qopt "q=0 reports the observed min" (Some 2.0)
+    (M.quantile_of_buckets ~bounds:[| 10.0 |] ~counts:[| 4; 0 |] ~lo:2.0 0.0);
+  (* And the observed max bounds any interpolated value from above. *)
+  check qopt "interpolation never exceeds hi" (Some 6.0)
+    (M.quantile_of_buckets ~bounds:[| 10.0 |] ~counts:[| 4; 0 |] ~lo:2.0 ~hi:6.0 1.0)
+
+let test_quantile_invalid_arguments () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> fail "expected Invalid_argument"
+  in
+  raises (fun () -> M.quantile_of_buckets ~bounds:[| 1.0 |] ~counts:[| 1; 0 |] 1.5);
+  raises (fun () -> M.quantile_of_buckets ~bounds:[| 1.0 |] ~counts:[| 1; 0 |] (-0.1));
+  (* counts must carry the trailing +inf bucket. *)
+  raises (fun () -> M.quantile_of_buckets ~bounds:[| 1.0 |] ~counts:[| 1 |] 0.5)
+
+let test_quantile_of_instrument () =
+  let m = M.create () in
+  let h = M.histogram m ~bounds:[| 1.0; 10.0 |] "lat_ms" in
+  List.iter (M.observe h) [ 0.5; 5.0; 50.0 ];
+  check qopt "p100 is the observed max" (Some 50.0) (M.histogram_quantile h 1.0);
+  check qopt "median interpolated in (1, 10]" (Some 5.5) (M.histogram_quantile h 0.5);
+  (* pp_summary surfaces the quantiles for humans. *)
+  let s = Format.asprintf "%a" M.pp_summary m in
+  check Alcotest.bool "summary lists p50/p99/p999" true
+    (contains s "p50=" && contains s "p99=" && contains s "p999=")
+
+(* ------------------------------------------------------------------ *)
+(* Structured logging                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A synthetic deterministic clock: what the simulator clock gives the
+   experiment logger. Identical call sequences must produce identical
+   bytes — that is the property the sim-determinism gate relies on. *)
+let emit_log_bytes () =
+  let t = ref 0.0 in
+  let clock () =
+    t := !t +. 1.25;
+    !t
+  in
+  let buf = Buffer.create 256 in
+  let log = Log.to_buffer ~clock buf in
+  Log.info log ~fields:[ ("n", Json.Int 3); ("load", Json.Float 40.0) ] "start";
+  Log.debug log "below the default threshold";
+  Log.warn log ~fields:[ ("node", Json.Int 1) ] "crash";
+  Log.error log "boom";
+  Buffer.contents buf
+
+let test_log_deterministic_bytes () =
+  let a = emit_log_bytes () in
+  let b = emit_log_bytes () in
+  check Alcotest.string "same clock, same calls, same bytes" a b;
+  match Log.entries_of_string a with
+  | Error e -> fail ("emitted JSONL does not parse: " ^ e)
+  | Ok entries ->
+    (* Info default threshold: the debug record was dropped. *)
+    check Alcotest.int "three records" 3 (List.length entries);
+    let levels = List.map (fun e -> Log.level_name e.Log.e_level) entries in
+    check (Alcotest.list Alcotest.string) "levels" [ "info"; "warn"; "error" ] levels;
+    let first = List.hd entries in
+    check Alcotest.string "msg" "start" first.Log.e_msg;
+    check (Alcotest.float 1e-9) "stamped on the synthetic clock" 1.25 first.Log.e_time;
+    check (Alcotest.option Alcotest.int) "caller fields preserved" (Some 3)
+      (Option.bind (Json.member first.Log.e_fields "n") Json.to_int_opt)
+
+let test_log_noop_and_threshold () =
+  (* The noop logger is disabled at every level and never emits. *)
+  List.iter
+    (fun lvl -> check Alcotest.bool "noop disabled" false (Log.enabled Log.noop lvl))
+    [ Log.Debug; Log.Info; Log.Warn; Log.Error ];
+  Log.error Log.noop ~fields:[ ("x", Json.Int 1) ] "dropped";
+  (* A Warn-threshold logger drops info but passes warn and error. *)
+  let hits = ref 0 in
+  let log = Log.create ~level:Log.Warn ~clock:(fun () -> 0.0) ~emit:(fun _ -> incr hits) () in
+  Log.info log "dropped";
+  Log.warn log "kept";
+  Log.error log "kept";
+  check Alcotest.int "threshold filters" 2 !hits;
+  check Alcotest.bool "enabled warn" true (Log.enabled log Log.Warn);
+  check Alcotest.bool "disabled info" false (Log.enabled log Log.Info)
+
+let test_log_entry_parsing () =
+  (match Log.entry_of_line {|{"t":12.5,"level":"warn","msg":"m","node":2}|} with
+  | Error e -> fail e
+  | Ok entry ->
+    check (Alcotest.float 0.0) "t" 12.5 entry.Log.e_time;
+    check Alcotest.string "level" "warn" (Log.level_name entry.Log.e_level);
+    check Alcotest.string "msg" "m" entry.Log.e_msg;
+    check (Alcotest.option Alcotest.int) "extra field" (Some 2)
+      (Option.bind (Json.member entry.Log.e_fields "node") Json.to_int_opt));
+  (match Log.entry_of_line "not json" with
+  | Ok _ -> fail "accepted a malformed line"
+  | Error _ -> ());
+  (* Blank lines are skipped by the document parser. *)
+  match Log.entries_of_string "\n{\"t\":1,\"level\":\"info\",\"msg\":\"a\"}\n\n" with
+  | Ok [ e ] -> check Alcotest.string "single entry" "a" e.Log.e_msg
+  | Ok _ -> fail "expected exactly one entry"
+  | Error e -> fail e
+
+(* ------------------------------------------------------------------ *)
 (* Trace events and CSV                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -206,6 +346,44 @@ let test_trace_event_negative_duration_clamped () =
     check (Alcotest.option (Alcotest.float 0.0)) "clamped" (Some 0.0)
       (Option.bind (Json.member ev "dur") Json.to_float_opt)
   | _ -> fail "expected one event"
+
+(* The live path serialises each node's trace buffer into its report
+   and the parent parses it back: of_json must invert event_json for
+   every phase this module emits. *)
+let test_trace_event_parse_roundtrip () =
+  let events =
+    [
+      TE.process_name ~pid:0 "node 0";
+      TE.thread_name ~pid:0 ~tid:1 "kernel / dpu";
+      TE.complete ~name:"replacement gen=1" ~cat:"dpu" ~pid:2 ~tid:0 ~ts_ms:30.0
+        ~dur_ms:7.0
+        ~args:[ ("generation", Json.Int 1) ]
+        ();
+      TE.instant ~name:"heal partition" ~cat:"nemesis" ~pid:3 ~tid:0 ~ts_ms:12.5 ();
+    ]
+  in
+  (match TE.events_of_json (TE.to_json events) with
+  | Ok back -> check Alcotest.bool "envelope roundtrip" true (back = events)
+  | Error e -> fail ("envelope did not parse back: " ^ e));
+  (* Each event individually, through the single-event parser. *)
+  List.iter
+    (fun e ->
+      match TE.of_json (TE.event_json e) with
+      | Ok e' -> check Alcotest.bool "event roundtrip" true (e = e')
+      | Error err -> fail ("event did not parse back: " ^ err))
+    events;
+  (* A bare list (no envelope) is accepted too. *)
+  match TE.events_of_json (Json.List (List.map TE.event_json events)) with
+  | Ok back -> check Alcotest.int "bare list" (List.length events) (List.length back)
+  | Error e -> fail e
+
+let test_trace_event_parse_rejects_garbage () =
+  (match TE.of_json (Json.Obj [ ("ph", Json.Str "Z") ]) with
+  | Ok _ -> fail "accepted an unknown phase"
+  | Error _ -> ());
+  match TE.events_of_json (Json.Str "nope") with
+  | Ok _ -> fail "accepted a non-list"
+  | Error _ -> ()
 
 let test_csv_escaping () =
   check Alcotest.string "plain" "x" (Csv.escape "x");
@@ -253,6 +431,91 @@ let test_spans_from_collector () =
   (* The window lives on the synthetic timeline process (pid = n). *)
   check (Alcotest.option Alcotest.int) "timeline pid" (Some 2)
     (Option.bind (Json.member window "pid") Json.to_int_opt)
+
+(* ------------------------------------------------------------------ *)
+(* Replacement windows: collector vs trace round-trip                 *)
+(* ------------------------------------------------------------------ *)
+
+let windows_testable =
+  Alcotest.(list (pair int (pair (float 1e-6) (float 1e-6))))
+
+let test_windows_roundtrip_through_trace () =
+  let c = Collector.create () in
+  Collector.record_switch c ~node:0 ~generation:1 ~time:30.0;
+  Collector.record_switch c ~node:1 ~generation:1 ~time:37.0;
+  Collector.record_switch c ~node:1 ~generation:2 ~time:80.0;
+  Collector.record_switch c ~node:0 ~generation:2 ~time:95.5;
+  let timeline = Spans.replacement_timeline c in
+  check windows_testable "timeline from collector"
+    [ (1, (30.0, 37.0)); (2, (80.0, 95.5)) ]
+    timeline;
+  (* The same windows must be recoverable from the exported trace —
+     the property the live merge relies on. *)
+  let events = Spans.of_run ~n:2 c in
+  check windows_testable "windows survive the trace" timeline
+    (Spans.windows_of_trace_events events);
+  (* And survive a serialisation round-trip through JSON. *)
+  match Dpu_obs.Trace_event.events_of_json (Spans.to_json events) with
+  | Ok back -> check windows_testable "windows survive JSON" timeline
+                 (Spans.windows_of_trace_events back)
+  | Error e -> fail e
+
+(* ------------------------------------------------------------------ *)
+(* HTML report rendering                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bench_entry wall x_ms =
+  Json.Obj
+    [
+      ("schema", Json.Str "dpu.bench/1");
+      ("wall_clock_s", Json.Float wall);
+      ("results", Json.Obj [ ("sec", Json.Obj [ ("x_ms", Json.Float x_ms) ]) ]);
+    ]
+
+let test_report_html_render () =
+  let events =
+    [
+      TE.process_name ~pid:0 "node 0";
+      TE.complete ~name:"replacement gen=1" ~cat:"dpu" ~pid:2 ~tid:0 ~ts_ms:30.0
+        ~dur_ms:7.0 ();
+      TE.complete ~name:"partition [0] | [1 2]" ~cat:"nemesis" ~pid:3 ~tid:0
+        ~ts_ms:10.0 ~dur_ms:25.0 ();
+      TE.instant ~name:"injected_loss src=0 dst=1" ~cat:"fault" ~pid:0 ~tid:1
+        ~ts_ms:15.0 ();
+    ]
+  in
+  check windows_testable "windows parsed" [ (1, (30.0, 37.0)) ]
+    (RH.windows_of_events events);
+  let m = M.create () in
+  let h = M.histogram m ~bounds:[| 1.0; 10.0 |] ~labels:[ ("node", "0") ] "live_select_wait_ms" in
+  List.iter (M.observe h) [ 0.5; 5.0; 50.0 ];
+  M.incr (M.counter m "net_sent_total");
+  let history = [ ("0001-aaaa", bench_entry 1.0 12.0); ("0002-bbbb", bench_entry 1.2 11.0) ] in
+  let html = RH.render ~metrics:(M.to_json m) ~trace:events ~history ~title:"t" () in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "html contains %S" needle) true
+        (contains html needle))
+    [
+      "<!doctype html>";
+      "</html>";
+      "Replacement timeline";
+      "Latency quantiles";
+      "p999";
+      "live_select_wait_ms";
+      "Perf trends";
+      "sec.x_ms";
+      "bench.wall_clock_s";
+      "<svg";
+      "polyline";
+    ];
+  (* No scripts, no external fetches: the page must be self-contained. *)
+  check Alcotest.bool "no <script>" false (contains html "<script");
+  check Alcotest.bool "no http fetches" false (contains html "src=\"http")
+
+let test_report_html_empty_inputs () =
+  let html = RH.render ~title:"empty" () in
+  check Alcotest.bool "placeholder" true (contains html "nothing to report")
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: metrics-enabled experiment                             *)
@@ -322,6 +585,38 @@ let test_cross_layer_invariants () =
     (float_of_int delivered_via_collector)
     (M.sum m "app_delivers_total")
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* The experiment logger is stamped on the virtual clock: identical
+   params must produce byte-identical JSONL files across runs. *)
+let test_experiment_log_deterministic () =
+  let emit tag =
+    let path = Filename.temp_file ("dpu_obs_" ^ tag) ".jsonl" in
+    let r = E.run { obs_params with log_out = Some path } in
+    ignore (r : E.result);
+    let s = read_file path in
+    Sys.remove path;
+    s
+  in
+  let a = emit "a" in
+  let b = emit "b" in
+  check Alcotest.string "byte-identical across runs" a b;
+  match Log.entries_of_string a with
+  | Error e -> fail ("experiment log does not parse: " ^ e)
+  | Ok entries ->
+    let msgs = List.map (fun e -> e.Log.e_msg) entries in
+    List.iter
+      (fun m -> check Alcotest.bool (m ^ " logged") true (List.mem m msgs))
+      [ "experiment start"; "switch trigger"; "experiment done" ];
+    (* Milestones carry virtual-clock stamps in run order. *)
+    let times = List.map (fun e -> e.Log.e_time) entries in
+    check Alcotest.bool "timestamps non-decreasing" true
+      (List.sort compare times = times)
+
 let test_metrics_off_is_noop_registry () =
   let r = E.run { obs_params with metrics_enabled = false; trace_enabled = false } in
   check Alcotest.bool "noop registry" true (not (M.enabled r.E.metrics));
@@ -364,17 +659,44 @@ let () =
           tc "disable/enable" test_metrics_disable_enable;
           tc "snapshot parses" test_metrics_snapshot_parses;
         ] );
+      ( "quantiles",
+        [
+          tc "empty" test_quantile_empty;
+          tc "interpolation" test_quantile_interpolation;
+          tc "+inf bucket capped" test_quantile_inf_bucket_capped;
+          tc "clamped to extremes" test_quantile_clamped_to_extremes;
+          tc "invalid arguments" test_quantile_invalid_arguments;
+          tc "instrument + pp_summary" test_quantile_of_instrument;
+        ] );
+      ( "log",
+        [
+          tc "deterministic bytes" test_log_deterministic_bytes;
+          tc "noop and threshold" test_log_noop_and_threshold;
+          tc "entry parsing" test_log_entry_parsing;
+        ] );
       ( "export",
         [
           tc "trace-event json" test_trace_event_json;
           tc "negative duration clamped" test_trace_event_negative_duration_clamped;
+          tc "parse roundtrip" test_trace_event_parse_roundtrip;
+          tc "parse rejects garbage" test_trace_event_parse_rejects_garbage;
           tc "csv escaping" test_csv_escaping;
         ] );
-      ( "spans", [ tc "from collector" test_spans_from_collector ] );
+      ( "spans",
+        [
+          tc "from collector" test_spans_from_collector;
+          tc "windows roundtrip through trace" test_windows_roundtrip_through_trace;
+        ] );
+      ( "report",
+        [
+          tc "render" test_report_html_render;
+          tc "empty inputs" test_report_html_empty_inputs;
+        ] );
       ( "end_to_end",
         [
           tc "cross-layer invariants" test_cross_layer_invariants;
           tc "metrics off = noop registry" test_metrics_off_is_noop_registry;
           tc "metrics do not perturb results" test_metrics_do_not_perturb_results;
+          tc "experiment log deterministic" test_experiment_log_deterministic;
         ] );
     ]
