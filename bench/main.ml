@@ -5,7 +5,7 @@
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig5    # one section
-     sections: fig5 fig6 headline compare ablation micro *)
+     sections: fig5 fig6 headline compare throughput ablation micro *)
 
 module W = Dpu_workload
 module E = W.Experiment
@@ -104,6 +104,116 @@ let run_fig6 () =
                 points) );
        ]);
   print_string (F.render_figure6 points)
+
+(* ------------------------------------------------------------------ *)
+(* Throughput / saturation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_throughput () =
+  section "Throughput: saturation knee with and without ordering-path batching";
+  let module T = W.Throughput in
+  let batched =
+    Some { Dpu_protocols.Batcher.max_batch = 16; max_delay_ms = 5.0 }
+  in
+  (* One sweep cell per (batching, offered) step. The unbatched curve
+     stops at 800 msg/s — it saturates near 580, and overload points
+     only get more expensive to drain — while the batched one runs to
+     3200 to find its own knee. *)
+  let grid =
+    Array.of_list
+      (List.map (fun l -> (None, l)) [ 100.0; 200.0; 400.0; 800.0 ]
+      @ List.map (fun l -> (batched, l)) [ 100.0; 200.0; 400.0; 800.0; 1600.0; 3200.0 ])
+  in
+  let outcome =
+    W.Sweep.run ~jobs:!jobs ~cells:(Array.length grid) (fun _ i ->
+        let batching, offered = grid.(i) in
+        T.measure { T.default with T.batching } ~offered)
+  in
+  record_sweep "throughput" outcome.W.Sweep.stats;
+  let curve batching =
+    let pts = ref [] in
+    Array.iteri
+      (fun i pt -> if fst grid.(i) == batching then pts := pt :: !pts)
+      outcome.W.Sweep.results;
+    T.curve_of ~batching (List.rev !pts)
+  in
+  let off = curve None and on = curve batched in
+  (* Closed loop: enough outstanding messages per node to keep batches
+     full; settles at the sustainable rate with no offered-load guess. *)
+  let closed batching =
+    T.saturate ~params:{ T.default with T.batching } ~clients_per_node:16 ()
+  in
+  let closed_off = closed None and closed_on = closed batched in
+  let pt_rows (c : T.curve) =
+    List.map
+      (fun (p : T.point) ->
+        [
+          T.batching_label c.T.batching;
+          Printf.sprintf "%.0f" p.T.offered;
+          Printf.sprintf "%.1f" p.T.delivered_per_s;
+          Printf.sprintf "%.2f" p.T.p50_ms;
+          Printf.sprintf "%.2f" p.T.p99_ms;
+        ])
+      c.T.points
+  in
+  print_string
+    (W.Ascii.table
+       ~header:[ "batching"; "offered [msg/s]"; "delivered [msg/s]"; "p50 [ms]"; "p99 [ms]" ]
+       (pt_rows off @ pt_rows on));
+  print_string
+    (W.Ascii.chart ~title:"saturation: delivered vs offered"
+       ~x_unit:"offered msg/s" ~y_unit:"delivered msg/s"
+       [
+         ("batching off", List.map (fun (p : T.point) -> (p.T.offered, p.T.delivered_per_s)) off.T.points);
+         ("batching on", List.map (fun (p : T.point) -> (p.T.offered, p.T.delivered_per_s)) on.T.points);
+       ]);
+  Printf.printf
+    "knee: %.0f -> %.0f msg/s; saturated: %.1f -> %.1f msg/s (%.1fx)\n\
+     closed loop (16 clients/node): %.1f -> %.1f msg/s (%.1fx)\n"
+    off.T.knee on.T.knee off.T.saturated_per_s on.T.saturated_per_s
+    (on.T.saturated_per_s /. off.T.saturated_per_s)
+    closed_off.T.delivered_per_s closed_on.T.delivered_per_s
+    (closed_on.T.delivered_per_s /. closed_off.T.delivered_per_s);
+  T.write_csv "BENCH_throughput.csv" [ off; on ];
+  Printf.printf "saturation curves written to BENCH_throughput.csv\n";
+  let curve_json (c : T.curve) =
+    Json.Obj
+      [
+        ("batching", Json.Str (T.batching_label c.T.batching));
+        ("knee_msg_s", Json.Float c.T.knee);
+        ("saturated_msg_s", Json.Float c.T.saturated_per_s);
+        ( "points",
+          Json.List
+            (List.map
+               (fun (p : T.point) ->
+                 Json.Obj
+                   [
+                     ("offered_msg_s", Json.Float p.T.offered);
+                     ("delivered_msg_s", Json.Float p.T.delivered_per_s);
+                     ("p50_ms", Json.Float p.T.p50_ms);
+                     ("p99_ms", Json.Float p.T.p99_ms);
+                     ("measured", Json.Int p.T.measured);
+                   ])
+               c.T.points) );
+      ]
+  in
+  record "throughput"
+    (Json.Obj
+       [
+         ("seed", Json.Int T.default.T.seed);
+         ("n", Json.Int T.default.T.n);
+         ("max_batch", Json.Int 16);
+         ("max_delay_ms", Json.Float 5.0);
+         ("curves", Json.List [ curve_json off; curve_json on ]);
+         ( "closed_loop",
+           Json.Obj
+             [
+               ("off_msg_s", Json.Float closed_off.T.delivered_per_s);
+               ("on_msg_s", Json.Float closed_on.T.delivered_per_s);
+             ] );
+         ( "saturation_speedup",
+           Json.Float (on.T.saturated_per_s /. off.T.saturated_per_s) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Headline numbers of §6                                             *)
@@ -751,6 +861,7 @@ let all_sections =
     ("fig6", run_fig6);
     ("headline", run_headline);
     ("compare", run_compare);
+    ("throughput", run_throughput);
     ("ablation", run_ablation);
     ("consensus", run_consensus);
     ("model", run_model);

@@ -488,8 +488,8 @@ let corpus_switches (sc : Dpu_faults.Corpus.t) =
       (s.Dpu_faults.Corpus.sw_at, s.Dpu_faults.Corpus.sw_node, s.Dpu_faults.Corpus.sw_to))
     sc.Dpu_faults.Corpus.switches
 
-let serve n load duration drain switch_at initial switch_to seed msg_size check
-    nemesis scenario_name metrics_out spans_out trace_out logs_dir =
+let serve n load duration drain switch_at initial switch_to seed msg_size batching
+    check nemesis scenario_name metrics_out spans_out trace_out logs_dir =
   let params =
     {
       Dpu_live.Serve.n;
@@ -503,6 +503,7 @@ let serve n load duration drain switch_at initial switch_to seed msg_size check
       nemesis;
       msg_size;
       seed;
+      batching;
     }
   in
   let params =
@@ -552,6 +553,13 @@ let serve n load duration drain switch_at initial switch_to seed msg_size check
           (List.length r.Dpu_live.Node.sends)
           (List.length r.Dpu_live.Node.delivers)
           c.T.sent c.T.delivered c.T.dropped c.T.bytes;
+        (match r.Dpu_live.Node.batches with
+        | None -> ()
+        | Some b ->
+          Printf.printf "node %d: %d egress batches carrying %d msgs (avg %.1f/frame)\n"
+            r.Dpu_live.Node.node b.T.batches_sent b.T.batched_msgs
+            (if b.T.batches_sent = 0 then 0.0
+             else float_of_int b.T.batched_msgs /. float_of_int b.T.batches_sent));
         if r.Dpu_live.Node.rx_errors > 0 then
           Printf.printf "node %d: survived %d receive errors\n"
             r.Dpu_live.Node.node r.Dpu_live.Node.rx_errors;
@@ -650,6 +658,16 @@ let serve_cmd =
       value & opt int 1_024
       & info [ "size" ] ~docv:"BYTES" ~doc:"Modelled application payload size.")
   in
+  let batching =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"K"
+          ~doc:
+            "Throughput mode: batch up to K messages per UDP frame on egress \
+             and aggregate up to K messages per ordering round in the ABcast \
+             hot path. Omit for the unbatched legacy paths.")
+  in
   let check =
     Arg.(
       value & opt bool true
@@ -714,8 +732,8 @@ let serve_cmd =
   let term =
     Term.(
       const serve $ nodes $ load $ duration $ drain $ switch_at $ initial $ switch_to
-      $ seed_arg $ msg_size $ check $ nemesis $ scenario_name $ metrics_out
-      $ spans_out $ trace_out $ logs_dir)
+      $ seed_arg $ msg_size $ batching $ check $ nemesis $ scenario_name
+      $ metrics_out $ spans_out $ trace_out $ logs_dir)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -768,6 +786,7 @@ let corpus only live seed msg_size =
               nemesis = sc.Corpus.schedule;
               msg_size;
               seed;
+              batching = None;
             }
           in
           match Dpu_live.Serve.run params with

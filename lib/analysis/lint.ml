@@ -78,6 +78,23 @@ let rules =
       r_exempt_dirs = [];
     };
     {
+      r_id = "unsafe-bytes";
+      r_patterns =
+        [
+          p "Bytes." "unsafe_get";
+          p "Bytes." "unsafe_set";
+          p "Bytes." "unsafe_to_string";
+          p "Bytes." "unsafe_of_string";
+          p "String." "unsafe_get";
+        ];
+      r_message =
+        "unchecked byte access trades memory safety for speed; the \
+         zero-copy wire path must confine it to Wire with a documented \
+         lifetime/aliasing rule";
+      r_exempt = [];
+      r_exempt_dirs = [];
+    };
+    {
       r_id = "unix-io";
       r_patterns =
         [

@@ -6,6 +6,7 @@ type profile = {
   layer : string option;
   with_gm : bool;
   batch_size : int;
+  batching : P.Batcher.config option;
   consensus_layer : string option;
 }
 
@@ -15,11 +16,13 @@ let default_profile =
     layer = Some Repl.protocol_name;
     with_gm = false;
     batch_size = 1;
+    batching = None;
     consensus_layer = None;
   }
 
 let register_protocols ?register_extra ~profile system =
-  Variants.register_all ~batch_size:profile.batch_size system;
+  Variants.register_all ~batch_size:profile.batch_size ?batching:profile.batching
+    system;
   Repl.register system;
   P.Gm.register system;
   (match register_extra with Some f -> f system | None -> ());

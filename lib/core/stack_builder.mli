@@ -26,6 +26,10 @@ type profile = {
           replacement layer *)
   with_gm : bool;  (** install group membership (needs a layer) *)
   batch_size : int;  (** consensus-based ABcast batching (1 = paper) *)
+  batching : Dpu_protocols.Batcher.config option;
+      (** throughput-mode batch aggregation for the ABcast variants
+          ({!Dpu_protocols.Batcher}); [None] (the default) keeps the
+          exact unbatched code paths *)
   consensus_layer : string option;
       (** install the consensus replacement layer ([Repl_consensus]),
           starting on the named implementation; [None] = plain
@@ -33,7 +37,7 @@ type profile = {
 }
 
 val default_profile : profile
-(** CT ABcast, [Repl] layer, no GM, batch 1. *)
+(** CT ABcast, [Repl] layer, no GM, batch 1, no batching. *)
 
 val register_protocols :
   ?register_extra:(System.t -> unit) -> profile:profile -> System.t -> unit

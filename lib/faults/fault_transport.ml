@@ -244,4 +244,8 @@ let transport t =
     set_handler =
       (fun ~node f -> Transport.set_handler t.inner ~node (wrap_handler t ~node f));
     counters = (fun () -> counters t);
+    (* Faults absorb whole messages before they reach the inner
+       transport's egress queues, so batch statistics pass through
+       untouched. *)
+    batches = (fun () -> Transport.batches t.inner);
   }

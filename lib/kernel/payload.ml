@@ -66,20 +66,23 @@ let register_codec ~tag ~encode ~decode =
    extent is delimited by the string length prefix and recursion stays
    unambiguous. *)
 
-let encode p =
+let encode_into w p =
   let rec try_all = function
-    | [] -> None
+    | [] -> false
     | c :: rest -> (
       match c.c_encode p with
       | None -> try_all rest
       | Some write ->
-        let w = Wire.W.create () in
         Wire.W.u8 w (String.length c.c_tag);
         Wire.W.raw w c.c_tag;
         write w;
-        Some (Wire.W.contents w))
+        true)
   in
   try_all !codecs
+
+let encode p =
+  let w = Wire.W.create () in
+  if encode_into w p then Some (Wire.W.contents w) else None
 
 let encode_exn p =
   match encode p with
@@ -90,8 +93,7 @@ let encode_exn p =
 
 let has_codec p = match encode p with Some _ -> true | None -> false
 
-let decode s =
-  let r = Wire.R.of_string s in
+let decode_reader r =
   let tag =
     match
       let taglen = Wire.R.u8 r in
@@ -111,6 +113,24 @@ let decode s =
     | p -> p
     | exception Wire.Error msg -> decode_fail "bad %S frame: %s" tag msg)
 
+let decode s = decode_reader (Wire.R.of_string s)
+
+let decode_slice ?off ?len buf =
+  match Wire.R.of_bytes ?off ?len buf with
+  | r -> decode_reader r
+  | exception Wire.Error msg -> decode_fail "bad frame slice: %s" msg
+
+(* A length-prefixed frame embedded in a larger stream ([W.str_writer]
+   on the way out): read the u32 prefix, then decode the frame in place
+   through a bounded sub-reader — no substring allocation. *)
+let decode_prefixed r =
+  match
+    let len = Wire.R.u32 r in
+    Wire.R.sub r len
+  with
+  | sub -> decode_reader sub
+  | exception Wire.Error msg -> decode_fail "bad frame length prefix: %s" msg
+
 (* Built-in codec for the trivial payload. *)
 let () =
   register_codec ~tag:"unit"
@@ -126,35 +146,110 @@ module Envelope = struct
 
   let version = 1
 
+  let batch_version = 2
+
   type info = { src : int; service : string; generation : int }
+
+  let write_header w ~v ~src ~service ~generation =
+    Wire.W.raw w magic;
+    Wire.W.u8 w v;
+    Wire.W.int w src;
+    Wire.W.str w service;
+    Wire.W.int w generation
+
+  let header_overhead ~service =
+    (* magic + version byte + src + service (u32 len + bytes) + generation *)
+    String.length magic + 1 + 8 + (4 + String.length service) + 8
 
   let seal_encoded ~src ~service ~generation body =
     let w = Wire.W.create ~initial_size:(String.length body + 32) () in
-    Wire.W.raw w magic;
-    Wire.W.u8 w version;
-    Wire.W.int w src;
-    Wire.W.str w service;
-    Wire.W.int w generation;
+    write_header w ~v:version ~src ~service ~generation;
     Wire.W.str w body;
     Wire.W.contents w
 
   let seal ~src ~service ~generation p =
     seal_encoded ~src ~service ~generation (encode_exn p)
 
-  let open_ s =
-    let r = Wire.R.of_string s in
+  let seal_into w ~src ~service ~generation body =
+    write_header w ~v:version ~src ~service ~generation;
+    Wire.W.str_writer w body
+
+  let seal_batch_into w ~src ~service ~generation ~count elems =
+    if count <= 0 then
+      invalid_arg "Payload.Envelope.seal_batch_into: empty batch";
+    write_header w ~v:batch_version ~src ~service ~generation;
+    Wire.W.int w count;
+    Wire.W.add_writer w elems
+
+  let seal_batch ~src ~service ~generation payloads =
+    let elems = Wire.W.create () in
+    let scratch = Wire.W.create () in
+    let count =
+      List.fold_left
+        (fun count p ->
+          Wire.W.reset scratch;
+          if not (encode_into scratch p) then
+            invalid_arg
+              (Printf.sprintf "Payload.Envelope.seal_batch: no codec for %s"
+                 (to_string p));
+          Wire.W.str_writer elems scratch;
+          count + 1)
+        0 payloads
+    in
+    let w = Wire.W.create () in
+    seal_batch_into w ~src ~service ~generation ~count elems;
+    Wire.W.contents w
+
+  let open_reader r =
     match
       let m = Wire.R.raw r (String.length magic) in
       if not (String.equal m magic) then decode_fail "bad envelope magic %S" m;
       let v = Wire.R.u8 r in
-      if v <> version then decode_fail "unsupported envelope version %d" v;
+      if v <> version && v <> batch_version then
+        decode_fail "unsupported envelope version %d" v;
       let src = Wire.R.int r in
       let service = Wire.R.str r in
       let generation = Wire.R.int r in
-      let body = Wire.R.str r in
-      Wire.R.expect_end r;
-      ({ src; service; generation }, body)
+      ({ src; service; generation }, v)
     with
-    | info, body -> (info, decode body)
+    | info, v ->
+      let payloads =
+        if v = version then begin
+          let p = decode_prefixed r in
+          (match Wire.R.expect_end r with
+          | () -> ()
+          | exception Wire.Error msg -> decode_fail "bad envelope: %s" msg);
+          [ p ]
+        end
+        else begin
+          let count =
+            match Wire.R.int r with
+            | count -> count
+            | exception Wire.Error msg -> decode_fail "bad envelope: %s" msg
+          in
+          if count <= 0 then decode_fail "bad batch count %d" count;
+          let ps = List.init count (fun _ -> decode_prefixed r) in
+          (match Wire.R.expect_end r with
+          | () -> ()
+          | exception Wire.Error msg -> decode_fail "bad envelope: %s" msg);
+          ps
+        end
+      in
+      (info, payloads)
     | exception Wire.Error msg -> decode_fail "bad envelope: %s" msg
+
+  let open_slice ?off ?len buf =
+    match Wire.R.of_bytes ?off ?len buf with
+    | r -> open_reader r
+    | exception Wire.Error msg -> decode_fail "bad envelope slice: %s" msg
+
+  let open_ s =
+    let r = Wire.R.of_string s in
+    match open_reader r with
+    | info, [ p ] -> (info, p)
+    | _, _ ->
+      (* A multi-payload batch cannot be flattened into the legacy
+         single-payload shape without silently dropping messages; the
+         transport drain uses [open_slice] instead. *)
+      decode_fail "batch envelope in single-payload context"
 end

@@ -53,6 +53,11 @@ val encode : t -> string option
     claims it: [u8 tag-length][tag][body]. [None] if no codec
     matches. *)
 
+val encode_into : Wire.W.t -> t -> bool
+(** Like {!encode} but appends the frame to an existing writer —
+    the zero-allocation path for transports that reuse a scratch
+    buffer. Returns [false] (writing nothing) if no codec matches. *)
+
 val encode_exn : t -> string
 (** Like {!encode} but raises [Invalid_argument] when no codec is
     registered for the payload. *)
@@ -60,6 +65,11 @@ val encode_exn : t -> string
 val decode : string -> t
 (** Inverse of {!encode}; raises {!Decode_error} on unknown tags,
     truncated frames or trailing bytes. *)
+
+val decode_slice : ?off:int -> ?len:int -> Bytes.t -> t
+(** {!decode} over a byte-slice without copying it out first (see
+    {!Wire.R.of_bytes} for the aliasing rule: don't overwrite [buf]
+    until decoding finishes). *)
 
 val has_codec : t -> bool
 
@@ -74,6 +84,18 @@ module Envelope : sig
   type info = { src : int; service : string; generation : int }
 
   val version : int
+  (** Version 1: a single payload per datagram. *)
+
+  val batch_version : int
+  (** Version 2: a batch frame — same header, then
+      [count] [u32 len][tag body] elements. Additive: version-1-only
+      readers reject it as an unsupported version; {!open_slice}
+      accepts both. *)
+
+  val header_overhead : service:string -> int
+  (** Exact byte size of the envelope header (magic through
+      generation) — lets transports budget batch frames against the
+      datagram MTU without encoding first. *)
 
   val seal : src:int -> service:string -> generation:int -> t -> string
   (** Raises [Invalid_argument] if the payload has no codec. *)
@@ -83,7 +105,39 @@ module Envelope : sig
       paths that must first probe for a codec reuse the encoded bytes
       instead of encoding twice. *)
 
+  val seal_into :
+    Wire.W.t -> src:int -> service:string -> generation:int -> Wire.W.t -> unit
+  (** Append a version-1 frame to the first writer, taking the
+      already-encoded payload frame from the second — the scratch-buffer
+      send path: no intermediate strings. *)
+
+  val seal_batch_into :
+    Wire.W.t ->
+    src:int ->
+    service:string ->
+    generation:int ->
+    count:int ->
+    Wire.W.t ->
+    unit
+  (** Append a version-2 batch frame: header, [count], then the second
+      writer's contents, which must hold exactly [count] elements each
+      written with [Wire.W.str_writer]. Raises [Invalid_argument] when
+      [count <= 0] — an empty batch is never put on the wire. *)
+
+  val seal_batch : src:int -> service:string -> generation:int -> t list -> string
+  (** Allocating convenience over {!seal_batch_into} (tests, tools).
+      Raises [Invalid_argument] on an empty list or a payload with no
+      codec. *)
+
   val open_ : string -> info * t
   (** Raises {!Decode_error} on bad magic, unsupported version, or any
-      framing error. *)
+      framing error — including a multi-payload batch frame, which
+      cannot be flattened to a single payload. *)
+
+  val open_slice : ?off:int -> ?len:int -> Bytes.t -> info * t list
+  (** Decode a version-1 (singleton list) or version-2 (one payload per
+      batch element, in order) envelope in place over a byte-slice.
+      Strict like {!open_}: any framing error, including a partially
+      valid batch, rejects the whole datagram — a batch is accepted or
+      dropped atomically. *)
 end

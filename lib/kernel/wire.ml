@@ -12,6 +12,10 @@ module W = struct
 
   let create ?(initial_size = 64) () = Buffer.create initial_size
 
+  let reset = Buffer.clear
+
+  let length = Buffer.length
+
   let u8 b v =
     assert (v >= 0 && v <= 0xff);
     Buffer.add_char b (Char.chr v)
@@ -38,19 +42,43 @@ module W = struct
     Buffer.add_int32_le b (Int32.of_int (List.length vs));
     List.iter (fun v -> f b v) vs
 
+  let add_writer b w = Buffer.add_buffer b w
+
+  let str_writer b w =
+    Buffer.add_int32_le b (Int32.of_int (Buffer.length w));
+    Buffer.add_buffer b w
+
   let contents = Buffer.contents
+
+  let blit_to_bytes w buf =
+    let len = Buffer.length w in
+    if len > Bytes.length buf then
+      fail "writer holds %d bytes but destination has room for %d" len
+        (Bytes.length buf);
+    Buffer.blit w 0 buf 0 len;
+    len
 end
 
 module R = struct
-  type t = { src : string; mutable pos : int }
+  type t = { src : string; mutable pos : int; limit : int }
 
-  let of_string src = { src; pos = 0 }
+  let of_string src = { src; pos = 0; limit = String.length src }
+
+  let of_bytes ?(off = 0) ?len buf =
+    let blen = Bytes.length buf in
+    let len = match len with Some l -> l | None -> blen - off in
+    if off < 0 || len < 0 || off + len > blen then
+      fail "bad slice: off=%d len=%d over %d bytes" off len blen;
+    (* Zero-copy view of the caller's buffer: no bytes move here, and the
+       reads that keep data ([str]/[raw]) copy out what they return, so the
+       reader must simply not be used after [buf] is next overwritten.
+       dpu-lint: allow unsafe-bytes (read-only view; lifetime documented in the mli) *)
+    { src = Bytes.unsafe_to_string buf; pos = off; limit = off + len }
 
   let need r k what =
-    if r.pos + k > String.length r.src then
+    if r.pos + k > r.limit then
       fail "truncated input: need %d bytes for %s at offset %d (have %d)" k what
-        r.pos
-        (String.length r.src - r.pos)
+        r.pos (r.limit - r.pos)
 
   let u8 r =
     need r 1 "u8";
@@ -76,6 +104,13 @@ module R = struct
     r.pos <- r.pos + 8;
     v
 
+  let u32 r =
+    need r 4 "u32";
+    let v = Int32.to_int (String.get_int32_le r.src r.pos) in
+    r.pos <- r.pos + 4;
+    if v < 0 then fail "negative u32 %d" v;
+    v
+
   let str r =
     need r 4 "string length";
     let len = Int32.to_int (String.get_int32_le r.src r.pos) in
@@ -93,6 +128,13 @@ module R = struct
     r.pos <- r.pos + len;
     s
 
+  let sub r len =
+    if len < 0 then fail "negative sub-frame length %d" len;
+    need r len "sub-frame";
+    let s = { src = r.src; pos = r.pos; limit = r.pos + len } in
+    r.pos <- r.pos + len;
+    s
+
   let opt r f = match u8 r with 0 -> None | 1 -> Some (f r) | v -> fail "bad option byte %d" v
 
   let list r f =
@@ -102,11 +144,10 @@ module R = struct
     if len < 0 then fail "negative list length %d" len;
     List.init len (fun _ -> f r)
 
-  let at_end r = r.pos = String.length r.src
+  let at_end r = r.pos = r.limit
 
   let expect_end r =
     if not (at_end r) then
-      fail "trailing garbage: %d bytes left at offset %d"
-        (String.length r.src - r.pos)
+      fail "trailing garbage: %d bytes left at offset %d" (r.limit - r.pos)
         r.pos
 end

@@ -3,7 +3,9 @@
     A tiny, dependency-free length-prefixed binary format: fixed-width
     little-endian integers, IEEE-754 floats, and u32-length-prefixed
     strings. Codecs ({!Payload.register_codec}) compose these; frames
-    nest by encoding an inner frame with [W.str].
+    nest by encoding an inner frame with [W.str], or — on the zero-copy
+    path — by appending another writer with [W.str_writer] and decoding
+    in place with [R.sub].
 
     Readers are strict: reading past the end of the buffer raises
     {!Error}, which {!Payload.decode} converts into a rejected frame —
@@ -17,6 +19,13 @@ module W : sig
   type t
 
   val create : ?initial_size:int -> unit -> t
+
+  val reset : t -> unit
+  (** Empty the writer, keeping its allocation — the scratch-buffer
+      idiom: one long-lived writer reused across frames. *)
+
+  val length : t -> int
+  (** Bytes written so far. *)
 
   val u8 : t -> int -> unit
   (** [0 .. 255]; asserts the range. *)
@@ -40,14 +49,36 @@ module W : sig
   val list : t -> (t -> 'a -> unit) -> 'a list -> unit
   (** u32 count then elements, in order. *)
 
+  val add_writer : t -> t -> unit
+  (** Append the second writer's contents, no length prefix and no
+      intermediate string. *)
+
+  val str_writer : t -> t -> unit
+  (** u32 length of the second writer's contents, then the contents —
+      [str] without materialising the string. Pairs with {!R.u32} +
+      {!R.sub} for in-place decoding. *)
+
   val contents : t -> string
+
+  val blit_to_bytes : t -> Bytes.t -> int
+  (** Copy the writer's contents into the front of the buffer and
+      return the length; raises {!Error} if it does not fit. The
+      syscall-boundary primitive: one blit, no fresh allocation. *)
 end
 
-(** Reader: cursor over a string; every read may raise {!Error}. *)
+(** Reader: cursor over a string or byte-slice; every read may raise
+    {!Error}. *)
 module R : sig
   type t
 
   val of_string : string -> t
+
+  val of_bytes : ?off:int -> ?len:int -> Bytes.t -> t
+  (** Zero-copy reader over a slice of [buf] ([len] defaults to the rest
+      of the buffer). The reader aliases [buf] without copying: it must
+      not be used after [buf] is next overwritten (e.g. the transport's
+      receive scratch buffer on the following [recvfrom]). Values
+      returned by [str]/[raw] are copies and safe to retain. *)
 
   val u8 : t -> int
 
@@ -57,6 +88,10 @@ module R : sig
 
   val float : t -> float
 
+  val u32 : t -> int
+  (** A u32 length/count field by itself — the prefix written by
+      [W.str]/[W.str_writer] — leaving the body in place for {!sub}. *)
+
   val raw : t -> int -> string
   (** Exactly that many bytes, no length prefix. *)
 
@@ -65,6 +100,12 @@ module R : sig
   val opt : t -> (t -> 'a) -> 'a option
 
   val list : t -> (t -> 'a) -> 'a list
+
+  val sub : t -> int -> t
+  (** A bounded reader over the next [len] bytes, sharing the underlying
+      buffer (no copy); the parent cursor advances past them. The child
+      has its own end: [expect_end] on it checks the sub-frame, not the
+      whole input. *)
 
   val at_end : t -> bool
 

@@ -18,6 +18,7 @@ type config = {
   nemesis : Dpu_faults.Schedule.t;
   load : float;
   msg_size : int;
+  batching : int option;
   duration_ms : float;
   drain_ms : float;
   seed : int;
@@ -31,6 +32,7 @@ type report = {
   delivers : (Msg.id * float) list;
   switches : (int * float) list;
   counters : Dpu_runtime.Transport.counters;
+  batches : Dpu_runtime.Transport.batch_counters option;
   rx_errors : int;
   faults : Dpu_faults.Fault_transport.stats option;
   metrics : J.t;
@@ -49,12 +51,23 @@ let tid_kernel = 1
 let run ~config ~fd ~peers () =
   let wheel = Timer_wheel.create ~granularity_ms:0.5 () in
   let lclock = Live_clock.create ~epoch:config.epoch wheel in
-  let tr =
-    Udp_transport.create ~service:config.service ~generation:config.generation
-      ~me:config.me ~fd ~peers ()
-  in
   let metrics = Dpu_obs.Metrics.create () in
   let mlabels = [ ("node", string_of_int config.me) ] in
+  let on_batch =
+    Option.map
+      (fun (_ : int) ->
+        let h =
+          Metrics.histogram metrics ~labels:mlabels
+            ~bounds:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |]
+            "live_msgs_per_batch"
+        in
+        fun count -> Metrics.observe h (float_of_int count))
+      config.batching
+  in
+  let tr =
+    Udp_transport.create ~service:config.service ~generation:config.generation
+      ?batching:config.batching ?on_batch ~me:config.me ~fd ~peers ()
+  in
   (* Per-node trace buffer: events against the shared epoch, shipped in
      the report for the parent to merge onto one time axis. *)
   let trace = ref [] in
@@ -113,6 +126,12 @@ let run ~config ~fd ~peers () =
         {
           Dpu_core.Stack_builder.default_profile with
           initial_abcast = config.initial;
+          (* Throughput mode couples protocol-level batching to egress
+             batching under one knob: the same cap, a short delay. *)
+          batching =
+            Option.map
+              (fun k -> { Dpu_protocols.Batcher.max_batch = k; max_delay_ms = 2.0 })
+              config.batching;
         };
       msg_size = config.msg_size;
     }
@@ -170,6 +189,10 @@ let run ~config ~fd ~peers () =
   let rec loop ~busy_from =
     Live_clock.advance lclock;
     Metrics.observe drain_batch (float_of_int (Udp_transport.drain tr));
+    (* Ship partial egress batches before sleeping: batching must never
+       hold a frame across a select wait, so the added latency is
+       bounded by one loop pass. *)
+    Udp_transport.flush tr;
     let nowms = Live_clock.now lclock in
     if nowms < stop_at then begin
       let next =
@@ -193,11 +216,14 @@ let run ~config ~fd ~peers () =
       (match ready with
       | [] -> ()
       | _ :: _ ->
-        Metrics.observe drain_batch (float_of_int (Udp_transport.drain tr)));
+        Metrics.observe drain_batch (float_of_int (Udp_transport.drain tr));
+        Udp_transport.flush tr);
       loop ~busy_from:after
     end
   in
   loop ~busy_from:(Unix.gettimeofday ());
+  (* Nothing may be stranded in an egress queue at shutdown. *)
+  Udp_transport.flush tr;
   instant ~name:"node stop" ~cat:"node";
   let counters =
     match shim with
@@ -224,6 +250,8 @@ let run ~config ~fd ~peers () =
         (fun (node, g, time) -> if node = config.me then Some (g, time) else None)
         (Collector.switches collector);
     counters;
+    batches =
+      Option.map (fun (_ : int) -> Udp_transport.batches tr) config.batching;
     rx_errors = Udp_transport.rx_errors tr;
     faults = Option.map Dpu_faults.Fault_transport.stats shim;
     metrics = Dpu_obs.Metrics.to_json metrics;
@@ -273,13 +301,23 @@ let report_to_json r =
               r.switches) );
        ( "transport",
          J.Obj
-           [
-             ("sent", J.Int c.Dpu_runtime.Transport.sent);
-             ("delivered", J.Int c.Dpu_runtime.Transport.delivered);
-             ("dropped", J.Int c.Dpu_runtime.Transport.dropped);
-             ("bytes", J.Int c.Dpu_runtime.Transport.bytes);
-             ("rx_errors", J.Int r.rx_errors);
-           ] );
+           ([
+              ("sent", J.Int c.Dpu_runtime.Transport.sent);
+              ("delivered", J.Int c.Dpu_runtime.Transport.delivered);
+              ("dropped", J.Int c.Dpu_runtime.Transport.dropped);
+              ("bytes", J.Int c.Dpu_runtime.Transport.bytes);
+              ("rx_errors", J.Int r.rx_errors);
+            ]
+           (* Additive, throughput-mode only: absent on unbatched runs
+              so pre-batching readers see the old shape. *)
+           @
+           match r.batches with
+           | None -> []
+           | Some b ->
+             [
+               ("batches_sent", J.Int b.Dpu_runtime.Transport.batches_sent);
+               ("batched_msgs", J.Int b.Dpu_runtime.Transport.batched_msgs);
+             ]) );
      ]
     @ faults_fields
     (* "trace" is additive too: absent on trace-off runs (and in every
@@ -361,6 +399,15 @@ let report_of_json j =
           dropped = get_int transport "dropped";
           bytes = get_int transport "bytes";
         };
+      batches =
+        (match J.member transport "batches_sent" with
+        | None -> None
+        | Some _ ->
+          Some
+            {
+              Dpu_runtime.Transport.batches_sent = get_int transport "batches_sent";
+              batched_msgs = get_int transport "batched_msgs";
+            });
       rx_errors;
       faults;
       metrics = get j "metrics";

@@ -27,6 +27,10 @@ type config = {
   nemesis : Dpu_faults.Schedule.t;  (** [[]] = clean network *)
   load : float;  (** aggregate messages per second across the group *)
   msg_size : int;
+  batching : int option;
+      (** throughput mode: egress batch cap for the UDP transport and
+          protocol-level batch aggregation (same cap, 2 ms delay) for
+          the stack; [None] = the exact unbatched code paths *)
   duration_ms : float;  (** load generation horizon *)
   drain_ms : float;  (** extra time to let in-flight traffic settle *)
   seed : int;
@@ -46,6 +50,8 @@ type report = {
   switches : (int * float) list;  (** (generation, time) *)
   counters : Dpu_runtime.Transport.counters;
       (** the shim's view when a nemesis is active, else the raw wire *)
+  batches : Dpu_runtime.Transport.batch_counters option;
+      (** egress batching statistics; [Some] iff the run batched *)
   rx_errors : int;  (** receive-path syscall errors survived by drain *)
   faults : Dpu_faults.Fault_transport.stats option;
       (** [Some] iff the run had a nemesis *)

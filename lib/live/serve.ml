@@ -13,6 +13,7 @@ type params = {
   nemesis : Dpu_faults.Schedule.t;
   msg_size : int;
   seed : int;
+  batching : int option;
 }
 
 let default =
@@ -28,6 +29,7 @@ let default =
     nemesis = [];
     msg_size = 1_024;
     seed = 1;
+    batching = None;
   }
 
 type outcome = {
@@ -132,6 +134,7 @@ let run ?metrics_out ?spans_out ?trace_out ?logs_dir params =
                   nemesis = params.nemesis;
                   load = params.load;
                   msg_size = params.msg_size;
+                  batching = params.batching;
                   duration_ms = params.duration_ms;
                   drain_ms = params.drain_ms;
                   seed = params.seed;

@@ -45,11 +45,16 @@ type params = {
   nemesis : Dpu_faults.Schedule.t;  (** [[]] = clean network *)
   msg_size : int;
   seed : int;
+  batching : int option;
+      (** throughput mode: egress batch cap per UDP frame, and the same
+          cap (with a 2 ms delay trigger) for protocol-level batch
+          aggregation in every child's ABcast; [None] = the exact
+          unbatched paths *)
 }
 
 val default : params
 (** 3 nodes, 30 msg/s for 3 s, CT ABcast swapped to the sequencer
-    variant at 1.5 s, clean network. *)
+    variant at 1.5 s, clean network, no batching. *)
 
 type outcome = {
   node_reports : Node.report list;  (** in node order *)

@@ -1,6 +1,11 @@
 open Dpu_kernel
 module Transport = Dpu_runtime.Transport
 
+type queue = { elems : Wire.W.t; mutable count : int }
+(* Per-destination egress accumulator: [elems] holds [count]
+   length-prefixed payload frames ([Wire.W.str_writer]), encoded at
+   enqueue time so send order is preserved byte-for-byte. *)
+
 type t = {
   me : int;
   n : int;
@@ -8,21 +13,53 @@ type t = {
   peers : Unix.sockaddr array;
   service : string;
   generation : int;
-  buf : Bytes.t;
+  buf : Bytes.t; (* rx scratch: one recvfrom target, decoded in place *)
+  out : Bytes.t; (* tx scratch: one blit target for sendto *)
+  frame_w : Wire.W.t; (* tx envelope writer, reused per frame *)
+  elem_w : Wire.W.t; (* one payload frame, reused per message *)
+  batching : int option; (* max messages per egress batch frame *)
+  queues : queue array; (* per destination; empty unless batching *)
+  on_batch : (int -> unit) option;
   mutable handler : (src:int -> Payload.t -> unit) option;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
   mutable rx_errors : int;
+  mutable batches_sent : int;
+  mutable batched_msgs : int;
+  mutable encode_allocs : int;
 }
 
 let max_frame = 65_507 (* UDP payload limit over IPv4 *)
 
-let create ?(service = "dpu") ?(generation = 0) ~me ~fd ~peers () =
+let create ?(service = "dpu") ?(generation = 0) ?batching ?on_batch ~me ~fd
+    ~peers () =
   let n = Array.length peers in
   if me < 0 || me >= n then invalid_arg "Udp_transport.create: me out of range";
+  (match batching with
+  | Some k when k < 1 -> invalid_arg "Udp_transport.create: batching < 1"
+  | _ -> ());
   Unix.set_nonblock fd;
+  (* Every buffer the encode path will ever touch is allocated here, at
+     its worst-case size (a frame is capped at [max_frame], so the
+     writers never grow): steady-state send/drain performs zero
+     allocations beyond the decoded payload values themselves. The
+     counter backs the no-allocation-per-batch test. *)
+  let allocs = ref 0 in
+  let mk_w size =
+    incr allocs;
+    Wire.W.create ~initial_size:size ()
+  in
+  let mk_b size =
+    incr allocs;
+    Bytes.create size
+  in
+  let queues =
+    match batching with
+    | None -> [||]
+    | Some _ -> Array.init n (fun _ -> { elems = mk_w (max_frame + 64); count = 0 })
+  in
   {
     me;
     n;
@@ -30,47 +67,114 @@ let create ?(service = "dpu") ?(generation = 0) ~me ~fd ~peers () =
     peers;
     service;
     generation;
-    buf = Bytes.create max_frame;
+    buf = mk_b max_frame;
+    out = mk_b max_frame;
+    frame_w = mk_w (max_frame + 64);
+    elem_w = mk_w (max_frame + 64);
+    batching;
+    queues;
+    on_batch;
     handler = None;
     sent = 0;
     delivered = 0;
     dropped = 0;
     bytes = 0;
     rx_errors = 0;
+    batches_sent = 0;
+    batched_msgs = 0;
+    encode_allocs = !allocs;
   }
 
 let fd t = t.fd
+
+(* Ship whatever [frame_w] holds to [dst], charging [count] messages.
+   A frame counts as sent (and its bytes are charged) only once the
+   syscall accepted it: oversized frames and sendto failures are
+   dropped, never double-counted, so [sent - delivered-at-peers] still
+   equals in-flight loss. Returns whether the syscall accepted. *)
+let emit t ~dst ~count =
+  let len = Wire.W.length t.frame_w in
+  if len > max_frame then begin
+    t.dropped <- t.dropped + count;
+    false
+  end
+  else begin
+    let blen = Wire.W.blit_to_bytes t.frame_w t.out in
+    match Unix.sendto t.fd t.out 0 blen [] t.peers.(dst) with
+    | exception Unix.Unix_error _ ->
+      (* Datagram semantics: sends may be lost. *)
+      t.dropped <- t.dropped + count;
+      false
+    | (_ : int) ->
+      t.sent <- t.sent + count;
+      t.bytes <- t.bytes + len;
+      true
+  end
+
+(* Fixed bytes of a batch frame before its elements: envelope header
+   plus the u64 count. Each element adds its u32 length prefix. *)
+let batch_overhead t = Payload.Envelope.header_overhead ~service:t.service + 8
+
+let flush_dst t dst =
+  let q = t.queues.(dst) in
+  if q.count > 0 then begin
+    let count = q.count in
+    Wire.W.reset t.frame_w;
+    Payload.Envelope.seal_batch_into t.frame_w ~src:t.me ~service:t.service
+      ~generation:t.generation ~count q.elems;
+    Wire.W.reset q.elems;
+    q.count <- 0;
+    if emit t ~dst ~count then begin
+      t.batches_sent <- t.batches_sent + 1;
+      t.batched_msgs <- t.batched_msgs + count;
+      match t.on_batch with Some f -> f count | None -> ()
+    end
+  end
+
+let flush t =
+  match t.batching with
+  | None -> ()
+  | Some _ ->
+    for dst = 0 to t.n - 1 do
+      flush_dst t dst
+    done
 
 let send t ~src ~dst ~size_bytes:_ payload =
   if src <> t.me then
     invalid_arg (Printf.sprintf "Udp_transport.send: src %d is not this node" src);
   if dst < 0 || dst >= t.n then invalid_arg "Udp_transport.send: dst out of range";
-  match Payload.encode payload with
-  | None ->
+  Wire.W.reset t.elem_w;
+  if not (Payload.encode_into t.elem_w payload) then
     (* No codec registered: the payload cannot cross a process
        boundary. Count it as dropped rather than crashing the stack —
        the sim backend would have delivered it, so leaving codecs
        unregistered shows up as loss, loudly, in the counters. *)
     t.dropped <- t.dropped + 1
-  | Some body ->
-    let frame =
-      Payload.Envelope.seal_encoded ~src ~service:t.service
-        ~generation:t.generation body
-    in
-    let len = String.length frame in
-    (* A frame counts as sent (and its bytes are charged) only once the
-       syscall accepted it: oversized frames and sendto failures are
-       dropped, never double-counted, so [sent - delivered-at-peers]
-       still equals in-flight loss. *)
-    if len > max_frame then t.dropped <- t.dropped + 1
-    else (
-      match Unix.sendto_substring t.fd frame 0 len [] t.peers.(dst) with
-      | exception Unix.Unix_error _ ->
-        (* Datagram semantics: sends may be lost. *)
+  else
+    match t.batching with
+    | None ->
+      Wire.W.reset t.frame_w;
+      Payload.Envelope.seal_into t.frame_w ~src ~service:t.service
+        ~generation:t.generation t.elem_w;
+      ignore (emit t ~dst ~count:1 : bool)
+    | Some max_batch ->
+      let elen = Wire.W.length t.elem_w in
+      if batch_overhead t + 4 + elen > max_frame then
+        (* Too big even as a batch of one. *)
         t.dropped <- t.dropped + 1
-      | (_ : int) ->
-        t.sent <- t.sent + 1;
-        t.bytes <- t.bytes + len)
+      else begin
+        let q = t.queues.(dst) in
+        (* Flush first if adding this message would burst the datagram
+           limit — never split or reorder, the queue drains as one
+           frame and this message starts the next. *)
+        if
+          q.count > 0
+          && batch_overhead t + Wire.W.length q.elems + 4 + elen > max_frame
+        then flush_dst t dst;
+        Wire.W.str_writer q.elems t.elem_w;
+        q.count <- q.count + 1;
+        if q.count >= max_batch then flush_dst t dst
+      end
 
 let set_handler t ~node f =
   if node <> t.me then
@@ -78,22 +182,30 @@ let set_handler t ~node f =
       (Printf.sprintf "Udp_transport.set_handler: node %d is not this node" node);
   t.handler <- Some f
 
-let receive_one t frame =
-  match Payload.Envelope.open_ frame with
+let receive_one t ~len =
+  (* Decoded in place over the receive scratch buffer: payload values
+     copy out the bytes they keep, so they survive the next recvfrom. *)
+  match Payload.Envelope.open_slice t.buf ~len with
   | exception Payload.Decode_error _ -> t.dropped <- t.dropped + 1
-  | info, payload ->
+  | info, payloads ->
+    (* The whole datagram shares one envelope: a stale-generation or
+       foreign-service batch drops atomically, never partially. *)
+    let count = List.length payloads in
     if
       (not (String.equal info.Payload.Envelope.service t.service))
       || info.Payload.Envelope.generation <> t.generation
       || info.Payload.Envelope.src < 0
       || info.Payload.Envelope.src >= t.n
-    then t.dropped <- t.dropped + 1
+    then t.dropped <- t.dropped + count
     else (
       match t.handler with
-      | None -> t.dropped <- t.dropped + 1
+      | None -> t.dropped <- t.dropped + count
       | Some f ->
-        t.delivered <- t.delivered + 1;
-        f ~src:info.Payload.Envelope.src payload)
+        List.iter
+          (fun payload ->
+            t.delivered <- t.delivered + 1;
+            f ~src:info.Payload.Envelope.src payload)
+          payloads)
 
 let drain t =
   let rec go frames =
@@ -113,12 +225,16 @@ let drain t =
       t.dropped <- t.dropped + 1;
       frames
     | len, _addr ->
-      receive_one t (Bytes.sub_string t.buf 0 len);
+      receive_one t ~len;
       go (frames + 1)
   in
   go 0
 
 let rx_errors t = t.rx_errors
+
+let encode_allocs t = t.encode_allocs
+
+let pending t = Array.fold_left (fun acc q -> acc + q.count) 0 t.queues
 
 let counters t =
   {
@@ -128,10 +244,14 @@ let counters t =
     bytes = t.bytes;
   }
 
+let batches t =
+  { Transport.batches_sent = t.batches_sent; batched_msgs = t.batched_msgs }
+
 let transport t =
   {
     Transport.n = t.n;
     send = (fun ~src ~dst ~size_bytes payload -> send t ~src ~dst ~size_bytes payload);
     set_handler = (fun ~node f -> set_handler t ~node f);
     counters = (fun () -> counters t);
+    batches = (fun () -> batches t);
   }

@@ -7,34 +7,81 @@
     only accepts [~src:me] and [set_handler] only [~node:me]. Frames
     whose envelope fails to decode, or whose service name / deployment
     generation differ from this transport's (stray traffic from an
-    older run), count as [dropped]. *)
+    older run), count as [dropped].
+
+    {b Zero-copy path.} All encode-side buffers (per-destination batch
+    accumulators, the envelope writer, the syscall scratch) are
+    allocated once at {!create}, at worst-case size; steady-state
+    send/drain reuses them, so the wire path performs no allocation per
+    message or per batch beyond the decoded payload values. {!drain}
+    decodes datagrams in place over the receive scratch buffer
+    ({!Dpu_kernel.Payload.Envelope.open_slice}).
+
+    {b Egress batching} ([batching = Some k]): sends queue per
+    destination and go out as one version-2 batch frame when [k]
+    messages are pending for that peer, the frame would exceed the UDP
+    limit, or {!flush} is called (the node event loop flushes every
+    pass, bounding the added latency to one loop iteration). Counters
+    stay message-grained — a batch of [m] accepted by the syscall adds
+    [m] to [sent] — except [bytes], which charges actual wire bytes
+    (batching makes it {e smaller} for the same traffic). A batch
+    frame shares one envelope, so a stale-generation batch is dropped
+    atomically by the receiver; it is never split. *)
 
 open Dpu_kernel
 
 type t
 
 val create :
-  ?service:string -> ?generation:int -> me:int -> fd:Unix.file_descr ->
-  peers:Unix.sockaddr array -> unit -> t
+  ?service:string ->
+  ?generation:int ->
+  ?batching:int ->
+  ?on_batch:(int -> unit) ->
+  me:int ->
+  fd:Unix.file_descr ->
+  peers:Unix.sockaddr array ->
+  unit ->
+  t
 (** [fd] must already be bound; it is switched to non-blocking mode.
     [peers.(i)] is the address of node [i] (including our own — self
-    sends loop through the kernel's UDP stack like any other). *)
+    sends loop through the kernel's UDP stack like any other).
+    [batching] is the egress batch cap (messages per frame); absent =
+    one legacy version-1 frame per message. [on_batch] observes each
+    accepted batch's size (for the msgs-per-batch histogram). *)
 
 val transport : t -> Payload.t Dpu_runtime.Transport.t
 
+val flush : t -> unit
+(** Ship every non-empty per-destination queue now. No-op without
+    batching. Call from the event loop each pass and once after it —
+    messages must never be stranded in a queue at shutdown or across
+    the replacement switch window. *)
+
+val pending : t -> int
+(** Messages currently queued for egress across all destinations. *)
+
 val drain : t -> int
 (** Receive until the socket would block, handing each decoded payload
-    to the installed handler; returns the number of frames pulled this
-    pass (the event-loop batch size, fed to the drain-batch profile
-    histogram). Unexpected receive errors (e.g. [ENOMEM], [EBADF] in a
-    shutdown race) end the pass and are counted — as [dropped] and in
-    {!rx_errors} — instead of escaping into the node loop. *)
+    to the installed handler; returns the number of datagrams pulled
+    this pass (the event-loop batch size, fed to the drain-batch
+    profile histogram). Unexpected receive errors (e.g. [ENOMEM],
+    [EBADF] in a shutdown race) end the pass and are counted — as
+    [dropped] and in {!rx_errors} — instead of escaping into the node
+    loop. *)
 
 val rx_errors : t -> int
 (** Receive syscalls that failed with something other than
     would-block/interrupt/connection-refused. Each is also counted as
     one [dropped] datagram. *)
 
+val encode_allocs : t -> int
+(** Encode-path buffers allocated since creation. Constant after
+    {!create} by construction — the counter exists so a test can
+    assert that sending thousands of messages across hundreds of
+    batches allocates nothing further. *)
+
 val fd : t -> Unix.file_descr
 
 val counters : t -> Dpu_runtime.Transport.counters
+
+val batches : t -> Dpu_runtime.Transport.batch_counters

@@ -54,7 +54,7 @@ let protocol_name = "abcast.ct"
 
 let header_size = 64
 
-let install ?(batch_size = 1) stack =
+let install ?(batch_size = 1) ?batching stack =
   let me = Stack.node stack in
   let epoch = Abcast_iface.current_epoch stack in
   Stack.add_module stack ~name:protocol_name
@@ -67,20 +67,42 @@ let install ?(batch_size = 1) stack =
       let decisions : (int, item list) Hashtbl.t = Hashtbl.create 16 in
       let next_k = ref 0 in
       let proposed = ref false in
-      let maybe_propose () =
+      let cap =
+        match batching with
+        | Some (cfg : Batcher.config) -> cfg.Batcher.max_batch
+        | None -> batch_size
+      in
+      let propose_now () =
         if (not !proposed) && Hashtbl.length unordered > 0 then begin
           let items =
             (* dpu-lint: allow hashtbl-iter — folded items are sorted by id below *)
             Hashtbl.fold (fun _ item acc -> item :: acc) unordered []
             |> List.sort (fun a b -> Msg.id_compare a.id b.id)
           in
-          let batch = List.filteri (fun i _ -> i < batch_size) items in
+          let batch = List.filteri (fun i _ -> i < cap) items in
           let weight = List.fold_left (fun acc i -> acc + i.size) 0 batch in
           proposed := true;
           Stack.call stack Service.consensus
             (Consensus_iface.Propose
                { iid = { epoch; k = !next_k }; value = Batch batch; weight })
         end
+      in
+      let trigger =
+        Option.map
+          (fun cfg -> Batcher.Trigger.create stack cfg ~fire:propose_now)
+          batching
+      in
+      let maybe_propose () =
+        match trigger with
+        | None -> propose_now ()
+        | Some tr ->
+          if !proposed then ()
+          else if Abcast_iface.current_epoch stack <> epoch then
+            (* Epoch-boundary flush: once superseded, never hold
+               messages for a fuller batch — propose immediately so the
+               switch window is not stretched by the batch timer. *)
+            Batcher.Trigger.force tr
+          else Batcher.Trigger.notify tr ~pending:(Hashtbl.length unordered)
       in
       let rec apply_ready () =
         match Hashtbl.find_opt decisions !next_k with
@@ -148,8 +170,8 @@ let install ?(batch_size = 1) stack =
               | _ -> ());
       })
 
-let register ?batch_size system =
+let register ?batch_size ?batching system =
   Registry.register (System.registry system) ~name:protocol_name
     ~provides:[ Service.abcast ]
     ~requires:[ Service.consensus; Rbcast.service ]
-    (fun stack -> install ?batch_size stack)
+    (fun stack -> install ?batch_size ?batching stack)

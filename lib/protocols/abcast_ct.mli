@@ -31,6 +31,17 @@ type Payload.t += Disseminate of { epoch : int; item : item }
 val protocol_name : string
 (** ["abcast.ct"] *)
 
-val install : ?batch_size:int -> Stack.t -> Stack.module_
+val install : ?batch_size:int -> ?batching:Batcher.config -> Stack.t -> Stack.module_
+(** [batch_size] caps how many items one consensus instance may carry
+    (default 1, the paper's prototype). [batching] turns on the
+    throughput-mode flush policy instead: propose only once
+    [max_batch] messages are pending or the oldest has waited
+    [max_delay_ms] ({!Batcher.Trigger}); the cap becomes [max_batch].
+    Because the consensus value is the whole {!Batch}, one slot of the
+    underlying consensus ({!Consensus_ct}, {!Consensus_paxos} — and
+    one {!Repl_consensus} wrapped instance when the replacement layer
+    shares the stream) then carries many app payloads. Batches are cut
+    from a single epoch; on supersession pending messages are proposed
+    immediately rather than held for a fuller batch. *)
 
-val register : ?batch_size:int -> System.t -> unit
+val register : ?batch_size:int -> ?batching:Batcher.config -> System.t -> unit

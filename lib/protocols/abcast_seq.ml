@@ -3,15 +3,35 @@ open Dpu_kernel
 type Payload.t +=
   | Wire_req of { epoch : int; id : Msg.id; size : int; payload : Payload.t }
   | Wire_order of { epoch : int; gseq : int; origin : int; size : int; payload : Payload.t }
+  | Wire_order_batch of {
+      epoch : int;
+      first_gseq : int;
+      orders : (int * int * Payload.t) list; (* origin, size, payload *)
+    }
 
 let () =
   Payload.register_printer (function
     | Wire_req { epoch; id; _ } ->
       Some (Printf.sprintf "seq-abcast.req e%d %s" epoch (Msg.id_to_string id))
     | Wire_order { epoch; gseq; _ } -> Some (Printf.sprintf "seq-abcast.order e%d #%d" epoch gseq)
+    | Wire_order_batch { epoch; first_gseq; orders } ->
+      Some
+        (Printf.sprintf "seq-abcast.order-batch e%d #%d+%d" epoch first_gseq
+           (List.length orders))
     | _ -> None)
 
 let () =
+  let write_order w (origin, size, payload) =
+    Wire.W.int w origin;
+    Wire.W.int w size;
+    Wire.W.str w (Payload.encode_exn payload)
+  in
+  let read_order r =
+    let origin = Wire.R.int r in
+    let size = Wire.R.int r in
+    let payload = Payload.decode (Wire.R.str r) in
+    (origin, size, payload)
+  in
   Payload.register_codec ~tag:"seq-abcast"
     ~encode:(function
       | Wire_req { epoch; id; size; payload } ->
@@ -31,6 +51,13 @@ let () =
             Wire.W.int w origin;
             Wire.W.int w size;
             Wire.W.str w (Payload.encode_exn payload))
+      | Wire_order_batch { epoch; first_gseq; orders } ->
+        Some
+          (fun w ->
+            Wire.W.u8 w 2;
+            Wire.W.int w epoch;
+            Wire.W.int w first_gseq;
+            Wire.W.list w write_order orders)
       | _ -> None)
     ~decode:(fun r ->
       match Wire.R.u8 r with
@@ -47,11 +74,23 @@ let () =
         let size = Wire.R.int r in
         let payload = Payload.decode (Wire.R.str r) in
         Wire_order { epoch; gseq; origin; size; payload }
+      | 2 ->
+        let epoch = Wire.R.int r in
+        let first_gseq = Wire.R.int r in
+        let orders = Wire.R.list r read_order in
+        Wire_order_batch { epoch; first_gseq; orders }
       | c -> raise (Wire.Error (Printf.sprintf "seq-abcast: bad case %d" c)))
 
 let () =
   Abcast_iface.register_wire_epoch (function
-    | Rp2p.Recv { payload = Wire_req { epoch; _ } | Wire_order { epoch; _ }; _ } ->
+    | Rp2p.Recv
+        {
+          payload =
+            ( Wire_req { epoch; _ }
+            | Wire_order { epoch; _ }
+            | Wire_order_batch { epoch; _ } );
+          _;
+        } ->
       Some epoch
     | _ -> None)
 
@@ -59,7 +98,7 @@ let protocol_name = "abcast.seq"
 
 let header_size = 48
 
-let install ?(sequencer = 0) ~n stack =
+let install ?(sequencer = 0) ?batching ~n stack =
   let me = Stack.node stack in
   let epoch = Abcast_iface.current_epoch stack in
   Stack.add_module stack ~name:protocol_name ~provides:[ Service.abcast ]
@@ -92,6 +131,45 @@ let install ?(sequencer = 0) ~n stack =
           send ~dst ~size:(size + header_size) order
         done
       in
+      (* Sequencer-side batching: aggregate pending requests and assign
+         a run of consecutive gseqs in one broadcast round. *)
+      let batcher =
+        Option.map
+          (fun cfg ->
+            Batcher.create stack cfg ~flush:(fun orders ->
+                let first_gseq = !next_gseq in
+                next_gseq := first_gseq + List.length orders;
+                let total =
+                  List.fold_left (fun acc (_, size, _) -> acc + size) 0 orders
+                in
+                let batch = Wire_order_batch { epoch; first_gseq; orders } in
+                for dst = 0 to n - 1 do
+                  send ~dst ~size:(total + header_size) batch
+                done))
+          batching
+      in
+      (* Epoch-boundary rule: a batch never spans generations. The
+         replacement layer bumps the epoch synchronously while the old
+         protocol is still delivering, so after handing indications up
+         we check for supersession and flush what is pending — tagged
+         with our own (now stale) epoch, which receivers drop
+         atomically and Algorithm 1 reissues through the successor. *)
+      let flush_if_superseded () =
+        match batcher with
+        | Some b when Abcast_iface.current_epoch stack <> epoch -> Batcher.flush b
+        | _ -> ()
+      in
+      let sequence_or_batch ~origin ~size payload =
+        match batcher with
+        | None -> sequence ~origin ~size payload
+        | Some b ->
+          Batcher.add b (origin, size, payload);
+          flush_if_superseded ()
+      in
+      let insert_order gseq (origin, size, payload) =
+        if gseq >= !next_expected && not (Hashtbl.mem buffered gseq) then
+          Hashtbl.replace buffered gseq (origin, size, payload)
+      in
       {
         Stack.default_handlers with
         handle_call =
@@ -109,19 +187,24 @@ let install ?(sequencer = 0) ~n stack =
               match p with
               | Rp2p.Recv { src = _; payload = Wire_req { epoch = e; id; size; payload } }
                 when e = epoch && me = sequencer ->
-                sequence ~origin:id.Msg.origin ~size payload
+                sequence_or_batch ~origin:id.Msg.origin ~size payload
               | Rp2p.Recv
                   { src = _; payload = Wire_order { epoch = e; gseq; origin; size; payload } }
                 when e = epoch ->
-                if gseq >= !next_expected && not (Hashtbl.mem buffered gseq) then begin
-                  Hashtbl.replace buffered gseq (origin, size, payload);
-                  deliver_ready ()
-                end
+                insert_order gseq (origin, size, payload);
+                deliver_ready ();
+                flush_if_superseded ()
+              | Rp2p.Recv
+                  { src = _; payload = Wire_order_batch { epoch = e; first_gseq; orders } }
+                when e = epoch ->
+                List.iteri (fun i order -> insert_order (first_gseq + i) order) orders;
+                deliver_ready ();
+                flush_if_superseded ()
               | _ -> ());
       })
 
-let register ?sequencer system =
+let register ?sequencer ?batching system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name
     ~provides:[ Service.abcast ] ~requires:[ Service.rp2p ]
-    (fun stack -> install ?sequencer ~n stack)
+    (fun stack -> install ?sequencer ?batching ~n stack)

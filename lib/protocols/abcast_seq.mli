@@ -27,11 +27,25 @@ type Payload.t +=
       size : int;
       payload : Payload.t;
     }
+  | Wire_order_batch of {
+      epoch : int;
+      first_gseq : int;
+      orders : (int * int * Payload.t) list;
+          (** (origin, size, payload) assigned gseqs [first_gseq],
+              [first_gseq+1], ... in list order. One epoch per batch —
+              see {!Batcher}. *)
+    }
 
 val protocol_name : string
 (** ["abcast.seq"] *)
 
-val install : ?sequencer:int -> n:int -> Stack.t -> Stack.module_
-(** [sequencer] defaults to node 0. *)
+val install :
+  ?sequencer:int -> ?batching:Batcher.config -> n:int -> Stack.t -> Stack.module_
+(** [sequencer] defaults to node 0. With [batching], the sequencer
+    aggregates pending requests and assigns a run of consecutive
+    global sequence numbers in a single [Wire_order_batch] broadcast —
+    one ordering round amortised over up to [max_batch] messages.
+    Requesters are unchanged. Without it the code path is exactly the
+    unbatched original. *)
 
-val register : ?sequencer:int -> System.t -> unit
+val register : ?sequencer:int -> ?batching:Batcher.config -> System.t -> unit

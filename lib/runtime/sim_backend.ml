@@ -30,6 +30,7 @@ let transport net =
           dropped = c.D.lost + c.D.filtered + c.D.blocked;
           bytes = c.D.bytes;
         });
+    batches = (fun () -> Transport.zero_batches);
   }
 
 let runtime sim net =

@@ -1,10 +1,15 @@
 type counters = { sent : int; delivered : int; dropped : int; bytes : int }
 
+type batch_counters = { batches_sent : int; batched_msgs : int }
+
+let zero_batches = { batches_sent = 0; batched_msgs = 0 }
+
 type 'a t = {
   n : int;
   send : src:int -> dst:int -> size_bytes:int -> 'a -> unit;
   set_handler : node:int -> (src:int -> 'a -> unit) -> unit;
   counters : unit -> counters;
+  batches : unit -> batch_counters;
 }
 
 let n t = t.n
@@ -14,3 +19,5 @@ let send t ~src ~dst ~size_bytes payload = t.send ~src ~dst ~size_bytes payload
 let set_handler t ~node f = t.set_handler ~node f
 
 let counters t = t.counters ()
+
+let batches t = t.batches ()

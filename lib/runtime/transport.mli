@@ -14,14 +14,25 @@
     node. *)
 
 type counters = {
-  sent : int;  (** datagrams accepted from senders *)
-  delivered : int;  (** datagrams handed to a receive handler *)
+  sent : int;  (** messages accepted from senders *)
+  delivered : int;  (** messages handed to a receive handler *)
   dropped : int;
-      (** datagrams that did not reach a handler: loss, filters,
+      (** messages that did not reach a handler: loss, filters,
           crashed or partitioned destinations, handler-less arrivals,
           undecodable frames *)
-  bytes : int;  (** payload bytes accepted from senders *)
+  bytes : int;  (** wire bytes accepted from senders *)
 }
+
+type batch_counters = {
+  batches_sent : int;
+      (** batch frames put on the wire (throughput mode only; backends
+          without egress batching report zero) *)
+  batched_msgs : int;
+      (** messages those frames carried — [batched_msgs /
+          batches_sent] is the mean egress batch size *)
+}
+
+val zero_batches : batch_counters
 
 type 'a t = {
   n : int;  (** number of nodes *)
@@ -32,6 +43,9 @@ type 'a t = {
       (** install the receive callback of [node], replacing any
           previous one. Live backends only accept their own node. *)
   counters : unit -> counters;
+  batches : unit -> batch_counters;
+      (** egress batching statistics; {!zero_batches} when the backend
+          does not batch *)
 }
 
 val n : 'a t -> int
@@ -41,3 +55,5 @@ val send : 'a t -> src:int -> dst:int -> size_bytes:int -> 'a -> unit
 val set_handler : 'a t -> node:int -> (src:int -> 'a -> unit) -> unit
 
 val counters : 'a t -> counters
+
+val batches : 'a t -> batch_counters

@@ -29,6 +29,7 @@ type params = {
   switch_at_ms : float;
   approach : approach;
   batch_size : int;
+  batching : Dpu_protocols.Batcher.config option;
   loss : float;
   hop_cost : float;
   trace_enabled : bool;
@@ -54,6 +55,7 @@ let default =
     switch_at_ms = 5_000.0;
     approach = Repl;
     batch_size = 1;
+    batching = None;
     loss = 0.0;
     hop_cost = 0.5;
     trace_enabled = false;
@@ -94,6 +96,7 @@ let profile_of params =
     layer = layer_of params.approach;
     with_gm = false;
     batch_size = params.batch_size;
+    batching = params.batching;
     consensus_layer = params.consensus_layer;
   }
 

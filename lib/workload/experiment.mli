@@ -31,6 +31,9 @@ type params = {
   switch_at_ms : float;
   approach : approach;
   batch_size : int;
+  batching : Dpu_protocols.Batcher.config option;
+      (** throughput-mode batch aggregation in the ordering hot path
+          ([None] = the exact unbatched code paths) *)
   loss : float;
   hop_cost : float;
   trace_enabled : bool;

@@ -40,11 +40,19 @@ let start mw ~rate_per_s ?(pattern = Constant) ?size ?(body = "payload") ~until 
       Clock.defer clock ~delay:phase (loop node))
     (Dpu_kernel.System.local_nodes system)
 
-let send_n mw ~count ?(gap_ms = 10.0) ?size () =
+let send_n mw ~count ?(gap_ms = 10.0) ?size ?(warmup = 0) () =
   let n = MW.n mw in
   let clock = Dpu_kernel.System.clock (MW.system mw) in
-  for i = 0 to count - 1 do
+  let t0 = Clock.now clock in
+  (* Warmup messages ride the same round-robin schedule, ahead of the
+     counted ones: they populate caches, arm failure detectors and (in
+     a batched stack) fill the first batch, so the measured messages
+     see steady state. They are real broadcasts — the collector records
+     them and the ABcast properties cover them — callers exclude them
+     from latency stats by cutting the series at the returned time. *)
+  for i = 0 to warmup + count - 1 do
     let node = i mod n in
     Clock.defer clock ~delay:(gap_ms *. float_of_int i) (fun () ->
         ignore (MW.broadcast mw ~node ?size "msg" : Dpu_kernel.Msg.t))
-  done
+  done;
+  t0 +. (gap_ms *. float_of_int warmup)

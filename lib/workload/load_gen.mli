@@ -25,6 +25,21 @@ val start :
     [until] (ms). Total system rate is [rate_per_s]. *)
 
 val send_n :
-  Dpu_core.Middleware.t -> count:int -> ?gap_ms:float -> ?size:int -> unit -> unit
+  Dpu_core.Middleware.t ->
+  count:int ->
+  ?gap_ms:float ->
+  ?size:int ->
+  ?warmup:int ->
+  unit ->
+  float
 (** Round-robin [count] messages across nodes, one every [gap_ms]
-    (default 10). Convenience for tests. *)
+    (default 10). Convenience for tests.
+
+    [warmup] (default 0) schedules that many extra messages {e before}
+    the counted ones, on the same cadence. Warmup traffic is recorded
+    like any other (so the ABcast property checks still see it) but is
+    meant to be excluded from latency statistics: the returned virtual
+    time is the instant the first counted message is sent — pass it as
+    [~lo] to {!Dpu_engine.Series.stats_between}. Cold-start sends pay
+    for failure-detector arming and first-batch fill, which skews
+    low-load latency points if counted. *)

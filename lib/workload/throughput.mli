@@ -1,0 +1,77 @@
+(** Saturation benchmarking: offered vs delivered throughput.
+
+    The paper's evaluation is latency-centric; this module adds the
+    throughput axis for the batched ordering path. Two drivers:
+
+    - {!sweep} is {b open loop}: a fixed offered rate per step (via
+      {!Load_gen.start}), measuring the delivered rate inside a
+      steady-state window. Past the saturation knee the delivered rate
+      plateaus at the stack's service capacity while latency grows with
+      the backlog — the classic saturation curve.
+    - {!saturate} is {b closed loop}: a fixed number of clients per
+      node, each re-broadcasting as soon as its previous message comes
+      back delivered. No offered-rate parameter to guess; the loop
+      settles at the sustainable throughput by construction.
+
+    Both run the full default stack (CT ABcast over consensus, under
+    the Repl layer) on the simulator, so results are deterministic for
+    a given seed; [batching] turns the protocol-level batch aggregation
+    of {!Dpu_protocols.Batcher} on, which is the mechanism under test:
+    one consensus round then orders up to [max_batch] messages. *)
+
+type point = {
+  offered : float;  (** msg/s presented (closed loop: equals delivered) *)
+  delivered_per_s : float;
+      (** deliveries at node 0 inside the measurement window *)
+  p50_ms : float;
+  p99_ms : float;
+  measured : int;  (** messages behind the percentiles *)
+}
+
+type curve = {
+  batching : Dpu_protocols.Batcher.config option;
+  points : point list;  (** in offered-load order *)
+  knee : float;
+      (** highest offered load still delivered within 10%; [0.] if even
+          the lightest step saturated *)
+  saturated_per_s : float;  (** best delivered rate seen on the curve *)
+}
+
+type params = {
+  n : int;
+  seed : int;
+  msg_size : int;
+  warmup_ms : float;  (** excluded from the measurement window *)
+  duration_ms : float;  (** load stops here; the run drains afterwards *)
+  batching : Dpu_protocols.Batcher.config option;
+}
+
+val default : params
+(** n=3, seed=1, 512-byte payloads, 500 ms warmup, 3 s of load, no
+    batching. *)
+
+val measure : params -> offered:float -> point
+(** One open-loop step at a fixed offered rate. *)
+
+val curve_of :
+  batching:Dpu_protocols.Batcher.config option -> point list -> curve
+(** Knee detection and saturation over already-measured points (e.g.
+    when the steps were fanned out to a {!Sweep}). *)
+
+val sweep : ?params:params -> loads:float list -> unit -> curve
+(** One open-loop step per offered load, same parameters throughout. *)
+
+val saturate : ?params:params -> ?clients_per_node:int -> unit -> point
+(** Closed-loop driver: [clients_per_node] (default 4) outstanding
+    messages per node, re-issued on own delivery after a small think
+    time. *)
+
+val batching_label : Dpu_protocols.Batcher.config option -> string
+
+val csv_header : string list
+
+val csv_rows : curve list -> string list list
+
+val write_csv : string -> curve list -> unit
+(** The saturation curves as CSV (one row per point), for the CI
+    artifact and external plotting. *)

@@ -376,6 +376,7 @@ let hazard rule =
   | "wall-clock" -> "  let t = Unix.get" ^ "timeofday () in"
   | "marshal" -> "  Mar" ^ "shal.to_string v []"
   | "unix-io" -> "  let fd = Unix." ^ "socket PF_INET SOCK_DGRAM 0 in"
+  | "unsafe-bytes" -> "  let s = Bytes.un" ^ "safe_to_string buf in"
   | r -> Alcotest.failf "unknown rule %s" r
 
 let scan_lines ?(file = "lib/fake/test_input.ml") lines =
@@ -462,6 +463,25 @@ let test_dir_exemptions () =
   (* A path that merely mentions live outside lib/ gets no pass. *)
   check Alcotest.int "name alone is not enough" 1
     (List.length (scan_lines ~file:"lib/enginelive/x.ml" [ hazard "unix-io" ]))
+
+(* The zero-copy wire path gets no blanket pass: every unchecked byte
+   access — even in Wire itself — needs a reasoned per-line allow. *)
+let test_unsafe_bytes_has_no_exemptions () =
+  List.iter
+    (fun file ->
+      check Alcotest.int (file ^ " flagged") 1
+        (List.length (scan_lines ~file [ hazard "unsafe-bytes" ])))
+    [ "lib/kernel/wire.ml"; "lib/live/udp_transport.ml"; "lib/kernel/payload.ml" ];
+  let allow = "(* dpu-lint: " ^ "allow unsafe-bytes — read-only view *)" in
+  check Alcotest.int "reasoned allow silences" 0
+    (List.length
+       (scan_lines ~file:"lib/kernel/wire.ml" [ allow; hazard "unsafe-bytes" ]));
+  (* All the unchecked accessors fire, not just the one in the tree. *)
+  List.iter
+    (fun frag ->
+      check Alcotest.int (frag ^ " variant fires") 1
+        (List.length (scan_lines [ "  ignore (Bytes.un" ^ "safe_" ^ frag ^ " b)" ])))
+    [ "get"; "set"; "of_string" ]
 
 let test_line_numbers_and_text () =
   let findings = scan_lines [ "let a = 1"; hazard "poly-compare" ] in
@@ -553,6 +573,7 @@ let () =
           tc "word boundary" test_word_boundary;
           tc "file exemptions" test_file_exemptions;
           tc "directory exemptions" test_dir_exemptions;
+          tc "unsafe-bytes has no exemptions" test_unsafe_bytes_has_no_exemptions;
           tc "line numbers" test_line_numbers_and_text;
           tc "tree is clean" test_tree_is_clean;
           tc "lint json" test_lint_json;

@@ -309,6 +309,161 @@ let test_live_shim_loss_window_restores () =
         (c.Dpu_runtime.Transport.bytes
         > (Dpu_live.Udp_transport.counters t0).Dpu_runtime.Transport.bytes))
 
+(* ------------------------------------------------------------------ *)
+(* Egress batching                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_udp_egress_batching () =
+  with_pair (fun ~fd0 ~fd1 ~peers ->
+      let batch_sizes = ref [] in
+      let t0 =
+        Dpu_live.Udp_transport.create ~batching:4
+          ~on_batch:(fun k -> batch_sizes := k :: !batch_sizes)
+          ~me:0 ~fd:fd0 ~peers ()
+      in
+      let t1 = Dpu_live.Udp_transport.create ~me:1 ~fd:fd1 ~peers () in
+      let got = ref [] in
+      Dpu_runtime.Transport.set_handler
+        (Dpu_live.Udp_transport.transport t1)
+        ~node:1
+        (fun ~src:_ p ->
+          match p with
+          | Dpu_core.App_msg.App m -> got := m.Msg.id.Msg.seq :: !got
+          | _ -> ());
+      let send seq =
+        Dpu_runtime.Transport.send
+          (Dpu_live.Udp_transport.transport t0)
+          ~src:0 ~dst:1 ~size_bytes:32
+          (Dpu_core.App_msg.App (Msg.make ~origin:0 ~seq ~size:32 "b"))
+      in
+      for seq = 0 to 8 do
+        send seq
+      done;
+      (* 9 sends at cap 4: two full frames went out, one message waits. *)
+      check Alcotest.int "one message still queued" 1
+        (Dpu_live.Udp_transport.pending t0);
+      Dpu_live.Udp_transport.flush t0;
+      check Alcotest.int "flush empties the queues" 0
+        (Dpu_live.Udp_transport.pending t0);
+      await_readable fd1;
+      ignore (Dpu_live.Udp_transport.drain t1 : int);
+      check
+        Alcotest.(list int)
+        "all messages delivered, in send order"
+        (List.init 9 (fun i -> i))
+        (List.rev !got);
+      (* Counters stay message-grained; the frame grain is in batches. *)
+      let c = Dpu_live.Udp_transport.counters t0 in
+      check Alcotest.int "sent counts messages" 9 c.Dpu_runtime.Transport.sent;
+      let b = Dpu_live.Udp_transport.batches t0 in
+      check Alcotest.int "three frames" 3 b.Dpu_runtime.Transport.batches_sent;
+      check Alcotest.int "nine messages in them" 9
+        b.Dpu_runtime.Transport.batched_msgs;
+      check Alcotest.(list int) "histogram saw 4,4,1" [ 4; 4; 1 ]
+        (List.rev !batch_sizes);
+      let c1 = Dpu_live.Udp_transport.counters t1 in
+      check Alcotest.int "receiver delivered messages" 9
+        c1.Dpu_runtime.Transport.delivered)
+
+let test_udp_batch_respects_mtu () =
+  with_pair (fun ~fd0 ~fd1 ~peers ->
+      let t0 =
+        Dpu_live.Udp_transport.create ~batching:8 ~me:0 ~fd:fd0 ~peers ()
+      in
+      let t1 = Dpu_live.Udp_transport.create ~me:1 ~fd:fd1 ~peers () in
+      let got = ref 0 in
+      Dpu_runtime.Transport.set_handler
+        (Dpu_live.Udp_transport.transport t1)
+        ~node:1
+        (fun ~src:_ _ -> incr got);
+      (* ~40 KB payloads: any two burst the datagram limit, so each send
+         after the first must flush the previous one rather than split
+         the batch mid-frame. *)
+      let send seq =
+        Dpu_runtime.Transport.send
+          (Dpu_live.Udp_transport.transport t0)
+          ~src:0 ~dst:1 ~size_bytes:40_000
+          (Dpu_core.App_msg.App
+             (Msg.make ~origin:0 ~seq ~size:40_000 (String.make 40_000 'x')))
+      in
+      send 0;
+      send 1;
+      send 2;
+      Dpu_live.Udp_transport.flush t0;
+      await_readable fd1;
+      ignore (Dpu_live.Udp_transport.drain t1 : int);
+      let b = Dpu_live.Udp_transport.batches t0 in
+      check Alcotest.int "one frame per oversized element" 3
+        b.Dpu_runtime.Transport.batches_sent;
+      check Alcotest.int "all arrived" 3 !got;
+      check Alcotest.int "none dropped" 0
+        (Dpu_live.Udp_transport.counters t0).Dpu_runtime.Transport.dropped)
+
+let test_udp_batching_allocates_once () =
+  with_pair (fun ~fd0 ~fd1:_ ~peers ->
+      let t0 =
+        Dpu_live.Udp_transport.create ~batching:8 ~me:0 ~fd:fd0 ~peers ()
+      in
+      let after_create = Dpu_live.Udp_transport.encode_allocs t0 in
+      for seq = 0 to 999 do
+        Dpu_runtime.Transport.send
+          (Dpu_live.Udp_transport.transport t0)
+          ~src:0 ~dst:(seq mod 2) ~size_bytes:32
+          (Dpu_core.App_msg.App (Msg.make ~origin:0 ~seq ~size:32 "a"))
+      done;
+      Dpu_live.Udp_transport.flush t0;
+      (* 1000 messages, hundreds of batch frames: the whole encode path
+         ran on the buffers allocated at [create]. *)
+      check Alcotest.int "no encode-path allocation after create"
+        after_create
+        (Dpu_live.Udp_transport.encode_allocs t0);
+      check Alcotest.int "everything shipped" 0 (Dpu_live.Udp_transport.pending t0))
+
+let test_udp_batching_under_nemesis_shim () =
+  with_pair (fun ~fd0 ~fd1 ~peers ->
+      let t0 =
+        Dpu_live.Udp_transport.create ~batching:3 ~me:0 ~fd:fd0 ~peers ()
+      in
+      let t1 = Dpu_live.Udp_transport.create ~me:1 ~fd:fd1 ~peers () in
+      let now = ref 0.0 in
+      let shim =
+        Dpu_faults.Fault_transport.create ~seed:5
+          ~schedule:
+            [ Dpu_faults.Schedule.loss_window ~p:1.0 ~from_:10.0 ~until:20.0 ]
+          ~clock:(manual_clock now)
+          (Dpu_live.Udp_transport.transport t0)
+      in
+      let ftr = Dpu_faults.Fault_transport.transport shim in
+      let delivered = ref 0 in
+      Dpu_runtime.Transport.set_handler
+        (Dpu_live.Udp_transport.transport t1)
+        ~node:1
+        (fun ~src:_ _ -> incr delivered);
+      let send seq =
+        Dpu_runtime.Transport.send ftr ~src:0 ~dst:1 ~size_bytes:32
+          (Dpu_core.App_msg.App (Msg.make ~origin:0 ~seq ~size:32 "n"))
+      in
+      (* 4 clean sends, 5 absorbed by the loss window, 3 clean again. *)
+      now := 0.0;
+      for seq = 0 to 3 do send seq done;
+      now := 15.0;
+      for seq = 4 to 8 do send seq done;
+      now := 25.0;
+      for seq = 9 to 11 do send seq done;
+      Dpu_live.Udp_transport.flush t0;
+      await_readable fd1;
+      ignore (Dpu_live.Udp_transport.drain t1 : int);
+      check Alcotest.int "survivors delivered" 7 !delivered;
+      (* The nemesis absorbs whole messages BEFORE the egress queues, so
+         the folded accounting still balances at message grain. *)
+      let c = Dpu_faults.Fault_transport.counters shim in
+      check Alcotest.int "sent = delivered + dropped"
+        c.Dpu_runtime.Transport.sent
+        (!delivered + c.Dpu_runtime.Transport.dropped);
+      let b = Dpu_runtime.Transport.batches ftr in
+      check Alcotest.int "batches carry only the survivors" 7
+        b.Dpu_runtime.Transport.batched_msgs)
+
 let test_udp_wrong_node_refused () =
   with_pair (fun ~fd0 ~fd1:_ ~peers ->
       let t0 = Dpu_live.Udp_transport.create ~me:0 ~fd:fd0 ~peers () in
@@ -498,6 +653,11 @@ let () =
           tc "single-node ownership" test_udp_wrong_node_refused;
           tc "send counts only accepted frames" test_udp_send_accounting;
           tc "syscall failures never count as sent" test_udp_syscall_failure_accounting;
+          tc "egress batching delivers in order" test_udp_egress_batching;
+          tc "batches never burst the datagram limit" test_udp_batch_respects_mtu;
+          tc "batching allocates only at create" test_udp_batching_allocates_once;
+          tc "accounting balances under the nemesis shim"
+            test_udp_batching_under_nemesis_shim;
         ] );
       ( "fault-shim",
         [ tc "loss window restores over real UDP" test_live_shim_loss_window_restores ] );

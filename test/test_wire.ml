@@ -76,6 +76,9 @@ let samples : (string * Payload.t) list =
     ( "seq-abcast.order",
       P.Abcast_seq.Wire_order
         { epoch = 2; gseq = 4; origin = 1; size = 77; payload = app } );
+    ( "seq-abcast.order-batch",
+      P.Abcast_seq.Wire_order_batch
+        { epoch = 2; first_gseq = 4; orders = [ (1, 77, app); (0, 12, app) ] } );
     ("token.order", P.Abcast_token.Wire_order { epoch = 2; order });
     ("token.token", P.Abcast_token.Wire_token { epoch = 2; era = 1; next_gseq = 10 });
     ("token.repair-req", P.Abcast_token.Wire_repair_req { epoch = 2; gseq = 4; from = 1 });
@@ -231,6 +234,108 @@ let test_envelope_rejection () =
   expect_reject_envelope "bad version" (corrupt 4 '\xfe')
 
 (* ------------------------------------------------------------------ *)
+(* Batch envelopes (version 2)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let open_string s = Payload.Envelope.open_slice (Bytes.of_string s)
+
+let test_batch_roundtrip_every_codec () =
+  (* Every registered payload, in ONE batch frame: order and bytes of
+     each element must survive untouched. *)
+  let payloads = List.map snd samples in
+  let sealed = Payload.Envelope.seal_batch ~src:2 ~service:"dpu" ~generation:7 payloads in
+  let info, out = open_string sealed in
+  check Alcotest.int "src" 2 info.Payload.Envelope.src;
+  check Alcotest.string "service" "dpu" info.Payload.Envelope.service;
+  check Alcotest.int "generation" 7 info.Payload.Envelope.generation;
+  check Alcotest.int "count" (List.length payloads) (List.length out);
+  List.iter2
+    (fun (label, p) q ->
+      check Alcotest.string (label ^ " survives the batch")
+        (Payload.encode_exn p) (Payload.encode_exn q))
+    samples out
+
+let expect_reject_batch label s =
+  match open_string s with
+  | exception Payload.Decode_error _ -> ()
+  | _ -> Alcotest.failf "%s: bogus batch opened" label
+
+let test_batch_truncation_rejected () =
+  (* Atomicity: a datagram cut ANYWHERE — even on an element boundary,
+     where a prefix of the batch would parse — is rejected whole. *)
+  let sealed =
+    Payload.Envelope.seal_batch ~src:0 ~service:"dpu" ~generation:1
+      [ app; Payload.Unit; app ]
+  in
+  for cut = 0 to String.length sealed - 1 do
+    expect_reject_batch
+      (Printf.sprintf "cut to %d bytes" cut)
+      (String.sub sealed 0 cut)
+  done;
+  expect_reject_batch "trailing garbage" (sealed ^ "\x00")
+
+let test_batch_garbage_rejected () =
+  let sealed =
+    Payload.Envelope.seal_batch ~src:0 ~service:"dpu" ~generation:1 [ app; app ]
+  in
+  let corrupt i c = String.mapi (fun j x -> if i = j then c else x) sealed in
+  expect_reject_batch "bad magic" (corrupt 0 'X');
+  expect_reject_batch "bad version" (corrupt 4 '\xfe');
+  (* The count is the first field after the header: zero it out. *)
+  let hdr = Payload.Envelope.header_overhead ~service:"dpu" in
+  let zero_count =
+    String.mapi (fun j x -> if j >= hdr && j < hdr + 8 then '\x00' else x) sealed
+  in
+  expect_reject_batch "zero count" zero_count;
+  expect_reject_batch "all zeros" (String.make 32 '\x00');
+  (match Payload.Envelope.seal_batch ~src:0 ~service:"dpu" ~generation:1 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty batch sealed")
+
+let test_single_message_batch_vs_legacy () =
+  (* A batch of one and a legacy version-1 frame both decode to the
+     same payload through [open_slice]; and version-1 frames produced
+     by the unbatched path keep working unchanged. *)
+  List.iter
+    (fun (label, p) ->
+      let legacy = Payload.Envelope.seal ~src:1 ~service:"dpu" ~generation:3 p in
+      let batch1 = Payload.Envelope.seal_batch ~src:1 ~service:"dpu" ~generation:3 [ p ] in
+      let info_l, out_l = open_string legacy in
+      let info_b, out_b = open_string batch1 in
+      check Alcotest.int (label ^ " same src") info_l.Payload.Envelope.src
+        info_b.Payload.Envelope.src;
+      check Alcotest.int (label ^ " one payload each") 1 (List.length out_l);
+      check Alcotest.int (label ^ " one payload in batch") 1 (List.length out_b);
+      check Alcotest.string (label ^ " same payload")
+        (Payload.encode_exn (List.hd out_l))
+        (Payload.encode_exn (List.hd out_b));
+      (* The single-payload opener accepts a batch of one... *)
+      let _, q = Payload.Envelope.open_ batch1 in
+      check Alcotest.string (label ^ " open_ accepts singleton batch")
+        (Payload.encode_exn p) (Payload.encode_exn q))
+    samples;
+  (* ...but never a real batch: flattening would silently drop messages. *)
+  let multi = Payload.Envelope.seal_batch ~src:1 ~service:"dpu" ~generation:3 [ app; app ] in
+  match Payload.Envelope.open_ multi with
+  | exception Payload.Decode_error _ -> ()
+  | _ -> Alcotest.fail "open_ flattened a multi-payload batch"
+
+let test_decode_slice_offsets () =
+  (* The zero-copy reader honours [off]/[len] and rejects frames that
+     spill past the slice. *)
+  let frame = Payload.encode_exn app in
+  let buf = Bytes.of_string ("garbage" ^ frame ^ "garbage") in
+  let q = Payload.decode_slice buf ~off:7 ~len:(String.length frame) in
+  check Alcotest.string "decodes at offset" (Payload.encode_exn app)
+    (Payload.encode_exn q);
+  (match Payload.decode_slice buf ~off:7 ~len:(String.length frame - 1) with
+  | exception Payload.Decode_error _ -> ()
+  | _ -> Alcotest.fail "short slice decoded");
+  match Payload.decode_slice buf ~off:7 ~len:(String.length frame + 1) with
+  | exception Payload.Decode_error _ -> ()
+  | _ -> Alcotest.fail "slice with trailing garbage decoded"
+
+(* ------------------------------------------------------------------ *)
 (* Codec registry hygiene                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -271,5 +376,13 @@ let () =
         [
           tc "round-trip" test_envelope_roundtrip;
           tc "rejection" test_envelope_rejection;
+        ] );
+      ( "batch",
+        [
+          tc "every codec round-trips inside one batch" test_batch_roundtrip_every_codec;
+          tc "truncation rejected at every cut" test_batch_truncation_rejected;
+          tc "garbage rejected" test_batch_garbage_rejected;
+          tc "batch of one == legacy frame" test_single_message_batch_vs_legacy;
+          tc "decode_slice honours offsets" test_decode_slice_offsets;
         ] );
     ]

@@ -45,9 +45,23 @@ let test_burst_rate () =
 
 let test_send_n () =
   let mw = MW.create ~n:3 () in
-  W.Load_gen.send_n mw ~count:12 ~gap_ms:5.0 ();
+  ignore (W.Load_gen.send_n mw ~count:12 ~gap_ms:5.0 () : float);
   MW.run_until_quiescent ~limit:10_000.0 mw;
   check Alcotest.int "count" 12 (Dpu_core.Collector.send_count (MW.collector mw))
+
+let test_send_n_warmup_boundary () =
+  let mw = MW.create ~n:3 () in
+  let boundary = W.Load_gen.send_n mw ~count:10 ~gap_ms:5.0 ~warmup:6 () in
+  MW.run_until_quiescent ~limit:10_000.0 mw;
+  (* Warmup messages are real traffic... *)
+  check Alcotest.int "warmup + counted all sent" 16
+    (Dpu_core.Collector.send_count (MW.collector mw));
+  (* ...but the returned boundary splits the latency series so exactly
+     the counted messages land at or after it. *)
+  let series = Dpu_core.Collector.latency_series (MW.collector mw) in
+  let measured = Dpu_engine.Series.stats_between series ~lo:boundary ~hi:infinity in
+  check Alcotest.int "measured excludes warmup" 10 (Stats.count measured);
+  check (Alcotest.float 1e-9) "boundary is first counted send" 30.0 boundary
 
 let test_load_spread_across_nodes () =
   let mw = MW.create ~n:3 () in
@@ -166,6 +180,66 @@ let test_experiment_seed_changes_run () =
   check Alcotest.bool "different latencies" true
     (Stats.mean r1.W.Experiment.normal <> Stats.mean r2.W.Experiment.normal)
 
+(* ------------------------------------------------------------------ *)
+(* Throughput mode: batching under replacement, and the speedup       *)
+(* ------------------------------------------------------------------ *)
+
+let batched_cfg = { Dpu_protocols.Batcher.max_batch = 64; max_delay_ms = 200.0 }
+
+(* A 200 ms delay trigger at 100 msg/s means the switch at 1 s lands
+   mid-accumulation with near-certainty: the pending batch must be
+   flushed at the epoch boundary (never split, never stranded) and any
+   copy that raced into the old generation is dropped atomically and
+   reissued by Algorithm 1 — so exactly-once delivery and total order
+   must survive. *)
+let run_switch_mid_batch ~initial ~target =
+  let r =
+    W.Experiment.run
+      {
+        small with
+        load = 100.0;
+        initial;
+        switch_to = Some target;
+        batching = Some batched_cfg;
+      }
+  in
+  check Alcotest.bool "switch completed" true (r.W.Experiment.switch_window <> None);
+  check Alcotest.int "no message lost or stranded in a batch"
+    r.W.Experiment.sent r.W.Experiment.delivered_everywhere;
+  List.iter
+    (fun rep ->
+      check Alcotest.bool rep.Dpu_props.Report.property true rep.Dpu_props.Report.ok)
+    (W.Experiment.check r)
+
+let test_switch_mid_batch_seq_to_ct () =
+  run_switch_mid_batch ~initial:Dpu_core.Variants.sequencer ~target:Dpu_core.Variants.ct
+
+let test_switch_mid_batch_ct_to_seq () =
+  run_switch_mid_batch ~initial:Dpu_core.Variants.ct ~target:Dpu_core.Variants.sequencer
+
+let test_throughput_open_loop_tracks_offered () =
+  (* Well under the knee, delivered must track offered. *)
+  let module T = W.Throughput in
+  let pt = T.measure T.default ~offered:100.0 in
+  check Alcotest.bool "delivered within 10% of offered" true
+    (Float.abs (pt.T.delivered_per_s -. 100.0) <= 10.0)
+
+let test_throughput_batching_at_least_doubles () =
+  (* The headline claim of throughput mode: with the consensus path
+     ordering one batch per round instead of one message, the closed
+     loop sustains at least twice the unbatched rate. *)
+  let module T = W.Throughput in
+  let sustained batching =
+    (T.saturate ~params:{ T.default with T.batching } ~clients_per_node:16 ())
+      .T.delivered_per_s
+  in
+  let off = sustained None in
+  let on = sustained (Some { Dpu_protocols.Batcher.max_batch = 16; max_delay_ms = 5.0 }) in
+  check Alcotest.bool
+    (Printf.sprintf "batched %.0f msg/s >= 2x unbatched %.0f msg/s" on off)
+    true
+    (on >= 2.0 *. off)
+
 let test_switch_window_agrees_with_trace () =
   (* The collector's replacement window must agree with the kernel's
      own record of the switches: every node logs a "repl.switch" trace
@@ -272,6 +346,7 @@ let () =
           tc "poisson rate" test_poisson_rate;
           tc "burst rate" test_burst_rate;
           tc "send_n" test_send_n;
+          tc "send_n warmup boundary" test_send_n_warmup_boundary;
           tc "spread across nodes" test_load_spread_across_nodes;
         ] );
       ( "ascii",
@@ -295,6 +370,15 @@ let () =
           tc "seed sensitivity" test_experiment_seed_changes_run;
           tc "layer overhead positive" test_layer_overhead_positive;
           tc "switch window agrees with trace" test_switch_window_agrees_with_trace;
+        ] );
+      ( "throughput",
+        [
+          tc "replacement mid-batch, seq->ct" test_switch_mid_batch_seq_to_ct;
+          tc "replacement mid-batch, ct->seq" test_switch_mid_batch_ct_to_seq;
+          tc "open loop tracks offered below the knee"
+            test_throughput_open_loop_tracks_offered;
+          tc "batching at least doubles the sustained rate"
+            test_throughput_batching_at_least_doubles;
         ] );
       ( "figures",
         [ tc "render" test_figures_render; tc "comparison" test_comparison_rows ] );
