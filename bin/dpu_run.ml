@@ -351,26 +351,37 @@ let compare_cmd =
 
 let shipped_configs =
   let base = { E.default with duration_ms = 0.0 } in
-  let ct = Dpu_core.Variants.ct in
-  let seq = Dpu_core.Variants.sequencer in
-  let token = Dpu_core.Variants.token in
   [
     ("repl ct->ct", { base with approach = E.Repl });
     ("graceful ct->ct", { base with approach = E.Graceful });
     ("maestro ct->ct", { base with approach = E.Maestro });
     ("no-layer ct", { base with approach = E.No_layer; switch_to = None });
-    ("repl ct->seq", { base with switch_to = Some seq });
-    ("repl ct->token", { base with switch_to = Some token });
-    ("repl seq->ct", { base with initial = seq; switch_to = Some ct });
-    ("repl token->ct", { base with initial = token; switch_to = Some ct });
-    ("repl ct, no switch", { base with switch_to = None });
-    ( "repl ct->ct + consensus ct->paxos",
-      {
-        base with
-        consensus_layer = Some Dpu_protocols.Consensus_ct.protocol_name;
-        switch_consensus = Some (2_500.0, Dpu_protocols.Consensus_paxos.protocol_name);
-      } );
   ]
+  (* the full old/new matrix over the shipped ABcast variants *)
+  @ List.concat_map
+      (fun initial ->
+        List.map
+          (fun target ->
+            ( Printf.sprintf "repl %s->%s" initial target,
+              { base with initial; switch_to = Some target } ))
+          Dpu_core.Variants.all)
+      Dpu_core.Variants.all
+  @ [
+      ( "repl seq->token, batched",
+        {
+          base with
+          initial = Dpu_core.Variants.sequencer;
+          switch_to = Some Dpu_core.Variants.token;
+          batching = Some { Dpu_protocols.Batcher.max_batch = 16; max_delay_ms = 2.0 };
+        } );
+      ("repl ct, no switch", { base with switch_to = None });
+      ( "repl ct->ct + consensus ct->paxos",
+        {
+          base with
+          consensus_layer = Some Dpu_protocols.Consensus_ct.protocol_name;
+          switch_consensus = Some (2_500.0, Dpu_protocols.Consensus_paxos.protocol_name);
+        } );
+    ]
 
 let check_one ~label params =
   let reports = E.preflight params in
@@ -381,7 +392,7 @@ let check_one ~label params =
   (ok, reports)
 
 let check n initial switch_to approach batch consensus_layer switch_consensus_to
-    shipped json_out =
+    no_epoch_buffer shipped json_out =
   let results =
     if shipped then List.map (fun (label, p) -> check_one ~label p) shipped_configs
     else begin
@@ -401,6 +412,7 @@ let check n initial switch_to approach batch consensus_layer switch_consensus_to
           consensus_layer;
           switch_consensus =
             Option.map (fun prot -> (2_500.0, prot)) switch_consensus_to;
+          epoch_buffer = not no_epoch_buffer;
         }
       in
       [ check_one ~label:"configuration" params ]
@@ -453,11 +465,23 @@ let check_cmd =
       & info [ "switch-consensus-to" ] ~docv:"IMPL"
           ~doc:"Plan a consensus hot-swap to IMPL (consensus.ct | consensus.paxos).")
   in
+  let no_epoch_buffer =
+    Arg.(
+      value & flag
+      & info [ "no-epoch-buffer" ]
+          ~doc:
+            "Plan the stack without the future-epoch wire buffer. The \
+             behavioural check rejects any switch under this flag: a \
+             late-switching node would lose the successor's early traffic.")
+  in
   let shipped =
     Arg.(
       value & flag
       & info [ "shipped" ]
-          ~doc:"Verify every configuration the figures and tables use, instead of one.")
+          ~doc:
+            "Verify every shipped configuration — the full old/new ABcast \
+             pair matrix plus the batched and consensus-swap plans — instead \
+             of one.")
   in
   let json_out =
     Arg.(
@@ -468,7 +492,7 @@ let check_cmd =
   let term =
     Term.(
       const check $ n_arg $ initial $ switch_to $ approach $ batch $ consensus_layer
-      $ switch_consensus_to $ shipped $ json_out)
+      $ switch_consensus_to $ no_epoch_buffer $ shipped $ json_out)
   in
   Cmd.v
     (Cmd.info "check"

@@ -7,6 +7,7 @@ type decl = {
   d_name : string;
   d_provides : Service.t list;
   d_requires : Service.t list;
+  d_spec : Spec.t option;
 }
 
 type root =
@@ -34,6 +35,7 @@ let plan_of_profile ?(updates = []) ?(consensus_updates = []) (profile : SB.prof
           (* Generation 0 comes up on slot 0 at start; later slots are
              populated by the layer itself as generations advance. *)
           d_requires = [ Service.rp2p; RC.impl_service 0 ];
+          d_spec = Some RC.spec;
         };
       ]
     | None -> []
@@ -53,12 +55,13 @@ let plan_of_profile ?(updates = []) ?(consensus_updates = []) (profile : SB.prof
     else Dpu_core.Monitor.Direct
   in
   let passive =
-    (if Option.is_some profile.layer then
+    (if Option.is_some profile.layer && profile.epoch_buffer then
        [
          {
            d_name = Dpu_protocols.Epoch_buffer.protocol_name;
            d_provides = [];
            d_requires = Dpu_protocols.Epoch_buffer.requires;
+           d_spec = Some Dpu_protocols.Epoch_buffer.spec;
          };
        ]
      else [])
@@ -67,6 +70,7 @@ let plan_of_profile ?(updates = []) ?(consensus_updates = []) (profile : SB.prof
           d_name = Dpu_core.Monitor.module_name;
           d_provides = [];
           d_requires = Dpu_core.Monitor.requires monitor_mode;
+          d_spec = None;
         };
       ]
   in
@@ -91,7 +95,13 @@ let decl_of_registry registry name =
     let requires =
       Option.value ~default:[] (Registry.requires_of registry ~name)
     in
-    Some { d_name = name; d_provides = provides; d_requires = requires }
+    Some
+      {
+        d_name = name;
+        d_provides = provides;
+        d_requires = requires;
+        d_spec = Registry.spec_of registry ~name;
+      }
 
 (* Prebound modules shadow the registry: they are installed by hand and
    already hold their bindings when resolution starts. *)
@@ -264,9 +274,12 @@ let check_acyclic registry plan =
     plan.roots;
   List.iter (fun name -> visit [] name) plan.named;
   List.iter (fun (_, target) -> visit [] target) plan.updates;
+  (* [Registry.cycle_string] appends the closing edge ("a -> b -> a"),
+     matching the [Cyclic_requires] exception printer: the finding
+     shows the full cycle, not just the path to its last node. *)
   let violations =
     List.map
-      (fun cycle -> Printf.sprintf "provider cycle: %s" (String.concat " -> " cycle))
+      (fun cycle -> Printf.sprintf "provider cycle: %s" (Registry.cycle_string cycle))
       (List.sort compare_cycles !cycles)
   in
   Report.make ~property:"acyclic provider chains" ~checked:!edges_checked violations
@@ -445,6 +458,93 @@ let check_update_safety registry plan (base : resolution) =
     (List.sort String.compare !violations)
 
 (* ------------------------------------------------------------------ *)
+(* Check 5: behavioural update safety                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Can the swap strand (or wrongly re-issue) in-flight work? The heavy
+   lifting — 1-unfolding of the old spec, ♢-combination with the new —
+   lives in [Behaviour]; this check resolves the specs from the plan
+   and the registry and turns missing/opaque ones into violations of
+   their own: a pair the checker cannot reason about is not safe. *)
+let check_behaviour registry plan =
+  let checked = ref 0 in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let spec_of name =
+    match List.find_opt (fun d -> String.equal d.d_name name) plan.prebound with
+    | Some d -> d.d_spec
+    | None -> Registry.spec_of registry ~name
+  in
+  let usable what name =
+    incr checked;
+    match spec_of name with
+    | None ->
+      violate "%s %s declares no behavioural spec; the safe-update check \
+               cannot prove it leaves nothing in flight" what name;
+      None
+    | Some spec when Spec.is_opaque spec ->
+      violate "%s %s declares an opaque behavioural spec (%s); the \
+               safe-update check cannot prove it leaves nothing in flight"
+        what name
+        (Option.value ~default:"no reason" spec.Spec.s_opaque);
+      None
+    | Some spec -> Some spec
+  in
+  let passives =
+    List.filter_map
+      (fun d -> Option.map (fun s -> (d.d_name, s)) d.d_spec)
+      plan.passive
+  in
+  (match (plan.updates, plan.layer) with
+  | [], _ | _, None ->
+    (* structural update safety already rejects layerless swaps *)
+    ()
+  | _ :: _, Some layer_name -> (
+    match usable "replacement layer" layer_name with
+    | None -> ()
+    | Some layer_spec ->
+      List.iter
+        (fun (old_name, new_name) ->
+          match (usable "old protocol" old_name, usable "new protocol" new_name)
+          with
+          | Some old_spec, Some new_spec ->
+            if not (String.equal old_spec.Spec.s_service new_spec.Spec.s_service)
+            then
+              violate
+                "changeABcast(%s): behavioural specs disagree on the service \
+                 (%s speaks %s, %s speaks %s)"
+                new_name old_name old_spec.Spec.s_service new_name
+                new_spec.Spec.s_service
+            else begin
+              let examined, hazards =
+                Behaviour.check_pair ~old_name ~old_spec ~new_name ~new_spec
+                  ~layer:(layer_name, layer_spec) ~passives
+              in
+              checked := !checked + examined;
+              List.iter
+                (fun h ->
+                  violate "%s" (Behaviour.hazard_message ~old_name ~new_name h))
+                hazards
+            end
+          | _ -> ())
+        plan.updates));
+  List.iter
+    (fun target ->
+      match usable "consensus implementation" (RC.impl_name target ~slot:0) with
+      | None -> ()
+      | Some spec ->
+        incr checked;
+        if not (Spec.has spec Spec.Slot_scoped_rounds) then
+          violate
+            "changeConsensus(%s): implementation does not scope its rounds by \
+             generation slot; in-flight instances of the old implementation \
+             could decide against the new one's"
+            target)
+    plan.consensus_updates;
+  Report.make ~property:"behavioural update safety" ~checked:!checked
+    (List.rev !violations)
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -455,16 +555,22 @@ let verify ~registry plan =
     check_acyclic registry plan;
     check_unique_binding registry plan;
     check_update_safety registry plan base;
+    check_behaviour registry plan;
   ]
 
 let verify_profile ~registry ?updates ?consensus_updates profile =
   verify ~registry (plan_of_profile ?updates ?consensus_updates profile)
 
+let schema_v1 = "dpu.analysis/1"
+
+let schema_v2 = "dpu.analysis/2"
+
 let to_json reports =
   let module J = Dpu_obs.Json in
   J.Obj
     [
-      ("schema", J.Str "dpu.analysis/1");
+      ("schema", J.Str schema_v2);
+      ("schema_version", J.Int 2);
       ("ok", J.Bool (Report.all_ok reports));
       ( "reports",
         J.List
@@ -479,3 +585,37 @@ let to_json reports =
                  ])
              reports) );
     ]
+
+(* Read back both the current schema and the PR4-era [dpu.analysis/1]
+   (same reports shape, no [schema_version] field, four properties). *)
+let of_json json =
+  let module J = Dpu_obs.Json in
+  let ( let* ) r f = Result.bind r f in
+  let field obj name accessor what =
+    match Option.bind (J.member obj name) accessor with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed %S field" what)
+  in
+  let* schema = field json "schema" J.to_string_opt "schema" in
+  let* () =
+    if String.equal schema schema_v1 || String.equal schema schema_v2 then Ok ()
+    else Error (Printf.sprintf "unsupported schema %S" schema)
+  in
+  let* reports = field json "reports" J.to_list_opt "reports" in
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | r :: rest ->
+      let* property = field r "property" J.to_string_opt "report property" in
+      let* checked = field r "checked" J.to_int_opt "report checked" in
+      let* violations = field r "violations" J.to_list_opt "report violations" in
+      let violations =
+        List.filter_map J.to_string_opt violations
+      in
+      parse
+        (Report.make ~property
+           ~max_violations:(List.length violations + 1)
+           ~checked violations
+        :: acc)
+        rest
+  in
+  parse [] reports

@@ -20,7 +20,13 @@
       protocol-operationability — the new protocol is registered, its
       provided services cover the old one's, its requirements resolve
       in the post-swap stack, and the replacement-layer indirection
-      intercepts every caller of the replaced services (§4–§5).
+      intercepts every caller of the replaced services (§4–§5);
+    - {e behavioural update safety}: the swap cannot strand or wrongly
+      re-issue in-flight work — {!Behaviour} unfolds the old protocol's
+      declared {!Dpu_kernel.Spec} once at the switch point and checks
+      that the combination with the new spec, under the layer's
+      capabilities, discharges every obligation; undischarged shapes
+      are reported with a counterexample trace.
 
     The verifier is deliberately conservative: a cyclic provider chain
     is rejected statically even though [Registry.instantiate] can build
@@ -38,6 +44,7 @@ type decl = {
   d_name : string;
   d_provides : Service.t list;
   d_requires : Service.t list;
+  d_spec : Spec.t option;  (** declared behaviour, for check 5 *)
 }
 
 type root =
@@ -76,7 +83,7 @@ val plan_of_profile :
     swap targets. *)
 
 val verify : registry:Registry.t -> plan -> Dpu_props.Report.t list
-(** Run all four checks; one report per property, in the order listed
+(** Run all five checks; one report per property, in the order listed
     above. [Dpu_props.Report.all_ok] on the result is the verdict. *)
 
 val verify_profile :
@@ -88,5 +95,12 @@ val verify_profile :
 (** [verify] of [plan_of_profile]. *)
 
 val to_json : Dpu_props.Report.t list -> Dpu_obs.Json.t
-(** Machine-readable findings ([dpu.analysis/1] schema): top-level
-    [ok], plus per-property [ok]/[checked]/[violations]. *)
+(** Machine-readable findings ([dpu.analysis/2] schema): top-level
+    [schema], integer [schema_version], [ok], plus per-property
+    [ok]/[checked]/[violations]. *)
+
+val of_json : Dpu_obs.Json.t -> (Dpu_props.Report.t list, string) result
+(** Parse verdicts emitted by {!to_json} — either the current
+    [dpu.analysis/2] schema or the PR4-era [dpu.analysis/1] (which had
+    no [schema_version] field and no behavioural report); any other
+    schema string is an error. *)

@@ -95,6 +95,16 @@ let rules =
       r_exempt_dirs = [];
     };
     {
+      r_id = "spec-opaque";
+      r_patterns = [ p "Spec." "opaque" ];
+      r_message =
+        "an opaque behavioural spec hides every in-flight shape from \
+         the safe-update checker; declare a real Spec.make, or keep \
+         the opacity behind a reasoned allow";
+      r_exempt = [];
+      r_exempt_dirs = [];
+    };
+    {
       r_id = "unix-io";
       r_patterns =
         [
@@ -301,10 +311,56 @@ let exempt ~file r =
   List.exists (fun suffix -> String.ends_with ~suffix f) r.r_exempt
   || List.exists (fun dir -> path_contains ~sub:dir f) r.r_exempt_dirs
 
+(* --- structural pass: registration sites must declare a spec --------- *)
+
+(* A [Registry.register] call must pass [~spec] somewhere in the call
+   site — substring rules cannot express "A without B nearby", so this
+   runs as its own pass. The window is generous: a registration call
+   spans a handful of lines of labelled arguments. *)
+let registry_spec_rule = p "registry-" "spec"
+let registry_spec_window = 12
+
+let registry_spec_message =
+  "every registration site must declare the protocol's behavioural \
+   contract: pass ~spec (Spec.opaque, under a reasoned allow, if it \
+   is truly unspecifiable)"
+
+let scan_registry_spec ~file ~stripped ~raw findings =
+  let register_call = p "Registry." "register" in
+  let spec_arg = p "~sp" "ec" in
+  Array.iteri
+    (fun idx line ->
+      if contains ~sub:register_call line then begin
+        let last =
+          min (Array.length stripped - 1) (idx + registry_spec_window)
+        in
+        let has_spec = ref false in
+        for j = idx to last do
+          if contains ~sub:spec_arg stripped.(j) then has_spec := true
+        done;
+        let suppressed =
+          (idx < Array.length raw
+          && suppresses ~rule:registry_spec_rule raw.(idx))
+          || (idx > 0 && suppresses ~rule:registry_spec_rule raw.(idx - 1))
+        in
+        if (not !has_spec) && not suppressed then
+          findings :=
+            {
+              f_file = file;
+              f_line = idx + 1;
+              f_rule = registry_spec_rule;
+              f_text = String.trim raw.(idx);
+              f_message = registry_spec_message;
+            }
+            :: !findings
+      end)
+    stripped
+
 let scan_source ~file content =
   let stripped = split_lines (strip content) in
   let raw = split_lines content in
   let findings = ref [] in
+  scan_registry_spec ~file ~stripped ~raw findings;
   List.iter
     (fun r ->
       if not (exempt ~file r) then

@@ -18,7 +18,22 @@
     - [marshal]: [Marshal] outside the {!Dpu_workload.Sweep} worker
       protocol;
     - [unix-io]: real socket calls ([Unix.socket]/[bind]/[sendto]/
-      [recvfrom]/[select]/[connect]) outside the live runtime backend.
+      [recvfrom]/[select]/[connect]) outside the live runtime backend;
+    - [spec-opaque]: a [Spec.opaque] declaration — an opaque spec
+      makes the behavioural safe-update checker ({!Behaviour}) blind
+      to the protocol's in-flight shapes, so every use needs a
+      reasoned allow;
+    - [registry-spec] (a structural pass, not a substring rule — see
+      below): a [Registry.register] call that passes no [~spec]
+      argument anywhere in the call site. Silent opacity is the
+      failure mode this guards: a registration without a spec gets
+      [None], and the composition verifier can only report it at
+      check time for plans that update through it.
+
+    [registry-spec] is not in {!rules}: substring rules cannot express
+    "A without B nearby". It scans the same stripped source, honours
+    the same suppression comments, and reports through the same
+    {!finding} type with [f_rule = "registry-spec"].
 
     Exemptions come in two scopes: single files ([r_exempt], matched as
     path suffixes) and whole directories ([r_exempt_dirs], matched as

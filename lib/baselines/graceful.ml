@@ -281,9 +281,28 @@ let install ?(config = default_config) ~registry ~n stack =
               | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name Service.r_abcast) ~roles:[ "member" ]
+    ~kinds:
+      [
+        Spec.kind ~role:"member" "graceful.prepare";
+        Spec.kind ~role:"member" "graceful.point";
+      ]
+    ~transitions:
+      [
+        Spec.t "idle" (Spec.Emit "graceful.prepare") "preparing";
+        Spec.t "preparing" (Spec.Recv "graceful.prepare") "prepared";
+        Spec.t "prepared" (Spec.Emit "graceful.point") "cutting";
+        Spec.t "cutting" (Spec.Recv "graceful.point") "idle";
+      ]
+    ~obligations:[ Spec.Total_order; Spec.Exactly_once; Spec.Validity ]
+      (* ordered G-point cut-over; undelivered payloads re-issued on the
+         prepared alternative, deliveries filtered by generation *)
+    ~capabilities:[ Spec.Reissue_undelivered; Spec.Generation_filter ] ()
+
 let register ?config system =
   let registry = System.registry system in
   let n = System.n system in
   Registry.register registry ~name:protocol_name ~provides:[ Service.r_abcast ]
-    ~requires:[ Service.abcast; Service.rp2p ]
+    ~requires:[ Service.abcast; Service.rp2p ] ~spec
     (fun stack -> install ?config ~registry ~n stack)

@@ -172,8 +172,27 @@ let install ?(config = default_config) ~registry stack =
               | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name Service.r_abcast) ~roles:[ "member" ]
+    ~kinds:[ Spec.kind ~role:"member" "maestro.switch" ]
+    ~transitions:
+      [
+        Spec.t "idle" (Spec.Emit "maestro.switch") "switching";
+        Spec.t "switching" (Spec.Recv "maestro.switch") "idle";
+      ]
+    ~obligations:[ Spec.Total_order; Spec.Exactly_once; Spec.Validity ]
+      (* blocks sends while the substrate is torn down and rebuilt, then
+         re-issues what the old stack never delivered *)
+    ~capabilities:
+      [
+        Spec.Quiesce_before_switch;
+        Spec.Reissue_undelivered;
+        Spec.Generation_filter;
+      ]
+    ()
+
 let register ?config system =
   let registry = System.registry system in
   Registry.register registry ~name:protocol_name ~provides:[ Service.r_abcast ]
-    ~requires:[ Service.abcast ]
+    ~requires:[ Service.abcast ] ~spec
     (fun stack -> install ?config ~registry stack)

@@ -177,8 +177,21 @@ let install ~registry stack =
               | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name Service.r_abcast) ~roles:[ "member" ]
+    ~kinds:[ Spec.kind ~role:"member" "repl.change" ]
+    ~transitions:
+      [
+        Spec.t "idle" (Spec.Emit "repl.change") "changing";
+        Spec.t "changing" (Spec.Recv "repl.change") "idle";
+      ]
+    ~obligations:[ Spec.Total_order; Spec.Exactly_once; Spec.Validity ]
+      (* Algorithm 1, lines 15-18: undelivered payloads are re-issued on
+         the successor, and deliveries are filtered by generation *)
+    ~capabilities:[ Spec.Reissue_undelivered; Spec.Generation_filter ] ()
+
 let register system =
   let registry = System.registry system in
   Registry.register registry ~name:protocol_name ~provides:[ Service.r_abcast ]
-    ~requires:[ Service.abcast ]
+    ~requires:[ Service.abcast ] ~spec
     (fun stack -> install ~registry stack)

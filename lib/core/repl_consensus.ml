@@ -78,6 +78,26 @@ let impl_service slot = Service.make (Printf.sprintf "consensus-impl.%d" slot)
 
 let impl_name prot ~slot = Printf.sprintf "%s@%d" prot slot
 
+let spec =
+  Spec.make ~service:(Service.name Service.consensus) ~roles:[ "member" ]
+    ~kinds:[ Spec.kind ~role:"member" "repl-consensus.request" ]
+    ~transitions:
+      [
+        Spec.t "idle" (Spec.Emit "repl-consensus.request") "changing";
+        Spec.t "changing" (Spec.Recv "repl-consensus.request") "idle";
+      ]
+    ~obligations:[ Spec.Validity; Spec.Exactly_once ]
+      (* undecided proposals are re-issued under the new generation, and
+         decisions of a superseded generation are ignored (the analogue
+         of Algorithm 1's lines 15-18 for the agreement stream) *)
+    ~capabilities:
+      [
+        Spec.Slot_scoped_rounds;
+        Spec.Reissue_undelivered;
+        Spec.Generation_filter;
+      ]
+    ()
+
 let header_size = 32
 
 let k_generation = "repl-consensus.generation"

@@ -83,6 +83,10 @@ val impl_name : string -> slot:int -> string
 val impl_service : int -> Service.t
 (** The implementation service of a ring slot ([consensus-impl.k]). *)
 
+val spec : Spec.t
+(** Behavioural spec of the layer: generation-scoped agreement rounds,
+    superseded decisions filtered, undecided proposals re-issued. *)
+
 val register_impls : System.t -> unit
 (** Register both implementations (CT and Paxos) at every ring slot in
     the system registry, so generation switches can instantiate them. *)

@@ -8,6 +8,7 @@ type profile = {
   batch_size : int;
   batching : P.Batcher.config option;
   consensus_layer : string option;
+  epoch_buffer : bool;
 }
 
 let default_profile =
@@ -18,6 +19,7 @@ let default_profile =
     batch_size = 1;
     batching = None;
     consensus_layer = None;
+    epoch_buffer = true;
   }
 
 let register_protocols ?register_extra ~profile system =
@@ -48,8 +50,12 @@ let build ?collector ?register_extra ~profile system =
       | Some name ->
         ignore (Registry.instantiate registry stack ~name : Stack.module_);
         (* A stack that can switch generations needs the receive-side
-           hole in the epoch filter closed (see [Epoch_buffer]). *)
-        ignore (P.Epoch_buffer.install stack : Stack.module_)
+           hole in the epoch filter closed (see [Epoch_buffer]). The
+           knob exists so the hole can be reopened on purpose — the
+           safe-update checker must reject such a plan, and the fault
+           tests demonstrate the divergence it causes. *)
+        if profile.epoch_buffer then
+          ignore (P.Epoch_buffer.install stack : Stack.module_)
       | None -> ());
       if profile.with_gm then begin
         assert (Option.is_some profile.layer);

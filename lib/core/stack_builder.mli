@@ -34,10 +34,16 @@ type profile = {
       (** install the consensus replacement layer ([Repl_consensus]),
           starting on the named implementation; [None] = plain
           consensus bound directly (the paper's Fig. 4) *)
+  epoch_buffer : bool;
+      (** install {!Dpu_protocols.Epoch_buffer} alongside a replacement
+          layer (the default). [false] reopens the receive-side hole in
+          the generation filter — a deliberately unsafe configuration
+          that the behavioural safe-update checker rejects *)
 }
 
 val default_profile : profile
-(** CT ABcast, [Repl] layer, no GM, batch 1, no batching. *)
+(** CT ABcast, [Repl] layer, no GM, batch 1, no batching, epoch buffer
+    on. *)
 
 val register_protocols :
   ?register_extra:(System.t -> unit) -> profile:profile -> System.t -> unit

@@ -4,6 +4,7 @@ type entry = {
   e_name : string;
   e_provides : Service.t list;
   e_requires : Service.t list;  (* declared; what the factory's module asks for *)
+  e_spec : Spec.t option;  (* declared behaviour; metadata for the analyser *)
   e_factory : factory;
 }
 
@@ -17,9 +18,15 @@ exception Cyclic_requires of string list
 
 let create () = { entries = [] }
 
-let register t ~name ~provides ?(requires = []) factory =
+let register t ~name ~provides ?(requires = []) ?spec factory =
   t.entries <-
-    { e_name = name; e_provides = provides; e_requires = requires; e_factory = factory }
+    {
+      e_name = name;
+      e_provides = provides;
+      e_requires = requires;
+      e_spec = spec;
+      e_factory = factory;
+    }
     :: List.filter (fun e -> not (String.equal e.e_name name)) t.entries
 
 let names t = List.rev_map (fun e -> e.e_name) t.entries
@@ -39,6 +46,8 @@ let provides_of t ~name = Option.map (fun e -> e.e_provides) (find t name)
 
 let requires_of t ~name = Option.map (fun e -> e.e_requires) (find t name)
 
+let spec_of t ~name = Option.bind (find t name) (fun e -> e.e_spec)
+
 (* Canonical form of a cycle: rotated so the smallest name comes first.
    The static verifier ([Dpu_analysis.Composition]) normalises the same
    way, so the dynamic exception and the static finding agree. *)
@@ -53,6 +62,22 @@ let canonical_cycle names =
       if String.compare arr.(i) arr.(!best) < 0 then best := i
     done;
     List.init len (fun i -> arr.((!best + i) mod len))
+
+(* Render a canonical cycle with its closing edge ("a -> b -> a"), so
+   the message reads as a cycle rather than a chain. *)
+let cycle_string = function
+  | [] -> "<empty cycle>"
+  | first :: _ as cycle -> String.concat " -> " (cycle @ [ first ])
+
+let () =
+  Printexc.register_printer (function
+    | Cyclic_requires cycle ->
+      Some (Printf.sprintf "Registry.Cyclic_requires(%s)" (cycle_string cycle))
+    | Unknown_protocol name ->
+      Some (Printf.sprintf "Registry.Unknown_protocol(%S)" name)
+    | No_provider svc ->
+      Some (Printf.sprintf "Registry.No_provider(%s)" (Service.name svc))
+    | _ -> None)
 
 (* Binding the new module's provided services *before* recursing on its
    requirements makes honest cyclic service graphs terminate: by the

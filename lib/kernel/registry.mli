@@ -31,13 +31,21 @@ exception Cyclic_requires of string list
 val create : unit -> t
 
 val register :
-  t -> name:string -> provides:Service.t list -> ?requires:Service.t list -> factory -> unit
+  t ->
+  name:string ->
+  provides:Service.t list ->
+  ?requires:Service.t list ->
+  ?spec:Spec.t ->
+  factory ->
+  unit
 (** Register a protocol under [name]. Registering the same name again
     replaces the previous factory (used to stage protocol versions).
     [requires] (default [[]]) declares the services the factory's
     module will ask for; it is introspection metadata for the static
     analyser ({!requires_of}) and does not affect instantiation, which
-    always resolves the module's actual requirements. *)
+    always resolves the module's actual requirements. [spec] declares
+    the protocol's behaviour ({!Spec.t}) for the behavioural
+    safe-update checker; like [requires] it is pure metadata. *)
 
 val names : t -> string list
 
@@ -53,11 +61,20 @@ val provides_of : t -> name:string -> Service.t list option
 val requires_of : t -> name:string -> Service.t list option
 (** Declared required services of a registered protocol. *)
 
+val spec_of : t -> name:string -> Spec.t option
+(** Declared behavioural spec of a registered protocol, if any. *)
+
 val canonical_cycle : string list -> string list
 (** Normal form of a dependency cycle: rotated so the smallest name
     comes first. {!Cyclic_requires} carries cycles in this form, and
     the static verifier reports them in the same form, so the two can
     be compared directly. *)
+
+val cycle_string : string list -> string
+(** Render a cycle with its closing edge — ["a -> b -> a"] for
+    [["a"; "b"]] — so reports show the full cycle, not just the path.
+    Both the {!Cyclic_requires} exception printer and the static
+    verifier's findings use this form. *)
 
 val instantiate : t -> Stack.t -> name:string -> Stack.module_
 (** [create_module] of Algorithm 1: create the named module, bind it to

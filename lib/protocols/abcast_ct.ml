@@ -170,8 +170,50 @@ let install ?(batch_size = 1) ?batching stack =
               | _ -> ());
       })
 
+(* With aggregation on, accepted items are parked in an open proposal
+   batch until the trigger fires — a partially-flushed batch is a
+   first-class in-flight shape at a switch point, discharged by the
+   epoch-boundary force-flush above. *)
+let spec ~batched =
+  let aggregation =
+    if batched then
+      [
+        Spec.t "pooled" (Spec.Aggregate "ct.propose") "batching";
+        Spec.t "batching" (Spec.Flush "ct.propose") "deciding";
+      ]
+    else [ Spec.t "pooled" (Spec.Emit "ct.propose") "deciding" ]
+  in
+  Spec.make ~service:(Service.name Service.abcast) ~roles:[ "member" ]
+    ~kinds:
+      [
+        Spec.kind ~payload:true ~role:"member" "ct.disseminate";
+        Spec.kind ~payload:true ~role:"member" "ct.propose";
+        Spec.kind ~payload:true ~role:"member" "ct.decide";
+      ]
+    ~transitions:
+      ([
+         Spec.t "idle" Spec.Accept "accepted";
+         Spec.t "accepted" (Spec.Emit "ct.disseminate") "gossiped";
+         Spec.t "gossiped" (Spec.Recv "ct.disseminate") "pooled";
+       ]
+      @ aggregation
+      @ [
+          Spec.t "deciding" (Spec.Recv "ct.propose") "proposed";
+          Spec.t "proposed" (Spec.Emit "ct.decide") "ordered";
+          Spec.t "ordered" (Spec.Recv "ct.decide") "decided";
+          Spec.t "decided" Spec.Deliver "idle";
+        ])
+    ~obligations:
+      ([ Spec.Total_order; Spec.Exactly_once; Spec.Validity; Spec.Gap_free_gseq ]
+      @ if batched then [ Spec.Epoch_flush ] else [])
+    ~capabilities:
+      ([ Spec.Epoch_tagged_wire ]
+      @ if batched then [ Spec.Epoch_flush_on_supersede ] else [])
+    ()
+
 let register ?batch_size ?batching system =
   Registry.register (System.registry system) ~name:protocol_name
     ~provides:[ Service.abcast ]
     ~requires:[ Service.consensus; Rbcast.service ]
+    ~spec:(spec ~batched:(batching <> None))
     (fun stack -> install ?batch_size ?batching stack)

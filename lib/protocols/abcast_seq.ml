@@ -203,8 +203,47 @@ let install ?(sequencer = 0) ?batching ~n stack =
               | _ -> ());
       })
 
+let spec ~batched =
+  let ordering =
+    if batched then
+      [
+        Spec.t "sequencing" (Spec.Aggregate "seq.order-batch") "batching";
+        Spec.t "batching" (Spec.Flush "seq.order-batch") "ordered";
+        Spec.t "ordered" (Spec.Recv "seq.order-batch") "ready";
+      ]
+    else
+      [
+        Spec.t "sequencing" (Spec.Emit "seq.order") "ordered";
+        Spec.t "ordered" (Spec.Recv "seq.order") "ready";
+      ]
+  in
+  Spec.make ~service:(Service.name Service.abcast)
+    ~roles:[ "member"; "sequencer" ]
+    ~kinds:
+      [
+        Spec.kind ~payload:true ~role:"member" "seq.request";
+        Spec.kind ~payload:true ~role:"sequencer" "seq.order";
+        Spec.kind ~payload:true ~role:"sequencer" "seq.order-batch";
+      ]
+    ~transitions:
+      ([
+         Spec.t "idle" Spec.Accept "pending";
+         Spec.t "pending" (Spec.Emit "seq.request") "requested";
+         Spec.t "requested" (Spec.Recv "seq.request") "sequencing";
+       ]
+      @ ordering
+      @ [ Spec.t "ready" Spec.Deliver "idle" ])
+    ~obligations:
+      ([ Spec.Total_order; Spec.Exactly_once; Spec.Validity; Spec.Gap_free_gseq ]
+      @ if batched then [ Spec.Epoch_flush ] else [])
+    ~capabilities:
+      ([ Spec.Epoch_tagged_wire ]
+      @ if batched then [ Spec.Epoch_flush_on_supersede ] else [])
+    ()
+
 let register ?sequencer ?batching system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name
     ~provides:[ Service.abcast ] ~requires:[ Service.rp2p ]
+    ~spec:(spec ~batched:(batching <> None))
     (fun stack -> install ?sequencer ?batching ~n stack)

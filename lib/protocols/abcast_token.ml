@@ -320,9 +320,31 @@ let install ?(config = default_config) ~n stack =
               | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name Service.abcast)
+    ~roles:[ "holder"; "member" ]
+    ~kinds:
+      [
+        Spec.kind ~role:"holder" "token.token";
+        Spec.kind ~payload:true ~role:"holder" "token.order";
+        Spec.kind ~payload:true ~role:"member" "token.repair";
+      ]
+    ~transitions:
+      [
+        Spec.t "idle" (Spec.Emit "token.token") "passing";
+        Spec.t "passing" (Spec.Recv "token.token") "idle";
+        Spec.t "idle" Spec.Accept "queued";
+        Spec.t "queued" (Spec.Emit "token.order") "ordered";
+        Spec.t "ordered" (Spec.Recv "token.order") "ready";
+        Spec.t "ready" Spec.Deliver "idle";
+      ]
+    ~obligations:
+      [ Spec.Total_order; Spec.Exactly_once; Spec.Validity; Spec.Gap_free_gseq ]
+    ~capabilities:[ Spec.Epoch_tagged_wire ] ()
+
 let register ?config system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name
     ~provides:[ Service.abcast ]
-    ~requires:[ Service.rp2p; Service.fd ]
+    ~requires:[ Service.rp2p; Service.fd ] ~spec
     (fun stack -> install ?config ~n stack)

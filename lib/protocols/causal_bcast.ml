@@ -134,8 +134,20 @@ let install ~n stack =
             | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name service) ~roles:[ "sender"; "receiver" ]
+    ~kinds:[ Spec.kind ~payload:true ~role:"sender" "causal.stamped" ]
+    ~transitions:
+      [
+        Spec.t "idle" Spec.Accept "pending";
+        Spec.t "pending" (Spec.Emit "causal.stamped") "broadcast";
+        Spec.t "broadcast" (Spec.Recv "causal.stamped") "stamped";
+        Spec.t "stamped" Spec.Deliver "idle";
+      ]
+    ~obligations:[ Spec.Causal_order; Spec.Validity; Spec.Exactly_once ] ()
+
 let register system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name ~provides:[ service ]
-    ~requires:[ Rbcast.service ]
+    ~requires:[ Rbcast.service ] ~spec
     (fun stack -> install ~n stack)

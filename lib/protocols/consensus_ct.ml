@@ -417,9 +417,32 @@ let install ?(service = Service.consensus) ~n stack =
               | _ -> ());
       })
 
+let spec ~service =
+  Spec.make ~service:(Service.name service)
+    ~roles:[ "coordinator"; "participant" ]
+    ~kinds:
+      [
+        Spec.kind ~payload:true ~role:"participant" "consensus.estimate";
+        Spec.kind ~role:"participant" "consensus.ack";
+        Spec.kind ~payload:true ~role:"coordinator" "consensus.decide";
+      ]
+    ~transitions:
+      [
+        Spec.t "idle" Spec.Accept "proposing";
+        Spec.t "proposing" (Spec.Emit "consensus.estimate") "estimating";
+        Spec.t "estimating" (Spec.Recv "consensus.estimate") "coordinated";
+        Spec.t "coordinated" (Spec.Emit "consensus.decide") "deciding";
+        Spec.t "deciding" (Spec.Recv "consensus.decide") "decided";
+        Spec.t "decided" Spec.Deliver "idle";
+      ]
+    ~obligations:[ Spec.Validity; Spec.Exactly_once ]
+      (* instances are keyed by {epoch; k}: rounds of distinct
+         generations can never interfere on the wire *)
+    ~capabilities:[ Spec.Slot_scoped_rounds; Spec.Epoch_tagged_wire ] ()
+
 let register ?(service = Service.consensus) ?name system =
   let n = System.n system in
   let name = match name with Some name -> name | None -> protocol_name in
   Registry.register (System.registry system) ~name ~provides:[ service ]
-    ~requires:[ Service.rp2p; Service.fd ]
+    ~requires:[ Service.rp2p; Service.fd ] ~spec:(spec ~service)
     (fun stack -> install ~service ~n stack)

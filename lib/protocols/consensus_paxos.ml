@@ -450,9 +450,35 @@ let install ?(config = default_config) ?(service = Service.consensus) ~n stack =
               insts);
       })
 
+let spec ~service =
+  Spec.make ~service:(Service.name service)
+    ~roles:[ "proposer"; "acceptor"; "learner" ]
+    ~kinds:
+      [
+        Spec.kind ~role:"proposer" "paxos.prepare";
+        Spec.kind ~role:"acceptor" "paxos.promise";
+        Spec.kind ~payload:true ~role:"proposer" "paxos.accept";
+        Spec.kind ~payload:true ~role:"acceptor" "paxos.learn";
+      ]
+    ~transitions:
+      [
+        Spec.t "idle" Spec.Accept "proposing";
+        Spec.t "proposing" (Spec.Emit "paxos.prepare") "preparing";
+        Spec.t "preparing" (Spec.Recv "paxos.prepare") "prepared";
+        Spec.t "prepared" (Spec.Emit "paxos.promise") "promising";
+        Spec.t "promising" (Spec.Recv "paxos.promise") "promised";
+        Spec.t "promised" (Spec.Emit "paxos.accept") "accepting";
+        Spec.t "accepting" (Spec.Recv "paxos.accept") "accepted";
+        Spec.t "accepted" (Spec.Emit "paxos.learn") "learning";
+        Spec.t "learning" (Spec.Recv "paxos.learn") "learned";
+        Spec.t "learned" Spec.Deliver "idle";
+      ]
+    ~obligations:[ Spec.Validity; Spec.Exactly_once ]
+    ~capabilities:[ Spec.Slot_scoped_rounds; Spec.Epoch_tagged_wire ] ()
+
 let register ?config ?(service = Service.consensus) ?name system =
   let n = System.n system in
   let name = match name with Some name -> name | None -> protocol_name in
   Registry.register (System.registry system) ~name ~provides:[ service ]
-    ~requires:[ Service.rp2p; Service.fd ]
+    ~requires:[ Service.rp2p; Service.fd ] ~spec:(spec ~service)
     (fun stack -> install ?config ~service ~n stack)

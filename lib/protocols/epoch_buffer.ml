@@ -12,6 +12,12 @@ let bump stack key = Stack.set_env stack key (Stack.get_env stack key ~default:0
 
 let requires = [ Service.rp2p; Rbcast.service; Service.consensus; Service.r_abcast ]
 
+let spec =
+  Spec.make ~service:(Service.name Service.abcast) ~roles:[ "listener" ]
+      (* stash wire traffic tagged with a future generation, replay it
+         when the stack reaches that generation *)
+    ~capabilities:[ Spec.Buffer_future_epoch ] ()
+
 let install stack =
   Stack.add_module stack ~name:protocol_name ~provides:[] ~requires
     (fun stack _self ->

@@ -31,6 +31,13 @@ val requires : Dpu_kernel.Service.t list
 (** The services the buffer listens on (introspection for the static
     analyser; the buffer never calls any of them). *)
 
+val spec : Dpu_kernel.Spec.t
+(** Behavioural spec: the buffer's one capability is
+    [Buffer_future_epoch] — the safe-update checker requires it in any
+    plan whose new protocol tags its wire traffic by epoch, because
+    without the buffer a late-switching node loses the successor's
+    early traffic permanently. *)
+
 val install : Stack.t -> Stack.module_
 (** Add the buffer to [stack]. It provides no service and is never
     bound; it only listens to indications. *)

@@ -126,8 +126,19 @@ let install ?(config = default_config) ~n stack =
             | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name Service.fd) ~roles:[ "monitor" ]
+    ~kinds:[ Spec.kind ~role:"monitor" "fd.heartbeat" ]
+    ~transitions:
+      [
+        Spec.t "idle" (Spec.Emit "fd.heartbeat") "beating";
+        Spec.t "beating" (Spec.Recv "fd.heartbeat") "idle";
+      ]
+    ()
+(* pure control traffic: losing a heartbeat costs a suspicion, never a payload *)
+
 let register ?config system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name
-    ~provides:[ Service.fd ] ~requires:[ Service.net ]
+    ~provides:[ Service.fd ] ~requires:[ Service.net ] ~spec
     (fun stack -> install ?config ~n stack)

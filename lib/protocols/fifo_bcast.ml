@@ -104,8 +104,20 @@ let install ~n stack =
             | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name service) ~roles:[ "sender"; "receiver" ]
+    ~kinds:[ Spec.kind ~payload:true ~role:"sender" "fifo.seq" ]
+    ~transitions:
+      [
+        Spec.t "idle" Spec.Accept "pending";
+        Spec.t "pending" (Spec.Emit "fifo.seq") "broadcast";
+        Spec.t "broadcast" (Spec.Recv "fifo.seq") "sequenced";
+        Spec.t "sequenced" Spec.Deliver "idle";
+      ]
+    ~obligations:[ Spec.Fifo_order; Spec.Validity; Spec.Exactly_once ] ()
+
 let register system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name ~provides:[ service ]
-    ~requires:[ Rbcast.service ]
+    ~requires:[ Rbcast.service ] ~spec
     (fun stack -> install ~n stack)

@@ -201,8 +201,19 @@ let install ?(config = default_config) ?initial ~n stack =
               | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name Service.gm) ~roles:[ "member" ]
+    ~kinds:[ Spec.kind ~role:"member" "gm.view-change" ]
+    ~transitions:
+      [
+        Spec.t "idle" (Spec.Emit "gm.view-change") "proposed";
+        Spec.t "proposed" (Spec.Recv "gm.view-change") "installed";
+      ]
+    ~obligations:[ Spec.Total_order ] ()
+(* views ride the (replaceable) total-order broadcast underneath *)
+
 let register ?config ?initial system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name ~provides:[ Service.gm ]
-    ~requires:[ Service.r_abcast; Service.fd ]
+    ~requires:[ Service.r_abcast; Service.fd ] ~spec
     (fun stack -> install ?config ?initial ~n stack)

@@ -104,8 +104,20 @@ let install ?(relay = true) ~n stack =
             | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name service) ~roles:[ "origin"; "relay" ]
+    ~kinds:[ Spec.kind ~payload:true ~role:"origin" "rbcast.wire" ]
+    ~transitions:
+      [
+        Spec.t "idle" Spec.Accept "pending";
+        Spec.t "pending" (Spec.Emit "rbcast.wire") "broadcast";
+        Spec.t "broadcast" (Spec.Recv "rbcast.wire") "received";
+        Spec.t "received" Spec.Deliver "idle";
+      ]
+    ~obligations:[ Spec.Validity; Spec.Exactly_once ] ()
+
 let register ?relay system =
   let n = System.n system in
   Registry.register (System.registry system) ~name:protocol_name ~provides:[ service ]
-    ~requires:[ Service.rp2p ]
+    ~requires:[ Service.rp2p ] ~spec
     (fun stack -> install ?relay ~n stack)

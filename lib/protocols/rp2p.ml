@@ -296,7 +296,25 @@ let install ?(config = default_config) stack =
             Hashtbl.clear pending);
       })
 
+let spec =
+  Spec.make ~service:(Service.name Service.rp2p) ~roles:[ "sender"; "receiver" ]
+    ~kinds:
+      [
+        Spec.kind ~payload:true ~role:"sender" "rp2p.msg";
+        Spec.kind ~role:"receiver" "rp2p.ack";
+      ]
+    ~transitions:
+      [
+        Spec.t "idle" Spec.Accept "queued";
+        Spec.t "queued" (Spec.Emit "rp2p.msg") "sent";
+        Spec.t "sent" (Spec.Recv "rp2p.msg") "arrived";
+        Spec.t "arrived" (Spec.Emit "rp2p.ack") "acked";
+        Spec.t "acked" (Spec.Recv "rp2p.ack") "confirmed";
+        Spec.t "confirmed" Spec.Deliver "idle";
+      ]
+    ~obligations:[ Spec.Exactly_once ] ()
+
 let register ?config system =
   Registry.register (System.registry system) ~name:protocol_name
-    ~provides:[ Service.rp2p ] ~requires:[ Service.net ]
+    ~provides:[ Service.rp2p ] ~requires:[ Service.net ] ~spec
     (fun stack -> install ?config stack)

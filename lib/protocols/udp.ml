@@ -62,8 +62,21 @@ let install ~transport stack =
             | _ -> ());
       })
 
+let spec =
+  Spec.make ~service:(Service.name Service.net) ~roles:[ "peer" ]
+    ~kinds:[ Spec.kind ~payload:true ~role:"peer" "udp.datagram" ]
+    ~transitions:
+      [
+        Spec.t "idle" Spec.Accept "queued";
+        Spec.t "queued" (Spec.Emit "udp.datagram") "sent";
+        Spec.t "sent" (Spec.Recv "udp.datagram") "arrived";
+        Spec.t "arrived" Spec.Deliver "idle";
+      ]
+    ()
+(* best-effort: no obligations, no update capabilities *)
+
 let register system =
   let transport = System.transport system in
   Registry.register (System.registry system) ~name:protocol_name
-    ~provides:[ Service.net ] ~requires:[]
+    ~provides:[ Service.net ] ~requires:[] ~spec
     (fun stack -> install ~transport stack)

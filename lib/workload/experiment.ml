@@ -40,6 +40,7 @@ type params = {
   switch_consensus : (float * string) option;
   faults : Dpu_faults.Schedule.t;
   log_out : string option;
+  epoch_buffer : bool;
 }
 
 let default =
@@ -66,6 +67,7 @@ let default =
     switch_consensus = None;
     faults = [];
     log_out = None;
+    epoch_buffer = true;
   }
 
 type result = {
@@ -98,6 +100,7 @@ let profile_of params =
     batch_size = params.batch_size;
     batching = params.batching;
     consensus_layer = params.consensus_layer;
+    epoch_buffer = params.epoch_buffer;
   }
 
 let register_extra system =

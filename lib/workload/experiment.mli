@@ -60,6 +60,11 @@ type params = {
           triggers, crashes, completion) to this path, stamped on the
           {e virtual} clock — identical params produce byte-identical
           files; [None] (the default) is the noop logger *)
+  epoch_buffer : bool;
+      (** install the future-epoch wire buffer alongside the layer
+          (default [true]). Disabling it reopens the receive-side hole
+          in the generation filter; {!preflight} rejects such a plan
+          whenever a switch is requested *)
 }
 
 val default : params

@@ -6,9 +6,14 @@
 
 open Dpu_kernel
 module C = Dpu_analysis.Composition
+module B = Dpu_analysis.Behaviour
 module L = Dpu_analysis.Lint
 module SB = Dpu_core.Stack_builder
 module RC = Dpu_core.Repl_consensus
+module MW = Dpu_core.Middleware
+module Variants = Dpu_core.Variants
+module Batcher = Dpu_protocols.Batcher
+module Schedule = Dpu_faults.Schedule
 module E = Dpu_workload.Experiment
 module Report = Dpu_props.Report
 
@@ -149,9 +154,38 @@ let test_declared_cycle_flagged () =
   let stack = Stack.create ~clock:(Dpu_runtime.Sim_backend.clock sim) ~node:0 ~trace:(Trace.create ()) () in
   ignore (Registry.instantiate reg stack ~name:"cyc.a" : Stack.module_);
   check Alcotest.bool "dynamic build succeeds" true (Stack.has_module stack ~name:"cyc.b");
-  (* ...yet the static verdict is a cycle, in canonical form. *)
+  (* ...yet the static verdict is a cycle, in canonical form, with the
+     closing edge spelled out (satellite: "a -> b" hid that b loops
+     back to a). *)
   some_violation_mentions reports "acyclic provider chains"
-    (String.concat " -> " (Registry.canonical_cycle [ "cyc.a"; "cyc.b" ]))
+    (Registry.cycle_string (Registry.canonical_cycle [ "cyc.a"; "cyc.b" ]))
+
+(* A longer cycle: the full canonical rotation plus the closing edge
+   must appear verbatim in both the static finding and the exception
+   printer. *)
+let test_cycle_closing_edge () =
+  let reg = Registry.create () in
+  let svc name = Service.make ("svc." ^ name) in
+  let ring = [ ("tri.a", "tri.b"); ("tri.b", "tri.c"); ("tri.c", "tri.a") ] in
+  List.iter
+    (fun (name, needs) ->
+      Registry.register reg ~name
+        ~provides:[ svc name ] ~requires:[ svc needs ]
+        (dummy_factory ~name ~provides:[ svc name ] ~requires:[ svc needs ]))
+    ring;
+  let reports =
+    C.verify ~registry:reg { empty_plan with roots = [ C.By_name "tri.b" ] }
+  in
+  let rendered = Registry.cycle_string [ "tri.a"; "tri.b"; "tri.c" ] in
+  check Alcotest.string "closing edge rendered"
+    "tri.a -> tri.b -> tri.c -> tri.a" rendered;
+  some_violation_mentions reports "acyclic provider chains" rendered;
+  (* The dynamic exception prints the same form. *)
+  check Alcotest.bool "exception printer shows the closing edge" true
+    (has_sub ~sub:rendered
+       (Printexc.to_string (Registry.Cyclic_requires [ "tri.a"; "tri.b"; "tri.c" ])));
+  check Alcotest.string "empty cycle renders" "<empty cycle>"
+    (Registry.cycle_string [])
 
 let test_duplicate_binding () =
   let reg = Registry.create () in
@@ -231,6 +265,158 @@ let test_consensus_update_missing_impl () =
   some_violation_mentions reports "update-plan safety" "consensus.nope"
 
 (* ------------------------------------------------------------------ *)
+(* Behavioural update safety (tentpole)                                *)
+(* ------------------------------------------------------------------ *)
+
+let behaviour_report reports = report_named reports "behavioural update safety"
+
+let spec_of_exn reg name =
+  match Registry.spec_of reg ~name with
+  | Some spec -> spec
+  | None -> Alcotest.failf "%s has no declared spec" name
+
+(* The 1-unfolding of the sequencer spec surfaces every in-flight
+   shape class: an undelivered payload, an open ordering round, and —
+   when batching is on — a partially-flushed batch. *)
+let test_unfold1_shapes () =
+  let reg = registry_for SB.default_profile in
+  let shapes = B.unfold1 (spec_of_exn reg Variants.sequencer) in
+  check Alcotest.bool "some in-flight shapes" true (shapes <> []);
+  List.iter
+    (fun (s : B.shape) ->
+      check Alcotest.bool "every shape has pending work" true
+        (s.B.sh_pending <> []);
+      check Alcotest.bool "every shape has a provenance trace" true
+        (s.B.sh_trace <> []))
+    shapes;
+  let has_pending p =
+    List.exists (fun (s : B.shape) -> List.mem p (List.map B.pending_name s.B.sh_pending)) shapes
+  in
+  check Alcotest.bool "undelivered payload shape" true
+    (has_pending (B.pending_name B.P_deliver));
+  check Alcotest.bool "open ordering round shape" true
+    (List.exists
+       (fun (s : B.shape) ->
+         List.exists
+           (function B.P_wire k -> k.Spec.k_name = "seq.order" | _ -> false)
+           s.B.sh_pending)
+       shapes);
+  (* Batched registration adds the partially-flushed-batch shape and
+     the epoch-flush obligation. *)
+  let batched_profile =
+    {
+      SB.default_profile with
+      batching = Some { Batcher.max_batch = 16; max_delay_ms = 2.0 };
+    }
+  in
+  let bspec = spec_of_exn (registry_for batched_profile) Variants.sequencer in
+  check Alcotest.bool "batched spec takes the epoch-flush obligation" true
+    (Spec.obliges bspec Spec.Epoch_flush);
+  check Alcotest.bool "batched unfolding parks a batch" true
+    (List.exists
+       (fun (s : B.shape) ->
+         List.exists
+           (function B.P_batch _ -> true | _ -> false)
+           s.B.sh_pending)
+       (B.unfold1 bspec))
+
+(* Direct ♢-combination: the shipped layer + epoch buffer discharge
+   every obligation of every variant pair; removing the buffer leaves
+   the successor's early traffic stranded on a sequence gap. *)
+let test_check_pair_buffer_discharges () =
+  let reg = registry_for SB.default_profile in
+  let layer =
+    (Dpu_core.Repl.protocol_name, spec_of_exn reg Dpu_core.Repl.protocol_name)
+  in
+  let buffer = ("epoch-buffer", Dpu_protocols.Epoch_buffer.spec) in
+  List.iter
+    (fun (old_name, new_name) ->
+      let checked, hazards =
+        B.check_pair ~old_name ~old_spec:(spec_of_exn reg old_name) ~new_name
+          ~new_spec:(spec_of_exn reg new_name) ~layer ~passives:[ buffer ]
+      in
+      check Alcotest.bool (old_name ^ "->" ^ new_name ^ " examined") true
+        (checked > 0);
+      check Alcotest.int (old_name ^ "->" ^ new_name ^ " no hazards") 0
+        (List.length hazards))
+    [ (Variants.ct, Variants.sequencer); (Variants.sequencer, Variants.token) ];
+  let _, hazards =
+    B.check_pair ~old_name:Variants.sequencer
+      ~old_spec:(spec_of_exn reg Variants.sequencer) ~new_name:Variants.token
+      ~new_spec:(spec_of_exn reg Variants.token) ~layer ~passives:[]
+  in
+  check Alcotest.bool "no buffer strands early successor traffic" true
+    (List.exists
+       (fun (h : B.hazard) ->
+         h.B.h_fate = `Stranded && h.B.h_obligation = Spec.Gap_free_gseq)
+       hazards);
+  match hazards with
+  | h :: _ ->
+    let msg =
+      B.hazard_message ~old_name:Variants.sequencer ~new_name:Variants.token h
+    in
+    check Alcotest.bool "message carries a counterexample" true
+      (has_sub ~sub:"counterexample:" msg)
+  | [] -> Alcotest.fail "expected at least one hazard"
+
+(* Every shipped variant pair is behaviourally safe under the shipped
+   stack (layer + epoch buffer), in both directions. *)
+let test_behaviour_matrix_all_safe () =
+  List.iter
+    (fun initial ->
+      List.iter
+        (fun target ->
+          let reports =
+            verify ~updates:[ target ]
+              { SB.default_profile with initial_abcast = initial }
+          in
+          let r = behaviour_report reports in
+          check Alcotest.bool
+            (Printf.sprintf "%s -> %s safe" initial target)
+            true r.Report.ok;
+          check Alcotest.bool
+            (Printf.sprintf "%s -> %s examined obligations" initial target)
+            true (r.Report.checked > 0))
+        Variants.all)
+    Variants.all
+
+let test_behaviour_no_buffer_rejected () =
+  let reports =
+    verify ~updates:[ Variants.sequencer ]
+      { SB.default_profile with epoch_buffer = false }
+  in
+  some_violation_mentions reports "behavioural update safety" "gap-free-gseq";
+  some_violation_mentions reports "behavioural update safety" "counterexample:"
+
+(* A swap target registered without a spec — or with an opaque one —
+   cannot be proven safe; the checker must say so rather than pass
+   silently. *)
+let test_behaviour_missing_spec_flagged () =
+  let profile = SB.default_profile in
+  let reg = registry_for profile in
+  Registry.register reg ~name:"abcast.nospec" ~provides:[ Service.abcast ]
+    (dummy_factory ~name:"abcast.nospec" ~provides:[ Service.abcast ]
+       ~requires:[]);
+  let reports =
+    C.verify_profile ~registry:reg ~updates:[ "abcast.nospec" ] profile
+  in
+  some_violation_mentions reports "behavioural update safety"
+    "declares no behavioural spec"
+
+let test_behaviour_opaque_spec_flagged () =
+  let profile = SB.default_profile in
+  let reg = registry_for profile in
+  Registry.register reg ~name:"abcast.blackbox" ~provides:[ Service.abcast ]
+    ~spec:(Spec.opaque ~service:(Service.name Service.abcast) "legacy black box")
+    (dummy_factory ~name:"abcast.blackbox" ~provides:[ Service.abcast ]
+       ~requires:[]);
+  let reports =
+    C.verify_profile ~registry:reg ~updates:[ "abcast.blackbox" ] profile
+  in
+  some_violation_mentions reports "behavioural update safety" "opaque";
+  some_violation_mentions reports "behavioural update safety" "legacy black box"
+
+(* ------------------------------------------------------------------ *)
 (* Static verdict vs dynamic behaviour                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -261,7 +447,7 @@ let test_liar_cycle_static_eq_dynamic () =
     C.verify ~registry:reg { empty_plan with roots = [ C.By_name "liar.a" ] }
   in
   some_violation_mentions reports "acyclic provider chains"
-    (String.concat " -> " dynamic_cycle)
+    (Registry.cycle_string dynamic_cycle)
 
 let test_missing_provider_static_eq_dynamic () =
   let reg = Registry.create () in
@@ -292,6 +478,84 @@ let test_static_ok_matches_dynamic_trace () =
   let trace = System.trace system in
   let wf = Dpu_props.Stack_props.weak_stack_well_formedness trace in
   check Alcotest.bool "dynamic weak WF" true wf.Report.ok
+
+(* --- behavioural verdicts vs the fault harness --------------------- *)
+
+(* The schedule the epoch-buffer regression (test_faults) established
+   as the discriminating one: a minority node is isolated across the
+   switch trigger, so the majority switches and produces new-generation
+   wire traffic while the isolated node is still on the old one. *)
+let discriminating_faults =
+  [
+    Schedule.partition ~at:1_500.0 [ [ 0; 1; 2; 3 ]; [ 4 ] ];
+    Schedule.heal ~at:2_600.0;
+  ]
+
+let agreement_params ~initial ~target ~epoch_buffer =
+  {
+    E.default with
+    n = 5;
+    seed = 102;
+    load = 30.0;
+    duration_ms = 4_000.0;
+    switch_at_ms = 2_000.0;
+    initial;
+    switch_to = Some target;
+    msg_size = 1024;
+    trace_enabled = true;
+    faults = discriminating_faults;
+    epoch_buffer;
+  }
+
+(* Pairs the static checker accepts must survive the property battery
+   across a mid-stream swap under the discriminating schedule. *)
+let test_safe_pairs_static_eq_dynamic () =
+  List.iter
+    (fun (initial, target) ->
+      let profile = { SB.default_profile with initial_abcast = initial } in
+      assert_all_ok (verify ~updates:[ target ] profile);
+      let result = E.run (agreement_params ~initial ~target ~epoch_buffer:true) in
+      List.iter
+        (fun (r : Report.t) ->
+          check Alcotest.bool
+            (Printf.sprintf "%s->%s dynamic: %s" initial target r.Report.property)
+            true r.Report.ok)
+        (E.check result);
+      check Alcotest.bool
+        (Printf.sprintf "%s->%s switch completed" initial target)
+        true (result.E.switch_window <> None))
+    [ (Variants.ct, Variants.sequencer); (Variants.sequencer, Variants.token) ]
+
+(* The pair the static checker rejects (no future-epoch buffer) must
+   come with a concrete violating schedule — and the schedule really
+   violates: replayed without the buffer, the isolated node strands
+   the stream its peers delivered. [E.run] refuses unsafe plans
+   (satellite: preflight), so the cluster is assembled directly. *)
+let test_unsafe_pair_static_eq_dynamic () =
+  let profile = { SB.default_profile with epoch_buffer = false } in
+  let reports = verify ~updates:[ Variants.sequencer ] profile in
+  some_violation_mentions reports "behavioural update safety" "gap-free-gseq";
+  let config = { MW.default_config with seed = 102; msg_size = 1024; profile } in
+  let mw = MW.create ~config ~n:5 () in
+  let system = MW.system mw in
+  let clock = System.clock system in
+  let net = System.net system in
+  Dpu_workload.Load_gen.start mw ~rate_per_s:30.0 ~until:4_000.0 ();
+  Schedule.arm net discriminating_faults;
+  ignore
+    (Dpu_runtime.Clock.defer clock ~delay:2_000.0 (fun () ->
+         MW.change_protocol mw ~node:4 Variants.sequencer));
+  MW.run_for mw 10_000.0;
+  let late = System.stack system 4 in
+  check Alcotest.int "nothing stashes future-generation traffic" 0
+    (Dpu_protocols.Epoch_buffer.stashed late);
+  let collector = MW.collector mw in
+  let count node = List.length (Dpu_core.Collector.delivers_of collector ~node) in
+  check Alcotest.bool "traffic flowed at the majority" true (count 0 > 20);
+  check Alcotest.bool
+    "the isolated node stranded part of the stream (the counterexample)"
+    true
+    (count 4 < count 0)
 
 (* ------------------------------------------------------------------ *)
 (* Registry introspection (satellites 1-2)                            *)
@@ -342,6 +606,27 @@ let test_preflight_rejects_bad_swap () =
     check Alcotest.bool "carries failing reports" false (Report.all_ok reports)
   | _ -> Alcotest.fail "expected Preflight_failure"
 
+(* Satellite: a behaviourally rejected plan never reaches the
+   simulation — [E.run] raises [Preflight_failure] before any event,
+   so no message is ever sent under the unsafe configuration. *)
+let test_preflight_rejects_unsafe_behaviour () =
+  let params = { E.default with epoch_buffer = false } in
+  let reports = E.preflight params in
+  check Alcotest.bool "preflight fails" false (Report.all_ok reports);
+  some_violation_mentions reports "behavioural update safety" "counterexample:";
+  (* Precision: with no planned switch the same profile is merely
+     fragile, not unsafe — preflight accepts it. *)
+  assert_all_ok (E.preflight { params with switch_to = None });
+  match E.run { params with duration_ms = 50.0 } with
+  | exception E.Preflight_failure reports ->
+    let r = behaviour_report reports in
+    check Alcotest.bool "behavioural report is the failing one" false
+      r.Report.ok;
+    check Alcotest.bool "raised before any message was sent" true
+      (r.Report.checked > 0)
+  | result ->
+    Alcotest.failf "expected Preflight_failure, ran and sent %d" result.E.sent
+
 (* ------------------------------------------------------------------ *)
 (* JSON export                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -353,14 +638,84 @@ let test_to_json_round_trip () =
   match J.of_string (J.to_string json) with
   | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
   | Ok parsed ->
-    check Alcotest.(option string) "schema" (Some "dpu.analysis/1")
+    check Alcotest.(option string) "schema" (Some "dpu.analysis/2")
       (Option.bind (J.member parsed "schema") J.to_string_opt);
+    check Alcotest.(option int) "schema version" (Some 2)
+      (Option.bind (J.member parsed "schema_version") J.to_int_opt);
     (match J.member parsed "ok" with
     | Some (J.Bool true) -> ()
     | _ -> Alcotest.fail "top-level ok must be true");
     (match Option.bind (J.member parsed "reports") J.to_list_opt with
-    | Some l -> check Alcotest.int "four properties" 4 (List.length l)
-    | None -> Alcotest.fail "reports array missing")
+    | Some l -> check Alcotest.int "five properties" 5 (List.length l)
+    | None -> Alcotest.fail "reports array missing");
+    (* The verdicts parse back losslessly. *)
+    (match C.of_json parsed with
+    | Error e -> Alcotest.failf "of_json rejected own output: %s" e
+    | Ok back ->
+      check Alcotest.int "same report count" (List.length reports)
+        (List.length back);
+      List.iter2
+        (fun (a : Report.t) (b : Report.t) ->
+          check Alcotest.string "property" a.Report.property b.Report.property;
+          check Alcotest.bool "ok" a.Report.ok b.Report.ok;
+          check Alcotest.int "checked" a.Report.checked b.Report.checked;
+          check
+            Alcotest.(list string)
+            "violations" a.Report.violations b.Report.violations)
+        reports back)
+
+(* Satellite: verdict files written by the PR4-era tool (schema
+   [dpu.analysis/1]: no [schema_version], four properties) must still
+   parse. The blob is a frozen fixture, not regenerated output. *)
+let v1_fixture_blob =
+  {|{"schema": "dpu.analysis/1", "ok": false, "reports": [
+     {"property": "static strong stack-well-formedness", "ok": true,
+      "checked": 18, "violations": []},
+     {"property": "acyclic provider chains", "ok": true,
+      "checked": 12, "violations": []},
+     {"property": "unique service binding", "ok": true,
+      "checked": 9, "violations": []},
+     {"property": "update-plan safety", "ok": false, "checked": 4,
+      "violations": ["changeABcast target abcast.nope is not registered"]}]}|}
+
+let test_of_json_v1_fixture () =
+  let module J = Dpu_obs.Json in
+  match J.of_string v1_fixture_blob with
+  | Error e -> Alcotest.failf "fixture does not parse as JSON: %s" e
+  | Ok json -> (
+    match C.of_json json with
+    | Error e -> Alcotest.failf "v1 fixture rejected: %s" e
+    | Ok reports ->
+      check Alcotest.int "four properties (no behavioural report in v1)" 4
+        (List.length reports);
+      check Alcotest.bool "overall verdict preserved" false
+        (Report.all_ok reports);
+      let r = report_named reports "update-plan safety" in
+      check Alcotest.bool "failing report reconstructed" false r.Report.ok;
+      check
+        Alcotest.(list string)
+        "violation text preserved"
+        [ "changeABcast target abcast.nope is not registered" ]
+        r.Report.violations;
+      check Alcotest.int "checked preserved" 4 r.Report.checked)
+
+let test_of_json_rejects_unknown_schema () =
+  let module J = Dpu_obs.Json in
+  let blob = {|{"schema": "dpu.analysis/9", "ok": true, "reports": []}|} in
+  (match J.of_string blob with
+  | Ok json -> (
+    match C.of_json json with
+    | Error e ->
+      check Alcotest.bool "error names the schema" true
+        (has_sub ~sub:"dpu.analysis/9" e)
+    | Ok _ -> Alcotest.fail "unknown schema must be rejected")
+  | Error e -> Alcotest.failf "blob does not parse: %s" e);
+  match J.of_string {|{"ok": true, "reports": []}|} with
+  | Ok json -> (
+    match C.of_json json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "missing schema must be rejected")
+  | Error e -> Alcotest.failf "blob does not parse: %s" e
 
 (* ------------------------------------------------------------------ *)
 (* Determinism lint                                                   *)
@@ -377,6 +732,7 @@ let hazard rule =
   | "marshal" -> "  Mar" ^ "shal.to_string v []"
   | "unix-io" -> "  let fd = Unix." ^ "socket PF_INET SOCK_DGRAM 0 in"
   | "unsafe-bytes" -> "  let s = Bytes.un" ^ "safe_to_string buf in"
+  | "spec-opaque" -> "  let s = Spec." ^ "opaque ~service reason in"
   | r -> Alcotest.failf "unknown rule %s" r
 
 let scan_lines ?(file = "lib/fake/test_input.ml") lines =
@@ -483,6 +839,49 @@ let test_unsafe_bytes_has_no_exemptions () =
         (List.length (scan_lines [ "  ignore (Bytes.un" ^ "safe_" ^ frag ^ " b)" ])))
     [ "get"; "set"; "of_string" ]
 
+(* The structural pass: a [Registry.register] call that passes no
+   [~spec] anywhere in the call site (satellite: no silent opacity).
+   Lines are built by concatenation like the substring hazards. *)
+let register_line =
+  "  Registry.regi" ^ "ster reg ~name:\"x\" ~provides:[ svc ]"
+
+let spec_line = "    ~sp" ^ "ec:(Spec.make ~service:\"svc.x\" ())"
+
+let registry_spec_findings lines =
+  List.filter
+    (fun f -> f.L.f_rule = "registry-" ^ "spec")
+    (scan_lines lines)
+
+let test_registry_spec_fires () =
+  match registry_spec_findings [ register_line; "    factory" ] with
+  | [ f ] ->
+    check Alcotest.int "flagged at the call line" 1 f.L.f_line;
+    check Alcotest.bool "message mentions the fix" true
+      (has_sub ~sub:"~sp" f.L.f_message || has_sub ~sub:"spec" f.L.f_message)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_registry_spec_satisfied_nearby () =
+  check Alcotest.int "spec on the same line" 0
+    (List.length (registry_spec_findings [ register_line ^ " " ^ String.trim spec_line ]));
+  check Alcotest.int "spec a few lines below" 0
+    (List.length
+       (registry_spec_findings [ register_line; "    ~requires:[]"; spec_line ]));
+  (* The window is bounded: a ~spec that belongs to some later
+     expression does not excuse the call. *)
+  let far_spec = List.init 13 (fun _ -> "    (* gap *)") @ [ spec_line ] in
+  check Alcotest.int "spec beyond the window does not count" 1
+    (List.length (registry_spec_findings (register_line :: far_spec)))
+
+let test_registry_spec_suppressible () =
+  let allow =
+    "(* dpu-lint: " ^ "allow registry-spec — wrapper registers on behalf *)"
+  in
+  let bare = "(* dpu-lint: " ^ "allow registry-spec *)" in
+  check Alcotest.int "reasoned allow silences" 0
+    (List.length (registry_spec_findings [ allow; register_line ]));
+  check Alcotest.int "bare allow does not" 1
+    (List.length (registry_spec_findings [ bare; register_line ]))
+
 let test_line_numbers_and_text () =
   let findings = scan_lines [ "let a = 1"; hazard "poly-compare" ] in
   match findings with
@@ -518,6 +917,7 @@ let test_lint_json () =
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
   Alcotest.run "analysis"
     [
       ( "composition-ok",
@@ -533,6 +933,7 @@ let () =
           tc "missing provider named" test_missing_provider_named;
           tc "unknown root named" test_unknown_root_named;
           tc "declared cycle flagged" test_declared_cycle_flagged;
+          tc "cycle closing edge" test_cycle_closing_edge;
           tc "duplicate binding" test_duplicate_binding;
         ] );
       ( "update-safety",
@@ -545,11 +946,23 @@ let () =
           tc "direct-caller bypass" test_update_direct_caller_bypass;
           tc "consensus impl missing" test_consensus_update_missing_impl;
         ] );
+      ( "behaviour",
+        [
+          tc "unfold1 shapes" test_unfold1_shapes;
+          tc "check_pair discharge" test_check_pair_buffer_discharges;
+          tc "variant matrix safe" test_behaviour_matrix_all_safe;
+          tc "no buffer rejected" test_behaviour_no_buffer_rejected;
+          tc "missing spec flagged" test_behaviour_missing_spec_flagged;
+          tc "opaque spec flagged" test_behaviour_opaque_spec_flagged;
+        ] );
       ( "static-vs-dynamic",
         [
           tc "liar cycle" test_liar_cycle_static_eq_dynamic;
           tc "missing provider" test_missing_provider_static_eq_dynamic;
           tc "clean build trace" test_static_ok_matches_dynamic_trace;
+          slow "safe pairs survive the swap" test_safe_pairs_static_eq_dynamic;
+          slow "unsafe pair has a violating schedule"
+            test_unsafe_pair_static_eq_dynamic;
         ] );
       ( "registry",
         [
@@ -560,8 +973,14 @@ let () =
         [
           tc "accepts default" test_preflight_accepts_default;
           tc "rejects bad swap" test_preflight_rejects_bad_swap;
+          tc "rejects unsafe behaviour" test_preflight_rejects_unsafe_behaviour;
         ] );
-      ( "json", [ tc "round trip" test_to_json_round_trip ] );
+      ( "json",
+        [
+          tc "round trip" test_to_json_round_trip;
+          tc "v1 fixture parses" test_of_json_v1_fixture;
+          tc "unknown schema rejected" test_of_json_rejects_unknown_schema;
+        ] );
       ( "lint",
         [
           tc "each rule fires" test_each_rule_fires;
@@ -574,6 +993,9 @@ let () =
           tc "file exemptions" test_file_exemptions;
           tc "directory exemptions" test_dir_exemptions;
           tc "unsafe-bytes has no exemptions" test_unsafe_bytes_has_no_exemptions;
+          tc "registry-spec fires" test_registry_spec_fires;
+          tc "registry-spec satisfied nearby" test_registry_spec_satisfied_nearby;
+          tc "registry-spec suppressible" test_registry_spec_suppressible;
           tc "line numbers" test_line_numbers_and_text;
           tc "tree is clean" test_tree_is_clean;
           tc "lint json" test_lint_json;
