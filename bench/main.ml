@@ -5,7 +5,7 @@
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig5    # one section
-     sections: fig5 fig6 headline compare throughput ablation micro *)
+     sections: fig5 fig6 headline compare throughput shard ablation micro *)
 
 module W = Dpu_workload
 module E = W.Experiment
@@ -213,6 +213,100 @@ let run_throughput () =
              ] );
          ( "saturation_speedup",
            Json.Float (on.T.saturated_per_s /. off.T.saturated_per_s) );
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Sharded fabric scaling                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_shard () =
+  section "Sharded fabric: rolling replacement under load, n x shards grid";
+  let module Sh = W.Shard in
+  (* The full {7,31,63,127} x {1,4,16} grid minus infeasible cells:
+     shards <= n, and per-group size capped at 63 — a single 127-node
+     consensus group needs minutes of wall clock per virtual second,
+     which is precisely the problem the sharded fabric removes. *)
+  let grid =
+    List.concat_map
+      (fun n ->
+        List.filter_map
+          (fun shards ->
+            if shards <= n && n / shards <= 63 then Some (n, shards) else None)
+          [ 1; 4; 16 ])
+      [ 7; 31; 63; 127 ]
+  in
+  let grid = Array.of_list grid in
+  let outcome =
+    W.Sweep.run ~jobs:!jobs ~cells:(Array.length grid) (fun _ i ->
+        let n, shards = grid.(i) in
+        let params =
+          {
+            Sh.default with
+            n;
+            shards;
+            load_per_s = 1.5 *. float_of_int n;
+            warmup_ms = 100.0;
+            duration_ms = 600.0;
+            drain_ms = 1_200.0;
+            rolling = Some { Sh.default_rolling with start_ms = 250.0 };
+          }
+        in
+        let r = Sh.run ~params () in
+        let sum f = List.fold_left (fun a s -> a + f s) 0 r.Sh.per_shard in
+        let worst f =
+          List.fold_left (fun a s -> Float.max a (f s)) 0.0 r.Sh.per_shard
+        in
+        ( sum (fun s -> s.Sh.sent),
+          sum (fun s -> s.Sh.delivered),
+          worst (fun s -> s.Sh.p50_ms),
+          worst (fun s -> s.Sh.p99_ms),
+          r.Sh.max_concurrent_switches,
+          r.Sh.all_ok ))
+  in
+  record_sweep "shard" outcome.W.Sweep.stats;
+  let cells = Array.to_list (Array.mapi (fun i r -> (grid.(i), r)) outcome.W.Sweep.results) in
+  print_string
+    (W.Ascii.table
+       ~header:
+         [ "n"; "shards"; "sent"; "delivered"; "worst p50 [ms]"; "worst p99 [ms]";
+           "max swaps in flight"; "all ok" ]
+       (List.map
+          (fun ((n, shards), (sent, delivered, p50, p99, maxcc, ok)) ->
+            [
+              string_of_int n;
+              string_of_int shards;
+              string_of_int sent;
+              string_of_int delivered;
+              Printf.sprintf "%.2f" p50;
+              Printf.sprintf "%.2f" p99;
+              string_of_int maxcc;
+              string_of_bool ok;
+            ])
+          cells));
+  print_endline
+    "  (every cell performs a rolling replacement across all its shards while\n\
+    \   the load runs; \"max swaps in flight\" > 1 means shard replacements\n\
+    \   genuinely overlapped rather than serialising)";
+  record "shard"
+    (Json.Obj
+       [
+         ("seed", Json.Int Sh.default.Sh.seed);
+         ( "cells",
+           Json.List
+             (List.map
+                (fun ((n, shards), (sent, delivered, p50, p99, maxcc, ok)) ->
+                  Json.Obj
+                    [
+                      ("n", Json.Int n);
+                      ("shards", Json.Int shards);
+                      ("sent", Json.Int sent);
+                      ("delivered", Json.Int delivered);
+                      ("worst_p50_ms", Json.Float p50);
+                      ("worst_p99_ms", Json.Float p99);
+                      ("max_concurrent_switches", Json.Int maxcc);
+                      ("all_ok", Json.Bool ok);
+                    ])
+                cells) );
        ])
 
 (* ------------------------------------------------------------------ *)
@@ -862,6 +956,7 @@ let all_sections =
     ("headline", run_headline);
     ("compare", run_compare);
     ("throughput", run_throughput);
+    ("shard", run_shard);
     ("ablation", run_ablation);
     ("consensus", run_consensus);
     ("model", run_model);

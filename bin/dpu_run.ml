@@ -6,6 +6,7 @@
      fig6       regenerate Figure 6
      headline   regenerate the §6 headline numbers
      compare    quantify Repl vs Graceful vs Maestro
+     shard      sharded fabric under load, rolling replacement
      check      static composition verification, no simulation
      serve      live deployment over real UDP sockets (--nemesis/--scenario)
      corpus     adversarial replacement scenarios, sim or live
@@ -344,6 +345,164 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Quantify Repl vs Graceful Adaptation vs Maestro.")
     Term.(const run $ n_arg $ load_arg $ seed_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* shard — multi-group fabric under load, rolling replacement         *)
+(* ------------------------------------------------------------------ *)
+
+let shard_cmd =
+  let module Sh = Dpu_workload.Shard in
+  let shards_arg =
+    Arg.(
+      value & opt int Sh.default.shards
+      & info [ "shards" ] ~docv:"S" ~doc:"Number of independent ABcast groups.")
+  in
+  let n_total =
+    Arg.(
+      value & opt int 15
+      & info [ "n"; "nodes" ] ~docv:"N"
+          ~doc:"Total nodes, partitioned round-robin across the shards.")
+  in
+  let duration =
+    Arg.(
+      value & opt float Sh.default.duration_ms
+      & info [ "duration" ] ~docv:"MS" ~doc:"How long the load runs.")
+  in
+  let warmup =
+    Arg.(
+      value & opt float Sh.default.warmup_ms
+      & info [ "warmup" ] ~docv:"MS"
+          ~doc:"Latency samples before this instant are discarded.")
+  in
+  let drain =
+    Arg.(
+      value & opt float Sh.default.drain_ms
+      & info [ "drain" ] ~docv:"MS"
+          ~doc:"Extra virtual time after the load stops, for in-flight messages.")
+  in
+  let msg_size =
+    Arg.(
+      value & opt int Sh.default.msg_size
+      & info [ "msg-size" ] ~docv:"BYTES" ~doc:"Broadcast payload size.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"P" ~doc:"Per-message network loss probability.")
+  in
+  let closed_loop =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "closed-loop" ] ~docv:"K"
+          ~doc:
+            "Replace the open-loop generators with $(docv) closed-loop clients \
+             per node (each re-sends on its own delivery).")
+  in
+  let rolling =
+    Arg.(
+      value & flag
+      & info [ "rolling" ]
+          ~doc:
+            "Perform a rolling protocol replacement: every shard switches, \
+             triggers staggered by --stagger, while the load keeps flowing.")
+  in
+  let rolling_to =
+    Arg.(
+      value
+      & opt string Sh.default_rolling.to_protocol
+      & info [ "rolling-to" ] ~docv:"PROT" ~doc:"ABcast variant to switch to.")
+  in
+  let rolling_at =
+    Arg.(
+      value
+      & opt float Sh.default_rolling.start_ms
+      & info [ "rolling-at" ] ~docv:"MS" ~doc:"When the first shard's switch fires.")
+  in
+  let stagger =
+    Arg.(
+      value
+      & opt float Sh.default_rolling.stagger_ms
+      & info [ "stagger" ] ~docv:"MS"
+          ~doc:
+            "Delay between consecutive shards' triggers. Smaller than a switch \
+             window means the windows overlap — that overlap is the point.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-out" ] ~docv:"FILE" ~doc:"Write the per-shard table to FILE as CSV.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the full result to FILE as JSON (feed to $(b,dpu_run report \
+             --shard)).")
+  in
+  let run n shards load seed msg_size duration warmup drain loss closed_loop rolling
+      rolling_to rolling_at stagger csv_out json_out =
+    let rolling =
+      if rolling then
+        Some { Sh.to_protocol = rolling_to; start_ms = rolling_at; stagger_ms = stagger }
+      else None
+    in
+    let params =
+      {
+        Sh.n;
+        shards;
+        seed;
+        msg_size;
+        load_per_s = load;
+        warmup_ms = warmup;
+        duration_ms = duration;
+        drain_ms = drain;
+        closed_loop;
+        rolling;
+        loss;
+      }
+    in
+    let r = Sh.run ~params () in
+    print_string
+      (Dpu_workload.Ascii.table ~header:Sh.csv_header (Sh.csv_rows r));
+    if rolling <> None then
+      Printf.printf "\nmax concurrent in-flight swaps: %d\n" r.Sh.max_concurrent_switches;
+    List.iter
+      (fun (s : Sh.shard_result) ->
+        List.iter
+          (fun v -> Printf.printf "shard %d VIOLATION: %s\n" s.shard v)
+          s.violations)
+      r.Sh.per_shard;
+    Option.iter
+      (fun path ->
+        Sh.write_csv path r;
+        Printf.printf "per-shard CSV written to %s\n" path)
+      csv_out;
+    Option.iter
+      (fun path ->
+        Dpu_obs.Json.to_file path (Sh.to_json r);
+        Printf.printf "result JSON written to %s\n" path)
+      json_out;
+    if r.Sh.all_ok then print_string "all shards OK\n"
+    else begin
+      print_string "FAILED: at least one shard violated its battery\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run a consistent-hash-sharded fabric — many independent ABcast groups \
+          over one simulator — under sustained load, optionally with a rolling \
+          protocol replacement across every shard, and report per-shard latency \
+          quantiles, switch windows and property batteries.")
+    Term.(
+      const run $ n_total $ shards_arg $ load_arg $ seed_arg $ msg_size $ duration
+      $ warmup $ drain $ loss $ closed_loop $ rolling $ rolling_to $ rolling_at
+      $ stagger $ csv_out $ json_out)
 
 (* ------------------------------------------------------------------ *)
 (* check — static composition verification, no simulation             *)
@@ -932,7 +1091,7 @@ let trace_cmd =
 (* report — render observability artifacts as one HTML page           *)
 (* ------------------------------------------------------------------ *)
 
-let report metrics_path trace_path history_dir out title =
+let report metrics_path trace_path shard_path history_dir out title =
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "dpu_run report: %s\n" m; exit 2) fmt in
   let read_json path =
     match In_channel.with_open_text path In_channel.input_all with
@@ -943,6 +1102,7 @@ let report metrics_path trace_path history_dir out title =
       | Error e -> fail "%s: %s" path e)
   in
   let metrics = Option.map read_json metrics_path in
+  let shard = Option.map read_json shard_path in
   let trace =
     Option.map
       (fun path ->
@@ -969,9 +1129,9 @@ let report metrics_path trace_path history_dir out title =
       |> List.map (fun f ->
              (Filename.remove_extension f, read_json (Filename.concat dir f)))
   in
-  if metrics = None && trace = None && history = [] then
-    fail "nothing to render: give at least one of --metrics, --trace, --history";
-  let html = Dpu_obs.Report_html.render ?metrics ?trace ~history ~title () in
+  if metrics = None && trace = None && shard = None && history = [] then
+    fail "nothing to render: give at least one of --metrics, --trace, --shard, --history";
+  let html = Dpu_obs.Report_html.render ?metrics ?trace ?shard ~history ~title () in
   Out_channel.with_open_text out (fun oc -> Out_channel.output_string oc html);
   (match trace with
   | Some events ->
@@ -1009,6 +1169,15 @@ let report_cmd =
             "Chrome trace to render the replacement timeline from (a $(b,serve \
              --trace-out) merged trace or a --spans-out export).")
   in
+  let shard =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard" ] ~docv:"FILE"
+          ~doc:
+            "Sharded-run JSON (a $(b,shard --json-out) export) to render the \
+             per-shard quantile table and switch-window swimlane from.")
+  in
   let history =
     Arg.(
       value
@@ -1037,7 +1206,7 @@ let report_cmd =
           trace, a history of bench results — as one self-contained HTML page: \
           switch-window timeline, p50/p99/p999 latency tables, per-commit trend \
           charts.")
-    Term.(const report $ metrics $ trace $ history $ out $ title)
+    Term.(const report $ metrics $ trace $ shard $ history $ out $ title)
 
 let () =
   let doc = "Dynamic protocol update (IPDPS 2006) — simulation driver" in
@@ -1051,6 +1220,7 @@ let () =
             fig6_cmd;
             headline_cmd;
             compare_cmd;
+            shard_cmd;
             check_cmd;
             serve_cmd;
             corpus_cmd;

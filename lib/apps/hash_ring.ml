@@ -1,0 +1,78 @@
+(* Consistent-hash ring with virtual nodes (Karger et al.): each shard
+   owns [vnodes] points on a 62-bit ring; a key belongs to the shard
+   owning the first point at or after the key's hash, wrapping at the
+   top. Adding a shard only claims the arcs in front of its own points,
+   so roughly 1/(s+1) of the keyspace moves and the rest stays put. *)
+
+type t = {
+  points : int array; (* sorted ring positions *)
+  owners : int array; (* owners.(i) owns points.(i) *)
+  shards : int;
+  vnodes : int;
+}
+
+(* FNV-1a 64-bit. Its upper bits disperse poorly for short similar
+   strings, and the ring folds to 62 bits from the top — so finish with
+   a murmur3-style avalanche before folding to a non-negative int. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  let z = !h in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let point ~shard ~vnode = fnv1a (Printf.sprintf "shard-%d-vnode-%d" shard vnode)
+
+let create ~shards ?(vnodes = 64) () =
+  if shards < 1 then invalid_arg "Hash_ring.create: shards must be >= 1";
+  if vnodes < 1 then invalid_arg "Hash_ring.create: vnodes must be >= 1";
+  let pts = Array.init (shards * vnodes) (fun i -> (point ~shard:(i / vnodes) ~vnode:(i mod vnodes), i / vnodes)) in
+  (* Ties (astronomically unlikely) resolve to the smaller shard id so
+     the ring is a deterministic function of (shards, vnodes). *)
+  Array.sort
+    (fun (p1, s1) (p2, s2) ->
+      match Int.compare p1 p2 with 0 -> Int.compare s1 s2 | c -> c)
+    pts;
+  {
+    points = Array.map fst pts;
+    owners = Array.map snd pts;
+    shards;
+    vnodes;
+  }
+
+let shards t = t.shards
+
+let vnodes t = t.vnodes
+
+let hash = fnv1a
+
+(* First index with points.(i) >= h, or 0 when h is past the last
+   point (wrap). *)
+let successor t h =
+  let n = Array.length t.points in
+  if h > t.points.(n - 1) then 0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.points.(mid) >= h then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let shard_of t key = t.owners.(successor t (fnv1a key))
+
+let spread t ~keys =
+  let counts = Array.make t.shards 0 in
+  List.iter
+    (fun k ->
+      let s = shard_of t k in
+      counts.(s) <- counts.(s) + 1)
+    keys;
+  counts

@@ -1,0 +1,28 @@
+(** Consistent-hash ring: keys → shard, stable under resharding.
+
+    Each shard owns [vnodes] pseudo-random points on a ring of hashes;
+    a key maps to the shard owning the next point clockwise from the
+    key's hash. Growing the ring from [s] to [s+1] shards moves only
+    the arcs claimed by the new shard's points (≈ 1/(s+1) of the keys);
+    every other key keeps its shard — the property that lets a fabric
+    reshard without reshuffling the world. Purely deterministic: the
+    mapping is a function of (shards, vnodes, key) only. *)
+
+type t
+
+val create : shards:int -> ?vnodes:int -> unit -> t
+(** [vnodes] (default 64) points per shard; more points smooth the
+    load spread at the cost of a larger (still tiny) ring. *)
+
+val shards : t -> int
+
+val vnodes : t -> int
+
+val shard_of : t -> string -> int
+(** The shard owning this key. *)
+
+val hash : string -> int
+(** The ring's hash function (FNV-1a 64, folded non-negative). *)
+
+val spread : t -> keys:string list -> int array
+(** Keys-per-shard histogram — how evenly a keyset lands. *)

@@ -1,0 +1,68 @@
+module Fabric = Dpu_core.Fabric
+module MW = Dpu_core.Middleware
+
+type t = {
+  fabric : Fabric.t;
+  ring : Hash_ring.t;
+  replicas : Replicated_kv.t array array; (* shard -> group-local node -> replica *)
+  next_writer : int array; (* per-shard round-robin over its nodes *)
+}
+
+let create ?vnodes fabric =
+  let shards = Fabric.shards fabric in
+  let ring = Hash_ring.create ~shards ?vnodes () in
+  let replicas =
+    Array.init shards (fun g ->
+        let mw = Fabric.group fabric g in
+        Array.init (MW.n mw) (fun node -> Replicated_kv.attach mw ~node))
+  in
+  { fabric; ring; replicas; next_writer = Array.make shards 0 }
+
+let fabric t = t.fabric
+
+let ring t = t.ring
+
+let shard_of t key = Hash_ring.shard_of t.ring key
+
+let replicas t ~shard = t.replicas.(shard)
+
+let replica t ~shard ~node = t.replicas.(shard).(node)
+
+(* Writes enter the shard's ordered broadcast from a deterministic
+   round-robin writer, spreading client load over the group. *)
+let writer t key =
+  let g = shard_of t key in
+  let group = t.replicas.(g) in
+  let w = group.(t.next_writer.(g)) in
+  t.next_writer.(g) <- (t.next_writer.(g) + 1) mod Array.length group;
+  w
+
+let put t key value = Replicated_kv.put (writer t key) key value
+
+let delete t key = Replicated_kv.delete (writer t key) key
+
+let incr t ?by key = Replicated_kv.incr (writer t key) ?by key
+
+(* Reads are local to the owning shard: any replica of that group
+   serves them from its own state — no cross-shard traffic. *)
+let get t key = Replicated_kv.get t.replicas.(shard_of t key).(0) key
+
+let get_int t key = Replicated_kv.get_int t.replicas.(shard_of t key).(0) key
+
+let shard_digests t ~shard =
+  Array.to_list (Array.map Replicated_kv.digest t.replicas.(shard))
+
+let shard_converged t ~shard =
+  match shard_digests t ~shard with
+  | [] -> true
+  | d :: rest -> List.for_all (String.equal d) rest
+
+let converged t =
+  let ok = ref true in
+  Array.iteri (fun g _ -> if not (shard_converged t ~shard:g) then ok := false) t.replicas;
+  !ok
+
+let size t =
+  Array.fold_left
+    (fun acc group -> acc + Replicated_kv.size group.(0))
+    0 t.replicas

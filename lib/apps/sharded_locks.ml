@@ -1,0 +1,46 @@
+module Fabric = Dpu_core.Fabric
+module MW = Dpu_core.Middleware
+
+type t = {
+  fabric : Fabric.t;
+  ring : Hash_ring.t;
+  services : Lock_service.t array array; (* shard -> group-local node *)
+}
+
+let create ?vnodes fabric =
+  let shards = Fabric.shards fabric in
+  let ring = Hash_ring.create ~shards ?vnodes () in
+  let services =
+    Array.init shards (fun g ->
+        let mw = Fabric.group fabric g in
+        Array.init (MW.n mw) (fun node -> Lock_service.attach mw ~node))
+  in
+  { fabric; ring; services }
+
+let shard_of t lock = Hash_ring.shard_of t.ring lock
+
+let service t ~shard ~node = t.services.(shard).(node)
+
+(* A client is a (shard-local) node identity on every shard: lock
+   queues record node ids, which only mean something within the owning
+   shard's group. *)
+let acquire t ~node lock = Lock_service.acquire t.services.(shard_of t lock).(node) lock
+
+let release t ~node lock = Lock_service.release t.services.(shard_of t lock).(node) lock
+
+let holder t lock = Lock_service.holder t.services.(shard_of t lock).(0) lock
+
+let holds t ~node lock = Lock_service.holds t.services.(shard_of t lock).(node) lock
+
+let shard_digests t ~shard =
+  Array.to_list (Array.map Lock_service.digest t.services.(shard))
+
+let shard_converged t ~shard =
+  match shard_digests t ~shard with
+  | [] -> true
+  | d :: rest -> List.for_all (String.equal d) rest
+
+let converged t =
+  let ok = ref true in
+  Array.iteri (fun g _ -> if not (shard_converged t ~shard:g) then ok := false) t.services;
+  !ok

@@ -1,0 +1,33 @@
+(** The sharded front of {!Lock_service}: lock names route through the
+    same consistent-hash ring as {!Sharded_kv}, so each lock's FIFO
+    queue lives entirely inside one shard's total order. Locks on
+    different shards never contend on ordering — or on a protocol
+    switch.
+
+    [node] arguments are group-local: the caller acts as that node of
+    whichever shard owns the lock (every group runs the same node
+    count ±1, so small node ids are valid everywhere). *)
+
+type t
+
+val create : ?vnodes:int -> Dpu_core.Fabric.t -> t
+
+val shard_of : t -> string -> int
+
+val service : t -> shard:int -> node:int -> Lock_service.t
+
+val acquire : t -> node:int -> string -> unit
+
+val release : t -> node:int -> string -> unit
+
+val holder : t -> string -> int option
+(** Current holder (group-local node id of the owning shard), read at
+    the shard's node 0. *)
+
+val holds : t -> node:int -> string -> bool
+
+val shard_digests : t -> shard:int -> string list
+
+val shard_converged : t -> shard:int -> bool
+
+val converged : t -> bool

@@ -40,12 +40,19 @@ let of_system ?(config = default_config) ?register_extra system =
   let metrics = System.metrics system in
   let collector = Collector.create () in
   Stack_builder.build ~collector ?register_extra ~profile:config.profile system;
+  (* On a fabric's shared registry the group label keeps each group's
+     app counter its own series. *)
+  let labels =
+    match System.group_id system with
+    | Some g -> [ ("group", string_of_int g) ]
+    | None -> []
+  in
   {
     config;
     system;
     collector;
     metrics;
-    m_sends = Dpu_obs.Metrics.counter metrics "app_sends_total";
+    m_sends = Dpu_obs.Metrics.counter metrics ~labels "app_sends_total";
     next_seq = Array.make (System.n system) 0;
   }
 
@@ -62,6 +69,8 @@ let create ?(config = default_config) ?register_extra ~n () =
 let config t = t.config
 
 let n t = System.n t.system
+
+let group_id t = System.group_id t.system
 
 let system t = t.system
 

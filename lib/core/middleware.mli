@@ -53,6 +53,10 @@ val config : t -> config
 
 val n : t -> int
 
+val group_id : t -> int option
+(** The fabric group this cluster is (when it is one group of a
+    {!Fabric}); [None] for a standalone cluster. *)
+
 val system : t -> System.t
 
 val collector : t -> Collector.t

@@ -18,6 +18,16 @@ let split t =
   let seed64 = int64 t in
   { state = seed64 }
 
+let split_key t ~key =
+  assert (key >= 0);
+  (* A keyed substream is a pure function of the parent's current state
+     and the key: the parent is not advanced, and the stream for key k
+     does not depend on how many other keys exist. Key k lands where k
+     sequential [split]s of a copy would: state + (k+1)*gamma, mixed.
+     Shard k therefore draws the same stream whether the fabric has 4
+     shards or 400. *)
+  { state = mix (Int64.add t.state (Int64.mul (Int64.of_int (key + 1)) golden_gamma)) }
+
 let copy t = { state = t.state }
 
 let float t =

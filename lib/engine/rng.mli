@@ -15,6 +15,15 @@ val split : t -> t
 (** [split t] is a new generator statistically independent of [t];
     advances [t] by one step. *)
 
+val split_key : t -> key:int -> t
+(** [split_key t ~key] is a keyed substream: a pure function of [t]'s
+    current state and [key] (which must be [>= 0]). Unlike {!split} the
+    parent is {e not} advanced, so the stream derived for key [k] is
+    identical no matter how many other keys are derived — a fabric
+    shard keeps its exact randomness when the total shard count
+    changes. [split_key t ~key:0] equals the child the next {!split}
+    would produce. *)
+
 val copy : t -> t
 (** Snapshot of the current state. *)
 

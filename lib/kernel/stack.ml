@@ -48,9 +48,15 @@ type t = {
 
 exception Already_bound of Service.t
 
-let create ~clock ~node ?(hop_cost = 0.05) ~trace ?(metrics = Dpu_obs.Metrics.noop)
-    () =
-  let labels = [ ("node", string_of_int node) ] in
+let create ~clock ~node ?group ?(hop_cost = 0.05) ~trace
+    ?(metrics = Dpu_obs.Metrics.noop) () =
+  let labels =
+    ("node", string_of_int node)
+    ::
+    (match group with
+    | Some g -> [ ("group", string_of_int g) ]
+    | None -> [])
+  in
   let t =
     {
       clock;

@@ -43,6 +43,7 @@ val default_handlers : handlers
 val create :
   clock:Dpu_runtime.Clock.t ->
   node:int ->
+  ?group:int ->
   ?hop_cost:float ->
   trace:Trace.t ->
   ?metrics:Dpu_obs.Metrics.t ->
@@ -53,7 +54,10 @@ val create :
     kernel series ([kernel_calls_total], [kernel_calls_blocked_total],
     [kernel_binds_total], …, all labelled [node=i], plus the
     [kernel_blocked_call_ms] histogram) and is exposed to modules via
-    {!metrics} so protocol layers can register their own series. *)
+    {!metrics} so protocol layers can register their own series.
+    [group] adds a [group=g] label to every series — node ids repeat
+    across the groups of a fabric, so the label keeps their series
+    apart on a shared registry. *)
 
 val node : t -> int
 

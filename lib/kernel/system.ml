@@ -14,18 +14,29 @@ type t = {
   registry : Registry.t;
   stacks : Stack.t option array;
   local : int list;
+  group_id : int option;
 }
 
-let make ~backend ~runtime ~trace ~metrics ~hop_cost ~n ~local =
+let make ?group_id ~backend ~runtime ~trace ~metrics ~hop_cost ~n ~local () =
   let clock = Dpu_runtime.Runtime.clock runtime in
   let stacks = Array.make n None in
   List.iter
     (fun node ->
       if node < 0 || node >= n then
         invalid_arg (Printf.sprintf "System: local node %d out of range" node);
-      stacks.(node) <- Some (Stack.create ~clock ~node ~hop_cost ~trace ~metrics ()))
+      stacks.(node) <-
+        Some (Stack.create ~clock ~node ?group:group_id ~hop_cost ~trace ~metrics ()))
     local;
-  { backend; runtime; trace; metrics; registry = Registry.create (); stacks; local }
+  {
+    backend;
+    runtime;
+    trace;
+    metrics;
+    registry = Registry.create ();
+    stacks;
+    local;
+    group_id;
+  }
 
 let create ?(seed = 1) ?(loss = 0.0) ?(dup = 0.0) ?(link = Dpu_net.Latency.lan)
     ?(hop_cost = 0.05) ?(trace_enabled = true) ?(metrics = Dpu_obs.Metrics.noop) ~n
@@ -39,15 +50,27 @@ let create ?(seed = 1) ?(loss = 0.0) ?(dup = 0.0) ?(link = Dpu_net.Latency.lan)
   make
     ~backend:(Simulated { sim; net })
     ~runtime ~trace ~metrics ~hop_cost ~n
-    ~local:(List.init n Fun.id)
+    ~local:(List.init n Fun.id) ()
 
 let of_runtime ?(hop_cost = 0.05) ?(trace_enabled = true)
     ?(metrics = Dpu_obs.Metrics.noop) ?local ~runtime ~n () =
   let trace = Trace.create ~enabled:trace_enabled () in
   let local = match local with None -> List.init n Fun.id | Some l -> l in
-  make ~backend:External ~runtime ~trace ~metrics ~hop_cost ~n ~local
+  make ~backend:External ~runtime ~trace ~metrics ~hop_cost ~n ~local ()
+
+let of_sim ?group_id ?(hop_cost = 0.05) ?(trace_enabled = true)
+    ?(metrics = Dpu_obs.Metrics.noop) ~runtime ~sim ~net ~n () =
+  if Datagram.size net <> n then
+    invalid_arg "System.of_sim: network size does not match n";
+  let trace = Trace.create ~enabled:trace_enabled () in
+  make ?group_id
+    ~backend:(Simulated { sim; net })
+    ~runtime ~trace ~metrics ~hop_cost ~n
+    ~local:(List.init n Fun.id) ()
 
 let n t = Array.length t.stacks
+
+let group_id t = t.group_id
 
 let runtime t = t.runtime
 

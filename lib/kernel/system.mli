@@ -45,7 +45,31 @@ val of_runtime :
     (default: all of [0..n-1]) lists the nodes whose stacks live in
     this process. *)
 
+val of_sim :
+  ?group_id:int ->
+  ?hop_cost:float ->
+  ?trace_enabled:bool ->
+  ?metrics:Dpu_obs.Metrics.t ->
+  runtime:Payload.t Dpu_runtime.Runtime.t ->
+  sim:Dpu_engine.Sim.t ->
+  net:Payload.t Dpu_net.Datagram.t ->
+  n:int ->
+  unit ->
+  t
+(** One {e group} of a multi-group fabric: a simulated deployment over
+    a caller-built simulator, network and runtime, so many systems can
+    share ONE [Sim.t] (each with its own network, registry, trace and
+    generations). Unlike {!create} nothing is registered on [metrics] —
+    a fabric shares one registry across groups and per-group kernel
+    series are told apart by the [group=g] label that [group_id] adds
+    via [Stack.create]. The driving calls ({!run_for}, …) advance the
+    {e shared} simulator. *)
+
 val n : t -> int
+
+val group_id : t -> int option
+(** The fabric group this system is a member of ([None] outside a
+    fabric). *)
 
 val runtime : t -> Payload.t Dpu_runtime.Runtime.t
 

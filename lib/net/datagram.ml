@@ -43,12 +43,12 @@ type 'a t = {
   mutable bytes : int;
 }
 
-let create sim ~n ?(loss = 0.0) ?(dup = 0.0) ?(link = Latency.lan) () =
+let create sim ~n ?rng ?(loss = 0.0) ?(dup = 0.0) ?(link = Latency.lan) () =
   assert (n > 0);
   {
     sim;
     n;
-    rng = Rng.split (Sim.rng sim);
+    rng = (match rng with Some r -> r | None -> Rng.split (Sim.rng sim));
     loss;
     dup;
     link;

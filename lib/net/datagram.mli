@@ -32,13 +32,17 @@ type counters = {
 val create :
   Dpu_engine.Sim.t ->
   n:int ->
+  ?rng:Dpu_engine.Rng.t ->
   ?loss:float ->
   ?dup:float ->
   ?link:Latency.link ->
   unit ->
   'a t
 (** [create sim ~n ()] is a network of nodes [0 .. n-1].
-    [loss] and [dup] are iid per-datagram probabilities (default 0). *)
+    [loss] and [dup] are iid per-datagram probabilities (default 0).
+    [rng] drives the loss/dup/latency draws (default: a [Rng.split] of
+    the simulator's root — a fabric passes each group's network its own
+    keyed substream so the draws are independent of group count). *)
 
 val size : 'a t -> int
 (** Number of nodes. *)

@@ -485,6 +485,108 @@ let trend_section history =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Shard section (a sharded-run JSON from `dpu_run shard --json`)     *)
+(* ------------------------------------------------------------------ *)
+
+let shard_field j name = Option.bind (Json.member j name) Json.to_float_opt
+
+let shard_num j name = match shard_field j name with Some v -> num v | None -> "-"
+
+(* One swimlane per shard, its generation-1 switch window as a bar:
+   vertically overlapping bars ARE the headline — that many Algorithm 1
+   runs were in flight at the same instant. *)
+let shard_swimlane shards =
+  let windows =
+    List.filter_map
+      (fun s ->
+        match
+          ( shard_field s "shard",
+            shard_field s "window_start_ms",
+            shard_field s "window_end_ms" )
+        with
+        | Some id, Some lo, Some hi -> Some (int_of_float id, lo, hi)
+        | _ -> None)
+      shards
+  in
+  match windows with
+  | [] -> "<p class=\"empty\">no switch windows (run without --rolling)</p>\n"
+  | _ ->
+    let tmin = List.fold_left (fun a (_, lo, _) -> Float.min a lo) infinity windows in
+    let tmax = List.fold_left (fun a (_, _, hi) -> Float.max a hi) neg_infinity windows in
+    let span = Float.max (tmax -. tmin) 1e-6 in
+    let left = 150.0 and width = 760.0 and row_h = 22.0 in
+    let x t = left +. ((t -. tmin) /. span *. width) in
+    let height = (row_h *. float_of_int (List.length windows)) +. 40.0 in
+    let buf = Buffer.create 4096 in
+    Printf.bprintf buf
+      "<svg class=\"timeline\" viewBox=\"0 0 %.0f %.0f\" height=\"%.0f\">\n"
+      (left +. width +. 20.0) height height;
+    List.iteri
+      (fun i (shard, lo, hi) ->
+        let y = 20.0 +. (row_h *. float_of_int i) in
+        Printf.bprintf buf
+          "<text class=\"rowlabel\" x=\"4\" y=\"%.1f\">shard %d</text>\n"
+          (y +. 13.0) shard;
+        Printf.bprintf buf
+          "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" rx=\"2\" \
+           fill=\"%s\"><title>shard %d: %.2f..%.2f ms (%.2f ms)</title></rect>\n"
+          (x lo) (y +. 3.0)
+          (Float.max (x hi -. x lo) 2.0)
+          (row_h -. 6.0)
+          categorical.(i mod Array.length categorical)
+          shard lo hi (hi -. lo))
+      windows;
+    Printf.bprintf buf
+      "<text class=\"axis\" x=\"%.1f\" y=\"%.1f\">%.2f ms</text>\n\
+       <text class=\"axis\" x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">%.2f ms</text>\n"
+      left (height -. 6.0) tmin (left +. width) (height -. 6.0) tmax;
+    Buffer.add_string buf "</svg>\n";
+    Buffer.contents buf
+
+let shard_section j =
+  let buf = Buffer.create 8192 in
+  let shards =
+    match Option.bind (Json.member j "shards") Json.to_list_opt with
+    | Some l -> l
+    | None -> []
+  in
+  Printf.bprintf buf "<h2>Sharded run (%d shards)</h2>\n" (List.length shards);
+  (match Json.member j "all_ok" with
+  | Some (Json.Bool true) ->
+    Buffer.add_string buf
+      "<p class=\"note\">all shards: properties hold, nothing undelivered, \
+       nothing blocked</p>\n"
+  | Some (Json.Bool false) ->
+    Buffer.add_string buf "<p><strong>VIOLATIONS — see the table</strong></p>\n"
+  | _ -> ());
+  Buffer.add_string buf
+    "<table><tr><th>shard</th><th>nodes</th><th>sent</th><th>delivered</th>\
+     <th>p50 ms</th><th>p99 ms</th><th>p999 ms</th><th>mean ms</th>\
+     <th>gen</th><th>blocked ms</th><th>undelivered</th><th>props</th></tr>\n";
+  List.iter
+    (fun s ->
+      let ok =
+        match Json.member s "props_ok" with Some (Json.Bool b) -> b | _ -> false
+      in
+      Printf.bprintf buf
+        "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td>\
+         <td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+        (shard_num s "shard") (shard_num s "nodes") (shard_num s "sent")
+        (shard_num s "delivered") (shard_num s "p50_ms") (shard_num s "p99_ms")
+        (shard_num s "p999_ms") (shard_num s "mean_ms") (shard_num s "generation")
+        (shard_num s "blocked_ms") (shard_num s "undelivered")
+        (if ok then "ok" else "VIOLATED"))
+    shards;
+  Buffer.add_string buf "</table>\n";
+  Buffer.add_string buf "<h2>Replacement swimlane</h2>\n";
+  (match Option.bind (Json.member j "max_concurrent_switches") Json.to_int_opt with
+  | Some k when k > 0 ->
+    Printf.bprintf buf "<p class=\"note\">max concurrent in-flight swaps: %d</p>\n" k
+  | _ -> ());
+  Buffer.add_string buf (shard_swimlane shards);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* The page                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -508,7 +610,7 @@ th{background:#23262e}td,th{border-color:#3a3e48}
 svg.timeline,.trend svg{background:#1b1e24;border-color:#3a3e48}.trend{border-color:#3a3e48}
 h2{border-color:#3a3e48}.rowlabel{fill:#e4e6eb}.grid{stroke:#2a2e36}}|}
 
-let render ?metrics ?trace ?(history = []) ~title () =
+let render ?metrics ?trace ?shard ?(history = []) ~title () =
   let buf = Buffer.create 16384 in
   Printf.bprintf buf
     "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n<title>%s</title>\n\
@@ -520,8 +622,11 @@ let render ?metrics ?trace ?(history = []) ~title () =
   (match metrics with
   | Some j -> Buffer.add_string buf (metrics_section j)
   | None -> ());
+  (match shard with
+  | Some j -> Buffer.add_string buf (shard_section j)
+  | None -> ());
   if history <> [] then Buffer.add_string buf (trend_section history);
-  if trace = None && metrics = None && history = [] then
+  if trace = None && metrics = None && shard = None && history = [] then
     Buffer.add_string buf "<p class=\"empty\">nothing to report: no inputs given</p>\n";
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf

@@ -1,6 +1,6 @@
 (** Self-contained HTML rendering for `dpu_run report`.
 
-    Three optional sections, each driven by one artifact kind:
+    Four optional sections, each driven by one artifact kind:
 
     - a replacement timeline (table of "replacement gen=N" windows plus
       an SVG swimlane per trace pid) from a merged Chrome trace;
@@ -8,6 +8,9 @@
       {!Metrics.quantile_of_buckets}) from an exported metrics snapshot,
       accepting both the scenario shape ("dpu.metrics/1") and the serve
       per-node nesting ([{"nodes": [...]}]);
+    - a sharded-run section (per-shard quantile table plus a
+      switch-window swimlane, one lane per shard) from a
+      [dpu_run shard --json] export;
     - per-commit trend charts over a history of BENCH_results.json
       files, one small SVG line chart per numeric series.
 
@@ -21,6 +24,7 @@ val windows_of_events : Trace_event.t list -> (int * (float * float)) list
 val render :
   ?metrics:Json.t ->
   ?trace:Trace_event.t list ->
+  ?shard:Json.t ->
   ?history:(string * Json.t) list ->
   title:string ->
   unit ->

@@ -1,18 +1,23 @@
 module Sim = Dpu_engine.Sim
 module Datagram = Dpu_net.Datagram
 
-let clock sim =
+let clock ?group sim =
+  let sched =
+    match group with
+    | None -> fun ~delay fn -> Sim.schedule sim ~delay fn
+    | Some g -> fun ~delay fn -> Sim.schedule_group sim ~group:g ~delay fn
+  in
   {
     Clock.now = (fun () -> Sim.now sim);
-    defer = (fun ~delay fn -> ignore (Sim.schedule sim ~delay fn : Sim.handle));
+    defer = (fun ~delay fn -> ignore (sched ~delay fn : Sim.handle));
     schedule_impl =
       (fun ~delay fn ->
-        let h = Sim.schedule sim ~delay fn in
-        Clock.make_timer ~cancel:(fun () -> Sim.cancel h));
+        let h = sched ~delay fn in
+        Clock.make_timer ~cancel:(fun () -> Sim.cancel sim h));
     every_impl =
       (fun ~period fn ->
         let h = Sim.every sim ~period fn in
-        Clock.make_timer ~cancel:(fun () -> Sim.cancel h));
+        Clock.make_timer ~cancel:(fun () -> Sim.cancel sim h));
   }
 
 let transport net =
@@ -33,5 +38,6 @@ let transport net =
     batches = (fun () -> Transport.zero_batches);
   }
 
-let runtime sim net =
-  Runtime.create ~clock:(clock sim) ~transport:(transport net) ~rng:(Sim.rng sim)
+let runtime ?group ?rng sim net =
+  let rng = match rng with Some r -> r | None -> Sim.rng sim in
+  Runtime.create ~clock:(clock ?group sim) ~transport:(transport net) ~rng

@@ -4,11 +4,23 @@
     This is a thin adapter — every call forwards 1:1 to the wrapped
     [Sim.t]/[Datagram.t], so the event order (and therefore every
     figure and sweep digest) is bit-identical to driving the simulator
-    directly. *)
+    directly.
 
-val clock : Dpu_engine.Sim.t -> Clock.t
+    [group] tags the clock with a [Sim.group]: zero-delay defers then
+    ride the group's ready queue instead of the global heap, which is
+    how a multi-group fabric keeps each group's immediate work in its
+    own FIFO. Omitting [group] (every legacy caller) is byte-identical
+    to the pre-group behaviour. *)
+
+val clock : ?group:Dpu_engine.Sim.group -> Dpu_engine.Sim.t -> Clock.t
 
 val transport : 'a Dpu_net.Datagram.t -> 'a Transport.t
 
-val runtime : Dpu_engine.Sim.t -> 'a Dpu_net.Datagram.t -> 'a Runtime.t
-(** Bundle both with the simulator's root PRNG. *)
+val runtime :
+  ?group:Dpu_engine.Sim.group ->
+  ?rng:Dpu_engine.Rng.t ->
+  Dpu_engine.Sim.t ->
+  'a Dpu_net.Datagram.t ->
+  'a Runtime.t
+(** Bundle both with [rng] (default: the simulator's root PRNG — a
+    fabric passes each group its own [Rng.split_key] substream). *)

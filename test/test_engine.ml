@@ -224,6 +224,48 @@ let test_rng_copy_snapshot () =
   let c = Rng.copy r in
   check (Alcotest.float 0.0) "copy continues identically" (Rng.float r) (Rng.float c)
 
+let stream rng = List.init 8 (fun _ -> Rng.int64 rng)
+
+(* The property the sharded fabric rests on: shard [k]'s stream is a
+   function of (root seed, k) alone — never of how many other shards
+   exist or in what order they were created. *)
+let test_rng_split_key_independent_of_population () =
+  let streams_with ~shards =
+    List.init shards (fun k ->
+        let root = Rng.create ~seed:42 in
+        stream (Rng.split_key root ~key:k))
+  in
+  let four = streams_with ~shards:4 in
+  let sixteen = streams_with ~shards:16 in
+  List.iteri
+    (fun k s ->
+      check (Alcotest.list Alcotest.int64)
+        (Printf.sprintf "shard %d stream unchanged at 16 shards" k)
+        s (List.nth sixteen k))
+    four
+
+let test_rng_split_key_pure () =
+  let r = Rng.create ~seed:7 in
+  let before = stream (Rng.copy r) in
+  ignore (Rng.split_key r ~key:3);
+  ignore (Rng.split_key r ~key:9);
+  check (Alcotest.list Alcotest.int64) "parent not advanced" before (stream r)
+
+let test_rng_split_key_distinct () =
+  let r = Rng.create ~seed:5 in
+  let a = stream (Rng.split_key r ~key:0) in
+  let b = stream (Rng.split_key r ~key:1) in
+  check Alcotest.bool "distinct keys, distinct streams" false (a = b)
+
+let test_rng_split_key_zero_matches_split () =
+  (* split_key ~key:0 is the same derivation split performs, minus the
+     parent advance — pin that so the two stay interchangeable for the
+     first child. *)
+  let a = Rng.create ~seed:11 and b = Rng.create ~seed:11 in
+  check (Alcotest.list Alcotest.int64) "key 0 = first split child"
+    (stream (Rng.split a))
+    (stream (Rng.split_key b ~key:0))
+
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -275,8 +317,8 @@ let test_sim_cancel () =
   let sim = Sim.create () in
   let ran = ref false in
   let h = Sim.schedule sim ~delay:1.0 (fun () -> ran := true) in
-  Sim.cancel h;
-  check Alcotest.bool "cancelled flag" true (Sim.is_cancelled h);
+  Sim.cancel sim h;
+  check Alcotest.bool "cancelled flag" true (Sim.is_cancelled sim h);
   Sim.run sim;
   check Alcotest.bool "not run" false !ran
 
@@ -305,7 +347,7 @@ let test_sim_every () =
   let h = Sim.every sim ~period:10.0 (fun () -> incr count) in
   Sim.run ~until:55.0 sim;
   check Alcotest.int "five ticks" 5 !count;
-  Sim.cancel h;
+  Sim.cancel sim h;
   Sim.run ~until:200.0 sim;
   check Alcotest.int "stops after cancel" 5 !count
 
@@ -340,7 +382,7 @@ let test_sim_max_events_ignores_cancelled () =
   in
   (* Cancel the five earliest events; the five live ones must all fit
      in a budget of exactly five executions. *)
-  List.iteri (fun i h -> if i < 5 then Sim.cancel h) handles;
+  List.iteri (fun i h -> if i < 5 then Sim.cancel sim h) handles;
   Sim.run ~max_events:5 sim;
   check Alcotest.int "all live events ran" 5 !count;
   check Alcotest.int "executed counter agrees" 5 (Sim.events_executed sim)
@@ -397,6 +439,91 @@ let test_sim_pending () =
   check Alcotest.int "two pending" 2 (Sim.pending sim);
   Sim.run sim;
   check Alcotest.int "drained" 0 (Sim.pending sim)
+
+let test_sim_stale_handle_after_reuse () =
+  (* Arena slots are recycled through a free list; a handle kept past
+     its event's execution must not cancel whatever event now occupies
+     the slot. *)
+  let sim = Sim.create () in
+  let stale = Sim.schedule sim ~delay:1.0 (fun () -> ()) in
+  Sim.run sim;
+  let ran = ref false in
+  ignore (Sim.schedule sim ~delay:1.0 (fun () -> ran := true));
+  Sim.cancel sim stale;
+  check Alcotest.bool "stale handle reads cancelled" true (Sim.is_cancelled sim stale);
+  Sim.run sim;
+  check Alcotest.bool "recycled slot's event still fires" true !ran
+
+let test_sim_group_ready_fifo () =
+  let sim = Sim.create () in
+  let g = Sim.new_group sim in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         for i = 1 to 4 do
+           ignore (Sim.schedule_group sim ~group:g ~delay:0.0 (fun () -> log := i :: !log))
+         done));
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "ready queue drains FIFO" [ 1; 2; 3; 4 ]
+    (List.rev !log)
+
+let test_sim_group_drain_order () =
+  (* Ready queues drain lowest group id first, and all ready work runs
+     before the next heap pop — one group's immediate cascade never
+     interleaves with another group's. *)
+  let sim = Sim.create () in
+  let g0 = Sim.new_group sim in
+  let g1 = Sim.new_group sim in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         ignore (Sim.schedule_group sim ~group:g1 ~delay:0.0 (fun () -> log := "b0" :: !log));
+         ignore (Sim.schedule_group sim ~group:g0 ~delay:0.0 (fun () -> log := "a0" :: !log));
+         ignore (Sim.schedule sim ~delay:0.0 (fun () -> log := "heap" :: !log));
+         ignore (Sim.schedule_group sim ~group:g0 ~delay:0.0 (fun () -> log := "a1" :: !log))));
+  Sim.run sim;
+  check
+    (Alcotest.list Alcotest.string)
+    "group 0 first, then group 1, heap event last"
+    [ "a0"; "a1"; "b0"; "heap" ] (List.rev !log);
+  check Alcotest.int "two groups allocated" 2 (Sim.groups sim)
+
+let test_sim_group_positive_delay_uses_heap () =
+  (* A positive delay through schedule_group is ordinary heap
+     scheduling: the clock must advance to fire it. *)
+  let sim = Sim.create () in
+  let g = Sim.new_group sim in
+  let at = ref 0.0 in
+  ignore (Sim.schedule_group sim ~group:g ~delay:2.5 (fun () -> at := Sim.now sim));
+  check Alcotest.int "nothing on the ready queue" 0 (Sim.ready_pending sim ~group:g);
+  Sim.run sim;
+  check (Alcotest.float 1e-9) "fired via the heap at +2.5" 2.5 !at
+
+let test_sim_group_pending_counts () =
+  let sim = Sim.create () in
+  let g0 = Sim.new_group sim in
+  let g1 = Sim.new_group sim in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         ignore (Sim.schedule_group sim ~group:g0 ~delay:0.0 (fun () -> ()));
+         ignore (Sim.schedule_group sim ~group:g0 ~delay:0.0 (fun () -> ()));
+         ignore (Sim.schedule_group sim ~group:g1 ~delay:0.0 (fun () -> ()));
+         check Alcotest.int "g0 ready" 2 (Sim.ready_pending sim ~group:g0);
+         check Alcotest.int "g1 ready" 1 (Sim.ready_pending sim ~group:g1);
+         check Alcotest.int "pending counts ready events" 3 (Sim.pending sim)));
+  Sim.run sim;
+  check Alcotest.int "all drained" 0 (Sim.pending sim)
+
+let test_sim_group_cancel_ready () =
+  let sim = Sim.create () in
+  let g = Sim.new_group sim in
+  let ran = ref false in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         let h = Sim.schedule_group sim ~group:g ~delay:0.0 (fun () -> ran := true) in
+         Sim.cancel sim h));
+  Sim.run sim;
+  check Alcotest.bool "cancelled ready event did not run" false !ran
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
@@ -598,6 +725,10 @@ let () =
           tc "shuffle permutation" test_rng_shuffle_permutation;
           tc "split independent" test_rng_split_independent;
           tc "copy snapshot" test_rng_copy_snapshot;
+          tc "split_key population-independent" test_rng_split_key_independent_of_population;
+          tc "split_key pure" test_rng_split_key_pure;
+          tc "split_key distinct" test_rng_split_key_distinct;
+          tc "split_key key 0 = split" test_rng_split_key_zero_matches_split;
         ] );
       ( "sim",
         [
@@ -618,6 +749,12 @@ let () =
           tc "ff past horizon-queued" test_sim_until_ff_past_queued_beyond_horizon;
           tc "nested scheduling" test_sim_nested_scheduling;
           tc "pending" test_sim_pending;
+          tc "stale handle after slot reuse" test_sim_stale_handle_after_reuse;
+          tc "group ready fifo" test_sim_group_ready_fifo;
+          tc "group drain order" test_sim_group_drain_order;
+          tc "group positive delay via heap" test_sim_group_positive_delay_uses_heap;
+          tc "group pending counts" test_sim_group_pending_counts;
+          tc "group cancel ready" test_sim_group_cancel_ready;
         ] );
       ( "stats",
         [

@@ -28,6 +28,22 @@ let test_jobs_clamped () =
   check (Alcotest.array Alcotest.int) "results" [| 0; 1; 2 |] o.Sweep.results;
   check Alcotest.bool "jobs clamped" true (o.Sweep.stats.Sweep.jobs <= 3)
 
+let test_default_jobs_env () =
+  (* The DPU_JOBS env default feeds the same clamp as an explicit -j:
+     asking for 32 workers over 2 cells must still fork at most 2. *)
+  let restore = Sys.getenv_opt "DPU_JOBS" in
+  Unix.putenv "DPU_JOBS" "32";
+  let parsed = Sweep.default_jobs () in
+  let o = Sweep.run ~jobs:parsed ~cells:2 (fun _ i -> i * 10) in
+  Unix.putenv "DPU_JOBS" (Option.value restore ~default:"");
+  check Alcotest.int "env parsed" 32 parsed;
+  check (Alcotest.array Alcotest.int) "results" [| 0; 10 |] o.Sweep.results;
+  check Alcotest.bool "env-sized pool clamped to cells" true
+    (o.Sweep.stats.Sweep.jobs <= 2);
+  Unix.putenv "DPU_JOBS" "not-a-number";
+  check Alcotest.int "garbage falls back to 1" 1 (Sweep.default_jobs ());
+  Unix.putenv "DPU_JOBS" (Option.value restore ~default:"")
+
 let test_empty_and_single () =
   check Alcotest.int "zero cells" 0 (Array.length (Sweep.map ~jobs:4 ~cells:0 (fun i -> i)));
   check (Alcotest.array Alcotest.int) "one cell" [| 42 |]
@@ -219,6 +235,7 @@ let () =
         [
           tc "map order" test_map_order;
           tc "jobs clamped" test_jobs_clamped;
+          tc "DPU_JOBS env clamped" test_default_jobs_env;
           tc "empty and single" test_empty_and_single;
           tc "large results cross pipe" test_large_results_cross_pipe;
           tc "worker killed" test_worker_killed_surfaces_error;

@@ -336,6 +336,99 @@ let test_comparison_rows () =
   check Alcotest.bool "rendering" true
     (String.length (W.Figures.render_comparison rows) > 100)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded runner                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let shard_small =
+  {
+    W.Shard.default with
+    n = 6;
+    shards = 2;
+    load_per_s = 100.0;
+    warmup_ms = 100.0;
+    duration_ms = 600.0;
+  }
+
+let test_shard_runner_reports () =
+  let r = W.Shard.run ~params:shard_small () in
+  check Alcotest.int "one result per shard" 2 (List.length r.W.Shard.per_shard);
+  List.iter
+    (fun (s : W.Shard.shard_result) ->
+      check Alcotest.bool "delivered something" true (s.delivered > 0);
+      check Alcotest.bool "properties hold" true s.props_ok;
+      check Alcotest.int "nothing undelivered" 0 s.undelivered;
+      check (Alcotest.float 0.0) "nothing blocked" 0.0 s.blocked_ms;
+      check Alcotest.int "no switch" 0 s.generation;
+      check Alcotest.bool "latency measured" true (s.measured > 0);
+      check Alcotest.bool "quantiles ordered" true
+        (s.p50_ms <= s.p99_ms && s.p99_ms <= s.p999_ms))
+    r.W.Shard.per_shard;
+  check Alcotest.int "no rolling, no switches" 0 r.W.Shard.max_concurrent_switches;
+  check Alcotest.bool "all ok" true r.W.Shard.all_ok
+
+let test_shard_rolling_overlaps () =
+  let params =
+    {
+      shard_small with
+      n = 12;
+      shards = 4;
+      duration_ms = 800.0;
+      rolling =
+        Some { W.Shard.default_rolling with start_ms = 150.0; stagger_ms = 0.25 };
+    }
+  in
+  let r = W.Shard.run ~params () in
+  List.iter
+    (fun (s : W.Shard.shard_result) ->
+      check Alcotest.int "every shard switched" 1 s.generation;
+      check Alcotest.bool "window recorded" true (s.window <> None);
+      check Alcotest.bool "properties hold across the switch" true s.props_ok)
+    r.W.Shard.per_shard;
+  check Alcotest.bool "switch windows overlapped" true
+    (r.W.Shard.max_concurrent_switches > 1);
+  check Alcotest.bool "all ok" true r.W.Shard.all_ok
+
+let test_shard_closed_loop () =
+  let params =
+    { shard_small with duration_ms = 400.0; closed_loop = Some 2 }
+  in
+  let r = W.Shard.run ~params () in
+  List.iter
+    (fun (s : W.Shard.shard_result) ->
+      check Alcotest.bool "closed loop kept sending" true (s.delivered > 10);
+      check Alcotest.bool "properties hold" true s.props_ok)
+    r.W.Shard.per_shard;
+  check Alcotest.bool "all ok" true r.W.Shard.all_ok
+
+let test_shard_export_shapes () =
+  let r = W.Shard.run ~params:shard_small () in
+  let rows = W.Shard.csv_rows r in
+  check Alcotest.int "one csv row per shard" 2 (List.length rows);
+  List.iter
+    (fun row ->
+      check Alcotest.int "row arity matches header"
+        (List.length W.Shard.csv_header) (List.length row))
+    rows;
+  let j = W.Shard.to_json r in
+  let module J = Dpu_obs.Json in
+  (match J.member j "shards" with
+  | Some (J.List l) -> check Alcotest.int "json shard entries" 2 (List.length l)
+  | _ -> fail "missing shards list");
+  match J.member j "all_ok" with
+  | Some (J.Bool b) -> check Alcotest.bool "json all_ok" true b
+  | _ -> fail "missing all_ok"
+
+let test_shard_determinism () =
+  let quantiles r =
+    List.map
+      (fun (s : W.Shard.shard_result) -> (s.sent, s.delivered, s.p50_ms, s.p99_ms))
+      r.W.Shard.per_shard
+  in
+  let a = W.Shard.run ~params:shard_small () in
+  let b = W.Shard.run ~params:shard_small () in
+  check Alcotest.bool "identical runs" true (quantiles a = quantiles b)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "workload"
@@ -382,4 +475,12 @@ let () =
         ] );
       ( "figures",
         [ tc "render" test_figures_render; tc "comparison" test_comparison_rows ] );
+      ( "shard",
+        [
+          tc "runner reports per-shard results" test_shard_runner_reports;
+          tc "rolling replacement overlaps" test_shard_rolling_overlaps;
+          tc "closed loop" test_shard_closed_loop;
+          tc "export shapes" test_shard_export_shapes;
+          tc "determinism" test_shard_determinism;
+        ] );
     ]
